@@ -1,0 +1,65 @@
+"""Ablation — antichain inclusion vs. full subset construction.
+
+The paper adopted the antichain tool of [28] because determinizing the
+nondeterministic specifications is infeasible; this benchmark quantifies
+that choice: the canonical subset construction of Σss for (2, 2) has
+~204k macrostates, while the antichain check touches a tiny fraction.
+The (2, 1) instance is benchmarked both ways; (2, 2) determinization is
+reported, not timed repeatedly.
+"""
+
+import pytest
+
+from repro.automata import (
+    check_inclusion_antichain,
+    check_inclusion_in_dfa,
+    determinize,
+)
+from repro.spec import OP, SS
+from repro.spec.det import build_det_spec
+from repro.spec.nondet import build_nondet_spec
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def instance_21():
+    return {
+        "nondet": build_nondet_spec(2, 1, SS),
+        "det": build_det_spec(2, 1, SS),
+    }
+
+
+def bench_antichain_inclusion_21(benchmark, instance_21):
+    res = benchmark(
+        check_inclusion_antichain,
+        instance_21["det"].to_nfa(),
+        instance_21["nondet"],
+    )
+    assert res.holds
+
+
+def bench_subset_construction_inclusion_21(benchmark, instance_21):
+    def via_determinization():
+        canonical = determinize(instance_21["nondet"].compact()[0])
+        return check_inclusion_in_dfa(
+            instance_21["det"].to_nfa(), canonical
+        )
+
+    res = benchmark.pedantic(via_determinization, rounds=1, iterations=1)
+    assert res.holds
+
+
+def bench_antichain_ablation_report(instance_21):
+    anti = check_inclusion_antichain(
+        instance_21["det"].to_nfa(), instance_21["nondet"]
+    )
+    canonical = determinize(instance_21["nondet"].compact()[0])
+    lines = [
+        f"(2,1) Σss: nondet {instance_21['nondet'].num_states} states",
+        f"antichain pairs explored: {anti.product_states}",
+        f"canonical determinization: {canonical.num_states} macrostates",
+        f"minimal DFA: {canonical.compact()[0].minimize().num_states} states",
+    ]
+    assert anti.product_states < canonical.num_states * 5
+    emit("Ablation: antichain vs subset construction", lines)

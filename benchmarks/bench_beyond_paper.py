@@ -1,0 +1,68 @@
+"""Extension — a TM the paper does not cover, through the full pipeline.
+
+``OptimisticTM`` (lock-free write buffering with eager read validation)
+is run through every check the paper's TMs get: Table 2-style safety for
+(2,2), Table 3-style liveness for (2,1), and the structural properties.
+The model checker certifies that it is opaque, obstruction free *and*
+livelock free — a combination none of the paper's four TMs achieves —
+while still failing wait freedom.
+"""
+
+import pytest
+
+from repro.automata.inclusion import check_inclusion_in_dfa
+from repro.checking.liveness import (
+    check_livelock_freedom,
+    check_obstruction_freedom,
+    check_wait_freedom,
+)
+from repro.spec import OP, SS
+from repro.tm import OptimisticTM, build_liveness_graph, build_safety_nfa
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def opt_nfa():
+    return build_safety_nfa(OptimisticTM(2, 2))
+
+
+@pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+def bench_optimistic_safety(benchmark, specs_22, opt_nfa, prop):
+    res = benchmark.pedantic(
+        check_inclusion_in_dfa, args=(opt_nfa, specs_22[prop]),
+        rounds=1, iterations=1,
+    )
+    assert res.holds
+
+
+def bench_optimistic_liveness(benchmark):
+    tm = OptimisticTM(2, 1)
+
+    def all_three():
+        graph = build_liveness_graph(tm)
+        return (
+            check_obstruction_freedom(tm, graph=graph),
+            check_livelock_freedom(tm, graph=graph),
+            check_wait_freedom(tm, graph=graph),
+        )
+
+    of, lf, wf = benchmark(all_three)
+    assert of.holds and lf.holds and not wf.holds
+
+
+def bench_beyond_paper_report(specs_22, opt_nfa):
+    rows = [f"optimistic TM size: {opt_nfa.num_states} states"]
+    for prop in (SS, OP):
+        res = check_inclusion_in_dfa(opt_nfa, specs_22[prop])
+        rows.append(f"{prop.value}: {'Y' if res.holds else 'N'}")
+        assert res.holds
+    tm = OptimisticTM(2, 1)
+    graph = build_liveness_graph(tm)
+    rows.append(
+        "OF: Y, LF: Y, WF: N — strictly better liveness than Table 3"
+    )
+    assert check_obstruction_freedom(tm, graph=graph).holds
+    assert check_livelock_freedom(tm, graph=graph).holds
+    assert not check_wait_freedom(tm, graph=graph).holds
+    emit("Beyond the paper: lock-free optimistic TM", rows)

@@ -1,0 +1,60 @@
+"""Ablation — TM permissiveness as language size.
+
+The paper's introduction motivates TMs as "ensuring transactional
+atomicity without restricting parallelism"; one quantitative lens is how
+many distinct behaviours (words) each algorithm admits.  This benchmark
+fingerprints each TM by the number of language words per length on
+(2,2): the sequential TM is the floor, DSTM (which resolves conflicts by
+stealing rather than blocking) is the most permissive, and 2PL, TL2 and
+the optimistic TM sit between — all while being equally safe (Table 2).
+"""
+
+import pytest
+
+from repro.lang import language_size_by_length
+from repro.tm import (
+    DSTM,
+    TL2,
+    OptimisticTM,
+    SequentialTM,
+    TwoPhaseLockingTM,
+)
+
+from conftest import emit
+
+TMS = [
+    ("seq", SequentialTM(2, 2)),
+    ("2PL", TwoPhaseLockingTM(2, 2)),
+    ("dstm", DSTM(2, 2)),
+    ("TL2", TL2(2, 2)),
+    ("opt", OptimisticTM(2, 2)),
+]
+
+# Pinned fingerprints (words of each length 0..4) — doubles as a
+# regression net for the algorithms' semantics.
+EXPECTED_PREFIX = {
+    "seq": (1, 10, 68, 456, 3056),
+    "2PL": (1, 12, 128, 1260, 11956),
+    "dstm": (1, 12, 138, 1542, 16878),
+    "TL2": (1, 10, 104, 1092, 11468),
+    "opt": (1, 10, 100, 1000, 9992),
+}
+
+
+@pytest.mark.parametrize("name,tm", TMS, ids=[t[0] for t in TMS])
+def bench_language_fingerprint(benchmark, name, tm):
+    counts = benchmark.pedantic(
+        language_size_by_length, args=(tm, 4), rounds=1, iterations=1
+    )
+    assert counts == EXPECTED_PREFIX[name]
+
+
+def bench_permissiveness_report():
+    lines = []
+    totals = {}
+    for name, tm in TMS:
+        counts = language_size_by_length(tm, 4)
+        totals[name] = sum(counts)
+        lines.append(f"{name:5s} words by length 0..4: {counts}")
+    emit("Ablation: TM permissiveness (language sizes, (2,2))", lines)
+    assert totals["seq"] < totals["TL2"] < totals["2PL"] < totals["dstm"]

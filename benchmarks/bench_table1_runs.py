@@ -1,0 +1,98 @@
+"""Table 1 — example runs and words of the four TM algorithms.
+
+Regenerates every row: the listed word must be in the TM's language, and
+language membership (the macro-simulation of the TM's safety NFA) is the
+benchmarked operation.
+"""
+
+import pytest
+
+from repro.core.statements import parse_word
+from repro.tm import (
+    DSTM,
+    TL2,
+    SequentialTM,
+    TwoPhaseLockingTM,
+    build_safety_nfa,
+)
+
+from conftest import emit
+
+ROWS = [
+    ("seq", SequentialTM(2, 2), "(r,1)1 (w,2)1 c1 (w,1)2 c2"),
+    ("seq", SequentialTM(2, 2), "(r,1)1 (w,2)1 a2 c1 (w,1)2 c2"),
+    ("2PL", TwoPhaseLockingTM(2, 2), "(r,1)1 (w,2)1 c1"),
+    ("2PL", TwoPhaseLockingTM(2, 2), "a2 (r,1)1 (w,2)1 c1"),
+    ("dstm", DSTM(2, 2), "(r,1)1 (w,1)2 (w,2)1 c1 a2"),
+    ("dstm", DSTM(2, 2), "(r,1)1 (w,1)2 c2 (w,2)1 a1"),
+    ("TL2", TL2(2, 2), "(r,1)1 (w,2)1 (w,1)2 c1 c2"),
+    ("TL2", TL2(2, 2), "(r,1)1 (w,2)1 (w,1)2 a1 c2"),
+]
+
+
+@pytest.fixture(scope="module")
+def tm_nfas():
+    cache = {}
+    for name, tm, _ in ROWS:
+        if name not in cache:
+            cache[name] = build_safety_nfa(tm)
+    return cache
+
+
+@pytest.mark.parametrize(
+    "name,tm,text", ROWS, ids=[f"{r[0]}-{i}" for i, r in enumerate(ROWS)]
+)
+def bench_table1_membership(benchmark, tm_nfas, name, tm, text):
+    word = parse_word(text)
+    nfa = tm_nfas[name]
+    accepted = benchmark(nfa.accepts, word)
+    assert accepted, f"Table 1 row missing from L({name}): {text}"
+
+
+def bench_table1_report(tm_nfas):
+    lines = []
+    for name, _, text in ROWS:
+        ok = tm_nfas[name].accepts(parse_word(text))
+        lines.append(f"{name:5s} word [{text}]: {'in L' if ok else 'MISSING'}")
+        assert ok
+    emit("Table 1: runs and words of the TM algorithms", lines)
+
+
+# The schedule column: simulate each row's schedule and reproduce the
+# full run (extended statements), not just the word.
+SCHEDULED_ROWS = [
+    (
+        SequentialTM(2, 2), "11122", {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (w,2)1, c1, (w,1)2, c2",
+    ),
+    (
+        SequentialTM(2, 2), "112122", {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (w,2)1, a2, c1, (w,1)2, c2",
+    ),
+    (
+        TwoPhaseLockingTM(2, 2), "111112", {1: "r1 w2 c", 2: "w2 c"},
+        "(rl,1)1, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,2)2",
+    ),
+    (
+        DSTM(2, 2), "12211112", {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (o,1)2, (w,1)2, (o,2)1, (w,2)1, v1, c1, a2",
+    ),
+    (
+        TL2(2, 2), "112112212", {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (w,2)1, (w,1)2, (l,2)1, v1, (l,1)2, v2, c1, c2",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "tm,sched,progs,run_text",
+    SCHEDULED_ROWS,
+    ids=[f"{r[0].name}-{r[1]}" for r in SCHEDULED_ROWS],
+)
+def bench_table1_schedule_simulation(benchmark, tm, sched, progs, run_text):
+    from repro.tm.runs import parse_schedule, program, simulate
+
+    programs = {t: program(p) for t, p in progs.items()}
+    schedule = parse_schedule(sched)
+    run = benchmark(simulate, tm, programs, schedule)
+    assert str(run) == run_text

@@ -1,0 +1,80 @@
+"""Table 2 — safety of the TM algorithms via language inclusion.
+
+Regenerates every cell: for seq, 2PL, DSTM and TL2 the inclusion
+L(A) ⊆ L(Σd) holds for both strict serializability and opacity; for the
+modified TL2 with the polite manager it fails with a certified
+counterexample.  The benchmarked operation is the inclusion check itself
+(the paper reports up to 3.2 s on its hardware for TL2).
+"""
+
+import pytest
+
+from repro.automata.inclusion import check_inclusion_in_dfa
+from repro.core.properties import is_opaque, is_strictly_serializable
+from repro.core.statements import format_word
+from repro.spec import OP, SS
+from repro.tm import (
+    DSTM,
+    TL2,
+    ManagedTM,
+    ModifiedTL2,
+    PoliteManager,
+    SequentialTM,
+    TwoPhaseLockingTM,
+    build_safety_nfa,
+)
+
+from conftest import emit
+
+TMS = [
+    ("seq", SequentialTM(2, 2), True),
+    ("2PL", TwoPhaseLockingTM(2, 2), True),
+    ("dstm", DSTM(2, 2), True),
+    ("TL2", TL2(2, 2), True),
+    ("modTL2+pol", ManagedTM(ModifiedTL2(2, 2), PoliteManager()), False),
+]
+
+PAPER_SIZES = {"seq": 3, "2PL": 99, "dstm": 1846, "TL2": 21568,
+               "modTL2+pol": 17520}
+
+
+@pytest.fixture(scope="module")
+def tm_nfas():
+    return {name: build_safety_nfa(tm) for name, tm, _ in TMS}
+
+
+@pytest.mark.parametrize("name,tm,expect", TMS, ids=[t[0] for t in TMS])
+@pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+def bench_table2_inclusion(benchmark, specs_22, tm_nfas, name, tm, expect, prop):
+    nfa = tm_nfas[name]
+    spec = specs_22[prop]
+    result = benchmark.pedantic(
+        check_inclusion_in_dfa, args=(nfa, spec), rounds=1, iterations=1
+    )
+    assert result.holds == expect, (name, prop, result.counterexample)
+    if not result.holds:
+        reference = (
+            is_strictly_serializable
+            if prop is SS
+            else is_opaque
+        )
+        assert not reference(result.counterexample)
+
+
+def bench_table2_report(specs_22, tm_nfas):
+    lines = []
+    for name, tm, expect in TMS:
+        nfa = tm_nfas[name]
+        cells = [f"{name:11s} size={nfa.num_states:6d}"
+                 f" (paper {PAPER_SIZES[name]})"]
+        for prop in (SS, OP):
+            res = check_inclusion_in_dfa(nfa, specs_22[prop])
+            if res.holds:
+                cells.append(f"{prop.value}: Y")
+            else:
+                cells.append(
+                    f"{prop.value}: N [{format_word(res.counterexample)}]"
+                )
+            assert res.holds == expect
+        lines.append(" | ".join(cells))
+    emit("Table 2: checking L(A) ⊆ L(Σd) for (2,2)", lines)

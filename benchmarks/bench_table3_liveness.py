@@ -1,0 +1,101 @@
+"""Table 3 — liveness of TM algorithms with contention managers.
+
+Regenerates every cell for (2, 1): obstruction freedom fails for seq,
+2PL and TL2+polite with the one-statement loop ``a1``; DSTM+aggressive is
+obstruction free; livelock freedom fails for everything (DSTM+aggressive
+with the mutual-ownership-steal loop, the paper's w2).  Wait freedom —
+which the paper notes fails for all of its TMs — is included as a third
+column.
+"""
+
+import pytest
+
+from repro.checking.liveness import (
+    check_livelock_freedom,
+    check_obstruction_freedom,
+    check_wait_freedom,
+)
+from repro.tm import (
+    DSTM,
+    TL2,
+    AggressiveManager,
+    ManagedTM,
+    PoliteManager,
+    SequentialTM,
+    TwoPhaseLockingTM,
+    build_liveness_graph,
+)
+
+from conftest import emit
+
+TMS = [
+    ("seq", SequentialTM(2, 1), False, False),
+    ("2PL", TwoPhaseLockingTM(2, 1), False, False),
+    ("dstm+aggr", ManagedTM(DSTM(2, 1), AggressiveManager()), True, False),
+    ("TL2+pol", ManagedTM(TL2(2, 1), PoliteManager()), False, False),
+]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: build_liveness_graph(tm) for name, tm, _, _ in TMS}
+
+
+@pytest.mark.parametrize(
+    "name,tm,of_expect,lf_expect", TMS, ids=[t[0] for t in TMS]
+)
+def bench_table3_obstruction_freedom(
+    benchmark, graphs, name, tm, of_expect, lf_expect
+):
+    res = benchmark.pedantic(
+        check_obstruction_freedom,
+        args=(tm,),
+        kwargs={"graph": graphs[name]},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.holds == of_expect, res.verdict()
+
+
+@pytest.mark.parametrize(
+    "name,tm,of_expect,lf_expect", TMS, ids=[t[0] for t in TMS]
+)
+def bench_table3_livelock_freedom(
+    benchmark, graphs, name, tm, of_expect, lf_expect
+):
+    res = benchmark.pedantic(
+        check_livelock_freedom,
+        args=(tm,),
+        kwargs={"graph": graphs[name]},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.holds == lf_expect, res.verdict()
+
+
+def bench_table3_report(graphs):
+    lines = []
+    for name, tm, of_expect, lf_expect in TMS:
+        g = graphs[name]
+        of = check_obstruction_freedom(tm, graph=g)
+        lf = check_livelock_freedom(tm, graph=g)
+        wf = check_wait_freedom(tm, graph=g)
+        assert of.holds == of_expect and lf.holds == lf_expect
+        assert not wf.holds  # none of the paper's TMs are wait free
+
+        def cell(r):
+            if r.holds:
+                return "Y"
+            return "N loop=[" + ", ".join(str(s) for s in r.loop) + "]"
+
+        lines.append(
+            f"{name:10s} states={len(g.nodes):4d}"
+            f" | OF: {cell(of)} | LF: {cell(lf)} | WF: {cell(wf)}"
+        )
+    emit("Table 3: model checking liveness for (2,1)", lines)
+
+    # the three OF violators loop on exactly a1, as the paper reports
+    for name in ("seq", "2PL", "TL2+pol"):
+        tm = dict((n, t) for n, t, _, _ in TMS)[name]
+        res = check_obstruction_freedom(tm, graph=graphs[name])
+        assert [str(s) for s in res.loop] == ["abort1"], name

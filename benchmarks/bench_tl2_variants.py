@@ -1,0 +1,91 @@
+"""Ablation — the TL2 design choices the paper's Section 5.4 turns on.
+
+Three variants of TL2 through the full safety pipeline:
+
+1. **TL2 (default)** — atomic validate (version check + lock check),
+   reads sample the lock bit: opaque (Table 2's Y row).
+2. **TL2 with the literal Algorithm 4 read** (no lock check on reads):
+   strictly serializable but *not* opaque — our reproduction finding
+   that the read-time lock check is load-bearing.
+3. **Modified TL2** (rvalidate then chklock as separate atomic steps):
+   not even strictly serializable — the paper's §5.4 ambiguity, with the
+   counterexample family of w1.
+"""
+
+import pytest
+
+from repro.automata.inclusion import check_inclusion_in_dfa
+from repro.core.properties import is_opaque, is_strictly_serializable
+from repro.core.statements import format_word, parse_word
+from repro.spec import OP, SS
+from repro.tm import (
+    TL2,
+    ManagedTM,
+    ModifiedTL2,
+    PoliteManager,
+    build_safety_nfa,
+    language_contains,
+)
+
+from conftest import emit
+
+VARIANTS = [
+    ("TL2", TL2(2, 2), {SS: True, OP: True}),
+    ("TL2-literal-read", TL2(2, 2, read_checks_lock=False), {SS: True, OP: False}),
+    ("modTL2", ModifiedTL2(2, 2), {SS: False, OP: False}),
+    (
+        "modTL2+pol",
+        ManagedTM(ModifiedTL2(2, 2), PoliteManager()),
+        {SS: False, OP: False},
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def variant_nfas():
+    return {name: build_safety_nfa(tm) for name, tm, _ in VARIANTS}
+
+
+@pytest.mark.parametrize(
+    "name,tm,expect", VARIANTS, ids=[v[0] for v in VARIANTS]
+)
+@pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+def bench_tl2_variant_safety(
+    benchmark, specs_22, variant_nfas, name, tm, expect, prop
+):
+    res = benchmark.pedantic(
+        check_inclusion_in_dfa,
+        args=(variant_nfas[name], specs_22[prop]),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.holds == expect[prop], (name, prop.value)
+
+
+def bench_tl2_variants_report(specs_22, variant_nfas):
+    lines = []
+    for name, tm, expect in VARIANTS:
+        cells = [f"{name:16s}"]
+        for prop in (SS, OP):
+            res = check_inclusion_in_dfa(variant_nfas[name], specs_22[prop])
+            assert res.holds == expect[prop]
+            if res.holds:
+                cells.append(f"{prop.value}: Y")
+            else:
+                cells.append(
+                    f"{prop.value}: N [{format_word(res.counterexample)}]"
+                )
+        lines.append(" | ".join(cells))
+    emit("Ablation: TL2 validation/read variants", lines)
+
+    # the paper's exact w1 separates atomic from modified TL2
+    w1 = parse_word("(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1")
+    assert not is_strictly_serializable(w1)
+    assert language_contains(ModifiedTL2(2, 2), w1)
+    assert not language_contains(TL2(2, 2), w1)
+
+    # the literal-read opacity gap has its own canonical witness
+    w2 = parse_word("(r,1)1 (w,2)1 (w,1)2 c2 (r,2)2 c1")
+    assert is_strictly_serializable(w2) and not is_opaque(w2)
+    assert language_contains(TL2(2, 2, read_checks_lock=False), w2)
+    assert not language_contains(TL2(2, 2), w2)

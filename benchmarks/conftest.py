@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper; expensive
+automata are built once per session so the timed portion is the
+verification step the paper reports, not the model construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec import OP, SS
+from repro.spec.det import build_det_spec
+from repro.spec.nondet import build_nondet_spec
+
+
+@pytest.fixture(scope="session")
+def specs_22():
+    """Both deterministic specifications for (2, 2)."""
+    return {SS: build_det_spec(2, 2, SS), OP: build_det_spec(2, 2, OP)}
+
+
+@pytest.fixture(scope="session")
+def nondet_specs_22():
+    """Both nondeterministic specifications for (2, 2)."""
+    return {SS: build_nondet_spec(2, 2, SS), OP: build_nondet_spec(2, 2, OP)}
+
+
+def emit(title: str, lines) -> None:
+    """Print a paper-style results block (visible with pytest -s, and in
+    the captured output section otherwise)."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print(f"   {line}")

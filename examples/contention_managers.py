@@ -1,0 +1,73 @@
+"""Liveness across contention managers (Section 6).
+
+Safety never depends on the manager (L(Acm) ⊆ L(A)), but liveness does:
+the same DSTM is obstruction free under the aggressive manager and not
+under the polite one; bounded-Karma sits in between.  This example runs
+the (2,1) liveness suite for DSTM and TL2 under several managers.
+
+Run:  python examples/contention_managers.py        (~15 seconds)
+"""
+
+from repro import (
+    DSTM,
+    TL2,
+    AggressiveManager,
+    BoundedKarmaManager,
+    ManagedTM,
+    PermissiveManager,
+    PoliteManager,
+)
+from repro.checking import (
+    check_livelock_freedom,
+    check_obstruction_freedom,
+    check_wait_freedom,
+    render_table,
+)
+from repro.tm import build_liveness_graph
+
+
+def cell(result) -> str:
+    if result.holds:
+        return "Y"
+    return "N [" + ", ".join(str(s) for s in result.loop) + "]"
+
+
+def main() -> None:
+    managers = [
+        AggressiveManager(),
+        PoliteManager(),
+        PermissiveManager(),
+        BoundedKarmaManager(2, bound=2),
+    ]
+    for base_factory in (DSTM, TL2):
+        rows = []
+        for cm in managers:
+            tm = ManagedTM(base_factory(2, 1), cm)
+            graph = build_liveness_graph(tm)
+            rows.append(
+                [
+                    tm.name,
+                    str(len(graph.nodes)),
+                    cell(check_obstruction_freedom(tm, graph=graph)),
+                    cell(check_livelock_freedom(tm, graph=graph)),
+                    cell(check_wait_freedom(tm, graph=graph)),
+                ]
+            )
+        print(
+            render_table(
+                f"\n{base_factory.__name__} under different managers (2,1)",
+                ["TM+manager", "States", "Obstruction f.", "Livelock f.",
+                 "Wait f."],
+                rows,
+            )
+        )
+
+    print(
+        "\nReading: the aggressive manager gives DSTM obstruction freedom\n"
+        "(Table 3); no manager rescues livelock freedom — two aggressive\n"
+        "transactions can steal ownership from each other forever."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""Verifying your own TM algorithm — the workflow of Section 8.
+
+"To verify the correctness of a new TM using our methodology, one would
+proceed as follows.  First, one needs to manually express the TM as a
+transition system, and manually check that the structural properties
+hold for the TM.  Then, our tool automatically checks the desired safety
+or liveness property."
+
+This example builds a deliberately naive TM — *blind versioning*: reads
+record a version, writes buffer, commit succeeds if nobody committed a
+conflicting write **since the last read** but forgets to validate reads
+against in-flight writers' commits ordering... in short, it validates
+write-write conflicts only.  The checker finds the classic lost-read
+anomaly, we fix the algorithm, and the fix verifies.
+
+Run:  python examples/custom_tm_walkthrough.py        (~20 seconds)
+"""
+
+from typing import List, Tuple
+
+from repro import OP, SS, check_safety, format_word
+from repro.core.statements import Command, Kind
+from repro.reduction import check_all_safety_properties
+from repro.tm import Ext, Resp, TMAlgorithm, TMState
+
+EMPTY = frozenset()
+
+
+class BlindVersioningTM(TMAlgorithm):
+    """A write-buffering TM that only validates write-write conflicts.
+
+    State per thread: ``(rs, ws, ms)`` — read set, write set, and the
+    set of variables committed by others since the transaction started.
+    Commit succeeds iff ``ws ∩ ms = ∅`` (write-write check) — reads are
+    *not* validated, which is the planted bug.
+    """
+
+    name = "blind"
+    validate_reads = False
+
+    def initial_state(self) -> TMState:
+        return ((EMPTY, EMPTY, EMPTY),) * self.n
+
+    def _with(self, state, thread, view):
+        idx = thread - 1
+        return state[:idx] + (view,) + state[idx + 1 :]
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        rs, ws, ms = state[thread - 1]
+        if cmd.kind is Kind.READ:
+            v = cmd.var
+            if v in ws:
+                return [(Ext.of_command(cmd), Resp.DONE, state)]
+            new = self._with(state, thread, (rs | {v}, ws, ms))
+            return [(Ext.of_command(cmd), Resp.DONE, new)]
+        if cmd.kind is Kind.WRITE:
+            new = self._with(state, thread, (rs, ws | {cmd.var}, ms))
+            return [(Ext.of_command(cmd), Resp.DONE, new)]
+        # commit: validate, publish our writes into others' ms
+        conflict = ws & ms if not self.validate_reads else (ws | rs) & ms
+        if conflict:
+            return []  # abort enabled
+        new = list(state)
+        new[thread - 1] = (EMPTY, EMPTY, EMPTY)
+        for u in self.threads():
+            if u == thread:
+                continue
+            rs_u, ws_u, ms_u = new[u - 1]
+            if rs_u | ws_u:  # active transaction
+                new[u - 1] = (rs_u, ws_u, ms_u | ws)
+        return [(Ext.of_command(cmd), Resp.DONE, tuple(new))]
+
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        return self._with(state, thread, (EMPTY, EMPTY, EMPTY))
+
+
+class CommitValidatingTM(BlindVersioningTM):
+    """First fix: commit validates the read set as well.
+
+    Enough for strict serializability — committed transactions are
+    consistent — but not for opacity: a transaction that will abort can
+    still observe two incompatible versions before its commit-time
+    validation ever runs.
+    """
+
+    name = "commit-validating"
+    validate_reads = True
+
+
+class ReadValidatingTM(CommitValidatingTM):
+    """Second fix: reads of a variable modified since the transaction
+    began have no progress transition (the transaction aborts), exactly
+    TL2's ``ms`` check.  This closes the opacity gap."""
+
+    name = "read-validating"
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        rs, ws, ms = state[thread - 1]
+        if cmd.kind is Kind.READ and cmd.var in ms and cmd.var not in ws:
+            return []  # stale: abort instead of serving the read
+        return super().progress(state, cmd, thread)
+
+
+def main() -> None:
+    # Step 1 (manual in the paper, mechanical here): the structural
+    # properties, so a (2,2) verdict will generalize by Theorem 1.
+    print("structural properties of the new TM (bounded evidence):")
+    for report in check_all_safety_properties(BlindVersioningTM(2, 2), 4):
+        print(f"  {report}")
+
+    # Step 2: the automatic check.
+    print("\nchecking the blind TM against strict serializability...")
+    res = check_safety(BlindVersioningTM(2, 2), SS)
+    print(f"  verdict: {res.verdict()}")
+    assert not res.holds
+    print(
+        f"  the tool found the anomaly: [{format_word(res.counterexample)}]\n"
+        "  (a committed writer invalidated a read that commit never checked)"
+    )
+
+    # Step 3: first fix — validate reads at commit time.
+    print("\nchecking the commit-validating TM...")
+    ss = check_safety(CommitValidatingTM(2, 2), SS)
+    op = check_safety(CommitValidatingTM(2, 2), OP)
+    print(f"  ss: {ss.verdict()}")
+    print(f"  op: {op.verdict()}")
+    assert ss.holds and not op.holds
+    print(
+        "  strictly serializable, but not opaque: a doomed transaction\n"
+        "  still reads two incompatible snapshots before its commit-time\n"
+        "  validation would have caught it."
+    )
+
+    # Step 4: second fix — validate reads at read time (TL2's ms check).
+    print("\nchecking the read-validating TM...")
+    for prop in (SS, OP):
+        res = check_safety(ReadValidatingTM(2, 2), prop)
+        print(f"  {prop.value}: {res.verdict()}")
+        assert res.holds
+    print(
+        "\nthe read-validating TM ensures opacity for (2,2); with the\n"
+        "structural properties above, Theorem 1 lifts this to all\n"
+        "programs."
+    )
+
+
+if __name__ == "__main__":
+    main()

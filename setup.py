@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network access, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+newer toolchains) work everywhere.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro — model checking transactional memories.
+
+A complete reproduction of *"Model Checking Transactional Memories"*
+(Guerraoui, Henzinger, Singh; PLDI 2008 / extended version), as a
+reusable Python library:
+
+* :mod:`repro.core` — statements, words, transactions, conflicts, and the
+  exact offline decision procedures for strict serializability and
+  opacity;
+* :mod:`repro.tm` — the TM-algorithm formalism with sequential, 2PL,
+  DSTM, TL2 and modified-TL2 instances, plus contention managers;
+* :mod:`repro.spec` — the finite-state TM specifications Σss/Σop
+  (nondeterministic) and Σdss/Σdop (deterministic);
+* :mod:`repro.automata` — NFAs/DFAs, subset construction, product
+  inclusion and antichain algorithms;
+* :mod:`repro.checking` — the Table 2 (safety) and Table 3 (liveness)
+  pipelines with certified counterexamples;
+* :mod:`repro.reduction` — the structural properties P1–P6 and the
+  reduction theorems that lift (2,2)/(2,1) verdicts to all programs;
+* :mod:`repro.lang` — bounded language enumeration for closure testing.
+
+Quickstart::
+
+    from repro import DSTM, OP, check_safety
+    result = check_safety(DSTM(2, 2), OP)
+    assert result.holds  # DSTM ensures (2,2) opacity
+
+"""
+
+from .core import (
+    Statement,
+    Word,
+    abort,
+    commit,
+    format_word,
+    is_opaque,
+    is_strictly_serializable,
+    parse_word,
+    read,
+    write,
+)
+from .spec import OP, SS, SafetyProperty, build_det_spec, build_nondet_spec
+from .tm import (
+    DSTM,
+    TL2,
+    AggressiveManager,
+    BoundedKarmaManager,
+    ManagedTM,
+    ModifiedTL2,
+    OptimisticTM,
+    PermissiveManager,
+    PoliteManager,
+    SequentialTM,
+    TMAlgorithm,
+    TwoPhaseLockingTM,
+)
+from .checking import (
+    check_liveness_all,
+    check_livelock_freedom,
+    check_obstruction_freedom,
+    check_safety,
+    check_safety_both,
+    check_wait_freedom,
+)
+from .reduction import verify_tm_liveness, verify_tm_safety
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Statement",
+    "Word",
+    "abort",
+    "commit",
+    "format_word",
+    "is_opaque",
+    "is_strictly_serializable",
+    "parse_word",
+    "read",
+    "write",
+    "OP",
+    "SS",
+    "SafetyProperty",
+    "build_det_spec",
+    "build_nondet_spec",
+    "DSTM",
+    "TL2",
+    "AggressiveManager",
+    "BoundedKarmaManager",
+    "ManagedTM",
+    "ModifiedTL2",
+    "OptimisticTM",
+    "PermissiveManager",
+    "PoliteManager",
+    "SequentialTM",
+    "TMAlgorithm",
+    "TwoPhaseLockingTM",
+    "check_liveness_all",
+    "check_livelock_freedom",
+    "check_obstruction_freedom",
+    "check_safety",
+    "check_safety_both",
+    "check_wait_freedom",
+    "verify_tm_liveness",
+    "verify_tm_safety",
+    "__version__",
+]

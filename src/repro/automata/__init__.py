@@ -1,0 +1,42 @@
+"""Automata substrate: ε-NFAs, DFAs, subset construction, inclusion,
+antichain algorithms, and graph utilities for liveness lassos."""
+
+from .nfa import EPSILON, NFA
+from .dfa import DFA
+from .determinize import determinize
+from .inclusion import InclusionResult, check_inclusion_in_dfa
+from .antichain import (
+    EquivalenceResult,
+    check_equivalence_antichain,
+    check_inclusion_antichain,
+)
+from .dot import dfa_to_dot, lasso_to_dot, nfa_to_dot
+from .graph import (
+    Lasso,
+    adjacency,
+    build_lasso,
+    closed_walk_through,
+    shortest_path,
+    tarjan_sccs,
+)
+
+__all__ = [
+    "EPSILON",
+    "NFA",
+    "DFA",
+    "determinize",
+    "InclusionResult",
+    "check_inclusion_in_dfa",
+    "EquivalenceResult",
+    "check_equivalence_antichain",
+    "check_inclusion_antichain",
+    "dfa_to_dot",
+    "lasso_to_dot",
+    "nfa_to_dot",
+    "Lasso",
+    "adjacency",
+    "build_lasso",
+    "closed_walk_through",
+    "shortest_path",
+    "tarjan_sccs",
+]

@@ -1,0 +1,143 @@
+"""Antichain-based language inclusion and equivalence for NFAs.
+
+The paper (Section 5.3) uses the antichain tool of De Wulf, Doyen,
+Henzinger and Raskin [28] to prove that the nondeterministic TM
+specifications are language-equivalent to their deterministic
+counterparts.  This module implements the forward antichain algorithm for
+safety automata (all states accepting, prefix-closed languages):
+
+To decide L(A) ⊆ L(B), explore pairs ``(s, S)`` of an A-state and a
+B-macrostate.  The inclusion fails iff some reachable pair can take an
+observable A-move whose B-macro-successor is empty.  The antichain
+optimization: if ``(s, S)`` has been explored and ``S ⊆ S'``, the pair
+``(s, S')`` can never expose a violation that ``(s, S)`` does not — the
+smaller macrostate rejects more continuations — so only ⊆-minimal
+macrostates per A-state are kept.  This is what makes equivalence of the
+~10k-state specifications feasible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from .inclusion import InclusionResult, _reconstruct
+from .nfa import EPSILON, NFA
+
+Symbol = Hashable
+
+
+class _Antichain:
+    """Per-A-state antichains of ⊆-minimal B-macrostates."""
+
+    def __init__(self) -> None:
+        self._by_state: Dict[Hashable, List[FrozenSet]] = {}
+        self.inserted = 0
+
+    def subsumed(self, state: Hashable, macro: FrozenSet) -> bool:
+        """Is some already-kept macrostate a subset of ``macro``?"""
+        return any(kept <= macro for kept in self._by_state.get(state, ()))
+
+    def insert(self, state: Hashable, macro: FrozenSet) -> bool:
+        """Insert unless subsumed; drop kept supersets.  True if inserted."""
+        kept = self._by_state.setdefault(state, [])
+        if any(old <= macro for old in kept):
+            return False
+        kept[:] = [old for old in kept if not macro <= old]
+        kept.append(macro)
+        self.inserted += 1
+        return True
+
+    def size(self) -> int:
+        return sum(len(v) for v in self._by_state.values())
+
+
+def check_inclusion_antichain(a: NFA, b: NFA) -> InclusionResult:
+    """Check L(``a``) ⊆ L(``b``) with the forward antichain algorithm.
+
+    Both automata are safety automata; either may have ε-transitions.
+    ε-moves of ``a`` advance the A-component only (the B-macrostate is
+    always kept ε-closed).
+    """
+    if a.accepting is not None or b.accepting is not None:
+        raise ValueError(
+            "antichain inclusion assumes safety automata (all states accepting)"
+        )
+    b_init = b.eclosure(b.initial)
+    antichain = _Antichain()
+    parent: Dict[Tuple, Optional[Tuple[Tuple, Optional[Symbol]]]] = {}
+    queue: deque = deque()
+    for q in sorted(a.initial, key=repr):
+        pair = (q, b_init)
+        if antichain.insert(q, b_init):
+            parent[pair] = None
+            queue.append(pair)
+
+    explored = 0
+    while queue:
+        pair = queue.popleft()
+        aq, bmacro = pair
+        explored += 1
+        for symbol, succs in a.delta.get(aq, {}).items():
+            if symbol is EPSILON:
+                for succ in sorted(succs, key=repr):
+                    nxt = (succ, bmacro)
+                    if antichain.insert(succ, bmacro):
+                        parent[nxt] = (pair, None)
+                        queue.append(nxt)
+                continue
+            bsucc = b.eclosure(b.post(bmacro, symbol))
+            if not bsucc:
+                word = _reconstruct(parent, pair) + (symbol,)
+                return InclusionResult(
+                    holds=False, counterexample=word, product_states=explored
+                )
+            for succ in sorted(succs, key=repr):
+                nxt = (succ, bsucc)
+                if antichain.insert(succ, bsucc):
+                    parent[nxt] = (pair, symbol)
+                    queue.append(nxt)
+    return InclusionResult(holds=True, product_states=explored)
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of a language-equivalence check between two automata.
+
+    On failure exactly one of the witness fields is set: a word in
+    L(A) \\ L(B) or in L(B) \\ L(A).
+    """
+
+    equivalent: bool
+    in_a_not_b: Optional[Tuple[Symbol, ...]] = None
+    in_b_not_a: Optional[Tuple[Symbol, ...]] = None
+    forward_states: int = 0
+    backward_states: int = 0
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def check_equivalence_antichain(a: NFA, b: NFA) -> EquivalenceResult:
+    """Decide L(``a``) = L(``b``) via two antichain inclusion checks."""
+    fwd = check_inclusion_antichain(a, b)
+    if not fwd.holds:
+        return EquivalenceResult(
+            equivalent=False,
+            in_a_not_b=fwd.counterexample,
+            forward_states=fwd.product_states,
+        )
+    bwd = check_inclusion_antichain(b, a)
+    if not bwd.holds:
+        return EquivalenceResult(
+            equivalent=False,
+            in_b_not_a=bwd.counterexample,
+            forward_states=fwd.product_states,
+            backward_states=bwd.product_states,
+        )
+    return EquivalenceResult(
+        equivalent=True,
+        forward_states=fwd.product_states,
+        backward_states=bwd.product_states,
+    )

@@ -1,0 +1,223 @@
+"""Deterministic finite automata with partial transition functions.
+
+A missing transition is a rejection (transition into an implicit sink),
+matching the paper's deterministic TM specifications: the word so far is in
+the language iff the run has not fallen off the automaton.  As with
+:class:`repro.automata.nfa.NFA`, ``accepting=None`` means all states
+accept (safety-automaton convention).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass
+class DFA:
+    """A DFA with a partial transition function ``delta[q][a] -> q'``."""
+
+    initial: State
+    delta: Dict[State, Dict[Symbol, State]]
+    accepting: Optional[FrozenSet[State]] = None
+
+    @classmethod
+    def from_step(
+        cls,
+        initial: State,
+        step: Callable[[State], Iterable[Tuple[Symbol, State]]],
+        *,
+        accepting: Optional[Callable[[State], bool]] = None,
+        max_states: Optional[int] = None,
+    ) -> "DFA":
+        """Materialize a DFA by BFS from ``initial`` using ``step``.
+
+        ``step(q)`` must yield at most one successor per symbol; duplicate
+        symbols with distinct successors raise ``ValueError``.
+        """
+        delta: Dict[State, Dict[Symbol, State]] = {}
+        accept: Set[State] = set()
+        queue = deque([initial])
+        seen: Set[State] = {initial}
+        while queue:
+            q = queue.popleft()
+            if max_states is not None and len(seen) > max_states:
+                raise RuntimeError(
+                    f"state-space exploration exceeded {max_states} states"
+                )
+            if accepting is not None and accepting(q):
+                accept.add(q)
+            out = delta.setdefault(q, {})
+            for symbol, succ in step(q):
+                prior = out.get(symbol)
+                if prior is not None and prior != succ:
+                    raise ValueError(
+                        f"nondeterministic step on {symbol!r} from {q!r}"
+                    )
+                out[symbol] = succ
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        return cls(
+            initial=initial,
+            delta=delta,
+            accepting=frozenset(accept) if accepting is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def states(self) -> Set[State]:
+        result: Set[State] = {self.initial}
+        for q, out in self.delta.items():
+            result.add(q)
+            result.update(out.values())
+        return result
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states())
+
+    def alphabet(self) -> Set[Symbol]:
+        result: Set[Symbol] = set()
+        for out in self.delta.values():
+            result.update(out)
+        return result
+
+    def is_accepting(self, q: State) -> bool:
+        return self.accepting is None or q in self.accepting
+
+    def step(self, q: State, symbol: Symbol) -> Optional[State]:
+        """One transition, or ``None`` if undefined (implicit sink)."""
+        return self.delta.get(q, {}).get(symbol)
+
+    def run(self, word: Sequence[Symbol]) -> Optional[State]:
+        """The state after reading ``word``, or ``None`` if it falls off."""
+        q = self.initial
+        for a in word:
+            nxt = self.step(q, a)
+            if nxt is None:
+                return None
+            q = nxt
+        return q
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        q = self.run(word)
+        return q is not None and self.is_accepting(q)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def compact(self) -> Tuple["DFA", Dict[State, int]]:
+        """Renumber states to dense integers in BFS order."""
+        order: Dict[State, int] = {self.initial: 0}
+        queue = deque([self.initial])
+        while queue:
+            q = queue.popleft()
+            for a in sorted(self.delta.get(q, {}), key=repr):
+                succ = self.delta[q][a]
+                if succ not in order:
+                    order[succ] = len(order)
+                    queue.append(succ)
+        for q in sorted(self.states(), key=repr):
+            if q not in order:
+                order[q] = len(order)
+        delta = {
+            order[q]: {a: order[s] for a, s in out.items()}
+            for q, out in self.delta.items()
+        }
+        accepting = (
+            None
+            if self.accepting is None
+            else frozenset(order[q] for q in self.accepting)
+        )
+        return DFA(initial=0, delta=delta, accepting=accepting), order
+
+    def minimize(self) -> "DFA":
+        """Moore partition refinement; the implicit sink stays implicit.
+
+        For all-accepting partial DFAs this merges states with identical
+        future languages (counting "falling off" as rejection), producing
+        the canonical minimal safety automaton for the language.
+        """
+        states = sorted(self.states(), key=repr)
+        symbols = sorted(self.alphabet(), key=repr)
+        SINK = object()
+
+        # Initial partition: accepting vs rejecting (sink is its own block).
+        block: Dict[State, int] = {}
+        for q in states:
+            block[q] = 0 if self.is_accepting(q) else 1
+        block_of_sink = -1
+
+        changed = True
+        while changed:
+            changed = False
+            signature: Dict[State, Tuple] = {}
+            for q in states:
+                sig = [block[q]]
+                for a in symbols:
+                    succ = self.step(q, a)
+                    sig.append(block_of_sink if succ is None else block[succ])
+                signature[q] = tuple(sig)
+            remap: Dict[Tuple, int] = {}
+            new_block: Dict[State, int] = {}
+            for q in states:
+                sig = signature[q]
+                if sig not in remap:
+                    remap[sig] = len(remap)
+                new_block[q] = remap[sig]
+            if new_block != block:
+                block = new_block
+                changed = True
+
+        # Rebuild on representatives.
+        rep_of_block: Dict[int, State] = {}
+        for q in states:
+            rep_of_block.setdefault(block[q], q)
+        delta: Dict[State, Dict[Symbol, State]] = {}
+        for b, rep in rep_of_block.items():
+            out: Dict[Symbol, State] = {}
+            for a in symbols:
+                succ = self.step(rep, a)
+                if succ is not None:
+                    out[a] = block[succ]
+            delta[b] = out
+        accepting = (
+            None
+            if self.accepting is None
+            else frozenset(
+                b for b, rep in rep_of_block.items() if self.is_accepting(rep)
+            )
+        )
+        return DFA(initial=block[self.initial], delta=delta, accepting=accepting)
+
+    def to_nfa(self) -> "NFA":
+        """View this DFA as an NFA (e.g. for antichain algorithms)."""
+        from .nfa import NFA
+
+        delta = {
+            q: {a: frozenset([s]) for a, s in out.items()}
+            for q, out in self.delta.items()
+        }
+        return NFA(
+            initial=frozenset([self.initial]),
+            delta=delta,
+            accepting=self.accepting,
+        )

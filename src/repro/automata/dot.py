@@ -1,0 +1,115 @@
+"""Graphviz (DOT) export for automata and liveness graphs.
+
+The paper's figures draw words and conditions; for a library user the
+more useful pictures are the machines themselves: small TM transition
+systems, specification fragments, and counterexample lassos.  These
+functions emit plain DOT text (no graphviz dependency — render with
+``dot -Tsvg`` wherever available).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional
+
+from .dfa import DFA
+from .nfa import EPSILON, NFA
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _default_label(value: Hashable) -> str:
+    if value is EPSILON:
+        return "ε"
+    return str(value)
+
+
+def nfa_to_dot(
+    nfa: NFA,
+    *,
+    name: str = "nfa",
+    state_label: Optional[Callable[[Hashable], str]] = None,
+    symbol_label: Optional[Callable[[Hashable], str]] = None,
+    max_states: int = 200,
+) -> str:
+    """Render an NFA as DOT.  Raises if the automaton is too large to be
+    a readable picture (override ``max_states`` deliberately)."""
+    if nfa.num_states > max_states:
+        raise ValueError(
+            f"{nfa.num_states} states is too many for a diagram;"
+            f" raise max_states to force it"
+        )
+    state_label = state_label or (lambda q: str(q))
+    symbol_label = symbol_label or _default_label
+    ids: Dict[Hashable, str] = {}
+    for i, q in enumerate(sorted(nfa.states(), key=repr)):
+        ids[q] = f"q{i}"
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    lines.append("  __init [shape=point];")
+    for q in sorted(nfa.initial, key=repr):
+        lines.append(f"  __init -> {ids[q]};")
+    for q in sorted(nfa.states(), key=repr):
+        shape = "doublecircle" if nfa.is_accepting(q) else "circle"
+        lines.append(
+            f"  {ids[q]} [shape={shape}, label={_quote(state_label(q))}];"
+        )
+    for q, out in sorted(nfa.delta.items(), key=lambda kv: repr(kv[0])):
+        for symbol, succs in sorted(out.items(), key=lambda kv: repr(kv[0])):
+            for succ in sorted(succs, key=repr):
+                lines.append(
+                    f"  {ids[q]} -> {ids[succ]}"
+                    f" [label={_quote(symbol_label(symbol))}];"
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfa_to_dot(
+    dfa: DFA,
+    *,
+    name: str = "dfa",
+    state_label: Optional[Callable[[Hashable], str]] = None,
+    symbol_label: Optional[Callable[[Hashable], str]] = None,
+    max_states: int = 200,
+) -> str:
+    """Render a DFA as DOT (missing transitions = implicit reject)."""
+    return nfa_to_dot(
+        dfa.to_nfa(),
+        name=name,
+        state_label=state_label,
+        symbol_label=symbol_label,
+        max_states=max_states,
+    )
+
+
+def lasso_to_dot(
+    stem_labels: Iterable[Hashable],
+    cycle_labels: Iterable[Hashable],
+    *,
+    name: str = "lasso",
+) -> str:
+    """Render a liveness counterexample ``stem · cycle^ω`` as a chain
+    with a back edge — the shape of Table 3's counterexamples."""
+    stem = [str(l) for l in stem_labels]
+    cycle = [str(l) for l in cycle_labels]
+    if not cycle:
+        raise ValueError("a lasso needs a nonempty cycle")
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    total = len(stem) + len(cycle)
+    for i in range(total):
+        shape = "doublecircle" if i >= len(stem) else "circle"
+        lines.append(f'  s{i} [shape={shape}, label=""];')
+    for i, label in enumerate(stem + cycle):
+        j = i + 1
+        if j == total:  # close the loop back to the cycle entry
+            j = len(stem)
+            lines.append(
+                f"  s{i} -> s{j} [label={_quote(label)}, style=bold];"
+            )
+        else:
+            style = ", style=bold" if i >= len(stem) else ""
+            lines.append(f"  s{i} -> s{j} [label={_quote(label)}{style}];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Directed-graph utilities for liveness model checking.
+
+Liveness violations (Section 6) are *lassos*: a path from the initial
+state to a cycle whose labels violate the property.  The checker reduces
+both obstruction freedom and livelock freedom to "is there a reachable
+cycle, inside a filtered edge set, that passes through certain required
+edges?"  This module supplies the pieces: Tarjan SCCs, BFS shortest paths,
+and closed-walk construction through required edges of one SCC.
+
+Edges are triples ``(src, label, dst)``; labels are opaque to the graph
+layer (the liveness checker uses extended statements).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+Node = Hashable
+Label = Hashable
+Edge = Tuple[Node, Label, Node]
+
+
+def adjacency(edges: Iterable[Edge]) -> Dict[Node, List[Edge]]:
+    """Group edges by source node."""
+    adj: Dict[Node, List[Edge]] = defaultdict(list)
+    for e in edges:
+        adj[e[0]].append(e)
+    return dict(adj)
+
+
+def tarjan_sccs(nodes: Iterable[Node], edges: Iterable[Edge]) -> List[Set[Node]]:
+    """Strongly connected components (iterative Tarjan).
+
+    Returns components in reverse topological order.  Trivial components
+    (single node, no self-loop) are included; callers filter as needed.
+    """
+    adj = adjacency(edges)
+    index: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    sccs: List[Set[Node]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[Node, int]] = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack.add(v)
+            advanced = False
+            out = adj.get(v, [])
+            while pi < len(out):
+                w = out[pi][2]
+                pi += 1
+                if w not in index:
+                    work[-1] = (v, pi)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                comp: Set[Node] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.add(w)
+                    if w == v:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+    return sccs
+
+
+def shortest_path(
+    adj: Dict[Node, List[Edge]],
+    src: Node,
+    dst: Node,
+    *,
+    allowed: Optional[Set[Node]] = None,
+) -> Optional[List[Edge]]:
+    """BFS shortest edge-path from ``src`` to ``dst`` (empty if equal).
+
+    ``allowed`` restricts the intermediate and final nodes.
+    """
+    if src == dst:
+        return []
+    parent: Dict[Node, Edge] = {}
+    queue = deque([src])
+    seen = {src}
+    while queue:
+        v = queue.popleft()
+        for e in adj.get(v, []):
+            w = e[2]
+            if w in seen or (allowed is not None and w not in allowed):
+                continue
+            parent[w] = e
+            if w == dst:
+                path: List[Edge] = []
+                node = dst
+                while node != src:
+                    e2 = parent[node]
+                    path.append(e2)
+                    node = e2[0]
+                path.reverse()
+                return path
+            seen.add(w)
+            queue.append(w)
+    return None
+
+
+def closed_walk_through(
+    scc: Set[Node], edges: Iterable[Edge], required: Sequence[Edge]
+) -> Optional[List[Edge]]:
+    """A closed walk inside ``scc`` traversing every ``required`` edge.
+
+    All required edges must have both endpoints in the SCC.  Returns a
+    cyclic edge sequence starting and ending at ``required[0][0]``, or
+    ``None`` if ``required`` is empty (no canonical base point).
+    """
+    if not required:
+        return None
+    inner = [e for e in edges if e[0] in scc and e[2] in scc]
+    adj = adjacency(inner)
+    walk: List[Edge] = []
+    for i, e in enumerate(required):
+        walk.append(e)
+        nxt = required[(i + 1) % len(required)]
+        bridge = shortest_path(adj, e[2], nxt[0], allowed=scc)
+        if bridge is None:  # pragma: no cover - SCC guarantees a path
+            return None
+        walk.extend(bridge)
+    return walk
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """A reachable cycle: ``stem`` leads from the initial node to the
+    cycle's base point, then ``cycle`` repeats forever."""
+
+    stem: Tuple[Edge, ...]
+    cycle: Tuple[Edge, ...]
+
+    def stem_labels(self) -> Tuple[Label, ...]:
+        return tuple(e[1] for e in self.stem)
+
+    def cycle_labels(self) -> Tuple[Label, ...]:
+        return tuple(e[1] for e in self.cycle)
+
+
+def build_lasso(
+    all_edges: Iterable[Edge],
+    initial: Node,
+    cycle: Sequence[Edge],
+) -> Optional[Lasso]:
+    """Attach a stem from ``initial`` to the cycle's base point."""
+    if not cycle:
+        return None
+    adj = adjacency(all_edges)
+    stem = shortest_path(adj, initial, cycle[0][0])
+    if stem is None:
+        return None
+    return Lasso(stem=tuple(stem), cycle=tuple(cycle))

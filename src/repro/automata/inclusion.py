@@ -1,0 +1,106 @@
+"""Language inclusion of a (possibly ε-)NFA in a deterministic automaton.
+
+This is the workhorse of the paper's safety pipeline (Section 5.4): the TM
+transition system — an NFA over statements, with ε-labelled internal steps
+for extended commands that return response ⊥ — must be included in the
+deterministic TM specification.  Because the specification is
+deterministic, inclusion is a linear product reachability check: explore
+pairs ``(nfa state, dfa state)``; the inclusion fails iff the NFA can emit
+an observable symbol the DFA cannot follow.
+
+Both automata are interpreted as safety automata (all states accepting,
+prefix-closed languages), which is the only case the paper needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .dfa import DFA
+from .nfa import EPSILON, NFA
+
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class InclusionResult:
+    """Outcome of an inclusion check.
+
+    ``holds`` tells whether L(A) ⊆ L(B).  On failure ``counterexample``
+    is a shortest word (by number of observable symbols, then exploration
+    order) in L(A) \\ L(B).  ``product_states`` reports how many product
+    states the check explored (the paper's Table 2 "Size" column is the
+    size of the TM transition system; we also expose the product size).
+    """
+
+    holds: bool
+    counterexample: Optional[Tuple[Symbol, ...]] = None
+    product_states: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_inclusion_in_dfa(nfa: NFA, dfa: DFA) -> InclusionResult:
+    """Check L(``nfa``) ⊆ L(``dfa``) for safety automata.
+
+    ε-transitions of ``nfa`` advance the product without moving the DFA.
+    BFS keeps counterexamples short (minimal in total steps, hence close
+    to minimal in observable symbols).
+    """
+    if nfa.accepting is not None or dfa.accepting is not None:
+        raise ValueError(
+            "inclusion check assumes safety automata (all states accepting)"
+        )
+    start_pairs = [(q, dfa.initial) for q in sorted(nfa.initial, key=repr)]
+    # parent: pair -> (previous pair, emitted symbol or None for ε)
+    parent: Dict[Tuple, Optional[Tuple[Tuple, Optional[Symbol]]]] = {
+        pair: None for pair in start_pairs
+    }
+    queue = deque(start_pairs)
+    while queue:
+        pair = queue.popleft()
+        nq, dq = pair
+        for symbol, succs in nfa.delta.get(nq, {}).items():
+            if symbol is EPSILON:
+                for succ in sorted(succs, key=repr):
+                    nxt = (succ, dq)
+                    if nxt not in parent:
+                        parent[nxt] = (pair, None)
+                        queue.append(nxt)
+                continue
+            dsucc = dfa.step(dq, symbol)
+            if dsucc is None:
+                word = _reconstruct(parent, pair) + (symbol,)
+                return InclusionResult(
+                    holds=False,
+                    counterexample=word,
+                    product_states=len(parent),
+                )
+            for succ in sorted(succs, key=repr):
+                nxt = (succ, dsucc)
+                if nxt not in parent:
+                    parent[nxt] = (pair, symbol)
+                    queue.append(nxt)
+    return InclusionResult(holds=True, product_states=len(parent))
+
+
+def _reconstruct(
+    parent: Dict[Tuple, Optional[Tuple[Tuple, Optional[Symbol]]]],
+    pair: Tuple,
+) -> Tuple[Symbol, ...]:
+    """Observable symbols along the BFS path to ``pair``."""
+    symbols: List[Symbol] = []
+    current: Optional[Tuple] = pair
+    while current is not None:
+        entry = parent[current]
+        if entry is None:
+            break
+        prev, symbol = entry
+        if symbol is not None:
+            symbols.append(symbol)
+        current = prev
+    symbols.reverse()
+    return tuple(symbols)

@@ -1,0 +1,254 @@
+"""Nondeterministic finite automata with ε-transitions.
+
+All automata in this library describe *prefix-closed safety languages*: a
+word is in the language iff the automaton has a run on it (every state
+accepts).  This matches the paper's notion of a TM specification (Section
+2): the language is the set of runs, and missing transitions mean
+rejection.  The classes nevertheless support explicit accepting-state sets
+for generality (used by tests of the automata layer itself).
+
+States may be any hashable values; :meth:`NFA.compact` renumbers them to
+dense integers, which the antichain algorithms rely on for speed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+
+class _Epsilon:
+    """Sentinel for the internal (unobservable) transition label."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+#: The ε label.  ``EPSILON`` never appears in an automaton's alphabet.
+EPSILON = _Epsilon()
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass
+class NFA:
+    """An ε-NFA given by initial states and a transition map.
+
+    ``delta[q][a]`` is the set of ``a``-successors of ``q``; the key
+    ``EPSILON`` holds internal successors.  ``accepting=None`` means every
+    state accepts (safety-automaton convention).
+    """
+
+    initial: FrozenSet[State]
+    delta: Dict[State, Dict[Symbol, FrozenSet[State]]]
+    accepting: Optional[FrozenSet[State]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_step(
+        cls,
+        initial: Iterable[State],
+        step: Callable[[State], Iterable[Tuple[Symbol, State]]],
+        *,
+        accepting: Optional[Callable[[State], bool]] = None,
+        max_states: Optional[int] = None,
+    ) -> "NFA":
+        """Materialize an NFA by BFS from ``initial`` using ``step``.
+
+        ``step(q)`` yields ``(symbol, successor)`` pairs; use ``EPSILON``
+        as the symbol for internal moves.  ``max_states`` guards against
+        runaway exploration of an unexpectedly infinite system.
+        """
+        init = frozenset(initial)
+        delta: Dict[State, Dict[Symbol, Set[State]]] = {}
+        accept: Set[State] = set()
+        queue = deque(init)
+        seen: Set[State] = set(init)
+        while queue:
+            q = queue.popleft()
+            if max_states is not None and len(seen) > max_states:
+                raise RuntimeError(
+                    f"state-space exploration exceeded {max_states} states"
+                )
+            if accepting is not None and accepting(q):
+                accept.add(q)
+            out = delta.setdefault(q, {})
+            for symbol, succ in step(q):
+                out.setdefault(symbol, set()).add(succ)
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        frozen: Dict[State, Dict[Symbol, FrozenSet[State]]] = {
+            q: {a: frozenset(ss) for a, ss in out.items()}
+            for q, out in delta.items()
+        }
+        return cls(
+            initial=init,
+            delta=frozen,
+            accepting=frozenset(accept) if accepting is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def states(self) -> Set[State]:
+        """All states (domain of delta plus targets plus initial)."""
+        result: Set[State] = set(self.initial)
+        for q, out in self.delta.items():
+            result.add(q)
+            for succs in out.values():
+                result.update(succs)
+        return result
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states())
+
+    def alphabet(self) -> Set[Symbol]:
+        """All non-ε symbols appearing on transitions."""
+        result: Set[Symbol] = set()
+        for out in self.delta.values():
+            result.update(a for a in out if a is not EPSILON)
+        return result
+
+    def is_accepting(self, q: State) -> bool:
+        return self.accepting is None or q in self.accepting
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def eclosure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """ε-closure of a set of states."""
+        result: Set[State] = set(states)
+        queue = deque(result)
+        while queue:
+            q = queue.popleft()
+            for succ in self.delta.get(q, {}).get(EPSILON, ()):
+                if succ not in result:
+                    result.add(succ)
+                    queue.append(succ)
+        return frozenset(result)
+
+    def post(self, states: Iterable[State], symbol: Symbol) -> FrozenSet[State]:
+        """Successor set on ``symbol`` (no ε-closure applied)."""
+        result: Set[State] = set()
+        for q in states:
+            result.update(self.delta.get(q, {}).get(symbol, ()))
+        return frozenset(result)
+
+    def macro_step(self, states: Iterable[State], symbol: Symbol) -> FrozenSet[State]:
+        """``eclosure(post(eclosure(states), symbol))`` — one macro move."""
+        return self.eclosure(self.post(self.eclosure(states), symbol))
+
+    def run_macrostates(self, word: Sequence[Symbol]) -> Iterator[FrozenSet[State]]:
+        """The macrostates visited while reading ``word`` (incl. initial)."""
+        current = self.eclosure(self.initial)
+        yield current
+        for a in word:
+            current = self.eclosure(self.post(current, a))
+            yield current
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Language membership (for safety automata: does a run exist?)."""
+        current = self.eclosure(self.initial)
+        for a in word:
+            current = self.eclosure(self.post(current, a))
+            if not current:
+                return False
+        if self.accepting is None:
+            return bool(current)
+        return bool(current & self.accepting)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def compact(self) -> Tuple["NFA", Dict[State, int]]:
+        """Renumber states to dense integers (BFS order).
+
+        Returns the renumbered automaton and the state→int mapping.
+        Integer states make frozenset-heavy algorithms (determinization,
+        antichains) measurably faster and keep memory bounded.
+        """
+        order: Dict[State, int] = {}
+        queue = deque(sorted(self.initial, key=repr))
+        for q in queue:
+            order[q] = len(order)
+        while queue:
+            q = queue.popleft()
+            for a in sorted(self.delta.get(q, {}), key=repr):
+                for succ in sorted(self.delta[q][a], key=repr):
+                    if succ not in order:
+                        order[succ] = len(order)
+                        queue.append(succ)
+        for q in sorted(self.states(), key=repr):  # unreachable stragglers
+            if q not in order:
+                order[q] = len(order)
+        delta: Dict[State, Dict[Symbol, FrozenSet[State]]] = {}
+        for q, out in self.delta.items():
+            delta[order[q]] = {
+                a: frozenset(order[s] for s in succs) for a, succs in out.items()
+            }
+        accepting = (
+            None
+            if self.accepting is None
+            else frozenset(order[q] for q in self.accepting)
+        )
+        return (
+            NFA(
+                initial=frozenset(order[q] for q in self.initial),
+                delta=delta,
+                accepting=accepting,
+            ),
+            order,
+        )
+
+    def reverse_reachable(self) -> "NFA":
+        """Restrict to states reachable from the initial set."""
+        reachable: Set[State] = set()
+        queue = deque(self.initial)
+        reachable.update(self.initial)
+        while queue:
+            q = queue.popleft()
+            for succs in self.delta.get(q, {}).values():
+                for s in succs:
+                    if s not in reachable:
+                        reachable.add(s)
+                        queue.append(s)
+        delta = {
+            q: {a: frozenset(s for s in succs if s in reachable)
+                for a, succs in out.items()}
+            for q, out in self.delta.items()
+            if q in reachable
+        }
+        accepting = (
+            None
+            if self.accepting is None
+            else frozenset(q for q in self.accepting if q in reachable)
+        )
+        return NFA(initial=self.initial, delta=delta, accepting=accepting)

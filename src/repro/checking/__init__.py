@@ -1,0 +1,31 @@
+"""Verification pipelines: safety (Table 2) and liveness (Table 3)."""
+
+from .reporting import LivenessResult, SafetyResult, render_table
+from .safety import (
+    CounterexampleUncertifiedError,
+    build_specs,
+    check_safety,
+    check_safety_both,
+)
+from .liveness import (
+    check_liveness_all,
+    check_livelock_freedom,
+    check_obstruction_freedom,
+    check_wait_freedom,
+    observable_projection,
+)
+
+__all__ = [
+    "LivenessResult",
+    "SafetyResult",
+    "render_table",
+    "CounterexampleUncertifiedError",
+    "build_specs",
+    "check_safety",
+    "check_safety_both",
+    "check_liveness_all",
+    "check_livelock_freedom",
+    "check_obstruction_freedom",
+    "check_wait_freedom",
+    "observable_projection",
+]

@@ -1,0 +1,79 @@
+"""Result types and table rendering for the verification pipelines.
+
+These mirror the paper's Tables 2 and 3: per-TM rows with the size of the
+explored transition system, a Y/N verdict, the time taken, and — on
+failure — a counterexample (a finite word for safety, a lasso for
+liveness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.statements import Statement, format_word
+from ..spec.common import SafetyProperty
+from ..tm.explore import ExtStatement
+
+
+@dataclass(frozen=True)
+class SafetyResult:
+    """Outcome of one L(TM) ⊆ L(Σd) check (a Table 2 cell)."""
+
+    tm_name: str
+    prop: SafetyProperty
+    holds: bool
+    tm_states: int
+    spec_states: int
+    product_states: int
+    seconds: float
+    counterexample: Optional[Tuple[Statement, ...]] = None
+
+    def verdict(self) -> str:
+        if self.holds:
+            return f"Y, {self.seconds:.2f}s"
+        cex = format_word(self.counterexample or ())
+        return f"N, [{cex}], {self.seconds:.2f}s"
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Outcome of one liveness check (a Table 3 cell).
+
+    On violation, the counterexample is the lasso ``stem · loop^ω`` over
+    *extended* statements (the paper's Table 3 prints the looping part),
+    plus its projection to observable statements for certification
+    against the Section 2 definitions.
+    """
+
+    tm_name: str
+    property_name: str
+    holds: bool
+    graph_states: int
+    seconds: float
+    stem: Tuple[ExtStatement, ...] = ()
+    loop: Tuple[ExtStatement, ...] = ()
+    observable_stem: Tuple[Statement, ...] = ()
+    observable_loop: Tuple[Statement, ...] = ()
+
+    def verdict(self) -> str:
+        if self.holds:
+            return f"Y, {self.seconds:.2f}s"
+        loop = ", ".join(str(s) for s in self.loop)
+        return f"N, loop=[{loop}], {self.seconds:.2f}s"
+
+
+def render_table(
+    title: str, header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Plain-text table in the style of the paper's result tables."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""The safety verification pipeline (paper Section 5.4, Table 2).
+
+``check_safety`` reproduces one cell of Table 2: explore the TM applied to
+the most general program with ``n`` threads and ``k`` variables, build the
+deterministic specification, and decide language inclusion by product
+reachability (linear in the product, because the specification is
+deterministic).  On failure the counterexample word is certified against
+the reference decision procedures before being returned — the pipeline
+never reports an uncertified violation.
+
+By the reduction theorem (Theorem 1), a verdict for (2, 2) extends to all
+programs for TMs satisfying the structural properties P1–P4; and since a
+contention manager only restricts the language, safety of the bare TM
+covers every managed variant.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from ..automata.dfa import DFA
+from ..automata.inclusion import check_inclusion_in_dfa
+from ..core.properties import is_opaque, is_strictly_serializable
+from ..core.statements import Statement
+from ..spec.common import OP, SS, SafetyProperty
+from ..spec.det import build_det_spec
+from ..tm.algorithm import TMAlgorithm
+from ..tm.explore import build_safety_nfa
+from .reporting import SafetyResult
+
+
+class CounterexampleUncertifiedError(AssertionError):
+    """The inclusion check produced a word the reference checker accepts.
+
+    This never happens when the specification automata are correct; it is
+    raised (rather than silently reported) so that any regression in the
+    spec layer surfaces loudly.
+    """
+
+
+def _reference_check(word: Tuple[Statement, ...], prop: SafetyProperty) -> bool:
+    if prop is SS:
+        return is_strictly_serializable(word)
+    return is_opaque(word)
+
+
+def check_safety(
+    tm: TMAlgorithm,
+    prop: SafetyProperty,
+    *,
+    spec: Optional[DFA] = None,
+    certify: bool = True,
+) -> SafetyResult:
+    """Check ``L(tm) ⊆ pi`` for the TM's own (n, k).
+
+    ``spec`` may be passed to reuse a prebuilt deterministic
+    specification across several TMs (they only depend on (n, k, prop)).
+    """
+    t0 = time.time()
+    nfa = build_safety_nfa(tm)
+    if spec is None:
+        spec = build_det_spec(tm.n, tm.k, prop)
+    result = check_inclusion_in_dfa(nfa, spec)
+    elapsed = time.time() - t0
+    if not result.holds and certify:
+        assert result.counterexample is not None
+        if _reference_check(result.counterexample, prop):
+            raise CounterexampleUncertifiedError(
+                f"{tm.name}: counterexample {result.counterexample} is"
+                f" actually in {prop.value}"
+            )
+    return SafetyResult(
+        tm_name=tm.name,
+        prop=prop,
+        holds=result.holds,
+        tm_states=nfa.num_states,
+        spec_states=spec.num_states,
+        product_states=result.product_states,
+        seconds=elapsed,
+        counterexample=result.counterexample,
+    )
+
+
+def check_safety_both(
+    tm: TMAlgorithm,
+    *,
+    specs: Optional[Dict[SafetyProperty, DFA]] = None,
+) -> Tuple[SafetyResult, SafetyResult]:
+    """Both Table 2 cells (strict serializability and opacity) for one TM."""
+    specs = specs or {}
+    return (
+        check_safety(tm, SS, spec=specs.get(SS)),
+        check_safety(tm, OP, spec=specs.get(OP)),
+    )
+
+
+def build_specs(n: int, k: int) -> Dict[SafetyProperty, DFA]:
+    """Prebuild both deterministic specifications for reuse."""
+    return {SS: build_det_spec(n, k, SS), OP: build_det_spec(n, k, OP)}

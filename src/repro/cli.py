@@ -1,0 +1,288 @@
+"""Command-line interface: the paper's checker as a tool.
+
+Subcommands::
+
+    python -m repro word  "(w,1)2 (r,1)1 c2 (w,2)1 c1"   # decide piss/piop
+    python -m repro safety dstm --property op            # one Table 2 cell
+    python -m repro safety all                           # full Table 2
+    python -m repro liveness dstm --manager aggressive   # one Table 3 row
+    python -m repro liveness all                         # full Table 3
+    python -m repro specs --threads 2 --vars 2           # spec sizes + Thm 3
+    python -m repro simulate 2PL --schedule 111112 \\
+        --program "1:r1 w2 c" --program "2:w2 c"         # a Table 1 run
+
+Exit status is 0 when every requested property holds, 1 when a violation
+was found, 2 on usage errors — so the tool scripts cleanly into CI for
+anyone developing a TM with this library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .checking import (
+    check_livelock_freedom,
+    check_obstruction_freedom,
+    check_safety,
+    check_wait_freedom,
+    render_table,
+)
+from .core.properties import is_opaque, is_strictly_serializable
+from .core.statements import format_word, parse_word
+from .spec import OP, SS
+from .spec.det import build_det_spec
+from .spec.nondet import build_nondet_spec
+from .tm import (
+    DSTM,
+    TL2,
+    AggressiveManager,
+    BoundedKarmaManager,
+    ManagedTM,
+    ModifiedTL2,
+    PermissiveManager,
+    PoliteManager,
+    SequentialTM,
+    TMAlgorithm,
+    TwoPhaseLockingTM,
+    build_liveness_graph,
+)
+from .tm.runs import parse_schedule, program, simulate
+
+TM_FACTORIES = {
+    "seq": SequentialTM,
+    "2pl": TwoPhaseLockingTM,
+    "dstm": DSTM,
+    "tl2": TL2,
+    "modtl2": ModifiedTL2,
+}
+
+MANAGERS = {
+    "aggressive": AggressiveManager,
+    "polite": PoliteManager,
+    "permissive": PermissiveManager,
+    "karma": BoundedKarmaManager,
+}
+
+PROPERTIES = {"ss": SS, "op": OP}
+
+
+def _make_tm(
+    name: str, n: int, k: int, manager: Optional[str]
+) -> TMAlgorithm:
+    try:
+        tm = TM_FACTORIES[name.lower()](n, k)
+    except KeyError:
+        raise SystemExit(
+            f"unknown TM {name!r}; choose from {sorted(TM_FACTORIES)} or 'all'"
+        )
+    if manager is not None:
+        try:
+            cm_cls = MANAGERS[manager.lower()]
+        except KeyError:
+            raise SystemExit(
+                f"unknown manager {manager!r}; choose from {sorted(MANAGERS)}"
+            )
+        if cm_cls is BoundedKarmaManager:
+            tm = ManagedTM(tm, cm_cls(n))
+        else:
+            tm = ManagedTM(tm, cm_cls())
+    return tm
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_word(args: argparse.Namespace) -> int:
+    word = parse_word(args.word)
+    ss = is_strictly_serializable(word)
+    op = is_opaque(word)
+    print(f"word: {format_word(word)}")
+    print(f"strictly serializable: {'yes' if ss else 'no'}")
+    print(f"opaque:                {'yes' if op else 'no'}")
+    if not ss or not op:
+        from .core.properties import (
+            opacity_witness,
+            strict_serializability_witness,
+        )
+
+        witness = (
+            strict_serializability_witness(word) if not ss
+            else opacity_witness(word)
+        )
+        if witness.cycle_explanation:
+            print(f"cycle: {witness.cycle_explanation}")
+    return 0 if (ss and op) else 1
+
+
+def cmd_safety(args: argparse.Namespace) -> int:
+    n, k = args.threads, args.vars
+    props = (
+        [PROPERTIES[args.property]] if args.property else [SS, OP]
+    )
+    specs = {p: build_det_spec(n, k, p) for p in props}
+    names = (
+        sorted(TM_FACTORIES) if args.tm.lower() == "all" else [args.tm]
+    )
+    rows: List[List[str]] = []
+    worst = 0
+    for name in names:
+        tm = _make_tm(name, n, k, args.manager)
+        cells = [tm.name]
+        for p in props:
+            res = check_safety(tm, p, spec=specs[p])
+            cells.append(res.verdict())
+            if not res.holds:
+                worst = 1
+        rows.append(cells)
+    header = ["TM"] + [f"⊆ Σd{p.value}" for p in props]
+    print(render_table(f"safety for ({n},{k})", header, rows))
+    return worst
+
+
+def cmd_liveness(args: argparse.Namespace) -> int:
+    n, k = args.threads, args.vars
+    names = (
+        sorted(TM_FACTORIES) if args.tm.lower() == "all" else [args.tm]
+    )
+    rows: List[List[str]] = []
+    worst = 0
+    for name in names:
+        tm = _make_tm(name, n, k, args.manager)
+        graph = build_liveness_graph(tm)
+        cells = [tm.name, str(len(graph.nodes))]
+        for check in (
+            check_obstruction_freedom,
+            check_livelock_freedom,
+            check_wait_freedom,
+        ):
+            res = check(tm, graph=graph)
+            cells.append(res.verdict())
+            if not res.holds:
+                worst = 1
+        rows.append(cells)
+    print(
+        render_table(
+            f"liveness for ({n},{k})",
+            ["TM", "States", "Obstruction f.", "Livelock f.", "Wait f."],
+            rows,
+        )
+    )
+    return worst
+
+
+def cmd_specs(args: argparse.Namespace) -> int:
+    n, k = args.threads, args.vars
+    for p in (SS, OP):
+        nondet = build_nondet_spec(n, k, p)
+        det = build_det_spec(n, k, p)
+        line = (
+            f"Σ{p.value}: nondet {nondet.num_states} states,"
+            f" det {det.num_states} states"
+        )
+        if args.check_equivalence:
+            from .automata import (
+                check_inclusion_antichain,
+                check_inclusion_in_dfa,
+            )
+
+            fwd = check_inclusion_in_dfa(nondet, det)
+            bwd = check_inclusion_antichain(det.to_nfa(), nondet)
+            line += f", equivalent: {fwd.holds and bwd.holds}"
+            if not (fwd.holds and bwd.holds):
+                return 1
+        print(line)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    tm = _make_tm(args.tm, args.threads, args.vars, args.manager)
+    programs: Dict[int, tuple] = {}
+    for spec in args.program or []:
+        thread_text, _, prog_text = spec.partition(":")
+        programs[int(thread_text)] = program(prog_text)
+    run = simulate(tm, programs, parse_schedule(args.schedule))
+    print(f"run : {run}")
+    print(f"word: {format_word(run.word())}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Model checking transactional memories (PLDI 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_word = sub.add_parser("word", help="decide piss/piop for a word")
+    p_word.add_argument("word", help='e.g. "(w,1)2 (r,1)1 c2 (w,2)1 c1"')
+    p_word.set_defaults(func=cmd_word)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--threads", "-n", type=int, default=2)
+        p.add_argument("--vars", "-k", type=int, default=2)
+        p.add_argument(
+            "--manager",
+            "-m",
+            choices=sorted(MANAGERS),
+            help="compose with a contention manager",
+        )
+
+    p_safety = sub.add_parser("safety", help="Table 2: language inclusion")
+    p_safety.add_argument("tm", help="seq|2pl|dstm|tl2|modtl2|all")
+    p_safety.add_argument("--property", "-p", choices=sorted(PROPERTIES))
+    add_common(p_safety)
+    p_safety.set_defaults(func=cmd_safety)
+
+    p_live = sub.add_parser("liveness", help="Table 3: loop analysis")
+    p_live.add_argument("tm", help="seq|2pl|dstm|tl2|modtl2|all")
+    add_common(p_live)
+    p_live.set_defaults(func=cmd_liveness, vars=1)
+
+    p_specs = sub.add_parser("specs", help="specification sizes / Thm 3")
+    p_specs.add_argument("--threads", "-n", type=int, default=2)
+    p_specs.add_argument("--vars", "-k", type=int, default=2)
+    p_specs.add_argument(
+        "--check-equivalence",
+        action="store_true",
+        help="also run the Theorem 3 antichain equivalence",
+    )
+    p_specs.set_defaults(func=cmd_specs)
+
+    p_sim = sub.add_parser("simulate", help="Table 1: run a schedule")
+    p_sim.add_argument("tm")
+    p_sim.add_argument("--schedule", "-s", required=True, help="e.g. 112122")
+    p_sim.add_argument(
+        "--program",
+        "-P",
+        action="append",
+        help='per-thread program, e.g. "1:r1 w2 c" (repeatable)',
+    )
+    add_common(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit:
+        raise
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

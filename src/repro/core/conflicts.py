@@ -1,0 +1,157 @@
+"""Conflicts between statements and strict equivalence of words.
+
+The paper adopts *deferred-update* semantics (Section 2): a transaction's
+writes become visible only at its commit.  Consequently two statements of
+distinct transactions conflict iff
+
+* one is a **global read** of a variable ``v`` and the other is the
+  **commit** of a transaction that writes ``v``, or
+* both are **commits** of transactions writing some common variable.
+
+Strict equivalence between two words requires identical thread projections,
+preservation of the relative order of conflicting statements, and
+preservation of the real-time order of non-overlapping transactions whose
+first member commits or aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .statements import Statement
+from .words import Transaction, transactions
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """An ordered pair of conflicting statement positions ``i < j``.
+
+    ``var`` is the variable through which the conflict arises; ``reason``
+    is ``"read-commit"`` (a global read of ``var`` vs. a commit of a writer
+    of ``var``, in either temporal order) or ``"commit-commit"`` (two
+    committing writers of ``var``).
+    """
+
+    i: int
+    j: int
+    var: int
+    reason: str
+
+
+def _position_maps(
+    txs: Sequence[Transaction],
+) -> Tuple[Dict[int, Transaction], Dict[int, int]]:
+    """Map each statement position to its transaction and tx index."""
+    tx_of: Dict[int, Transaction] = {}
+    txid_of: Dict[int, int] = {}
+    for tid, tx in enumerate(txs):
+        for idx in tx.indices:
+            tx_of[idx] = tx
+            txid_of[idx] = tid
+    return tx_of, txid_of
+
+
+def conflicting_pairs(word: Sequence[Statement]) -> List[ConflictPair]:
+    """All conflicting statement pairs of ``word``, each with ``i < j``."""
+    txs = transactions(word)
+    _, txid_of = _position_maps(txs)
+
+    # Per transaction: positions of global reads (with variable) and of the
+    # commit, plus the write set.
+    global_reads: List[Tuple[int, int, int]] = []  # (position, var, txid)
+    commits: List[Tuple[int, int]] = []  # (position, txid)
+    for tid, tx in enumerate(txs):
+        for pos in tx.global_read_positions():
+            var = word[pos].var
+            assert var is not None
+            global_reads.append((pos, var, tid))
+        cpos = tx.commit_position()
+        if cpos is not None:
+            commits.append((cpos, tid))
+
+    result: List[ConflictPair] = []
+    for rpos, var, rtid in global_reads:
+        for cpos, ctid in commits:
+            if ctid == rtid:
+                continue
+            if var in txs[ctid].writes():
+                i, j = min(rpos, cpos), max(rpos, cpos)
+                result.append(ConflictPair(i, j, var, "read-commit"))
+    for a in range(len(commits)):
+        for b in range(a + 1, len(commits)):
+            pa, ta = commits[a]
+            pb, tb = commits[b]
+            common = txs[ta].writes() & txs[tb].writes()
+            if common:
+                i, j = min(pa, pb), max(pa, pb)
+                result.append(ConflictPair(i, j, min(common), "commit-commit"))
+    result.sort(key=lambda p: (p.i, p.j))
+    return result
+
+
+def _thread_ordinals(word: Sequence[Statement]) -> List[Tuple[int, int]]:
+    """For each position, the pair (thread, ordinal within that thread).
+
+    Because strict equivalence demands equal thread projections, this pair
+    identifies the *same* statement across the two words being compared.
+    """
+    counters: Dict[int, int] = {}
+    result: List[Tuple[int, int]] = []
+    for s in word:
+        c = counters.get(s.thread, 0)
+        result.append((s.thread, c))
+        counters[s.thread] = c + 1
+    return result
+
+
+def strictly_equivalent(
+    word: Sequence[Statement], other: Sequence[Statement]
+) -> bool:
+    """Decide strict equivalence of two words (paper Section 2).
+
+    Checks, in order: (i) equal thread projections; (ii) every conflicting
+    pair of ``word`` appears in the same relative order in ``other``;
+    (iii) for every pair of transactions ``x, y`` of ``word`` with ``x``
+    committing or aborting and ``x <w y``, it is not the case that
+    ``y <other x``.
+    """
+    if sorted(s.thread for s in word) != sorted(s.thread for s in other):
+        return False
+    threads = {s.thread for s in word}
+    for t in threads:
+        if tuple(s for s in word if s.thread == t) != tuple(
+            s for s in other if s.thread == t
+        ):
+            return False
+
+    # Position of each (thread, ordinal) in `other`.
+    pos_in_other: Dict[Tuple[int, int], int] = {
+        key: i for i, key in enumerate(_thread_ordinals(other))
+    }
+    ords = _thread_ordinals(word)
+    for pair in conflicting_pairs(word):
+        if pos_in_other[ords[pair.i]] > pos_in_other[ords[pair.j]]:
+            return False
+
+    txs_w = transactions(word)
+    txs_o = transactions(other)
+    # Transactions correspond across the words by (thread, per-thread rank).
+    def tx_key(tx: Transaction, word_ref: Sequence[Statement]) -> Tuple[int, int]:
+        rank = sum(
+            1 for u in transactions(word_ref) if u.thread == tx.thread and u.first < tx.first
+        )
+        return (tx.thread, rank)
+
+    tx_o_by_key = {tx_key(tx, other): tx for tx in txs_o}
+    for x in txs_w:
+        if x.is_unfinished:
+            continue
+        for y in txs_w:
+            if x is y or not x.precedes(y):
+                continue
+            xo = tx_o_by_key[tx_key(x, word)]
+            yo = tx_o_by_key[tx_key(y, word)]
+            if yo.precedes(xo):
+                return False
+    return True

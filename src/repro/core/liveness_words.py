@@ -1,0 +1,81 @@
+"""Liveness predicates on lasso-shaped infinite words (paper Section 2).
+
+Infinite words produced by model checking always come as *lassos*
+``prefix · loop^ω``.  On a lasso, "infinitely often X" is simply "X occurs
+in the loop", which makes the paper's temporal definitions directly
+computable:
+
+* **Obstruction freedom** [18]: for every thread ``t``, if ``t`` aborts
+  infinitely often then ``t`` also commits infinitely often or some other
+  thread takes infinitely many steps.
+* **Livelock freedom** [2]: some thread commits infinitely often, or some
+  thread takes infinitely many steps and aborts only finitely often.
+* **Wait freedom** [17] (our lasso formalization of "every transaction
+  eventually commits"): every thread with infinitely many statements
+  commits infinitely often and aborts only finitely often.  Wait freedom
+  implies livelock freedom, which implies obstruction freedom.
+
+These predicates certify the counterexamples produced by
+:mod:`repro.checking.liveness`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from .statements import Statement
+
+
+def _loop_threads(loop: Sequence[Statement]) -> Set[int]:
+    return {s.thread for s in loop}
+
+
+def _commits_in(loop: Sequence[Statement]) -> Set[int]:
+    return {s.thread for s in loop if s.is_commit}
+
+
+def _aborts_in(loop: Sequence[Statement]) -> Set[int]:
+    return {s.thread for s in loop if s.is_abort}
+
+
+def is_obstruction_free_lasso(
+    prefix: Sequence[Statement], loop: Sequence[Statement]
+) -> bool:
+    """Obstruction freedom of ``prefix · loop^ω``.
+
+    The prefix is irrelevant: only events occurring infinitely often
+    matter, and those are exactly the events of the loop.
+    """
+    del prefix  # finitely many occurrences never matter
+    threads = _loop_threads(loop)
+    commits = _commits_in(loop)
+    for t in _aborts_in(loop):
+        others_run = bool(threads - {t})
+        if t not in commits and not others_run:
+            return False
+    return True
+
+
+def is_livelock_free_lasso(
+    prefix: Sequence[Statement], loop: Sequence[Statement]
+) -> bool:
+    """Livelock freedom of ``prefix · loop^ω``."""
+    del prefix
+    if _commits_in(loop):
+        return True
+    aborts = _aborts_in(loop)
+    return any(t not in aborts for t in _loop_threads(loop))
+
+
+def is_wait_free_lasso(
+    prefix: Sequence[Statement], loop: Sequence[Statement]
+) -> bool:
+    """Wait freedom of ``prefix · loop^ω`` (our formalization, see module
+    docstring)."""
+    del prefix
+    commits = _commits_in(loop)
+    aborts = _aborts_in(loop)
+    for t in _loop_threads(loop):
+        if t not in commits or t in aborts:
+            return False
+    return True

@@ -1,0 +1,120 @@
+"""Online safety monitors.
+
+The deterministic TM specifications double as *runtime monitors*: feed
+statements one at a time and learn, in O(1) amortized state-size work per
+statement, whether the history so far is still strictly serializable /
+opaque.  This is the "unbounded online checking" problem that conflict
+graphs cannot solve (Section 5's wm example grows without bound) and the
+prohibited-set construction does — packaged as a small API.
+
+Example::
+
+    monitor = OpacityMonitor(n_threads=2, n_vars=2)
+    monitor.feed(read(1, 1))
+    monitor.feed(write(1, 2))
+    assert monitor.ok
+    monitor.feed(commit(2))
+    assert not monitor.would_accept(read(1, 1))  # stale re-read
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..spec.common import OP, SS, SafetyProperty
+from ..spec.det import DetSpecState, det_step, initial_state
+from .statements import Statement, Word
+
+
+class SafetyMonitor:
+    """Incremental membership in piss/piop for a fixed (n, k).
+
+    Once a violation occurs the monitor latches: ``ok`` stays false and
+    further statements are ignored (the properties are prefix-closed, so
+    no continuation can repair a violation).
+    """
+
+    def __init__(
+        self, n_threads: int, n_vars: int, prop: SafetyProperty
+    ) -> None:
+        if n_threads < 1 or n_vars < 1:
+            raise ValueError("need at least one thread and one variable")
+        self.n = n_threads
+        self.k = n_vars
+        self.prop = prop
+        self._state: Optional[DetSpecState] = initial_state(n_threads)
+        self._history: List[Statement] = []
+        self._violation_index: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def feed(self, stmt: Statement) -> bool:
+        """Consume one statement; returns ``ok`` afterwards."""
+        self._check_bounds(stmt)
+        if self._state is not None:
+            nxt = det_step(self._state, stmt, self.prop)
+            if nxt is None:
+                self._violation_index = len(self._history)
+            self._state = nxt
+        self._history.append(stmt)
+        return self.ok
+
+    def feed_word(self, word: Word) -> bool:
+        """Consume a whole word; returns ``ok`` afterwards."""
+        for stmt in word:
+            self.feed(stmt)
+        return self.ok
+
+    def would_accept(self, stmt: Statement) -> bool:
+        """Peek: would the history remain safe after ``stmt``?"""
+        self._check_bounds(stmt)
+        if self._state is None:
+            return False
+        return det_step(self._state, stmt, self.prop) is not None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """Is the history consumed so far in the property?"""
+        return self._state is not None
+
+    @property
+    def history(self) -> Word:
+        return tuple(self._history)
+
+    @property
+    def violation_index(self) -> Optional[int]:
+        """Index of the first violating statement, if any."""
+        return self._violation_index
+
+    def reset(self) -> None:
+        self._state = initial_state(self.n)
+        self._history.clear()
+        self._violation_index = None
+
+    def _check_bounds(self, stmt: Statement) -> None:
+        if not 1 <= stmt.thread <= self.n:
+            raise ValueError(
+                f"thread {stmt.thread} out of range 1..{self.n}"
+            )
+        if stmt.var is not None and not 1 <= stmt.var <= self.k:
+            raise ValueError(f"variable {stmt.var} out of range 1..{self.k}")
+
+
+class StrictSerializabilityMonitor(SafetyMonitor):
+    """Online membership in piss."""
+
+    def __init__(self, n_threads: int, n_vars: int) -> None:
+        super().__init__(n_threads, n_vars, SS)
+
+
+class OpacityMonitor(SafetyMonitor):
+    """Online membership in piop."""
+
+    def __init__(self, n_threads: int, n_vars: int) -> None:
+        super().__init__(n_threads, n_vars, OP)

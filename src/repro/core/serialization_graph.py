@@ -1,0 +1,210 @@
+"""Precedence (serialization) graphs and their acyclicity.
+
+Deciding strict serializability of a word classically builds a *conflict
+graph* over the committing transactions (Papadimitriou [22]); opacity uses
+the same construction over *all* transactions of the word, with real-time
+edges contributed only by committing/aborting predecessors.  The word
+satisfies the property iff the graph is acyclic, and any topological order
+yields a witness sequential word.
+
+The paper observes that this graph is unbounded for online checking — that
+is why the TM specifications of Section 5 exist — but as an *offline*
+decision procedure on a given finite word it is exact, so we use it as the
+ground truth that all automata in this library are tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .statements import Statement
+from .words import Transaction, transactions
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A precedence constraint: transaction ``src`` must serialize before
+    transaction ``dst``.
+
+    ``reason`` is ``"real-time"`` or ``"conflict"``; for conflicts, ``var``
+    names the variable and ``positions`` the conflicting statement pair.
+    """
+
+    src: int
+    dst: int
+    reason: str
+    var: Optional[int] = None
+    positions: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class SerializationGraph:
+    """A precedence digraph over the transactions of a word."""
+
+    txs: List[Transaction]
+    edges: List[Edge] = field(default_factory=list)
+
+    def successors(self) -> Dict[int, Set[int]]:
+        adj: Dict[int, Set[int]] = {i: set() for i in range(len(self.txs))}
+        for e in self.edges:
+            if e.src != e.dst:
+                adj[e.src].add(e.dst)
+        return adj
+
+    def find_cycle(self) -> Optional[List[int]]:
+        """A list of transaction ids forming a cycle, or ``None`` if acyclic.
+
+        Iterative DFS with colouring; the returned list ``[v0, ..., vm]``
+        satisfies ``v0 == vm`` reading edges left to right.
+        """
+        adj = self.successors()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {v: WHITE for v in adj}
+        parent: Dict[int, Optional[int]] = {}
+        for root in adj:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[int, List[int]]] = [(root, sorted(adj[root]))]
+            colour[root] = GREY
+            parent[root] = None
+            while stack:
+                v, succs = stack[-1]
+                if succs:
+                    u = succs.pop(0)
+                    if colour[u] == GREY:
+                        cycle = [u, v]
+                        w = parent[v]
+                        while w is not None and cycle[-1] != u:
+                            cycle.append(w)
+                            w = parent[w]
+                        cycle.reverse()
+                        if cycle[0] != u:  # pragma: no cover - defensive
+                            cycle.insert(0, u)
+                        return cycle + [u] if cycle[-1] != u else cycle
+                    if colour[u] == WHITE:
+                        colour[u] = GREY
+                        parent[u] = v
+                        stack.append((u, sorted(adj[u])))
+                else:
+                    colour[v] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def topological_order(self) -> Optional[List[int]]:
+        """A topological order of transaction ids, or ``None`` on a cycle.
+
+        Kahn's algorithm with deterministic tie-breaking on the earliest
+        statement, so witnesses are stable across runs.
+        """
+        adj = self.successors()
+        indeg = {v: 0 for v in adj}
+        for v, succs in adj.items():
+            for u in succs:
+                indeg[u] += 1
+        ready = sorted(
+            (v for v in adj if indeg[v] == 0), key=lambda v: self.txs[v].first
+        )
+        order: List[int] = []
+        while ready:
+            v = ready.pop(0)
+            order.append(v)
+            for u in sorted(adj[v]):
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    ready.append(u)
+            ready.sort(key=lambda v: self.txs[v].first)
+        if len(order) != len(adj):
+            return None
+        return order
+
+    def explain_cycle(self) -> Optional[str]:
+        """Human-readable description of one precedence cycle, if any."""
+        cycle = self.find_cycle()
+        if cycle is None:
+            return None
+        by_pair: Dict[Tuple[int, int], Edge] = {}
+        for e in self.edges:
+            by_pair.setdefault((e.src, e.dst), e)
+        parts: List[str] = []
+        for a, b in zip(cycle, cycle[1:]):
+            e = by_pair[(a, b)]
+            if e.reason == "conflict":
+                parts.append(
+                    f"tx{a}(t{self.txs[a].thread}) -> tx{b}(t{self.txs[b].thread})"
+                    f" [conflict on v{e.var}]"
+                )
+            else:
+                parts.append(
+                    f"tx{a}(t{self.txs[a].thread}) -> tx{b}(t{self.txs[b].thread})"
+                    f" [real-time]"
+                )
+        return "; ".join(parts)
+
+
+def build_graph(
+    word: Sequence[Statement], *, realtime_for_all: bool = False
+) -> SerializationGraph:
+    """Construct the precedence graph of ``word``.
+
+    Conflict edges connect the transaction of the earlier conflicting
+    statement to the transaction of the later one.  Real-time edges go from
+    ``x`` to ``y`` whenever ``x <w y`` and ``x`` commits or aborts
+    (``realtime_for_all=True`` adds them for unfinished ``x`` too; unused
+    by the paper's definitions but handy for experimentation).
+    """
+    txs = transactions(word)
+    graph = SerializationGraph(txs=txs)
+
+    txid_of: Dict[int, int] = {}
+    for tid, tx in enumerate(txs):
+        for idx in tx.indices:
+            txid_of[idx] = tid
+
+    # Conflict edges.
+    global_reads: List[Tuple[int, int, int]] = []  # (pos, var, txid)
+    commits: List[Tuple[int, int]] = []  # (pos, txid)
+    for tid, tx in enumerate(txs):
+        for pos in tx.global_read_positions():
+            var = word[pos].var
+            assert var is not None
+            global_reads.append((pos, var, tid))
+        cpos = tx.commit_position()
+        if cpos is not None:
+            commits.append((cpos, tid))
+    for rpos, var, rtid in global_reads:
+        for cpos, ctid in commits:
+            if ctid == rtid or var not in txs[ctid].writes():
+                continue
+            if rpos < cpos:
+                graph.edges.append(
+                    Edge(rtid, ctid, "conflict", var, (rpos, cpos))
+                )
+            else:
+                graph.edges.append(
+                    Edge(ctid, rtid, "conflict", var, (cpos, rpos))
+                )
+    for a in range(len(commits)):
+        for b in range(a + 1, len(commits)):
+            pa, ta = commits[a]
+            pb, tb = commits[b]
+            common = txs[ta].writes() & txs[tb].writes()
+            if not common:
+                continue
+            src, dst = (ta, tb) if pa < pb else (tb, ta)
+            lo, hi = min(pa, pb), max(pa, pb)
+            graph.edges.append(
+                Edge(src, dst, "conflict", min(common), (lo, hi))
+            )
+
+    # Real-time edges.
+    for i, x in enumerate(txs):
+        if x.is_unfinished and not realtime_for_all:
+            continue
+        for j, y in enumerate(txs):
+            if i != j and x.precedes(y):
+                graph.edges.append(Edge(i, j, "real-time"))
+    return graph

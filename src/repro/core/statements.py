@@ -1,0 +1,251 @@
+"""Statements, commands, and alphabets of the TM framework.
+
+The paper (Section 2) fixes a set ``V = {1, ..., k}`` of variables and a set
+``T = {1, ..., n}`` of threads.  The *commands* are
+
+    ``C = {commit} ∪ ({read, write} × V)``
+
+and the *extended* command set adds ``abort``.  A *statement* is a command
+paired with the thread that issues it; words are finite sequences of
+statements.  This module provides hashable, canonical representations for all
+of these, plus a compact textual notation used throughout the paper's tables
+(e.g. ``(r,1)1`` for "thread 1 reads variable 1" and ``c2`` for "thread 2
+commits"), which we can parse and render.
+
+Threads and variables are 1-based everywhere, matching the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+from typing import Iterator, NamedTuple, Optional, Sequence, Tuple
+
+
+class Kind(Enum):
+    """The four kinds of statement that can appear in a word."""
+
+    READ = "read"
+    WRITE = "write"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    @property
+    def short(self) -> str:
+        """One-letter abbreviation used by the paper's tables."""
+        return {"read": "r", "write": "w", "commit": "c", "abort": "a"}[self.value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Kind.{self.name}"
+
+
+#: Kinds that constitute the command set ``C`` (no abort).
+COMMAND_KINDS = (Kind.READ, Kind.WRITE, Kind.COMMIT)
+
+#: Kinds that end a transaction.
+FINISHING_KINDS = (Kind.COMMIT, Kind.ABORT)
+
+
+class Command(NamedTuple):
+    """A command ``c ∈ C ∪ {abort}``: a kind plus an optional variable.
+
+    ``var`` is ``None`` exactly when the kind is ``commit`` or ``abort``.
+    """
+
+    kind: Kind
+    var: Optional[int]
+
+    def validate(self) -> "Command":
+        """Check the kind/variable consistency invariant; return ``self``."""
+        needs_var = self.kind in (Kind.READ, Kind.WRITE)
+        if needs_var and (self.var is None or self.var < 1):
+            raise ValueError(f"{self.kind.value} command requires a variable >= 1")
+        if not needs_var and self.var is not None:
+            raise ValueError(f"{self.kind.value} command takes no variable")
+        return self
+
+    def with_thread(self, thread: int) -> "Statement":
+        """Attach a thread, producing a statement."""
+        return Statement(self.kind, self.var, thread)
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return self.kind.short
+        return f"({self.kind.short},{self.var})"
+
+
+class Statement(NamedTuple):
+    """A statement ``s ∈ Ŝ = Ĉ × T``: a command issued by a thread."""
+
+    kind: Kind
+    var: Optional[int]
+    thread: int
+
+    @property
+    def command(self) -> Command:
+        """The command component (kind and variable, thread stripped)."""
+        return Command(self.kind, self.var)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is Kind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is Kind.WRITE
+
+    @property
+    def is_commit(self) -> bool:
+        return self.kind is Kind.COMMIT
+
+    @property
+    def is_abort(self) -> bool:
+        return self.kind is Kind.ABORT
+
+    @property
+    def is_finishing(self) -> bool:
+        """True for commits and aborts, which end a transaction."""
+        return self.kind in FINISHING_KINDS
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return f"{self.kind.short}{self.thread}"
+        return f"({self.kind.short},{self.var}){self.thread}"
+
+
+#: A word is a finite sequence of statements; we use tuples for hashability.
+Word = Tuple[Statement, ...]
+
+
+def read(var: int, thread: int) -> Statement:
+    """Statement ``((read, var), thread)``."""
+    return Statement(Kind.READ, var, thread)
+
+
+def write(var: int, thread: int) -> Statement:
+    """Statement ``((write, var), thread)``."""
+    return Statement(Kind.WRITE, var, thread)
+
+
+def commit(thread: int) -> Statement:
+    """Statement ``(commit, thread)``."""
+    return Statement(Kind.COMMIT, None, thread)
+
+
+def abort(thread: int) -> Statement:
+    """Statement ``(abort, thread)``."""
+    return Statement(Kind.ABORT, None, thread)
+
+
+def commands(k: int, *, include_abort: bool = False) -> Tuple[Command, ...]:
+    """All commands over ``k`` variables, in a canonical order.
+
+    With ``include_abort`` the extended set ``Ĉ = C ∪ {abort}`` is returned.
+    """
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    result = [Command(Kind.READ, v) for v in range(1, k + 1)]
+    result += [Command(Kind.WRITE, v) for v in range(1, k + 1)]
+    result.append(Command(Kind.COMMIT, None))
+    if include_abort:
+        result.append(Command(Kind.ABORT, None))
+    return tuple(result)
+
+
+def statements(n: int, k: int, *, include_abort: bool = True) -> Tuple[Statement, ...]:
+    """All statements over ``n`` threads and ``k`` variables.
+
+    By default this is the full set ``Ŝ = Ĉ × T``; with
+    ``include_abort=False`` it is ``S = C × T``.
+    """
+    if n < 0:
+        raise ValueError("n must be nonnegative")
+    return tuple(
+        c.with_thread(t)
+        for t in range(1, n + 1)
+        for c in commands(k, include_abort=include_abort)
+    )
+
+
+_STMT_RE = re.compile(
+    r"""
+    \(\s*(?P<kind>r|w|read|write)\s*,\s*(?P<var>\d+)\s*\)\s*(?P<thread>\d+)
+    |
+    (?P<fkind>c|a|commit|abort)\s*(?P<fthread>\d+)
+    """,
+    re.VERBOSE,
+)
+
+_KIND_BY_NAME = {
+    "r": Kind.READ,
+    "read": Kind.READ,
+    "w": Kind.WRITE,
+    "write": Kind.WRITE,
+    "c": Kind.COMMIT,
+    "commit": Kind.COMMIT,
+    "a": Kind.ABORT,
+    "abort": Kind.ABORT,
+}
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single statement in the paper's compact notation.
+
+    Examples: ``(r,1)2`` reads variable 1 on thread 2; ``c1`` commits on
+    thread 1; ``a2`` aborts on thread 2.  Long-form kinds (``read``,
+    ``write``, ``commit``, ``abort``) are also accepted.
+    """
+    m = _STMT_RE.fullmatch(text.strip())
+    if m is None:
+        raise ValueError(f"cannot parse statement: {text!r}")
+    if m.group("kind") is not None:
+        kind = _KIND_BY_NAME[m.group("kind")]
+        return Statement(kind, int(m.group("var")), int(m.group("thread")))
+    kind = _KIND_BY_NAME[m.group("fkind")]
+    return Statement(kind, None, int(m.group("fthread")))
+
+
+def parse_word(text: str) -> Word:
+    """Parse a whitespace- or comma-separated sequence of statements.
+
+    >>> [str(s) for s in parse_word("(w,2)1 (w,1)2 c2 c1")]
+    ['(w,2)1', '(w,1)2', 'c2', 'c1']
+    """
+    parts = [p for p in re.split(r"[,;\s]+(?![^()]*\))", text.strip()) if p]
+    return tuple(parse_statement(p) for p in parts)
+
+
+def format_word(word: Sequence[Statement], sep: str = ", ") -> str:
+    """Render a word in the paper's compact notation."""
+    return sep.join(str(s) for s in word)
+
+
+def threads_of(word: Sequence[Statement]) -> Tuple[int, ...]:
+    """Sorted tuple of threads that appear in ``word``."""
+    return tuple(sorted({s.thread for s in word}))
+
+
+def variables_of(word: Sequence[Statement]) -> Tuple[int, ...]:
+    """Sorted tuple of variables that appear in ``word``."""
+    return tuple(sorted({s.var for s in word if s.var is not None}))
+
+
+def iter_words(
+    n: int, k: int, max_len: int, *, include_abort: bool = True
+) -> Iterator[Word]:
+    """Exhaustively enumerate all words up to ``max_len`` over (n, k).
+
+    Enumeration is in length-then-lexicographic order and starts with the
+    empty word.  Used by differential tests; the alphabet has
+    ``n * (2k + 1 [+1])`` symbols so keep ``max_len`` small.
+    """
+    alphabet = statements(n, k, include_abort=include_abort)
+
+    def extend(prefix: Word, remaining: int) -> Iterator[Word]:
+        yield prefix
+        if remaining == 0:
+            return
+        for s in alphabet:
+            yield from extend(prefix + (s,), remaining - 1)
+
+    yield from extend((), max_len)

@@ -1,0 +1,188 @@
+"""Words, thread projections, and transactions (paper Section 2).
+
+A *word* is a finite sequence of statements.  The *thread projection*
+``w|t`` keeps the statements of one thread.  A *transaction* of thread ``t``
+is a maximal consecutive block of ``w|t`` that starts at an initiating
+statement and runs up to (and including) the next finishing statement —
+a commit or an abort — or to the end of ``w|t``.  Transactions are
+*committing*, *aborting*, or *unfinished* accordingly.
+
+``com(w)`` keeps exactly the statements belonging to committing
+transactions; it is the basis of strict serializability, which constrains
+only committed work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .statements import Statement, Word, format_word
+
+
+class TxStatus(Enum):
+    """Outcome of a transaction within a given word."""
+
+    COMMITTING = "committing"
+    ABORTING = "aborting"
+    UNFINISHED = "unfinished"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A transaction of one thread inside a word.
+
+    Attributes:
+        thread: the thread executing the transaction.
+        indices: positions (ascending) of the transaction's statements in
+            the enclosing word; never empty.
+        statements: the statements at those positions.
+        status: committing / aborting / unfinished.
+    """
+
+    thread: int
+    indices: Tuple[int, ...]
+    statements: Tuple[Statement, ...]
+    status: TxStatus
+
+    @property
+    def first(self) -> int:
+        """Index in the word of the transaction's first statement."""
+        return self.indices[0]
+
+    @property
+    def last(self) -> int:
+        """Index in the word of the transaction's last statement."""
+        return self.indices[-1]
+
+    @property
+    def is_committing(self) -> bool:
+        return self.status is TxStatus.COMMITTING
+
+    @property
+    def is_aborting(self) -> bool:
+        return self.status is TxStatus.ABORTING
+
+    @property
+    def is_unfinished(self) -> bool:
+        return self.status is TxStatus.UNFINISHED
+
+    def writes(self) -> Set[int]:
+        """Variables this transaction writes to."""
+        return {s.var for s in self.statements if s.is_write and s.var is not None}
+
+    def global_reads(self) -> Set[int]:
+        """Variables this transaction *globally* reads.
+
+        A read of ``v`` is global if the transaction has not written ``v``
+        before the read (paper Section 2); reads of one's own earlier
+        writes are local and never conflict.
+        """
+        written: Set[int] = set()
+        result: Set[int] = set()
+        for s in self.statements:
+            if s.is_write and s.var is not None:
+                written.add(s.var)
+            elif s.is_read and s.var is not None and s.var not in written:
+                result.add(s.var)
+        return result
+
+    def global_read_positions(self) -> List[int]:
+        """Word indices of this transaction's global read statements."""
+        written: Set[int] = set()
+        result: List[int] = []
+        for idx, s in zip(self.indices, self.statements):
+            if s.is_write and s.var is not None:
+                written.add(s.var)
+            elif s.is_read and s.var is not None and s.var not in written:
+                result.append(idx)
+        return result
+
+    def commit_position(self) -> Optional[int]:
+        """Word index of the commit statement, if committing."""
+        if self.status is TxStatus.COMMITTING:
+            return self.last
+        return None
+
+    def precedes(self, other: "Transaction") -> bool:
+        """True iff this transaction's last statement occurs before the
+        other's first statement (the paper's ``x <w y``)."""
+        return self.last < other.first
+
+    def __str__(self) -> str:
+        body = format_word(self.statements)
+        return f"<tx t{self.thread} [{self.status.value}] {body}>"
+
+
+def thread_projection(word: Sequence[Statement], thread: int) -> Word:
+    """The subsequence ``w|t`` of statements issued by ``thread``."""
+    return tuple(s for s in word if s.thread == thread)
+
+
+def transactions(word: Sequence[Statement]) -> List[Transaction]:
+    """All transactions in ``word``, ordered by first statement.
+
+    Each statement of the word belongs to exactly one transaction of its
+    thread.  A transaction ends at a commit/abort or at the end of the word.
+    """
+    open_idx: Dict[int, List[int]] = {}
+    result: List[Transaction] = []
+    for i, s in enumerate(word):
+        open_idx.setdefault(s.thread, []).append(i)
+        if s.is_finishing:
+            idxs = tuple(open_idx.pop(s.thread))
+            status = TxStatus.COMMITTING if s.is_commit else TxStatus.ABORTING
+            result.append(
+                Transaction(s.thread, idxs, tuple(word[j] for j in idxs), status)
+            )
+    for thread, idxs_list in open_idx.items():
+        idxs = tuple(idxs_list)
+        result.append(
+            Transaction(
+                thread, idxs, tuple(word[j] for j in idxs), TxStatus.UNFINISHED
+            )
+        )
+    result.sort(key=lambda tx: tx.first)
+    return result
+
+
+def transaction_at(word: Sequence[Statement], index: int) -> Transaction:
+    """The transaction containing the statement at ``index``."""
+    for tx in transactions(word):
+        if index in tx.indices:
+            return tx
+    raise IndexError(f"index {index} out of range for word of length {len(word)}")
+
+
+def com(word: Sequence[Statement]) -> Word:
+    """The subsequence of statements belonging to committing transactions."""
+    keep: Set[int] = set()
+    for tx in transactions(word):
+        if tx.is_committing:
+            keep.update(tx.indices)
+    return tuple(s for i, s in enumerate(word) if i in keep)
+
+
+def is_sequential(word: Sequence[Statement]) -> bool:
+    """True iff every pair of transactions in ``word`` is ordered.
+
+    Equivalently: transactions never interleave — once a transaction has
+    started, no other thread issues a statement until it finishes.
+    """
+    txs = transactions(word)
+    for i, x in enumerate(txs):
+        for y in txs[i + 1 :]:
+            if not (x.precedes(y) or y.precedes(x)):
+                return False
+    return True
+
+
+def committed_transactions(word: Sequence[Statement]) -> List[Transaction]:
+    """The committing transactions of ``word`` in order of appearance."""
+    return [tx for tx in transactions(word) if tx.is_committing]
+
+
+def unfinished_transactions(word: Sequence[Statement]) -> List[Transaction]:
+    """The unfinished transactions of ``word`` in order of appearance."""
+    return [tx for tx in transactions(word) if tx.is_unfinished]

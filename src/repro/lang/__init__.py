@@ -1,0 +1,13 @@
+"""Bounded language enumeration for differential and closure testing."""
+
+from .enumerate import (
+    enumerate_nfa_language,
+    enumerate_tm_language,
+    language_size_by_length,
+)
+
+__all__ = [
+    "enumerate_nfa_language",
+    "enumerate_tm_language",
+    "language_size_by_length",
+]

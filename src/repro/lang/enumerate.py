@@ -1,0 +1,68 @@
+"""Bounded enumeration of TM-algorithm languages.
+
+The structural properties P1–P6 (Sections 4 and 6.1) are closure
+properties of a TM's language.  The paper discharges them by inspecting
+each algorithm; we additionally *test* them mechanically on all words of
+the language up to a length bound.  This module enumerates those words by
+walking the determinized-on-the-fly safety NFA: since every state
+accepts, the words of length ≤ L are exactly the paths of length ≤ L in
+the subset automaton, each path giving a distinct word.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional, Tuple
+
+from ..automata.nfa import NFA
+from ..core.statements import Word
+from ..tm.algorithm import TMAlgorithm
+from ..tm.explore import build_safety_nfa
+
+
+def enumerate_nfa_language(
+    nfa: NFA, max_len: int, *, max_words: Optional[int] = None
+) -> Iterator[Word]:
+    """All words of length ≤ ``max_len`` in a safety NFA's language.
+
+    Yields words in length-then-discovery order, starting with the empty
+    word.  ``max_words`` truncates the enumeration (None = unbounded);
+    truncation raises ``RuntimeError`` to avoid silently passing tests on
+    partial evidence.
+    """
+    if nfa.accepting is not None:
+        raise ValueError("enumeration assumes a safety NFA (all accepting)")
+    symbols = sorted(nfa.alphabet(), key=repr)
+    init = nfa.eclosure(nfa.initial)
+    queue: deque = deque([((), init)])
+    produced = 0
+    while queue:
+        word, macro = queue.popleft()
+        yield word
+        produced += 1
+        if max_words is not None and produced > max_words:
+            raise RuntimeError(f"language enumeration exceeded {max_words} words")
+        if len(word) == max_len:
+            continue
+        for a in symbols:
+            succ = nfa.eclosure(nfa.post(macro, a))
+            if succ:
+                queue.append((word + (a,), succ))
+
+
+def enumerate_tm_language(
+    tm: TMAlgorithm, max_len: int, *, max_words: Optional[int] = None
+) -> Iterator[Word]:
+    """All words of length ≤ ``max_len`` in ``L(tm)``."""
+    yield from enumerate_nfa_language(
+        build_safety_nfa(tm), max_len, max_words=max_words
+    )
+
+
+def language_size_by_length(tm: TMAlgorithm, max_len: int) -> Tuple[int, ...]:
+    """Number of words of each length 0..max_len — a quick fingerprint of
+    a TM's permissiveness, used by comparison benchmarks."""
+    counts = [0] * (max_len + 1)
+    for word in enumerate_tm_language(tm, max_len):
+        counts[len(word)] += 1
+    return tuple(counts)

@@ -1,0 +1,42 @@
+"""Reduction theorems (Sections 4 and 6.1): structural properties P1–P6
+as mechanical bounded checks, and the Theorem 1 / Theorem 5 pipelines."""
+
+from .structural import (
+    PropertyReport,
+    check_all_safety_properties,
+    check_commit_commutativity,
+    check_monotonicity,
+    check_thread_symmetry,
+    check_transaction_projection,
+    check_unfinished_commutativity,
+    check_variable_projection,
+)
+from .liveness_props import (
+    check_all_liveness_properties,
+    check_liveness_transaction_projection,
+    check_liveness_variable_projection,
+)
+from .theorems import (
+    ReductionClaim,
+    TMFamily,
+    verify_tm_liveness,
+    verify_tm_safety,
+)
+
+__all__ = [
+    "PropertyReport",
+    "check_all_safety_properties",
+    "check_commit_commutativity",
+    "check_monotonicity",
+    "check_thread_symmetry",
+    "check_transaction_projection",
+    "check_unfinished_commutativity",
+    "check_variable_projection",
+    "check_all_liveness_properties",
+    "check_liveness_transaction_projection",
+    "check_liveness_variable_projection",
+    "ReductionClaim",
+    "TMFamily",
+    "verify_tm_liveness",
+    "verify_tm_safety",
+]

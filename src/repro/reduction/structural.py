@@ -1,0 +1,466 @@
+"""Empirical checkers for the structural properties P1–P4 (Section 4).
+
+Theorem 1 reduces unbounded safety verification to the (2, 2) instance
+for TMs satisfying four closure properties of their languages.  The paper
+verifies these properties per algorithm by inspection; here each property
+is a mechanically checkable predicate over all words of the language up
+to a length bound.  A ``False`` comes with a witness word; ``True`` is
+*bounded evidence*, not a proof — exactly the division of labour the
+paper prescribes ("manually check that the structural properties hold").
+
+All four checks take the TM's language as an oracle (NFA membership), so
+they work for any :class:`~repro.tm.algorithm.TMAlgorithm`, including
+user-defined ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..automata.nfa import NFA
+from ..core.conflicts import conflicting_pairs
+from ..core.statements import Statement, Word, format_word
+from ..core.words import transactions
+from ..lang.enumerate import enumerate_tm_language
+from ..tm.algorithm import TMAlgorithm
+from ..tm.explore import build_safety_nfa
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of checking one structural property up to a length bound."""
+
+    property_name: str
+    holds: bool
+    words_checked: int
+    cases_checked: int
+    witness: Optional[Word] = None
+    derived: Optional[Word] = None
+
+    def __str__(self) -> str:
+        if self.holds:
+            return (
+                f"{self.property_name}: no violation on {self.words_checked}"
+                f" words ({self.cases_checked} cases)"
+            )
+        return (
+            f"{self.property_name}: VIOLATED — word [{format_word(self.witness or ())}]"
+            f" requires [{format_word(self.derived or ())}] in the language"
+        )
+
+
+def _subsets(items: Sequence) -> Iterable[Tuple]:
+    return chain.from_iterable(
+        combinations(items, r) for r in range(len(items) + 1)
+    )
+
+
+def _project_to_transactions(word: Word, keep: Set[int]) -> Word:
+    """Subsequence of statements whose positions are in ``keep``."""
+    return tuple(s for i, s in enumerate(word) if i in keep)
+
+
+def check_transaction_projection(
+    tm: TMAlgorithm, max_len: int = 5
+) -> PropertyReport:
+    """P1: dropping all aborting and any subset of the unfinished
+    transactions of a word keeps it in the language."""
+    nfa = build_safety_nfa(tm)
+    words = cases = 0
+    for word in enumerate_tm_language(tm, max_len):
+        words += 1
+        txs = transactions(word)
+        committing = [tx for tx in txs if tx.is_committing]
+        unfinished = [tx for tx in txs if tx.is_unfinished]
+        if not any(tx.is_aborting for tx in txs) and not unfinished:
+            continue  # projection is the identity
+        base: Set[int] = set()
+        for tx in committing:
+            base.update(tx.indices)
+        for subset in _subsets(unfinished):
+            keep = set(base)
+            for tx in subset:
+                keep.update(tx.indices)
+            projected = _project_to_transactions(word, keep)
+            cases += 1
+            if not nfa.accepts(projected):
+                return PropertyReport(
+                    "P1 transaction projection", False, words, cases, word,
+                    projected,
+                )
+    return PropertyReport("P1 transaction projection", True, words, cases)
+
+
+def _rename_thread(word: Word, source: int, target: int) -> Word:
+    return tuple(
+        Statement(s.kind, s.var, target if s.thread == source else s.thread)
+        for s in word
+    )
+
+
+def check_thread_symmetry(tm: TMAlgorithm, max_len: int = 5) -> PropertyReport:
+    """P2: in abort-free words whose committing transactions of threads
+    ``u`` and ``t`` never overlap, renaming ``u`` to ``t`` stays in the
+    language."""
+    nfa = build_safety_nfa(tm)
+    words = cases = 0
+    threads = list(tm.threads())
+    for word in enumerate_tm_language(tm, max_len):
+        words += 1
+        txs = transactions(word)
+        if any(tx.is_aborting for tx in txs):
+            continue
+        for u in threads:
+            for t in threads:
+                if u == t:
+                    continue
+                xs = [
+                    tx for tx in txs if tx.thread == u and tx.is_committing
+                ]
+                ys = [
+                    tx for tx in txs if tx.thread == t and tx.is_committing
+                ]
+                if any(
+                    not (x.precedes(y) or y.precedes(x))
+                    for x in xs
+                    for y in ys
+                ):
+                    continue
+                # Renaming is only meaningful if the merged thread's
+                # transactions still never overlap (unfinished ones of u
+                # and t could interleave — the paper renames whole words
+                # where *all* of u's transactions precede or follow t's).
+                all_u = [tx for tx in txs if tx.thread == u]
+                all_t = [tx for tx in txs if tx.thread == t]
+                if any(
+                    not (x.precedes(y) or y.precedes(x))
+                    for x in all_u
+                    for y in all_t
+                ):
+                    continue
+                renamed = _rename_thread(word, u, t)
+                cases += 1
+                if not nfa.accepts(renamed):
+                    return PropertyReport(
+                        "P2 thread symmetry", False, words, cases, word,
+                        renamed,
+                    )
+    return PropertyReport("P2 thread symmetry", True, words, cases)
+
+
+def check_variable_projection(
+    tm: TMAlgorithm, max_len: int = 5
+) -> PropertyReport:
+    """P3: in abort-free words, keeping only the reads/writes of a subset
+    of the variables (plus all commits/aborts) stays in the language."""
+    nfa = build_safety_nfa(tm)
+    words = cases = 0
+    variables = list(range(1, tm.k + 1))
+    for word in enumerate_tm_language(tm, max_len):
+        words += 1
+        if any(tx.is_aborting for tx in transactions(word)):
+            continue
+        touched = sorted({s.var for s in word if s.var is not None})
+        if not touched:
+            continue
+        for subset in _subsets(touched):
+            if len(subset) == len(touched):
+                continue  # identity
+            keep = set(subset)
+            projected = tuple(
+                s for s in word if s.var is None or s.var in keep
+            )
+            cases += 1
+            if not nfa.accepts(projected):
+                return PropertyReport(
+                    "P3 variable projection", False, words, cases, word,
+                    projected,
+                )
+    return PropertyReport("P3 variable projection", True, words, cases)
+
+
+def _conflicts_with(word: Word, pos: int, other: int) -> bool:
+    """Do the statements at ``pos`` and ``other`` conflict in ``word``?"""
+    for pair in conflicting_pairs(word):
+        if {pair.i, pair.j} == {pos, other}:
+            return True
+    return False
+
+
+def check_unfinished_commutativity(
+    tm: TMAlgorithm, max_len: int = 5
+) -> PropertyReport:
+    """Half of P4's sufficient condition: a global read commutes left over
+    conflict-free statements of other threads
+    (``wp·wq·s·ws ∈ L ⇒ wp·s·wq·ws ∈ L``, over abort-free words in S*).
+
+    Note: this condition is *sufficient* for monotonicity, not necessary.
+    The sequential TM violates it (nothing may interleave a running
+    transaction) while still satisfying P4 itself — see
+    :func:`check_monotonicity` for the direct property.  Empty committing
+    transactions are excluded from the slid-over segment for the same
+    reason.
+    """
+    nfa = build_safety_nfa(tm)
+    words = cases = 0
+    for word in enumerate_tm_language(tm, max_len):
+        if any(s.is_abort for s in word):
+            continue
+        words += 1
+        txs = transactions(word)
+        tx_of = {p: tx for tx in txs for p in tx.indices}
+        global_read_pos = {
+            p for tx in txs for p in tx.global_read_positions()
+        }
+        for i, s in enumerate(word):
+            if i not in global_read_pos:
+                continue
+            y = tx_of[i]
+            # slide s left over maximal conflict-free suffix wq of
+            # statements from transactions concurrent with y
+            for start in range(i - 1, -1, -1):
+                seg = range(start, i)
+                if any(word[j].thread == s.thread for j in seg):
+                    break
+                if any(_conflicts_with(word, j, i) for j in seg):
+                    break
+                z = tx_of[start]
+                if z.precedes(y) or y.precedes(z):
+                    break  # real-time order with non-overlapping txs
+                moved = (
+                    word[:start] + (s,) + word[start:i] + word[i + 1 :]
+                )
+                cases += 1
+                if not nfa.accepts(moved):
+                    return PropertyReport(
+                        "P4a unfinished commutativity", False, words, cases,
+                        word, moved,
+                    )
+    return PropertyReport("P4a unfinished commutativity", True, words, cases)
+
+
+def check_commit_commutativity(
+    tm: TMAlgorithm, max_len: int = 5
+) -> PropertyReport:
+    """Other half of P4's sufficient condition: a whole committing
+    transaction moves left over a conflict-free segment
+    (``wp·wq·s·ws ∈ L ⇒ wp·x·wq'·ws ∈ L`` where ``s`` commits ``x`` and
+    ``wq'`` drops ``x``'s statements; abort-free words only).
+
+    As with :func:`check_unfinished_commutativity`, sufficient but not
+    necessary — use :func:`check_monotonicity` for P4 itself.
+    """
+    nfa = build_safety_nfa(tm)
+    words = cases = 0
+    for word in enumerate_tm_language(tm, max_len):
+        if any(s.is_abort for s in word):
+            continue
+        words += 1
+        txs = transactions(word)
+        tx_of = {p: t for t in txs for p in t.indices}
+        for tx in txs:
+            cpos = tx.commit_position()
+            if cpos is None:
+                continue
+            for start in range(cpos - 1, -1, -1):
+                seg = [
+                    j for j in range(start, cpos) if j not in tx.indices
+                ]
+                if not seg:
+                    continue
+                if any(
+                    word[j].thread == tx.thread for j in seg
+                ):
+                    break
+                if any(_conflicts_with(word, j, cpos) for j in seg):
+                    break
+                z = tx_of[start]
+                if start not in tx.indices and (
+                    z.precedes(tx) or tx.precedes(z)
+                ):
+                    break  # real-time order with non-overlapping txs
+                moved_x = [j for j in tx.indices if start <= j <= cpos]
+                rest = [
+                    j
+                    for j in range(start, cpos + 1)
+                    if j not in tx.indices
+                ]
+                new_word = (
+                    word[:start]
+                    + tuple(word[j] for j in moved_x)
+                    + tuple(word[j] for j in rest)
+                    + word[cpos + 1 :]
+                )
+                cases += 1
+                if not nfa.accepts(new_word):
+                    return PropertyReport(
+                        "P4b commit commutativity", False, words, cases,
+                        word, new_word,
+                    )
+    return PropertyReport("P4b commit commutativity", True, words, cases)
+
+
+def _interleavings(blocks: List[Tuple[Statement, ...]]) -> Iterable[Word]:
+    """All merges of the given sequences, preserving each one's order."""
+    if not blocks:
+        yield ()
+        return
+    nonempty = [b for b in blocks if b]
+    if not nonempty:
+        yield ()
+        return
+    for i, b in enumerate(nonempty):
+        rest = nonempty[:i] + [b[1:]] + nonempty[i + 1 :]
+        for tail in _interleavings(rest):
+            yield (b[0],) + tail
+
+
+def _sequentializations(word: Word) -> Iterable[Word]:
+    """The paper's ``seq(w)`` on a bounded word, by brute force.
+
+    ``word`` must have no aborting transactions and exactly one
+    unfinished transaction ``y``.  Yields every word ``w2`` such that:
+    committed transactions appear as contiguous blocks whose order keeps
+    ``com(w2)`` strictly equivalent to ``com(word)``; ``y``'s statements
+    keep their internal order and the order of their global-read
+    conflicts with other transactions; and every committed transaction
+    that wholly precedes ``y`` in ``word`` still wholly precedes ``y``
+    (the auxiliary-variable constraint of Section 4).
+    """
+    from ..core.conflicts import strictly_equivalent
+    from ..core.words import com as com_fn
+
+    txs = transactions(word)
+    committed = [tx for tx in txs if tx.is_committing]
+    unfinished = [tx for tx in txs if tx.is_unfinished]
+    assert len(unfinished) == 1 and not any(tx.is_aborting for tx in txs)
+    y = unfinished[0]
+
+    predecessors = [tx for tx in committed if tx.precedes(y)]
+    y_read_pos = set(y.global_read_positions())
+
+    def key_seq(w: Word) -> dict:
+        out: dict = {}
+        cnt: dict = {}
+        for pos, s in enumerate(w):
+            c = cnt.get(s.thread, 0)
+            out[(s.thread, c)] = pos
+            cnt[s.thread] = c + 1
+        return out
+
+    y_conflicts = []
+    for pair in conflicting_pairs(word):
+        if pair.i in y_read_pos or pair.j in y_read_pos:
+            y_conflicts.append(pair)
+
+    com_word = com_fn(word)
+    # Candidate orderings: merge committed blocks (atomic tokens) with
+    # y's statements (individually placeable, order preserved).
+    token_seqs: List[Tuple[Tuple[Statement, ...], ...]] = [
+        (tx.statements,) for tx in committed
+    ]
+    token_seqs.append(tuple((s,) for s in y.statements))
+    seen: Set[Word] = set()
+    for token_word in _interleavings(token_seqs):
+        w2: Word = tuple(s for token in token_word for s in token)
+        if w2 in seen:
+            continue
+        seen.add(w2)
+        keys2 = key_seq(w2)
+        if not strictly_equivalent(com_word, com_fn(w2)):
+            continue
+        # y's global-read conflict orders preserved.
+        def pos_of(word_pos: int) -> int:
+            s = word[word_pos]
+            return keys2[(s.thread, _ordinal(word, word_pos))]
+
+        if any(pos_of(p.i) > pos_of(p.j) for p in y_conflicts):
+            continue
+        # Auxiliary-variable constraint: committed predecessors of y stay
+        # wholly before y's first statement.
+        y_first = keys2[(y.thread, _ordinal(word, y.indices[0]))]
+        if any(
+            max(
+                keys2[(tx.thread, _ordinal(word, p))] for p in tx.indices
+            )
+            > y_first
+            for tx in predecessors
+        ):
+            continue
+        yield w2
+
+
+def _ordinal(word: Word, position: int) -> int:
+    """Per-thread ordinal of the statement at ``position``."""
+    thread = word[position].thread
+    return sum(1 for s in word[:position] if s.thread == thread)
+
+
+def check_monotonicity(
+    tm: TMAlgorithm, max_len: int = 5, *, universal: bool = False
+) -> PropertyReport:
+    """P4 monotonicity, checked directly via the ``seq()`` function.
+
+    For every ``w = w' · s`` in the language where ``w'`` has exactly one
+    unfinished transaction, no aborting transactions, and ``s`` continues
+    the unfinished transaction (and is not an abort):
+
+    * ``universal=False`` (default): *some* sequentialization
+      ``w2 ∈ seq(w')`` satisfies ``w2 · s ∈ L`` — the form Theorem 1's
+      proof actually uses (it only needs one sequential witness to carry
+      the violation down to (2, 2));
+    * ``universal=True``: *every* ``w2 ∈ seq(w')`` satisfies
+      ``w2 · s ∈ L`` — the paper's literal phrasing, which DSTM violates
+      (its commit-time validation kills writers that moved before the
+      reader), a finding recorded in EXPERIMENTS.md.
+    """
+    nfa = build_safety_nfa(tm)
+    words = cases = 0
+    for word in enumerate_tm_language(tm, max_len):
+        if len(word) < 2:
+            continue
+        w_prefix, s = word[:-1], word[-1]
+        if s.is_abort:
+            continue
+        txs = transactions(w_prefix)
+        unfinished = [tx for tx in txs if tx.is_unfinished]
+        if len(unfinished) != 1 or any(tx.is_aborting for tx in txs):
+            continue
+        if s.thread != unfinished[0].thread:
+            continue
+        words += 1
+        found_any = False
+        has_candidates = False
+        for w2 in _sequentializations(w_prefix):
+            has_candidates = True
+            cases += 1
+            accepted = nfa.accepts(w2 + (s,))
+            if universal and not accepted:
+                return PropertyReport(
+                    "P4 monotonicity (universal)", False, words, cases,
+                    word, w2 + (s,),
+                )
+            if accepted:
+                found_any = True
+                if not universal:
+                    break
+        if not universal and has_candidates and not found_any:
+            return PropertyReport(
+                "P4 monotonicity", False, words, cases, word, None
+            )
+    name = "P4 monotonicity (universal)" if universal else "P4 monotonicity"
+    return PropertyReport(name, True, words, cases)
+
+
+def check_all_safety_properties(
+    tm: TMAlgorithm, max_len: int = 5
+) -> List[PropertyReport]:
+    """P1–P3 plus direct P4 monotonicity, bounded evidence."""
+    return [
+        check_transaction_projection(tm, max_len),
+        check_thread_symmetry(tm, max_len),
+        check_variable_projection(tm, max_len),
+        check_monotonicity(tm, max_len),
+    ]

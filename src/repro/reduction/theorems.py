@@ -1,0 +1,126 @@
+"""Reduction-theorem orchestration (Theorems 1 and 5).
+
+``verify_tm_safety`` packages the paper's complete safety argument for a
+TM family:
+
+1. check the structural properties P1–P4 on bounded language evidence
+   (the paper's manual step, mechanized);
+2. model check the (2, 2) instance against the deterministic
+   specification (the automated step);
+3. conclude — by Theorem 1 — safety for *all* thread/variable counts.
+
+``verify_tm_liveness`` does the same for obstruction freedom via P5–P6
+and the (2, 1) instance (Theorem 5).  Each result records exactly which
+steps contributed, so callers can distinguish "proved for (2,2)" from
+"generalized by the reduction theorem under bounded structural
+evidence".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..checking.liveness import check_obstruction_freedom
+from ..checking.safety import check_safety
+from ..spec.common import SafetyProperty
+from ..tm.algorithm import TMAlgorithm
+from .liveness_props import check_all_liveness_properties
+from .structural import PropertyReport, check_all_safety_properties
+
+#: A TM family is a constructor ``(n, k) -> TMAlgorithm``.
+TMFamily = Callable[[int, int], TMAlgorithm]
+
+
+@dataclass(frozen=True)
+class ReductionClaim:
+    """The outcome of the full reduction-theorem argument."""
+
+    tm_name: str
+    property_name: str
+    base_instance: Tuple[int, int]
+    base_result_holds: bool
+    structural_reports: Tuple[PropertyReport, ...]
+    counterexample_summary: Optional[str] = None
+
+    @property
+    def structural_ok(self) -> bool:
+        return all(r.holds for r in self.structural_reports)
+
+    @property
+    def generalizes(self) -> bool:
+        """True iff the property holds for all (n, k) by the theorem —
+        modulo the bounded nature of the structural evidence."""
+        return self.base_result_holds and self.structural_ok
+
+    def summary(self) -> str:
+        n, k = self.base_instance
+        if not self.base_result_holds:
+            return (
+                f"{self.tm_name} violates {self.property_name} already at"
+                f" ({n}, {k}): {self.counterexample_summary}"
+            )
+        if not self.structural_ok:
+            failing = ", ".join(
+                r.property_name for r in self.structural_reports if not r.holds
+            )
+            return (
+                f"{self.tm_name} satisfies ({n}, {k}) {self.property_name},"
+                f" but structural properties failed ({failing}); the"
+                f" reduction theorem does not apply"
+            )
+        return (
+            f"{self.tm_name} ensures {self.property_name} for all programs"
+            f" (Theorem: ({n}, {k}) instance + P-properties)"
+        )
+
+
+def verify_tm_safety(
+    family: TMFamily,
+    prop: SafetyProperty,
+    *,
+    structural_max_len: int = 5,
+) -> ReductionClaim:
+    """Run the full Theorem 1 pipeline for a TM family."""
+    base_tm = family(2, 2)
+    base = check_safety(base_tm, prop)
+    reports = check_all_safety_properties(family(2, 2), structural_max_len)
+    cex = None
+    if not base.holds and base.counterexample is not None:
+        from ..core.statements import format_word
+
+        cex = format_word(base.counterexample)
+    return ReductionClaim(
+        tm_name=base_tm.name,
+        property_name=(
+            "strict serializability"
+            if prop is SafetyProperty.STRICT_SERIALIZABILITY
+            else "opacity"
+        ),
+        base_instance=(2, 2),
+        base_result_holds=base.holds,
+        structural_reports=tuple(reports),
+        counterexample_summary=cex,
+    )
+
+
+def verify_tm_liveness(
+    family: TMFamily,
+    *,
+    structural_max_len: int = 5,
+) -> ReductionClaim:
+    """Run the full Theorem 5 pipeline (obstruction freedom) for a family."""
+    base_tm = family(2, 1)
+    base = check_obstruction_freedom(base_tm)
+    reports = check_all_liveness_properties(family(2, 1), structural_max_len)
+    cex = None
+    if not base.holds:
+        cex = "loop [" + ", ".join(str(s) for s in base.loop) + "]"
+    return ReductionClaim(
+        tm_name=base_tm.name,
+        property_name="obstruction freedom",
+        base_instance=(2, 1),
+        base_result_holds=base.holds,
+        structural_reports=tuple(reports),
+        counterexample_summary=cex,
+    )

@@ -1,0 +1,36 @@
+"""TM specifications (Section 5): nondeterministic (Algorithm 5) and
+deterministic (Algorithm 6) automata for strict serializability and
+opacity, plus the canonical determinization used to anchor Theorem 3."""
+
+from .common import OP, SS, SafetyProperty
+from .nondet import (
+    build_nondet_spec,
+    initial_state as nondet_initial_state,
+    nondet_epsilon,
+    nondet_step,
+    spec_accepts,
+)
+from .build import build_canonical_spec, build_minimal_spec
+from .det import (
+    build_det_spec,
+    det_spec_accepts,
+    det_step,
+    initial_state as det_initial_state,
+)
+
+__all__ = [
+    "OP",
+    "SS",
+    "SafetyProperty",
+    "build_nondet_spec",
+    "nondet_initial_state",
+    "nondet_epsilon",
+    "nondet_step",
+    "spec_accepts",
+    "build_canonical_spec",
+    "build_minimal_spec",
+    "build_det_spec",
+    "det_spec_accepts",
+    "det_step",
+    "det_initial_state",
+]

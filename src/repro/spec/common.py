@@ -1,0 +1,39 @@
+"""Shared pieces of the TM specifications (paper Section 5).
+
+Both the nondeterministic (Algorithm 5) and deterministic (Algorithm 6)
+specifications keep, per thread, a status, the read/write sets of the
+current transaction, *prohibited* read/write sets (the finite summary of
+everything committed transactions impose on the future), and predecessor
+sets over threads.  This module holds the property enum, status constants
+and the frozen per-thread record helpers they share.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import FrozenSet
+
+
+class SafetyProperty(Enum):
+    """The two safety properties of Section 2."""
+
+    STRICT_SERIALIZABILITY = "ss"
+    OPACITY = "op"
+
+    @property
+    def short(self) -> str:
+        return self.value
+
+
+#: Convenient aliases.
+SS = SafetyProperty.STRICT_SERIALIZABILITY
+OP = SafetyProperty.OPACITY
+
+# Status values (shared; "serialized" is nondet-only, "pending" det-only).
+FINISHED = "fin"
+STARTED = "start"
+SERIALIZED = "ser"
+INVALID = "inv"
+PENDING = "pend"
+
+EMPTY: FrozenSet[int] = frozenset()

@@ -1,0 +1,242 @@
+"""Deterministic TM specifications Σdss and Σdop (paper Algorithm 6).
+
+Unlike Algorithm 5, no serialization point is guessed: the automaton
+tracks, deterministically, *all* serialization orders at once through two
+predecessor relations over threads:
+
+* ``u ∈ wp(t)`` — *weak* predecessor: if both ``u`` and ``t`` commit,
+  ``u`` must serialize before ``t`` (not transitive; extended at
+  commits);
+* ``u ∈ sp(t)`` — *strong* predecessor: ``u`` must serialize before
+  ``t`` no matter what (transitive; drives the opacity checks, where even
+  aborting transactions are constrained).
+
+A commit is refused iff it closes a precedence cycle through the
+committing thread (``t ∈ wp(t)``, a doomed status, or — for opacity — a
+strong cycle).  When ``t`` commits, its weak predecessors become
+``pending``: still running, forced to serialize before a transaction that
+has already committed, and therefore saddled with prohibited read/write
+sets.
+
+Transcription notes (see DESIGN.md):
+
+* As in :mod:`repro.spec.nondet`, "invalid" is kept as an orthogonal
+  sticky ``doomed`` flag instead of a status value.  Algorithm 6's literal
+  ``Status(u) := pending`` at commit would *resurrect* an invalid thread
+  (making ``(r,1)1 (w,1)2 c2 (r,2)2 (w,1)1 c2 c1`` wrongly strictly
+  serializable); with the flag, the pending-bookkeeping happens while the
+  doom sticks.
+* Algorithm 6 leaves the strong-predecessor update at commit scoped under
+  the opacity guard where its set ``U`` is defined; in ss-mode we take
+  ``U = ∅`` (the ss checks never read ``sp`` beyond the pending
+  inheritance).  Both readings are discharged by the Theorem 3
+  equivalence check against Algorithm 5 and by differential tests
+  against the reference checkers.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..automata.dfa import DFA
+from ..core.statements import Kind, Statement, statements as all_statements
+from .common import (
+    EMPTY,
+    FINISHED,
+    PENDING,
+    SS,
+    STARTED,
+    OP,
+    SafetyProperty,
+)
+
+# Per-thread record: (status, doomed, rs, ws, prs, pws, wp, sp)
+ThreadDetSpec = Tuple[
+    str, bool, FrozenSet[int], FrozenSet[int], FrozenSet[int], FrozenSet[int],
+    FrozenSet[int], FrozenSet[int],
+]
+DetSpecState = Tuple[ThreadDetSpec, ...]
+
+# Record field indices, for readable mutation of thawed states.
+STATUS, DOOMED, RS, WS, PRS, PWS, WP, SP = range(8)
+
+RESET: ThreadDetSpec = (FINISHED, False, EMPTY, EMPTY, EMPTY, EMPTY, EMPTY, EMPTY)
+
+
+def initial_state(n: int) -> DetSpecState:
+    return (RESET,) * n
+
+
+def _thaw(state: DetSpecState) -> List[List]:
+    return [list(rec) for rec in state]
+
+
+def _freeze(q: List[List]) -> DetSpecState:
+    return tuple(tuple(rec) for rec in q)  # type: ignore[return-value]
+
+
+def _reset_thread(q: List[List], t: int) -> None:
+    q[t - 1] = list(RESET)
+    for u, rec in enumerate(q, start=1):
+        if u != t:
+            rec[WP] = rec[WP] - {t}
+            rec[SP] = rec[SP] - {t}
+
+
+def _start_if_finished(q: List[List], t: int) -> None:
+    """The Status(t) = finished branch of read/write: a fresh transaction
+    inherits the pending threads (and their strong predecessors) as
+    predecessors — they serialize before an already-committed transaction
+    that really-happened-before this new one."""
+    rec = q[t - 1]
+    if rec[STATUS] != FINISHED:
+        return
+    pending = {u for u, r in enumerate(q, start=1) if r[STATUS] == PENDING}
+    pending_preds: Set[int] = set()
+    for r in q:
+        if r[STATUS] == PENDING:
+            pending_preds |= set(r[SP])
+    rec[WP] = rec[WP] | pending
+    rec[SP] = rec[SP] | pending | pending_preds
+    rec[STATUS] = STARTED
+
+
+def det_step(
+    state: DetSpecState, stmt: Statement, prop: SafetyProperty
+) -> Optional[DetSpecState]:
+    """One transition of Algorithm 6 (``detSpec``); ``None`` rejects."""
+    t = stmt.thread
+    q = _thaw(state)
+    rec = q[t - 1]
+
+    if stmt.kind is Kind.READ:
+        v = stmt.var
+        assert v is not None
+        if v in rec[WS]:
+            return state  # local read of an own write
+        strong_new: Set[int] = set()
+        if prop is OP:
+            # Threads forced strongly before t by reading the committed
+            # value of v: those prohibited from reading v themselves, and
+            # the strong predecessors of such threads.
+            for u, r in enumerate(q, start=1):
+                if v in r[PRS]:
+                    strong_new.add(u)
+                elif any(u in r2[SP] and v in r2[PRS] for r2 in q):
+                    strong_new.add(u)
+            if t in strong_new:
+                return None  # reading v closes a strong cycle
+        _start_if_finished(q, t)
+        rec[RS] = rec[RS] | {v}
+        if v in rec[PRS]:
+            rec[DOOMED] = True
+        for u, r in enumerate(q, start=1):
+            if v in r[WS]:
+                r[WP] = r[WP] | {t}
+            if v in r[PRS]:
+                rec[WP] = rec[WP] | {u}
+        if prop is SS:
+            return _freeze(q)
+        frozen_new = frozenset(strong_new)
+        for u, r in enumerate(q, start=1):
+            if u == t or t in r[SP]:
+                r[SP] = r[SP] | frozen_new
+        for u in sorted(rec[SP]):
+            r = q[u - 1]
+            r[PWS] = r[PWS] | {v}
+            if v in r[WS]:
+                r[DOOMED] = True
+        return _freeze(q)
+
+    if stmt.kind is Kind.WRITE:
+        v = stmt.var
+        assert v is not None
+        _start_if_finished(q, t)
+        rec[WS] = rec[WS] | {v}
+        if v in rec[PWS]:
+            rec[DOOMED] = True
+        for u, r in enumerate(q, start=1):
+            if u == t:
+                continue
+            if v in r[RS]:
+                rec[WP] = rec[WP] | {u}
+                if prop is OP and t in r[SP]:
+                    rec[DOOMED] = True
+            if v in r[PWS]:
+                rec[WP] = rec[WP] | {u}
+        return _freeze(q)
+
+    if stmt.kind is Kind.COMMIT:
+        if t in rec[WP]:
+            return None  # a weak-predecessor cycle through t
+        if rec[DOOMED]:
+            return None
+        strong: Set[int] = set()
+        if prop is OP:
+            # Strong closure of the weak predecessors: they all serialize
+            # before t once t commits.
+            strong = set(rec[WP])
+            for u2 in rec[WP]:
+                strong |= set(q[u2 - 1][SP])
+            if t in strong:
+                return None  # committing closes a strong cycle
+        wp_snapshot = frozenset(rec[WP])
+        ws_t, rs_t = rec[WS], rec[RS]
+        prs_t, pws_t = rec[PRS], rec[PWS]
+        t_in_wp = frozenset(
+            u2 for u2, r2 in enumerate(q, start=1) if t in r2[WP]
+        )
+        ww_conflict = frozenset(
+            u2
+            for u2, r2 in enumerate(q, start=1)
+            if u2 != t and r2[WS] & ws_t
+        )
+        for u in sorted(wp_snapshot):
+            r = q[u - 1]
+            if r[WS] & ws_t:
+                r[DOOMED] = True
+            r[STATUS] = PENDING
+            r[PRS] = r[PRS] | prs_t | ws_t
+            r[PWS] = r[PWS] | pws_t | ws_t | rs_t
+            for u2 in t_in_wp:
+                q[u2 - 1][WP] = q[u2 - 1][WP] | {u}
+            for u2 in ww_conflict:
+                q[u2 - 1][WP] = q[u2 - 1][WP] | {u}
+        frozen_strong = frozenset(strong)
+        for u, r in enumerate(q, start=1):
+            if u == t or t in r[SP]:
+                r[SP] = r[SP] | frozen_strong
+        _reset_thread(q, t)
+        return _freeze(q)
+
+    assert stmt.kind is Kind.ABORT
+    _reset_thread(q, t)
+    return _freeze(q)
+
+
+def build_det_spec(
+    n: int, k: int, prop: SafetyProperty, *, max_states: Optional[int] = None
+) -> DFA:
+    """Materialize Σdss / Σdop for ``n`` threads and ``k`` variables."""
+    alphabet = all_statements(n, k, include_abort=True)
+
+    def step(state: DetSpecState):
+        for stmt in alphabet:
+            succ = det_step(state, stmt, prop)
+            if succ is not None:
+                yield stmt, succ
+
+    return DFA.from_step(initial_state(n), step, max_states=max_states)
+
+
+def det_spec_accepts(
+    word: Tuple[Statement, ...], n: int, k: int, prop: SafetyProperty
+) -> bool:
+    """Membership in L(Σd) without materializing the automaton."""
+    state: Optional[DetSpecState] = initial_state(n)
+    for stmt in word:
+        assert state is not None
+        state = det_step(state, stmt, prop)
+        if state is None:
+            return False
+    return True

@@ -1,0 +1,240 @@
+"""Nondeterministic TM specifications Σss and Σop (paper Algorithm 5).
+
+Every transaction *guesses* its serialization point: an internal
+ε-transition that flips its status from started to serialized.  A branch
+of the automaton corresponds to one guessed serialization order, which
+makes the construction natural — each branch only has to police one
+order:
+
+* a commit is allowed only for serialized, non-doomed threads, and makes
+  the committer's footprint *prohibited* for the threads serialized
+  before it (their reads/writes must remain consistent with being
+  earlier);
+* for opacity, global reads are additionally policed at read time — even
+  a transaction that will abort must never observe an inconsistent value,
+  so a read of a prohibited variable simply kills the branch.
+
+The per-thread record is ``(status, doomed, rs, ws, prs, pws, sp)`` where
+``prs`` / ``pws`` are the prohibited read/write sets and ``sp`` the set
+of threads serialized before this one.  Once a transaction finishes we
+never need to remember it — the prohibited sets carry all residual
+constraints — which is what keeps the state space finite despite
+unbounded transaction delay (Section 5's key idea).
+
+**Transcription note** (see DESIGN.md): the paper folds "cannot commit"
+into the status value ``invalid``.  Taking that literally loses
+information: a serialized thread that becomes invalid drops out of every
+``Status(u) = serialized`` test, so later commits fail to extend its
+prohibited sets and its subsequent inconsistent reads are accepted
+(e.g. the word ``(r,1)1 (w,2)1 (r,2)2 (w,1)2 c2 (r,1)1`` would wrongly
+be called opaque).  We therefore keep ``doomed`` as an orthogonal sticky
+flag: dooming a thread only forbids its commit, never rewrites its
+serialization bookkeeping.  Exhaustive differential tests against the
+reference checkers pin this down.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..automata.nfa import EPSILON, NFA
+from ..core.statements import Kind, Statement, statements as all_statements
+from .common import EMPTY, FINISHED, OP, SERIALIZED, STARTED, SafetyProperty
+
+# Per-thread record: (status, doomed, rs, ws, prs, pws, sp)
+ThreadSpec = Tuple[
+    str, bool, FrozenSet[int], FrozenSet[int], FrozenSet[int], FrozenSet[int],
+    FrozenSet[int],
+]
+SpecState = Tuple[ThreadSpec, ...]
+
+# Record field indices, for readable mutation of thawed states.
+STATUS, DOOMED, RS, WS, PRS, PWS, SP = range(7)
+
+RESET: ThreadSpec = (FINISHED, False, EMPTY, EMPTY, EMPTY, EMPTY, EMPTY)
+
+
+def initial_state(n: int) -> SpecState:
+    """``qinit``: every thread finished with empty sets."""
+    return (RESET,) * n
+
+
+def _thaw(state: SpecState) -> List[List]:
+    return [list(rec) for rec in state]
+
+
+def _freeze(q: List[List]) -> SpecState:
+    return tuple(tuple(rec) for rec in q)  # type: ignore[return-value]
+
+
+def _reset_thread(q: List[List], t: int) -> None:
+    """``ResetState``: finish ``t`` and drop it from everyone's ``sp``."""
+    q[t - 1] = list(RESET)
+    for u, rec in enumerate(q, start=1):
+        if u != t:
+            rec[SP] = rec[SP] - {t}
+
+
+def _serialized_set(q: List[List]) -> FrozenSet[int]:
+    return frozenset(
+        u for u, rec in enumerate(q, start=1) if rec[STATUS] == SERIALIZED
+    )
+
+
+def nondet_step(
+    state: SpecState, stmt: Statement, prop: SafetyProperty
+) -> Optional[SpecState]:
+    """One statement transition of Algorithm 5 (``nondetSpec``).
+
+    Returns the successor state, or ``None`` when the branch rejects the
+    statement (the paper's ``return ⊥``).
+    """
+    t = stmt.thread
+    q = _thaw(state)
+    rec = q[t - 1]
+
+    if stmt.kind is Kind.READ:
+        v = stmt.var
+        assert v is not None
+        if v in rec[WS]:
+            return state  # local read of an own write
+        if rec[STATUS] == FINISHED:
+            rec[SP] = _serialized_set(q)
+            rec[STATUS] = STARTED
+        rec[RS] = rec[RS] | {v}
+        if prop is OP:
+            if v in rec[PRS]:
+                return None  # an inconsistent read, fatal in this branch
+            for u, r in enumerate(q, start=1):
+                if u == t:
+                    continue
+                if r[STATUS] == SERIALIZED and t not in r[SP]:
+                    # u serializes before t, so u's uncommitted write to v
+                    # (or a future one) would invalidate this read.
+                    if v in r[WS]:
+                        r[DOOMED] = True
+                    else:
+                        r[PWS] = r[PWS] | {v}
+        else:
+            if rec[STATUS] == SERIALIZED and v in rec[PRS]:
+                rec[DOOMED] = True
+        return _freeze(q)
+
+    if stmt.kind is Kind.WRITE:
+        v = stmt.var
+        assert v is not None
+        if rec[STATUS] == FINISHED:
+            rec[SP] = _serialized_set(q)
+            rec[STATUS] = STARTED
+        elif rec[STATUS] == SERIALIZED and v in rec[PWS]:
+            rec[DOOMED] = True
+        rec[WS] = rec[WS] | {v}
+        return _freeze(q)
+
+    if stmt.kind is Kind.COMMIT:
+        if rec[STATUS] == STARTED or rec[DOOMED]:
+            return None  # must have serialized, and stayed consistent
+        rs_t, ws_t, sp_t = rec[RS], rec[WS], rec[SP]
+        for u, r in enumerate(q, start=1):
+            if u == t:
+                continue
+            if u in sp_t:
+                # u serialized before t: t's committed footprint becomes
+                # prohibited for u, and overlapping writes doom u now.
+                r[PRS] = r[PRS] | ws_t
+                r[PWS] = r[PWS] | rs_t | ws_t
+                if r[WS] & (ws_t | rs_t):
+                    r[DOOMED] = True
+            else:
+                # u serializes after t: its global reads of t's writes
+                # were stale.
+                if ws_t & r[RS]:
+                    r[DOOMED] = True
+        _reset_thread(q, t)
+        return _freeze(q)
+
+    assert stmt.kind is Kind.ABORT
+    _reset_thread(q, t)
+    return _freeze(q)
+
+
+def nondet_epsilon(
+    state: SpecState, t: int, prop: SafetyProperty
+) -> Optional[SpecState]:
+    """The ε-transition of thread ``t``: guess its serialization point."""
+    q = _thaw(state)
+    rec = q[t - 1]
+    if rec[STATUS] != STARTED or rec[DOOMED]:
+        return None
+    rec[SP] = _serialized_set(q)
+    rec[STATUS] = SERIALIZED
+    if prop is OP:
+        for u, r in enumerate(q, start=1):
+            if u == t:
+                continue
+            if r[STATUS] == STARTED:
+                # u will serialize after t; its existing global reads of
+                # t's writes would become stale if t commits.
+                if r[RS] & rec[WS]:
+                    rec[DOOMED] = True
+                rec[PWS] = rec[PWS] | r[RS]
+            elif r[STATUS] == SERIALIZED:
+                # u serialized before t; t's reads must already reflect
+                # u's writes, which are not committed yet.
+                if r[WS] & rec[RS]:
+                    r[DOOMED] = True
+                r[PWS] = r[PWS] | rec[RS]
+    return _freeze(q)
+
+
+def build_nondet_spec(
+    n: int, k: int, prop: SafetyProperty, *, max_states: Optional[int] = None
+) -> NFA:
+    """Materialize Σss / Σop for ``n`` threads and ``k`` variables."""
+    alphabet = all_statements(n, k, include_abort=True)
+
+    def step(state: SpecState):
+        for stmt in alphabet:
+            succ = nondet_step(state, stmt, prop)
+            if succ is not None:
+                yield stmt, succ
+        for t in range(1, n + 1):
+            succ = nondet_epsilon(state, t, prop)
+            if succ is not None:
+                yield EPSILON, succ
+
+    return NFA.from_step([initial_state(n)], step, max_states=max_states)
+
+
+def spec_accepts(
+    word: Tuple[Statement, ...], n: int, k: int, prop: SafetyProperty
+) -> bool:
+    """Membership in L(Σ) by on-the-fly macro-simulation.
+
+    Avoids materializing the automaton; used heavily by differential
+    tests against the reference checkers.
+    """
+    current = _eclose({initial_state(n)}, n, prop)
+    for stmt in word:
+        nxt = set()
+        for q in current:
+            succ = nondet_step(q, stmt, prop)
+            if succ is not None:
+                nxt.add(succ)
+        current = _eclose(nxt, n, prop)
+        if not current:
+            return False
+    return True
+
+
+def _eclose(states: set, n: int, prop: SafetyProperty) -> set:
+    result = set(states)
+    frontier = list(states)
+    while frontier:
+        q = frontier.pop()
+        for t in range(1, n + 1):
+            succ = nondet_epsilon(q, t, prop)
+            if succ is not None and succ not in result:
+                result.add(succ)
+                frontier.append(succ)
+    return result

@@ -1,0 +1,85 @@
+"""TM algorithms (Section 3): the formalism, the paper's four TMs, the
+modified TL2 of Section 5.4, contention managers, and the explorer."""
+
+from .algorithm import (
+    ABORT_EXT,
+    Ext,
+    Resp,
+    TMAlgorithm,
+    TMState,
+    Transition,
+    validate_rules,
+)
+from .contention import (
+    AggressiveManager,
+    BoundedKarmaManager,
+    ContentionManager,
+    PermissiveManager,
+    PoliteManager,
+)
+from .compose import ManagedTM
+from .sequential import SequentialTM
+from .two_phase_locking import TwoPhaseLockingTM
+from .dstm import DSTM
+from .tl2 import TL2, ModifiedTL2
+from .optimistic import OptimisticTM
+from .runs import (
+    Run,
+    RunStep,
+    ScheduleError,
+    parse_schedule,
+    prefer_abort,
+    prefer_progress,
+    program,
+    simulate,
+)
+from .explore import (
+    ExtStatement,
+    LivenessGraph,
+    build_liveness_graph,
+    build_safety_nfa,
+    explore_nodes,
+    initial_node,
+    iter_node_transitions,
+    language_contains,
+    transition_system_size,
+)
+
+__all__ = [
+    "ABORT_EXT",
+    "Ext",
+    "Resp",
+    "TMAlgorithm",
+    "TMState",
+    "Transition",
+    "validate_rules",
+    "AggressiveManager",
+    "BoundedKarmaManager",
+    "ContentionManager",
+    "PermissiveManager",
+    "PoliteManager",
+    "ManagedTM",
+    "SequentialTM",
+    "TwoPhaseLockingTM",
+    "DSTM",
+    "TL2",
+    "ModifiedTL2",
+    "OptimisticTM",
+    "Run",
+    "RunStep",
+    "ScheduleError",
+    "parse_schedule",
+    "prefer_abort",
+    "prefer_progress",
+    "program",
+    "simulate",
+    "ExtStatement",
+    "LivenessGraph",
+    "build_liveness_graph",
+    "build_safety_nfa",
+    "explore_nodes",
+    "initial_node",
+    "iter_node_transitions",
+    "language_contains",
+    "transition_system_size",
+]

@@ -1,0 +1,245 @@
+"""The TM-algorithm formalism (paper Section 3).
+
+A TM algorithm is a guarded transition system
+``A = (Q, qinit, D, φ, γ, δ)``: states, an initial state, a set of
+*extended commands* ``D ⊇ C``, a *conflict function* φ (the points where a
+contention manager is consulted), a *pending function* γ, and a transition
+relation ``δ ⊆ Q × C × ŜD × Resp × Q``.  A program command executes as a
+sequence of atomic extended commands; each step returns a response:
+
+* ``⊥`` — more extended commands are needed (the command becomes pending),
+* ``1`` — the command completed,
+* ``0`` — the thread's transaction aborts (always with extended command
+  ``abort``, rule R6).
+
+Concrete TMs subclass :class:`TMAlgorithm` and provide three things: the
+initial state, the *progress* transitions for a command (the ``d ∈ D``
+cases of Algorithms 1–4), and the abort reset.  The framework derives the
+rest exactly as the paper's rules R1–R8 prescribe:
+
+* a command is *enabled* iff it is the pending command or none is pending
+  (γ is maintained by the explorer, not by TM states);
+* a command is *abort enabled* iff it is enabled and has no progress
+  transition; the ``abort`` transition exists iff the command is abort
+  enabled or φ holds (the two cases of Section 3's discussion);
+* with a contention manager, transitions at φ-points exist only if the
+  manager agrees (Section 3.1's product construction).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import (
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from ..core.statements import Command
+
+TMState = Hashable
+
+
+class Resp(Enum):
+    """Responses of a TM algorithm (``Resp = {⊥, 0, 1}``)."""
+
+    BOT = "⊥"  # command still pending
+    ABORT = "0"  # transaction aborts
+    DONE = "1"  # command completed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Resp({self.value})"
+
+
+class Ext(NamedTuple):
+    """An extended command ``d ∈ D ∪ {abort}``.
+
+    Base commands reuse their names (``read``, ``write``, ``commit``);
+    TM-specific extras include ``rlock``/``wlock`` (2PL), ``own`` and
+    ``validate`` (DSTM), ``lock``/``validate`` (TL2), and
+    ``rvalidate``/``chklock`` (modified TL2).
+    """
+
+    name: str
+    var: Optional[int] = None
+
+    @classmethod
+    def of_command(cls, cmd: Command) -> "Ext":
+        return cls(cmd.kind.value, cmd.var)
+
+    @property
+    def is_abort(self) -> bool:
+        return self.name == "abort"
+
+    @property
+    def is_commit(self) -> bool:
+        return self.name == "commit"
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return self.name
+        return f"{self.name}({self.var})"
+
+
+ABORT_EXT = Ext("abort")
+
+
+class Transition(NamedTuple):
+    """One entry of δ for a fixed source state: the extended command
+    executed, the response returned, and the successor TM state."""
+
+    ext: Ext
+    resp: Resp
+    state: TMState
+
+
+class TMAlgorithm(ABC):
+    """Base class for TM algorithms (Algorithms 1–4 of the paper).
+
+    Subclasses are parameterized by the numbers of threads ``n`` and
+    variables ``k`` and must keep all states hashable and canonical
+    (tuples/frozensets), since verification explores them explicitly.
+    """
+
+    #: Short name used in reports (e.g. "seq", "2PL", "dstm", "TL2").
+    name: str = "tm"
+
+    def __init__(self, n: int, k: int) -> None:
+        if n < 1 or k < 1:
+            raise ValueError("need at least one thread and one variable")
+        self.n = n
+        self.k = k
+
+    # ------------------------------------------------------------------
+    # TM-specific pieces
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def initial_state(self) -> TMState:
+        """The initial state ``qinit``."""
+
+    @abstractmethod
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        """Progress transitions (``d ∈ D``) for ``cmd`` by ``thread``.
+
+        Returns the list of ``(d, r, q')`` with ``r ∈ {⊥, 1}`` that the TM
+        allows from ``state``; the empty list makes the command abort
+        enabled.  Implementations must return at most one entry per
+        extended command (rule R7) and at most one entry overall when
+        ``conflict`` is false (rule R8).
+        """
+
+    @abstractmethod
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        """The successor state of the ``abort`` transition for ``thread``."""
+
+    def conflict(self, state: TMState, cmd: Command, thread: int) -> bool:
+        """The conflict function φ; default: never consult a manager."""
+        del state, cmd, thread
+        return False
+
+    # ------------------------------------------------------------------
+    # Derived transition relation
+    # ------------------------------------------------------------------
+
+    def transitions(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Transition]:
+        """All transitions for ``cmd`` by ``thread`` from ``state``.
+
+        The abort transition is added iff the command is abort enabled
+        (no progress possible) or φ holds — the only two ways an abort
+        arises in the paper's formalism.
+        """
+        result = [Transition(*p) for p in self.progress(state, cmd, thread)]
+        if not result or self.conflict(state, cmd, thread):
+            result.append(
+                Transition(ABORT_EXT, Resp.ABORT, self.abort_reset(state, thread))
+            )
+        return result
+
+    def is_abort_enabled(self, state: TMState, cmd: Command, thread: int) -> bool:
+        """True iff ``cmd`` has no progress transition from ``state``."""
+        return not self.progress(state, cmd, thread)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def commands(self) -> Tuple[Command, ...]:
+        """The command set ``C`` for this TM's variable count."""
+        from ..core.statements import commands as base_commands
+
+        return base_commands(self.k)
+
+    def threads(self) -> range:
+        return range(1, self.n + 1)
+
+    def describe(self) -> str:
+        return f"{self.name}(n={self.n}, k={self.k})"
+
+
+def validate_rules(
+    tm: TMAlgorithm,
+    states: Iterable[Tuple[TMState, Tuple[Optional[Command], ...]]],
+) -> List[str]:
+    """Check the structural rules of Section 3 on explored states.
+
+    ``states`` are (TM state, pending vector) pairs as produced by the
+    explorer.  Returns a list of human-readable violations (empty when the
+    TM is well-formed):
+
+    * R6 — abort transitions have response 0, and only they do;
+    * R7 — at most one transition per (command, extended command, thread);
+    * R8 — at most one transition per enabled statement unless φ holds;
+    * R5 — when nothing is pending, every command has some transition
+      (progress or abort) — TM algorithms without a contention manager
+      must never refuse a command outright.
+    """
+    problems: List[str] = []
+    for state, pending in states:
+        for t in tm.threads():
+            cmds = (
+                [pending[t - 1]]
+                if pending[t - 1] is not None
+                else list(tm.commands())
+            )
+            for cmd in cmds:
+                trans = tm.transitions(state, cmd, t)
+                if pending[t - 1] is None and not trans:
+                    problems.append(
+                        f"R5: no transition for {cmd} t{t} from {state!r}"
+                    )
+                seen_ext = {}
+                for tr in trans:
+                    if tr.ext.is_abort != (tr.resp is Resp.ABORT):
+                        problems.append(
+                            f"R6: {tr.ext} with resp {tr.resp} for {cmd} t{t}"
+                            f" from {state!r}"
+                        )
+                    if tr.ext in seen_ext and seen_ext[tr.ext] != (
+                        tr.resp,
+                        tr.state,
+                    ):
+                        problems.append(
+                            f"R7: duplicate ext {tr.ext} for {cmd} t{t}"
+                            f" from {state!r}"
+                        )
+                    seen_ext[tr.ext] = (tr.resp, tr.state)
+                non_abort = [tr for tr in trans if not tr.ext.is_abort]
+                if (
+                    len(non_abort) > 1
+                    and not tm.conflict(state, cmd, t)
+                ):
+                    problems.append(
+                        f"R8: {len(non_abort)} progress transitions for"
+                        f" non-conflicting {cmd} t{t} from {state!r}"
+                    )
+    return problems

@@ -1,0 +1,71 @@
+"""Product of a TM algorithm with a contention manager (Section 3.1).
+
+Given a TM algorithm ``A`` and a manager ``cm``, the product ``Acm`` runs
+both in lockstep.  A transition of ``A`` on extended statement ``(d, t)``
+survives iff:
+
+* when φ holds for the scheduled statement, ``cm`` has a matching
+  transition (rule ii — the manager arbitrates every conflict), and
+* the manager component moves along its transition if one exists, and
+  stays put otherwise (rule iii).
+
+Because managers only restrict behaviour, ``L(Acm) ⊆ L(A)``: safety proved
+for the bare TM carries over to every managed variant (Section 4's
+argument for verifying TMs without managers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.statements import Command
+from .algorithm import Ext, Resp, TMAlgorithm, TMState, Transition
+from .contention import ContentionManager
+
+
+class ManagedTM(TMAlgorithm):
+    """The TM algorithm ``Acm``: states are (TM state, manager state)."""
+
+    def __init__(self, tm: TMAlgorithm, cm: ContentionManager) -> None:
+        super().__init__(tm.n, tm.k)
+        self.tm = tm
+        self.cm = cm
+        self.name = f"{tm.name}+{cm.name}"
+
+    def initial_state(self) -> TMState:
+        return (self.tm.initial_state(), self.cm.initial_state())
+
+    def conflict(self, state: TMState, cmd: Command, thread: int) -> bool:
+        """φ of the product is φ of the underlying TM (Section 3.1)."""
+        q, _ = state
+        return self.tm.conflict(q, cmd, thread)
+
+    def transitions(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Transition]:
+        q, p = state
+        phi = self.tm.conflict(q, cmd, thread)
+        result: List[Transition] = []
+        for tr in self.tm.transitions(q, cmd, thread):
+            cm_succs = self.cm.step(p, tr.ext, thread)
+            if not cm_succs:
+                if phi:
+                    continue  # rule (ii): the manager vetoes this move
+                cm_succs = [p]  # rule (iii): no matching transition, stay
+            for p2 in cm_succs:
+                result.append(Transition(tr.ext, tr.resp, (tr.state, p2)))
+        return result
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        return [
+            (tr.ext, tr.resp, tr.state)
+            for tr in self.transitions(state, cmd, thread)
+            if not tr.ext.is_abort
+        ]
+
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        """Unused (``transitions`` is overridden) but kept total."""
+        q, p = state
+        return (self.tm.abort_reset(q, thread), p)

@@ -1,0 +1,133 @@
+"""Contention managers (paper Section 3.1).
+
+A contention manager ``cm = (P, pinit, δcm)`` observes extended statements
+``(d, t)`` and constrains the TM at conflict points: when the TM's
+conflict function φ holds for the scheduled statement, a transition of the
+TM algorithm survives in the product only if the manager has a matching
+transition.  Away from conflict points the manager merely tracks the
+statement (or stays put if it has no matching transition).
+
+The paper evaluates two single-state managers:
+
+* **aggressive** — permits every extended command except ``abort``; under
+  conflict the transaction never aborts itself, it steamrolls the other
+  (used with DSTM in Table 3);
+* **polite** — permits only ``abort``; under conflict the transaction
+  always yields (used with TL2).
+
+We also ship a bounded Karma-style manager as an example of a *stateful*
+policy; note (Section 4) that history-dependent managers can break the
+structural properties needed by the reduction theorem, so it is offered
+for exploration, not for proofs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, List, Tuple
+
+from .algorithm import Ext
+
+CMState = Hashable
+
+
+class ContentionManager(ABC):
+    """Base class: a (possibly nondeterministic) automaton over ``ŜD``."""
+
+    name: str = "cm"
+
+    @abstractmethod
+    def initial_state(self) -> CMState:
+        """The initial manager state ``pinit``."""
+
+    @abstractmethod
+    def step(self, state: CMState, ext: Ext, thread: int) -> List[CMState]:
+        """Successor states for the statement ``(ext, thread)``.
+
+        The empty list means δcm has no transition; at φ-points this
+        vetoes the TM transition, elsewhere the manager simply stays put.
+        """
+
+
+class AggressiveManager(ContentionManager):
+    """Never allows a conflicting transaction to abort itself."""
+
+    name = "aggr"
+
+    def initial_state(self) -> CMState:
+        return 0
+
+    def step(self, state: CMState, ext: Ext, thread: int) -> List[CMState]:
+        del thread
+        if ext.is_abort:
+            return []
+        return [state]
+
+
+class PoliteManager(ContentionManager):
+    """Always requires a conflicting transaction to abort itself."""
+
+    name = "pol"
+
+    def initial_state(self) -> CMState:
+        return 0
+
+    def step(self, state: CMState, ext: Ext, thread: int) -> List[CMState]:
+        del thread
+        if ext.is_abort:
+            return [state]
+        return []
+
+
+class PermissiveManager(ContentionManager):
+    """Allows every resolution (identical to running without a manager).
+
+    Useful in tests: composing any TM with this manager must not change
+    its language.
+    """
+
+    name = "perm"
+
+    def initial_state(self) -> CMState:
+        return 0
+
+    def step(self, state: CMState, ext: Ext, thread: int) -> List[CMState]:
+        del ext, thread
+        return [state]
+
+
+class BoundedKarmaManager(ContentionManager):
+    """A Karma-style manager with saturating per-thread priorities.
+
+    Threads gain one unit of priority per completed extended command
+    (capped at ``bound`` to keep the state space finite — the real Karma
+    manager is unbounded, which is exactly why the paper verifies TMs
+    *without* their managers for safety).  At a conflict point a thread may
+    abort itself only if its priority does not exceed every other
+    thread's; any non-abort command is always permitted.
+    """
+
+    name = "karma"
+
+    def __init__(self, n: int, bound: int = 2) -> None:
+        if n < 1 or bound < 1:
+            raise ValueError("need n >= 1 threads and bound >= 1")
+        self.n = n
+        self.bound = bound
+
+    def initial_state(self) -> CMState:
+        return (0,) * self.n
+
+    def step(self, state: CMState, ext: Ext, thread: int) -> List[CMState]:
+        prios: Tuple[int, ...] = state  # type: ignore[assignment]
+        idx = thread - 1
+        if ext.is_abort:
+            others = [p for i, p in enumerate(prios) if i != idx]
+            if others and prios[idx] > max(others):
+                return []  # too important to abort itself
+            reset = list(prios)
+            reset[idx] = 0
+            return [tuple(reset)]
+        bumped = list(prios)
+        bumped[idx] = min(self.bound, bumped[idx] + 1)
+        return [tuple(bumped)]

@@ -1,0 +1,125 @@
+"""DSTM — dynamic software transactional memory (paper Algorithm 3).
+
+DSTM acquires *ownership* of a variable before writing it (extended
+command ``own``); acquiring ownership steals it from — and thereby
+aborts — any current owner.  Commit happens in two atomic steps: a
+``validate`` that aborts the owners of the committer's read set, then the
+commit proper, which *invalidates* every thread that globally read a
+variable the committer wrote.  Reads are optimistic single steps.
+
+φ holds when (i) a write targets a variable owned by another thread, or
+(ii) a commit is issued by a finished-status thread whose read set
+intersects another thread's ownership set — the two spots where a
+contention manager arbitrates (Table 3 pairs DSTM with the aggressive
+manager).
+
+State per thread: ``(status, rs, os)`` with status in
+finished/aborted/validated/invalid.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from ..core.statements import Command, Kind
+from .algorithm import Ext, Resp, TMAlgorithm, TMState
+
+FINISHED = "fin"
+ABORTED = "abt"
+VALIDATED = "val"
+INVALID = "inv"
+
+ThreadView = Tuple[str, FrozenSet[int], FrozenSet[int]]  # (status, rs, os)
+
+EMPTY: FrozenSet[int] = frozenset()
+RESET: ThreadView = (FINISHED, EMPTY, EMPTY)
+
+
+class DSTM(TMAlgorithm):
+    """Algorithm 3: ``getDSTM``.
+
+    State: a tuple of ``(status, rs, os)`` triples, one per thread.
+    """
+
+    name = "dstm"
+
+    def initial_state(self) -> TMState:
+        return (RESET,) * self.n
+
+    @staticmethod
+    def _with(
+        state: Tuple[ThreadView, ...], thread: int, view: ThreadView
+    ) -> Tuple[ThreadView, ...]:
+        idx = thread - 1
+        return state[:idx] + (view,) + state[idx + 1 :]
+
+    def conflict(self, state: TMState, cmd: Command, thread: int) -> bool:
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        status, rs, _ = views[thread - 1]
+        if cmd.kind is Kind.WRITE:
+            return any(
+                cmd.var in os_u
+                for u, (_, _, os_u) in enumerate(views, start=1)
+                if u != thread
+            )
+        if cmd.kind is Kind.COMMIT and status == FINISHED:
+            return any(
+                rs & os_u
+                for u, (_, _, os_u) in enumerate(views, start=1)
+                if u != thread
+            )
+        return False
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        status, rs, os = views[thread - 1]
+        if status == ABORTED:
+            return []  # a stolen-from thread can only abort
+
+        if cmd.kind is Kind.READ:
+            v = cmd.var
+            assert v is not None
+            if v in os:
+                return [(Ext.of_command(cmd), Resp.DONE, state)]
+            if status == FINISHED:
+                new = self._with(views, thread, (status, rs | {v}, os))
+                return [(Ext.of_command(cmd), Resp.DONE, new)]
+            return []  # invalid/validated threads may not open new reads
+
+        if cmd.kind is Kind.WRITE:
+            v = cmd.var
+            assert v is not None
+            if v in os:
+                return [(Ext.of_command(cmd), Resp.DONE, state)]
+            # Acquire ownership, stealing it from (and aborting) others.
+            new = list(views)
+            new[thread - 1] = (status, rs, os | {v})
+            for u, (st_u, _, os_u) in enumerate(views, start=1):
+                if u != thread and v in os_u:
+                    new[u - 1] = (ABORTED, EMPTY, EMPTY)
+            return [(Ext("own", v), Resp.BOT, tuple(new))]
+
+        assert cmd.kind is Kind.COMMIT
+        if status == FINISHED:
+            # Validate: abort the owners of our read set.
+            new = list(views)
+            new[thread - 1] = (VALIDATED, rs, os)
+            for u, (st_u, _, os_u) in enumerate(views, start=1):
+                if u != thread and rs & os_u:
+                    new[u - 1] = (ABORTED, EMPTY, EMPTY)
+            return [(Ext("validate"), Resp.BOT, tuple(new))]
+        if status == VALIDATED:
+            # Commit proper: invalidate readers of our write (owned) set.
+            new = list(views)
+            new[thread - 1] = RESET
+            for u, (st_u, rs_u, os_u) in enumerate(views, start=1):
+                if u != thread and rs_u & os:
+                    new[u - 1] = (INVALID, rs_u, os_u)
+            return [(Ext.of_command(cmd), Resp.DONE, tuple(new))]
+        return []  # invalid threads cannot commit
+
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        return self._with(views, thread, RESET)

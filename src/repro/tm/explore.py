@@ -1,0 +1,170 @@
+"""Explicit-state exploration of TM algorithms (paper Section 3.2).
+
+A TM algorithm interacts with a scheduler: at every step the scheduler
+picks a thread, the thread's enabled command is executed for one atomic
+extended command, and the TM responds ⊥ / 0 / 1.  Exploring *every* thread
+and *every* enabled command from *every* state is exactly the paper's
+"most general program": the resulting transition system's language is the
+language of the TM algorithm.
+
+The explorer's nodes pair the TM state with the *pending vector* γ — the
+command each thread is in the middle of (rules R1–R4).  Two views are
+produced:
+
+* a **safety view** (:func:`build_safety_nfa`): an ε-NFA over statements —
+  response 1 emits the command as a statement, response 0 emits ``abort``,
+  response ⊥ is an internal ε-move;
+* a **liveness view** (:func:`build_liveness_graph`): the same graph with
+  *extended* statements on the edges, as required by Section 6's loop
+  conditions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from ..automata.nfa import EPSILON, NFA
+from ..core.statements import Command, Kind, Statement
+from .algorithm import Resp, TMAlgorithm, TMState, Transition
+
+PendingVec = Tuple[Optional[Command], ...]
+Node = Tuple[TMState, PendingVec]
+
+
+class ExtStatement(NamedTuple):
+    """An extended statement ``(d, t)`` with its response — the edge label
+    of the liveness view."""
+
+    thread: int
+    ext_name: str
+    ext_var: Optional[int]
+    resp: Resp
+
+    @property
+    def is_commit(self) -> bool:
+        return self.ext_name == "commit" and self.resp is Resp.DONE
+
+    @property
+    def is_abort(self) -> bool:
+        return self.resp is Resp.ABORT
+
+    def __str__(self) -> str:
+        var = "" if self.ext_var is None else f"({self.ext_var})"
+        return f"{self.ext_name}{var}{self.thread}"
+
+
+def initial_node(tm: TMAlgorithm) -> Node:
+    return (tm.initial_state(), (None,) * tm.n)
+
+
+def iter_node_transitions(
+    tm: TMAlgorithm, node: Node
+) -> Iterator[Tuple[int, Command, Transition, Node]]:
+    """All (thread, command, TM transition, successor node) from ``node``.
+
+    Respects the pending function: a thread with a pending command may
+    only continue that command (rules R1–R4); responses 0/1 clear it.
+    """
+    state, pending = node
+    for t in tm.threads():
+        slot = pending[t - 1]
+        cmds = [slot] if slot is not None else list(tm.commands())
+        for cmd in cmds:
+            for tr in tm.transitions(state, cmd, t):
+                new_pending = list(pending)
+                new_pending[t - 1] = cmd if tr.resp is Resp.BOT else None
+                yield t, cmd, tr, (tr.state, tuple(new_pending))
+
+
+def explore_nodes(
+    tm: TMAlgorithm, *, max_states: Optional[int] = None
+) -> List[Node]:
+    """All reachable explorer nodes, BFS order from the initial node."""
+    init = initial_node(tm)
+    seen: Set[Node] = {init}
+    order: List[Node] = [init]
+    queue = deque([init])
+    while queue:
+        node = queue.popleft()
+        if max_states is not None and len(seen) > max_states:
+            raise RuntimeError(f"exploration exceeded {max_states} nodes")
+        for _, _, _, succ in iter_node_transitions(tm, node):
+            if succ not in seen:
+                seen.add(succ)
+                order.append(succ)
+                queue.append(succ)
+    return order
+
+
+def transition_system_size(tm: TMAlgorithm) -> int:
+    """Number of reachable nodes — the paper's Table 2 "Size" column."""
+    return len(explore_nodes(tm))
+
+
+def build_safety_nfa(
+    tm: TMAlgorithm, *, max_states: Optional[int] = None
+) -> NFA:
+    """The TM's language automaton over statements (safety view).
+
+    Labels: :class:`~repro.core.statements.Statement` for completed
+    commands (response 1) and aborts (response 0); ``EPSILON`` for
+    internal extended commands (response ⊥).  All states accept: the
+    language of a TM algorithm is prefix-closed.
+    """
+
+    def step(node: Node):
+        for t, cmd, tr, succ in iter_node_transitions(tm, node):
+            if tr.resp is Resp.BOT:
+                yield EPSILON, succ
+            elif tr.resp is Resp.DONE:
+                yield Statement(cmd.kind, cmd.var, t), succ
+            else:
+                yield Statement(Kind.ABORT, None, t), succ
+
+    return NFA.from_step([initial_node(tm)], step, max_states=max_states)
+
+
+@dataclass(frozen=True)
+class LivenessGraph:
+    """The TM transition system with extended-statement edge labels."""
+
+    initial: Node
+    nodes: Tuple[Node, ...]
+    edges: Tuple[Tuple[Node, ExtStatement, Node], ...]
+
+
+def build_liveness_graph(
+    tm: TMAlgorithm, *, max_states: Optional[int] = None
+) -> LivenessGraph:
+    """Explore the TM and label every edge with its extended statement."""
+    init = initial_node(tm)
+    seen: Set[Node] = {init}
+    order: List[Node] = [init]
+    edges: List[Tuple[Node, ExtStatement, Node]] = []
+    queue = deque([init])
+    while queue:
+        node = queue.popleft()
+        if max_states is not None and len(seen) > max_states:
+            raise RuntimeError(f"exploration exceeded {max_states} nodes")
+        for t, _, tr, succ in iter_node_transitions(tm, node):
+            label = ExtStatement(t, tr.ext.name, tr.ext.var, tr.resp)
+            edges.append((node, label, succ))
+            if succ not in seen:
+                seen.add(succ)
+                order.append(succ)
+                queue.append(succ)
+    return LivenessGraph(initial=init, nodes=tuple(order), edges=tuple(edges))
+
+
+def language_contains(
+    tm: TMAlgorithm, word: Tuple[Statement, ...]
+) -> bool:
+    """Membership of a word in the TM algorithm's language.
+
+    Runs the safety NFA's macro-simulation on the word: the word is
+    producible by the TM under some scheduler iff a run exists.
+    """
+    nfa = build_safety_nfa(tm)
+    return nfa.accepts(word)

@@ -1,0 +1,93 @@
+"""A lock-free optimistic TM with eager read validation.
+
+Not one of the paper's four algorithms — included to demonstrate that
+the framework verifies TMs beyond the original set.  The algorithm is
+TL2 stripped of its locks:
+
+* writes are buffered locally (never conflict at issue time);
+* a global read of a variable *modified since the transaction began*
+  (tracked with TL2-style per-thread modified sets ``ms``) has no
+  progress transition — the transaction aborts rather than observe a
+  stale value, which is what makes the TM opaque rather than merely
+  strictly serializable;
+* commit validates in one atomic step — the read set must be disjoint
+  from the modified set and, to order write-write conflicts, the write
+  set too — then publishes the write set into every active thread's
+  modified set.
+
+φ is constantly false: with no locks and no ownership there is nothing
+for a contention manager to arbitrate; conflicts resolve by aborting the
+transaction that observes them.  The model checker certifies a pleasant
+consequence (see the tests): because only *commits* populate the
+modified sets and aborts clear a thread's own state, a commit-free loop
+can never sustain aborts — the TM is **obstruction free and livelock
+free** without any contention manager, unlike all four TMs of the paper.
+It is still not wait free: one thread can starve while the other commits
+forever.  The price is eager aborts — any committed write over a live
+footprint kills the whole transaction rather than just the stale read.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from ..core.statements import Command, Kind
+from .algorithm import Ext, Resp, TMAlgorithm, TMState
+
+ThreadView = Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
+# (rs, ws, ms)
+
+EMPTY: FrozenSet[int] = frozenset()
+RESET: ThreadView = (EMPTY, EMPTY, EMPTY)
+
+
+class OptimisticTM(TMAlgorithm):
+    """Lock-free write buffering with eager read validation."""
+
+    name = "opt"
+
+    def initial_state(self) -> TMState:
+        return (RESET,) * self.n
+
+    @staticmethod
+    def _with(
+        state: Tuple[ThreadView, ...], thread: int, view: ThreadView
+    ) -> Tuple[ThreadView, ...]:
+        idx = thread - 1
+        return state[:idx] + (view,) + state[idx + 1 :]
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        rs, ws, ms = views[thread - 1]
+
+        if cmd.kind is Kind.READ:
+            v = cmd.var
+            assert v is not None
+            if v in ws:
+                return [(Ext.of_command(cmd), Resp.DONE, state)]
+            if v in ms:
+                return []  # stale — abort rather than read inconsistently
+            new = self._with(views, thread, (rs | {v}, ws, ms))
+            return [(Ext.of_command(cmd), Resp.DONE, new)]
+
+        if cmd.kind is Kind.WRITE:
+            v = cmd.var
+            assert v is not None
+            new = self._with(views, thread, (rs, ws | {v}, ms))
+            return [(Ext.of_command(cmd), Resp.DONE, new)]
+
+        assert cmd.kind is Kind.COMMIT
+        if (rs | ws) & ms:
+            return []  # somebody committed over our footprint: abort
+        new = list(views)
+        new[thread - 1] = RESET
+        for u, (rs_u, ws_u, ms_u) in enumerate(views, start=1):
+            if u != thread and (rs_u | ws_u):
+                new[u - 1] = (rs_u, ws_u, ms_u | ws)
+        return [(Ext.of_command(cmd), Resp.DONE, tuple(new))]
+
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        return self._with(views, thread, RESET)

@@ -1,0 +1,189 @@
+"""Scheduler-driven simulation of TM algorithms (paper Section 3.2).
+
+A *scheduler* is a function from step numbers to threads; Table 1 writes
+them as digit strings ("11122…").  At each step the scheduled thread's
+enabled command is executed for one atomic extended command.  Because a
+TM algorithm can be nondeterministic (conflict points) and the most
+general program leaves the command choice open, the simulator takes a
+*program* for each thread — the sequence of commands the thread wants to
+run — and resolves remaining nondeterminism with a pluggable policy
+(default: first transition in the TM's deterministic order, preferring
+progress over aborts).
+
+This reproduces Table 1 exactly: a schedule plus per-thread programs
+yields the run (the ``s0 s1 …`` column) and the word of its successful
+statements (the last column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.statements import Command, Kind, Statement, Word
+from .algorithm import Resp, TMAlgorithm, Transition
+
+#: A per-thread program: the commands the thread issues, in order.
+Program = Sequence[Command]
+
+
+@dataclass(frozen=True)
+class RunStep:
+    """One tuple of a run: ⟨state, command, extended statement, response⟩."""
+
+    thread: int
+    command: Command
+    ext_name: str
+    ext_var: Optional[int]
+    resp: Resp
+
+    def __str__(self) -> str:
+        var = "" if self.ext_var is None else f",{self.ext_var}"
+        short = {
+            "read": "r", "write": "w", "commit": "c", "abort": "a",
+            "rlock": "rl", "wlock": "wl", "own": "o", "validate": "v",
+            "lock": "l", "rvalidate": "rv", "chklock": "k",
+        }.get(self.ext_name, self.ext_name)
+        if self.ext_var is None and short in ("c", "a", "v", "rv", "k"):
+            return f"{short}{self.thread}"
+        return f"({short}{var}){self.thread}"
+
+
+@dataclass
+class Run:
+    """A finite run of a TM algorithm under a scheduler."""
+
+    steps: List[RunStep] = field(default_factory=list)
+
+    def word(self) -> Word:
+        """The word of successful statements (responses 0 and 1)."""
+        out: List[Statement] = []
+        for s in self.steps:
+            if s.resp is Resp.DONE:
+                out.append(Statement(s.command.kind, s.command.var, s.thread))
+            elif s.resp is Resp.ABORT:
+                out.append(Statement(Kind.ABORT, None, s.thread))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return ", ".join(str(s) for s in self.steps)
+
+
+class ScheduleError(RuntimeError):
+    """The schedule asked a thread to run with nothing left to do, or the
+    TM had no transition for the scheduled statement."""
+
+
+def parse_schedule(text: str) -> List[int]:
+    """Parse Table 1's digit-string schedules ("112122…")."""
+    if not text.isdigit():
+        raise ValueError(f"schedule must be a digit string: {text!r}")
+    return [int(ch) for ch in text]
+
+
+#: Picks one of the available transitions; default prefers progress.
+Resolver = Callable[[List[Transition]], Transition]
+
+
+def prefer_progress(transitions: List[Transition]) -> Transition:
+    """Default policy: take a progress transition if one exists,
+    otherwise the (forced) abort."""
+    for tr in transitions:
+        if not tr.ext.is_abort:
+            return tr
+    return transitions[0]
+
+
+def prefer_abort(transitions: List[Transition]) -> Transition:
+    """Pessimistic policy: abort whenever the TM allows it."""
+    for tr in transitions:
+        if tr.ext.is_abort:
+            return tr
+    return transitions[0]
+
+
+def simulate(
+    tm: TMAlgorithm,
+    programs: Dict[int, Program],
+    schedule: Sequence[int],
+    *,
+    resolve: Resolver = prefer_progress,
+) -> Run:
+    """Run ``tm`` under ``schedule`` with per-thread ``programs``.
+
+    Each scheduled step executes one atomic extended command of the
+    thread's current command (its pending command, or the next one of
+    its program).  A command that responds 0 (abort) is *retried* —
+    matching the paper's examples, where an aborted transaction's
+    program position does not advance past the aborted command, but the
+    abort statement itself appears in the run.  To model a thread that
+    gives up, simply schedule it no further.
+    """
+    state = tm.initial_state()
+    pending: Dict[int, Optional[Command]] = {t: None for t in tm.threads()}
+    position: Dict[int, int] = {t: 0 for t in tm.threads()}
+    aborted_tx: Dict[int, bool] = {t: False for t in tm.threads()}
+    run = Run()
+
+    for step_no, t in enumerate(schedule):
+        if t not in pending:
+            raise ScheduleError(f"step {step_no}: no such thread {t}")
+        if pending[t] is not None:
+            cmd = pending[t]
+        else:
+            program = programs.get(t, ())
+            if aborted_tx[t]:
+                # restart the aborted transaction from its first command
+                position[t] = _transaction_start(program, position[t])
+                aborted_tx[t] = False
+            if position[t] >= len(program):
+                raise ScheduleError(
+                    f"step {step_no}: thread {t} has no commands left"
+                )
+            cmd = program[position[t]]
+        transitions = tm.transitions(state, cmd, t)
+        if not transitions:
+            raise ScheduleError(
+                f"step {step_no}: no transition for {cmd} by thread {t}"
+            )
+        tr = resolve(transitions)
+        run.steps.append(
+            RunStep(t, cmd, tr.ext.name, tr.ext.var, tr.resp)
+        )
+        state = tr.state
+        if tr.resp is Resp.BOT:
+            pending[t] = cmd
+        else:
+            pending[t] = None
+            if tr.resp is Resp.DONE:
+                position[t] += 1
+            else:  # aborted: transaction will restart on next schedule
+                aborted_tx[t] = True
+    return run
+
+
+def _transaction_start(program: Program, pos: int) -> int:
+    """Index of the first command of the transaction containing ``pos``.
+
+    Transactions in a program are delimited by commits."""
+    start = 0
+    for i in range(min(pos, len(program))):
+        if program[i].kind is Kind.COMMIT:
+            start = i + 1
+    return start
+
+
+def program(text: str) -> Program:
+    """Parse a thread program like ``"r1 w2 c"`` (read v1, write v2,
+    commit)."""
+    cmds: List[Command] = []
+    for token in text.split():
+        if token == "c":
+            cmds.append(Command(Kind.COMMIT, None))
+        elif token.startswith("r"):
+            cmds.append(Command(Kind.READ, int(token[1:])))
+        elif token.startswith("w"):
+            cmds.append(Command(Kind.WRITE, int(token[1:])))
+        else:
+            raise ValueError(f"bad program token: {token!r}")
+    return tuple(cmds)

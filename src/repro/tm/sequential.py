@@ -1,0 +1,58 @@
+"""The sequential TM (paper Algorithm 1).
+
+Transactions execute one at a time: a thread may take a step only when
+every *other* thread's transaction is finished.  A thread scheduled while
+someone else is mid-transaction can only abort (an empty aborting
+transaction).  No contention manager is used; φ is constantly false.
+
+The state is simply which threads are mid-transaction (``started``); with
+two threads only three states are reachable — the "Size 3" row of
+Table 2 — because two threads can never be started simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.statements import Command, Kind
+from .algorithm import Ext, Resp, TMAlgorithm, TMState
+
+#: Per-thread status values.
+FINISHED = 0
+STARTED = 1
+
+
+class SequentialTM(TMAlgorithm):
+    """Algorithm 1: ``getSequential``.
+
+    State: a tuple ``status[t-1] ∈ {FINISHED, STARTED}`` per thread.
+    """
+
+    name = "seq"
+
+    def initial_state(self) -> TMState:
+        return (FINISHED,) * self.n
+
+    def _others_finished(self, state: Tuple[int, ...], thread: int) -> bool:
+        return all(
+            st == FINISHED for u, st in enumerate(state, start=1) if u != thread
+        )
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        status: Tuple[int, ...] = state  # type: ignore[assignment]
+        if not self._others_finished(status, thread):
+            return []  # abort enabled: someone else is mid-transaction
+        idx = thread - 1
+        if cmd.kind in (Kind.READ, Kind.WRITE):
+            new = status[:idx] + (STARTED,) + status[idx + 1 :]
+            return [(Ext.of_command(cmd), Resp.DONE, new)]
+        assert cmd.kind is Kind.COMMIT
+        new = status[:idx] + (FINISHED,) + status[idx + 1 :]
+        return [(Ext.of_command(cmd), Resp.DONE, new)]
+
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        status: Tuple[int, ...] = state  # type: ignore[assignment]
+        idx = thread - 1
+        return status[:idx] + (FINISHED,) + status[idx + 1 :]

@@ -1,0 +1,208 @@
+"""TL2 — transactional locking II (paper Algorithm 4 and Section 5.4).
+
+TL2 buffers writes, locks the write set at commit time, validates the read
+set, and only then commits.  The paper models version clocks with
+per-thread *modified sets* ``ms``: when a transaction commits, its write
+set is added to the modified set of every thread with an active
+transaction, and a read or validation touching a modified variable fails.
+
+Two deliberate transcription fixes, documented in DESIGN.md:
+
+* Algorithm 4's ``validate`` contains a stray reference to ``os(u)`` — a
+  DSTM field TL2 does not have.  The intended conjunct is the *chklock*
+  operation of Section 5.4: no variable of the read set may be locked by
+  another thread.  Validation here is therefore
+  ``rs∩ms = ∅ ∧ ws = ls ∧ ∀u≠t: rs∩ls(u) = ∅`` (atomic).
+* The ``ms`` update guard at commit reads ``rs(t) ∪ ws(t) ≠ ∅`` in the
+  paper; we apply it to the *other* thread (``rs(u) ∪ ws(u) ≠ ∅``),
+  matching the prose "every thread with an unfinished transaction".
+
+Reads optionally check locks (``read_checks_lock=True``, the default):
+a global read of a variable currently locked by another thread has no
+progress transition and aborts.  Published TL2 behaves this way (the
+lock bit is sampled together with the version number); it is also what
+makes Table 3's obstruction-freedom counterexample for TL2+polite the
+one-statement loop ``a1``.  Set it to ``False`` for the strictly literal
+Algorithm 4 read; all verdicts are unchanged, only the liveness
+counterexample grows.
+
+:class:`ModifiedTL2` is the Section 5.4 refinement: ``validate`` split
+into atomic ``rvalidate`` (version check) followed by atomic ``chklock``
+(lock check).  The window between them loses a conflict, and the checker
+finds the paper's counterexample
+``(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from ..core.statements import Command, Kind
+from .algorithm import Ext, Resp, TMAlgorithm, TMState
+
+FINISHED = "fin"
+ABORTED = "abt"
+VALIDATED = "val"
+RVALIDATED = "rv"  # modified TL2 only: version check passed, lock check due
+
+# (status, rs, ws, ls, ms)
+ThreadView = Tuple[str, FrozenSet[int], FrozenSet[int], FrozenSet[int], FrozenSet[int]]
+
+EMPTY: FrozenSet[int] = frozenset()
+RESET: ThreadView = (FINISHED, EMPTY, EMPTY, EMPTY, EMPTY)
+
+
+class TL2(TMAlgorithm):
+    """Algorithm 4: ``getTL2`` with atomic validation.
+
+    State: a tuple of ``(status, rs, ws, ls, ms)`` per thread.
+    """
+
+    name = "TL2"
+
+    def __init__(self, n: int, k: int, *, read_checks_lock: bool = True) -> None:
+        super().__init__(n, k)
+        self.read_checks_lock = read_checks_lock
+
+    def initial_state(self) -> TMState:
+        return (RESET,) * self.n
+
+    @staticmethod
+    def _with(
+        state: Tuple[ThreadView, ...], thread: int, view: ThreadView
+    ) -> Tuple[ThreadView, ...]:
+        idx = thread - 1
+        return state[:idx] + (view,) + state[idx + 1 :]
+
+    def conflict(self, state: TMState, cmd: Command, thread: int) -> bool:
+        """φ: a commit whose write set hits a foreign lock (Algorithm 4)."""
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        if cmd.kind is not Kind.COMMIT:
+            return False
+        _, _, ws, _, _ = views[thread - 1]
+        return any(
+            ws & ls_u
+            for u, (_, _, _, ls_u, _) in enumerate(views, start=1)
+            if u != thread
+        )
+
+    # ------------------------------------------------------------------
+    # Command handling
+    # ------------------------------------------------------------------
+
+    def _locked_by_other(
+        self, views: Tuple[ThreadView, ...], thread: int, v: int
+    ) -> bool:
+        return any(
+            v in ls_u
+            for u, (_, _, _, ls_u, _) in enumerate(views, start=1)
+            if u != thread
+        )
+
+    def _read_set_locked_by_other(
+        self, views: Tuple[ThreadView, ...], thread: int, rs: FrozenSet[int]
+    ) -> bool:
+        return any(
+            rs & ls_u
+            for u, (_, _, _, ls_u, _) in enumerate(views, start=1)
+            if u != thread
+        )
+
+    def _validation_progress(
+        self, views: Tuple[ThreadView, ...], thread: int, view: ThreadView
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        """The validation step(s) once all write locks are held.
+
+        Atomic TL2: one ``validate`` doing the version check *and* the
+        lock check (see module docstring).  Overridden by
+        :class:`ModifiedTL2`.
+        """
+        status, rs, ws, ls, ms = view
+        if status != FINISHED:
+            return []
+        if rs & ms:
+            return []
+        if self._read_set_locked_by_other(views, thread, rs):
+            return []
+        new = self._with(views, thread, (VALIDATED, rs, ws, ls, ms))
+        return [(Ext("validate"), Resp.BOT, new)]
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        view = views[thread - 1]
+        status, rs, ws, ls, ms = view
+
+        if cmd.kind is Kind.READ:
+            v = cmd.var
+            assert v is not None
+            if v in ws:
+                return [(Ext.of_command(cmd), Resp.DONE, state)]
+            if v in ms:
+                return []  # modified since this transaction began
+            if self.read_checks_lock and self._locked_by_other(views, thread, v):
+                return []  # lock bit set: published TL2 aborts the read
+            new = self._with(views, thread, (status, rs | {v}, ws, ls, ms))
+            return [(Ext.of_command(cmd), Resp.DONE, new)]
+
+        if cmd.kind is Kind.WRITE:
+            v = cmd.var
+            assert v is not None
+            new = self._with(views, thread, (status, rs, ws | {v}, ls, ms))
+            return [(Ext.of_command(cmd), Resp.DONE, new)]
+
+        assert cmd.kind is Kind.COMMIT
+        unlocked = sorted(ws - ls)
+        if status == FINISHED and unlocked:
+            # Acquire the next write lock, stealing it (and aborting the
+            # holder) if necessary; deterministic order keeps rule R8.
+            v = unlocked[0]
+            new = list(views)
+            new[thread - 1] = (status, rs, ws, ls | {v}, ms)
+            for u, (st_u, rs_u, ws_u, ls_u, ms_u) in enumerate(views, start=1):
+                if u != thread and v in ls_u:
+                    new[u - 1] = (ABORTED, rs_u, ws_u, ls_u, ms_u)
+            return [(Ext("lock", v), Resp.BOT, tuple(new))]
+        if status == VALIDATED:
+            # Commit proper: publish the write set into the modified sets
+            # of threads with active transactions, release everything.
+            new = list(views)
+            new[thread - 1] = RESET
+            for u, (st_u, rs_u, ws_u, ls_u, ms_u) in enumerate(views, start=1):
+                if u != thread and (rs_u | ws_u):
+                    new[u - 1] = (st_u, rs_u, ws_u, ls_u, ms_u | ws)
+            return [(Ext.of_command(cmd), Resp.DONE, tuple(new))]
+        return self._validation_progress(views, thread, view)
+
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
+        return self._with(views, thread, RESET)
+
+
+class ModifiedTL2(TL2):
+    """Section 5.4's modified TL2: ``validate`` split into atomic
+    ``rvalidate`` followed by atomic ``chklock``.
+
+    The version check can pass before a concurrent committer updates the
+    modified sets, and the lock check can pass after that committer
+    releases its locks — the unsafe window Table 2 exposes.
+    """
+
+    name = "modTL2"
+
+    def _validation_progress(
+        self, views: Tuple[ThreadView, ...], thread: int, view: ThreadView
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        status, rs, ws, ls, ms = view
+        if status == FINISHED:
+            if rs & ms:
+                return []
+            new = self._with(views, thread, (RVALIDATED, rs, ws, ls, ms))
+            return [(Ext("rvalidate"), Resp.BOT, new)]
+        if status == RVALIDATED:
+            if self._read_set_locked_by_other(views, thread, rs):
+                return []
+            new = self._with(views, thread, (VALIDATED, rs, ws, ls, ms))
+            return [(Ext("chklock"), Resp.BOT, new)]
+        return []

@@ -1,0 +1,86 @@
+"""The two-phase locking TM (paper Algorithm 2).
+
+Every transaction acquires a shared lock (``rlock``) before a global read
+and an exclusive lock (``wlock``) before a write; all locks are released
+at commit (or abort).  Lock acquisition is a separate atomic extended
+command with response ⊥, so the read/write completes on the thread's next
+step.  If the required lock is unavailable the command has no progress
+transition — it is abort enabled — and the transaction aborts.  φ is
+constantly false: 2PL resolves conflicts by construction, not via a
+contention manager.
+
+State: per thread, the shared-lock set ``rs`` and exclusive-lock set
+``ws``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from ..core.statements import Command, Kind
+from .algorithm import Ext, Resp, TMAlgorithm, TMState
+
+ThreadLocks = Tuple[FrozenSet[int], FrozenSet[int]]  # (rs, ws)
+
+EMPTY: FrozenSet[int] = frozenset()
+
+
+class TwoPhaseLockingTM(TMAlgorithm):
+    """Algorithm 2: ``get2PL``.
+
+    State: a tuple of ``(rs, ws)`` frozenset pairs, one per thread.
+    """
+
+    name = "2PL"
+
+    def initial_state(self) -> TMState:
+        return ((EMPTY, EMPTY),) * self.n
+
+    @staticmethod
+    def _with(
+        state: Tuple[ThreadLocks, ...], thread: int, rs: FrozenSet[int],
+        ws: FrozenSet[int],
+    ) -> Tuple[ThreadLocks, ...]:
+        idx = thread - 1
+        return state[:idx] + ((rs, ws),) + state[idx + 1 :]
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        locks: Tuple[ThreadLocks, ...] = state  # type: ignore[assignment]
+        rs, ws = locks[thread - 1]
+        if cmd.kind is Kind.READ:
+            v = cmd.var
+            assert v is not None
+            if v in ws or v in rs:
+                return [(Ext.of_command(cmd), Resp.DONE, state)]
+            blocked = any(
+                v in ws_u
+                for u, (_, ws_u) in enumerate(locks, start=1)
+                if u != thread
+            )
+            if blocked:
+                return []
+            new = self._with(locks, thread, rs | {v}, ws)
+            return [(Ext("rlock", v), Resp.BOT, new)]
+        if cmd.kind is Kind.WRITE:
+            v = cmd.var
+            assert v is not None
+            if v in ws:
+                return [(Ext.of_command(cmd), Resp.DONE, state)]
+            blocked = any(
+                v in rs_u or v in ws_u
+                for u, (rs_u, ws_u) in enumerate(locks, start=1)
+                if u != thread
+            )
+            if blocked:
+                return []
+            new = self._with(locks, thread, rs, ws | {v})
+            return [(Ext("wlock", v), Resp.BOT, new)]
+        assert cmd.kind is Kind.COMMIT
+        new = self._with(locks, thread, EMPTY, EMPTY)
+        return [(Ext.of_command(cmd), Resp.DONE, new)]
+
+    def abort_reset(self, state: TMState, thread: int) -> TMState:
+        locks: Tuple[ThreadLocks, ...] = state  # type: ignore[assignment]
+        return self._with(locks, thread, EMPTY, EMPTY)

@@ -1,0 +1,104 @@
+"""Antichain inclusion/equivalence: agreement with determinization-based
+checks on random safety NFAs (the algorithm behind Theorem 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.antichain import (
+    check_equivalence_antichain,
+    check_inclusion_antichain,
+)
+from repro.automata.determinize import determinize
+from repro.automata.inclusion import check_inclusion_in_dfa
+from repro.automata.nfa import EPSILON, NFA
+
+
+@st.composite
+def random_safety_nfas(draw, symbols="ab", max_states=5, with_eps=True):
+    n_states = draw(st.integers(1, max_states))
+    delta = {}
+    labels = list(symbols) + ([EPSILON] if with_eps else [])
+    for q in range(n_states):
+        out = {}
+        for sym in labels:
+            targets = draw(
+                st.frozensets(st.integers(0, n_states - 1), max_size=2)
+            )
+            if targets:
+                out[sym] = targets
+        delta[q] = out
+    return NFA(initial=frozenset([0]), delta=delta)
+
+
+class TestAgainstDeterminization:
+    @given(random_safety_nfas(), random_safety_nfas())
+    @settings(max_examples=120, deadline=None)
+    def test_inclusion_agrees_with_product_check(self, a, b):
+        antichain = check_inclusion_antichain(a, b)
+        product = check_inclusion_in_dfa(a, determinize(b))
+        assert antichain.holds == product.holds
+        if not antichain.holds:
+            # the antichain counterexample must be genuine
+            assert a.accepts(antichain.counterexample)
+            assert not b.accepts(antichain.counterexample)
+
+    @given(random_safety_nfas())
+    @settings(max_examples=60, deadline=None)
+    def test_self_inclusion(self, a):
+        assert check_inclusion_antichain(a, a).holds
+
+    @given(random_safety_nfas())
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_own_determinization(self, a):
+        d = determinize(a).to_nfa()
+        res = check_equivalence_antichain(a, d)
+        assert res.equivalent, (res.in_a_not_b, res.in_b_not_a)
+
+
+class TestEquivalence:
+    def test_inequivalent_languages(self):
+        a = NFA(frozenset([0]), {0: {"a": frozenset([0])}})
+        b = NFA(frozenset([0]), {0: {"b": frozenset([0])}})
+        res = check_equivalence_antichain(a, b)
+        assert not res.equivalent
+        assert res.in_a_not_b == ("a",) or res.in_b_not_a == ("b",)
+
+    def test_witness_direction(self):
+        # L(a) ⊂ L(b): a-words all in b, but not vice versa
+        a = NFA(frozenset([0]), {0: {"a": frozenset([0])}})
+        b = NFA(
+            frozenset([0]),
+            {0: {"a": frozenset([0]), "b": frozenset([0])}},
+        )
+        res = check_equivalence_antichain(a, b)
+        assert not res.equivalent
+        assert res.in_a_not_b is None
+        assert res.in_b_not_a is not None and "b" in res.in_b_not_a
+
+
+class TestGuards:
+    def test_rejects_accepting_semantics(self):
+        a = NFA(frozenset([0]), {0: {}}, accepting=frozenset([0]))
+        b = NFA(frozenset([0]), {0: {}})
+        with pytest.raises(ValueError):
+            check_inclusion_antichain(a, b)
+
+
+class TestAntichainPruning:
+    def test_explores_fewer_states_than_product(self):
+        """The antichain prunes subsumed macrostates; on a redundant NFA
+        it must not explore more pairs than the full subset product."""
+        # b has many equivalent states reachable with different subsets
+        delta = {}
+        n = 6
+        for i in range(n):
+            delta[i] = {
+                "a": frozenset(range(n)),
+                "b": frozenset([i]),
+            }
+        b = NFA(initial=frozenset([0]), delta=delta)
+        a = NFA(frozenset([0]), {0: {"a": frozenset([0]), "b": frozenset([0])}})
+        res = check_inclusion_antichain(a, b)
+        assert res.holds
+        # one A-state: at most a handful of minimal macrostates survive
+        assert res.product_states <= 8

@@ -1,0 +1,84 @@
+"""Subset construction: agreement with NFA acceptance, incl. random NFAs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.determinize import determinize
+from repro.automata.nfa import EPSILON, NFA
+
+
+def simple_nfa():
+    return NFA(
+        initial=frozenset([0]),
+        delta={
+            0: {"a": frozenset([0, 1]), EPSILON: frozenset([2])},
+            1: {"b": frozenset([2])},
+            2: {"a": frozenset([2])},
+        },
+    )
+
+
+class TestDeterminize:
+    def test_agrees_on_small_words(self):
+        nfa = simple_nfa()
+        dfa = determinize(nfa)
+        from itertools import product
+
+        for L in range(0, 5):
+            for w in product("ab", repeat=L):
+                assert nfa.accepts(w) == dfa.accepts(w), w
+
+    def test_result_is_deterministic(self):
+        dfa = determinize(simple_nfa())
+        for q, out in dfa.delta.items():
+            assert len(out) == len(set(out))
+
+    def test_initial_is_eclosure(self):
+        nfa = simple_nfa()
+        dfa = determinize(nfa)
+        assert dfa.initial == nfa.eclosure(nfa.initial)
+
+    def test_max_states_guard(self):
+        # growing macrostates: {0}, {0,1}, {0,1,2}, ... on every 'a'
+        n = 12
+        delta = {
+            i: {"a": frozenset([0, min(i + 1, n - 1)])} for i in range(n)
+        }
+        nfa = NFA(initial=frozenset([0]), delta=delta)
+        with pytest.raises(RuntimeError):
+            determinize(nfa, max_states=3)
+
+    def test_accepting_propagation(self):
+        nfa = NFA(
+            frozenset([0]),
+            {0: {"a": frozenset([1])}, 1: {}},
+            accepting=frozenset([1]),
+        )
+        dfa = determinize(nfa)
+        assert not dfa.accepts(())
+        assert dfa.accepts(("a",))
+
+
+@st.composite
+def random_nfas(draw):
+    n_states = draw(st.integers(1, 5))
+    symbols = ["a", "b"]
+    delta = {}
+    for q in range(n_states):
+        out = {}
+        for sym in symbols + [EPSILON]:
+            targets = draw(
+                st.frozensets(st.integers(0, n_states - 1), max_size=2)
+            )
+            if targets:
+                out[sym] = frozenset(targets)
+        delta[q] = out
+    return NFA(initial=frozenset([0]), delta=delta)
+
+
+class TestRandomAgreement:
+    @given(random_nfas(), st.lists(st.sampled_from("ab"), max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_determinize_preserves_language(self, nfa, word):
+        dfa = determinize(nfa)
+        assert nfa.accepts(tuple(word)) == dfa.accepts(tuple(word))

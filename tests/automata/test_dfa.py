@@ -1,0 +1,123 @@
+"""Tests for the partial-DFA substrate."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+
+
+def mod3_dfa():
+    """Counts 'a's mod 3; 'b' only allowed at state 0."""
+    return DFA(
+        initial=0,
+        delta={
+            0: {"a": 1, "b": 0},
+            1: {"a": 2},
+            2: {"a": 0},
+        },
+    )
+
+
+class TestBasics:
+    def test_states(self):
+        assert mod3_dfa().states() == {0, 1, 2}
+
+    def test_alphabet(self):
+        assert mod3_dfa().alphabet() == {"a", "b"}
+
+    def test_step(self):
+        d = mod3_dfa()
+        assert d.step(0, "a") == 1
+        assert d.step(1, "b") is None
+
+    def test_run(self):
+        d = mod3_dfa()
+        assert d.run(("a", "a", "a")) == 0
+        assert d.run(("a", "b")) is None
+
+    def test_accepts_partiality(self):
+        d = mod3_dfa()
+        assert d.accepts(("b", "a", "a", "a", "b"))
+        assert not d.accepts(("a", "b"))
+
+
+class TestFromStep:
+    def test_build(self):
+        d = DFA.from_step(0, lambda q: [("a", (q + 1) % 4)])
+        assert d.num_states == 4
+
+    def test_duplicate_symbol_conflict_raises(self):
+        def bad_step(q):
+            return [("a", 1), ("a", 2)]
+
+        with pytest.raises(ValueError):
+            DFA.from_step(0, bad_step)
+
+    def test_duplicate_symbol_same_target_ok(self):
+        d = DFA.from_step(0, lambda q: [("a", 1), ("a", 1)] if q == 0 else [])
+        assert d.accepts(("a",))
+
+    def test_max_states_guard(self):
+        with pytest.raises(RuntimeError):
+            DFA.from_step(0, lambda q: [("a", q + 1)], max_states=5)
+
+
+class TestCompact:
+    def test_language_preserved(self):
+        d = DFA(initial="x", delta={"x": {"a": "y"}, "y": {"b": "x"}})
+        compacted, mapping = d.compact()
+        assert compacted.initial == 0
+        for w in [(), ("a",), ("a", "b"), ("b",)]:
+            assert d.accepts(w) == compacted.accepts(w)
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        # states 1 and 2 have identical futures
+        d = DFA(
+            initial=0,
+            delta={
+                0: {"a": 1, "b": 2},
+                1: {"c": 3},
+                2: {"c": 3},
+                3: {},
+            },
+        )
+        mini = d.minimize()
+        assert mini.num_states == 3
+
+    def test_language_preserved(self):
+        d = DFA(
+            initial=0,
+            delta={
+                0: {"a": 1, "b": 2},
+                1: {"c": 3},
+                2: {"c": 3},
+                3: {},
+            },
+        )
+        mini = d.minimize()
+        for w in [(), ("a",), ("a", "c"), ("b", "c"), ("a", "a"), ("c",)]:
+            assert d.accepts(w) == mini.accepts(w)
+
+    def test_already_minimal(self):
+        d = mod3_dfa()
+        assert d.minimize().num_states == 3
+
+    def test_accepting_partition(self):
+        d = DFA(
+            initial=0,
+            delta={0: {"a": 1}, 1: {"a": 0}},
+            accepting=frozenset([1]),
+        )
+        mini = d.minimize()
+        assert mini.num_states == 2
+        assert not mini.accepts(())
+        assert mini.accepts(("a",))
+
+
+class TestToNfa:
+    def test_language_preserved(self):
+        d = mod3_dfa()
+        nfa = d.to_nfa()
+        for w in [(), ("a",), ("a", "b"), ("a", "a", "a", "b")]:
+            assert d.accepts(w) == nfa.accepts(w)

@@ -1,0 +1,92 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.dot import dfa_to_dot, lasso_to_dot, nfa_to_dot
+from repro.automata.nfa import EPSILON, NFA
+
+
+def small_nfa():
+    return NFA(
+        initial=frozenset([0]),
+        delta={
+            0: {"a": frozenset([1]), EPSILON: frozenset([1])},
+            1: {"b": frozenset([0])},
+        },
+    )
+
+
+class TestNfaDot:
+    def test_contains_all_states_and_edges(self):
+        dot = nfa_to_dot(small_nfa())
+        assert dot.startswith("digraph")
+        assert dot.count("->") >= 4  # init arrow + 3 transitions
+        assert '"a"' in dot and '"b"' in dot
+
+    def test_epsilon_rendered(self):
+        assert "ε" in nfa_to_dot(small_nfa())
+
+    def test_custom_labels(self):
+        dot = nfa_to_dot(
+            small_nfa(),
+            state_label=lambda q: f"S{q}",
+            symbol_label=lambda s: "eps" if s is EPSILON else str(s),
+        )
+        assert '"S0"' in dot and '"eps"' in dot
+
+    def test_size_guard(self):
+        big = NFA.from_step([0], lambda q: [("a", (q + 1) % 500)])
+        with pytest.raises(ValueError):
+            nfa_to_dot(big)
+        assert nfa_to_dot(big, max_states=1000)
+
+    def test_quoting(self):
+        nfa = NFA(
+            initial=frozenset(['q"0']), delta={'q"0': {'sy"m': frozenset(['q"0'])}}
+        )
+        dot = nfa_to_dot(nfa)
+        assert '\\"' in dot
+
+
+class TestDfaDot:
+    def test_renders(self):
+        dfa = DFA(initial=0, delta={0: {"a": 1}, 1: {}})
+        dot = dfa_to_dot(dfa)
+        assert "digraph" in dot and '"a"' in dot
+
+    def test_real_spec_fragment(self):
+        from repro.spec import OP
+        from repro.spec.det import build_det_spec
+
+        spec = build_det_spec(1, 1, OP)
+        compacted, _ = spec.compact()
+        dot = dfa_to_dot(compacted, symbol_label=str)
+        assert dot.count("->") > 2
+
+
+class TestLassoDot:
+    def test_shape(self):
+        dot = lasso_to_dot(["x"], ["a1", "b2"], name="cex")
+        assert "digraph cex" in dot
+        assert '"a1"' in dot and '"b2"' in dot
+        # back edge closes the cycle: three nodes, three edges
+        assert dot.count("->") == 3
+
+    def test_empty_stem(self):
+        dot = lasso_to_dot([], ["abort1"])
+        assert dot.count("->") == 1
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            lasso_to_dot(["x"], [])
+
+    def test_from_real_counterexample(self):
+        from repro.checking import check_obstruction_freedom
+        from repro.tm import SequentialTM
+
+        res = check_obstruction_freedom(SequentialTM(2, 1))
+        dot = lasso_to_dot(
+            [str(s) for s in res.stem], [str(s) for s in res.loop]
+        )
+        assert '"abort1"' in dot

@@ -1,0 +1,117 @@
+"""Tests for SCCs, shortest paths, closed walks, and lasso assembly."""
+
+from repro.automata.graph import (
+    adjacency,
+    build_lasso,
+    closed_walk_through,
+    shortest_path,
+    tarjan_sccs,
+)
+
+
+def ring_edges(n, label="x"):
+    return [(i, f"{label}{i}", (i + 1) % n) for i in range(n)]
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        edges = ring_edges(4)
+        sccs = tarjan_sccs(range(4), edges)
+        assert {frozenset(s) for s in sccs} == {frozenset(range(4))}
+
+    def test_dag_gives_singletons(self):
+        edges = [(0, "a", 1), (1, "b", 2)]
+        sccs = tarjan_sccs(range(3), edges)
+        assert all(len(s) == 1 for s in sccs)
+
+    def test_two_components(self):
+        edges = ring_edges(3) + [(2, "bridge", 3)] + [
+            (3, "p", 4),
+            (4, "q", 3),
+        ]
+        sccs = {frozenset(s) for s in tarjan_sccs(range(5), edges)}
+        assert frozenset([0, 1, 2]) in sccs
+        assert frozenset([3, 4]) in sccs
+
+    def test_self_loop(self):
+        sccs = tarjan_sccs([0], [(0, "l", 0)])
+        assert sccs == [{0}]
+
+    def test_reverse_topological_order(self):
+        edges = [(0, "a", 1)]
+        sccs = tarjan_sccs([0, 1], edges)
+        # sinks first
+        assert sccs.index({1}) < sccs.index({0})
+
+    def test_large_chain_no_recursion_error(self):
+        n = 5000
+        edges = [(i, "e", i + 1) for i in range(n)]
+        sccs = tarjan_sccs(range(n + 1), edges)
+        assert len(sccs) == n + 1
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        assert shortest_path(adjacency([]), 0, 0) == []
+
+    def test_simple(self):
+        adj = adjacency([(0, "a", 1), (1, "b", 2), (0, "c", 2)])
+        path = shortest_path(adj, 0, 2)
+        assert [e[1] for e in path] == ["c"]
+
+    def test_unreachable(self):
+        adj = adjacency([(0, "a", 1)])
+        assert shortest_path(adj, 1, 0) is None
+
+    def test_allowed_restriction(self):
+        adj = adjacency([(0, "a", 1), (1, "b", 2), (0, "c", 2)])
+        path = shortest_path(adj, 0, 2, allowed={0, 1, 2})
+        assert path is not None
+        path2 = shortest_path(adj, 0, 1, allowed={0, 2})
+        assert path2 is None
+
+
+class TestClosedWalk:
+    def test_through_one_edge(self):
+        edges = ring_edges(3)
+        walk = closed_walk_through(set(range(3)), edges, [edges[1]])
+        assert walk is not None
+        assert walk[0] == edges[1]
+        assert walk[-1][2] == walk[0][0]  # closes
+
+    def test_through_two_edges(self):
+        edges = ring_edges(4)
+        required = [edges[0], edges[2]]
+        walk = closed_walk_through(set(range(4)), edges, required)
+        assert walk is not None
+        assert all(e in walk for e in required)
+
+    def test_empty_required(self):
+        assert closed_walk_through({0}, [(0, "l", 0)], []) is None
+
+    def test_self_loop_walk(self):
+        e = (0, "loop", 0)
+        walk = closed_walk_through({0}, [e], [e])
+        assert walk == [e]
+
+
+class TestLasso:
+    def test_stem_reaches_cycle(self):
+        edges = [(0, "in", 1)] + [(1, "a", 2), (2, "b", 1)]
+        cycle = [(1, "a", 2), (2, "b", 1)]
+        lasso = build_lasso(edges, 0, cycle)
+        assert lasso is not None
+        assert lasso.stem_labels() == ("in",)
+        assert lasso.cycle_labels() == ("a", "b")
+
+    def test_cycle_at_initial(self):
+        edges = [(0, "a", 0)]
+        lasso = build_lasso(edges, 0, [(0, "a", 0)])
+        assert lasso.stem == ()
+
+    def test_unreachable_cycle(self):
+        edges = [(1, "a", 2), (2, "b", 1)]
+        assert build_lasso(edges, 0, [(1, "a", 2), (2, "b", 1)]) is None
+
+    def test_empty_cycle(self):
+        assert build_lasso([], 0, []) is None

@@ -1,0 +1,128 @@
+"""Tests for product-based inclusion of an ε-NFA in a partial DFA."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.inclusion import check_inclusion_in_dfa
+from repro.automata.nfa import EPSILON, NFA
+
+
+def letters_nfa(*words):
+    """An NFA accepting exactly the prefixes of the given words."""
+    delta = {}
+    initial = ("",)
+    states = set()
+
+    # trie construction
+    def add(word):
+        node = ""
+        for ch in word:
+            nxt = node + ch
+            delta.setdefault(node, {}).setdefault(ch, set()).add(nxt)
+            node = nxt
+        delta.setdefault(node, {})
+
+    for w in words:
+        add(w)
+    frozen = {
+        q: {a: frozenset(ts) for a, ts in out.items()}
+        for q, out in delta.items()
+    }
+    return NFA(initial=frozenset([""]), delta=frozen)
+
+
+def prefix_dfa(*words):
+    delta = {}
+
+    def add(word):
+        node = ""
+        for ch in word:
+            nxt = node + ch
+            delta.setdefault(node, {})[ch] = nxt
+            node = nxt
+        delta.setdefault(node, {})
+
+    for w in words:
+        add(w)
+    return DFA(initial="", delta=delta)
+
+
+class TestInclusionHolds:
+    def test_identical_languages(self):
+        a = letters_nfa("ab", "ac")
+        d = prefix_dfa("ab", "ac")
+        res = check_inclusion_in_dfa(a, d)
+        assert res.holds and bool(res)
+
+    def test_strict_subset(self):
+        res = check_inclusion_in_dfa(
+            letters_nfa("ab"), prefix_dfa("ab", "cd")
+        )
+        assert res.holds
+
+    def test_empty_nfa_language(self):
+        a = NFA(initial=frozenset([0]), delta={0: {}})
+        res = check_inclusion_in_dfa(a, prefix_dfa("x"))
+        assert res.holds
+
+
+class TestInclusionFails:
+    def test_counterexample_word(self):
+        res = check_inclusion_in_dfa(
+            letters_nfa("ab", "xy"), prefix_dfa("ab")
+        )
+        assert not res.holds
+        assert res.counterexample == ("x",)
+
+    def test_counterexample_is_in_a_not_b(self):
+        a = letters_nfa("abc")
+        d = prefix_dfa("ab")
+        res = check_inclusion_in_dfa(a, d)
+        assert not res.holds
+        assert a.accepts(res.counterexample)
+        assert not d.accepts(res.counterexample)
+
+    def test_shortest_counterexample_first(self):
+        a = letters_nfa("abcd", "z")
+        d = prefix_dfa("abc")
+        res = check_inclusion_in_dfa(a, d)
+        assert res.counterexample == ("z",)
+
+
+class TestEpsilonHandling:
+    def test_epsilon_moves_do_not_consume_dfa_steps(self):
+        # NFA: ε to a second component that emits "b"
+        a = NFA(
+            initial=frozenset([0]),
+            delta={
+                0: {EPSILON: frozenset([1])},
+                1: {"b": frozenset([2])},
+                2: {},
+            },
+        )
+        assert check_inclusion_in_dfa(a, prefix_dfa("b")).holds
+        res = check_inclusion_in_dfa(a, prefix_dfa("a"))
+        assert not res.holds and res.counterexample == ("b",)
+
+    def test_epsilon_cycle_terminates(self):
+        a = NFA(
+            initial=frozenset([0]),
+            delta={
+                0: {EPSILON: frozenset([1])},
+                1: {EPSILON: frozenset([0]), "a": frozenset([0])},
+            },
+        )
+        assert check_inclusion_in_dfa(a, prefix_dfa("aaaa" * 3)).holds is False
+
+
+class TestGuards:
+    def test_rejects_accepting_semantics(self):
+        a = NFA(
+            initial=frozenset([0]), delta={0: {}}, accepting=frozenset([0])
+        )
+        with pytest.raises(ValueError):
+            check_inclusion_in_dfa(a, prefix_dfa("a"))
+
+    def test_product_states_reported(self):
+        res = check_inclusion_in_dfa(letters_nfa("ab"), prefix_dfa("ab"))
+        assert res.product_states >= 3

@@ -1,0 +1,68 @@
+"""Property-based tests: minimization and compaction preserve languages
+on random partial DFAs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import DFA
+
+
+@st.composite
+def random_dfas(draw, max_states=6):
+    n = draw(st.integers(1, max_states))
+    symbols = ["a", "b"]
+    delta = {}
+    for q in range(n):
+        out = {}
+        for sym in symbols:
+            target = draw(
+                st.one_of(st.none(), st.integers(0, n - 1))
+            )
+            if target is not None:
+                out[sym] = target
+        delta[q] = out
+    accepting = draw(
+        st.one_of(
+            st.none(),
+            st.frozensets(st.integers(0, n - 1), max_size=n),
+        )
+    )
+    return DFA(initial=0, delta=delta, accepting=accepting)
+
+
+@st.composite
+def dfa_and_words(draw):
+    dfa = draw(random_dfas())
+    words = [
+        tuple(draw(st.lists(st.sampled_from("ab"), max_size=7)))
+        for _ in range(5)
+    ]
+    return dfa, words
+
+
+class TestMinimizeRandom:
+    @given(dfa_and_words())
+    @settings(max_examples=150, deadline=None)
+    def test_language_preserved(self, case):
+        dfa, words = case
+        mini = dfa.minimize()
+        for w in words:
+            assert dfa.accepts(w) == mini.accepts(w), w
+
+    @given(random_dfas())
+    @settings(max_examples=80, deadline=None)
+    def test_never_grows(self, dfa):
+        assert dfa.minimize().num_states <= max(dfa.num_states, 1)
+
+    @given(random_dfas())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_size(self, dfa):
+        mini = dfa.minimize()
+        assert mini.minimize().num_states == mini.num_states
+
+    @given(dfa_and_words())
+    @settings(max_examples=80, deadline=None)
+    def test_compact_preserves_language(self, case):
+        dfa, words = case
+        compacted, _ = dfa.compact()
+        for w in words:
+            assert dfa.accepts(w) == compacted.accepts(w), w

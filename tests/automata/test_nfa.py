@@ -1,0 +1,145 @@
+"""Tests for the ε-NFA substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.automata.nfa import EPSILON, NFA
+
+
+def simple_nfa():
+    """a*b with an ε-shortcut from 0 to 2."""
+    return NFA(
+        initial=frozenset([0]),
+        delta={
+            0: {"a": frozenset([0, 1]), EPSILON: frozenset([2])},
+            1: {"b": frozenset([2])},
+            2: {},
+        },
+    )
+
+
+class TestBasics:
+    def test_states(self):
+        assert simple_nfa().states() == {0, 1, 2}
+
+    def test_alphabet_excludes_epsilon(self):
+        assert simple_nfa().alphabet() == {"a", "b"}
+
+    def test_num_states(self):
+        assert simple_nfa().num_states == 3
+
+    def test_all_accepting_by_default(self):
+        nfa = simple_nfa()
+        assert all(nfa.is_accepting(q) for q in nfa.states())
+
+    def test_accepting_set(self):
+        nfa = NFA(frozenset([0]), {0: {}}, accepting=frozenset())
+        assert not nfa.is_accepting(0)
+
+
+class TestClosures:
+    def test_eclosure_includes_self(self):
+        assert 0 in simple_nfa().eclosure([0])
+
+    def test_eclosure_follows_epsilon(self):
+        assert simple_nfa().eclosure([0]) == frozenset([0, 2])
+
+    def test_eclosure_transitive(self):
+        nfa = NFA(
+            frozenset([0]),
+            {
+                0: {EPSILON: frozenset([1])},
+                1: {EPSILON: frozenset([2])},
+                2: {},
+            },
+        )
+        assert nfa.eclosure([0]) == frozenset([0, 1, 2])
+
+    def test_post(self):
+        assert simple_nfa().post([0], "a") == frozenset([0, 1])
+        assert simple_nfa().post([0], "b") == frozenset()
+
+    def test_macro_step(self):
+        nfa = simple_nfa()
+        assert nfa.macro_step([0], "a") == frozenset([0, 1, 2])
+
+
+class TestAcceptance:
+    def test_empty_word(self):
+        assert simple_nfa().accepts(())
+
+    def test_words(self):
+        nfa = simple_nfa()
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "b"))
+        assert nfa.accepts(("a", "a", "b"))
+        assert not nfa.accepts(("b",))
+        assert not nfa.accepts(("a", "b", "b"))
+
+    def test_run_macrostates(self):
+        nfa = simple_nfa()
+        macros = list(nfa.run_macrostates(("a",)))
+        assert macros[0] == frozenset([0, 2])
+        assert macros[1] == frozenset([0, 1, 2])
+
+    def test_accepting_semantics(self):
+        nfa = NFA(
+            frozenset([0]),
+            {0: {"a": frozenset([1])}, 1: {}},
+            accepting=frozenset([1]),
+        )
+        assert not nfa.accepts(())
+        assert nfa.accepts(("a",))
+
+
+class TestFromStep:
+    def test_counter_mod_3(self):
+        nfa = NFA.from_step([0], lambda q: [("tick", (q + 1) % 3)])
+        assert nfa.num_states == 3
+        assert nfa.accepts(("tick",) * 7)
+
+    def test_epsilon_in_step(self):
+        nfa = NFA.from_step(
+            [0],
+            lambda q: [(EPSILON, 1)] if q == 0 else [("a", 1)],
+        )
+        assert nfa.accepts(("a",))
+
+    def test_max_states_guard(self):
+        with pytest.raises(RuntimeError):
+            NFA.from_step([0], lambda q: [("a", q + 1)], max_states=10)
+
+    def test_accepting_callback(self):
+        nfa = NFA.from_step(
+            [0], lambda q: [("a", 1)] if q == 0 else [], accepting=lambda q: q == 1
+        )
+        assert not nfa.accepts(())
+        assert nfa.accepts(("a",))
+
+
+class TestCompact:
+    def test_language_preserved(self):
+        nfa = simple_nfa()
+        compacted, mapping = nfa.compact()
+        for w in [(), ("a",), ("a", "b"), ("b",), ("a", "b", "b")]:
+            assert nfa.accepts(w) == compacted.accepts(w)
+
+    def test_states_are_dense_ints(self):
+        compacted, _ = simple_nfa().compact()
+        assert compacted.states() == set(range(3))
+
+    def test_mapping_covers_all_states(self):
+        nfa = simple_nfa()
+        _, mapping = nfa.compact()
+        assert set(mapping) == nfa.states()
+
+
+class TestReachability:
+    def test_unreachable_removed(self):
+        nfa = NFA(
+            frozenset([0]),
+            {0: {"a": frozenset([1])}, 1: {}, 99: {"b": frozenset([0])}},
+        )
+        trimmed = nfa.reverse_reachable()
+        assert 99 not in trimmed.states()
+        assert trimmed.accepts(("a",))

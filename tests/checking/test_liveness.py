@@ -1,0 +1,173 @@
+"""Tests for the Table 3 liveness pipeline."""
+
+import pytest
+
+from repro.checking import (
+    check_liveness_all,
+    check_livelock_freedom,
+    check_obstruction_freedom,
+    check_wait_freedom,
+    observable_projection,
+)
+from repro.core.liveness_words import (
+    is_livelock_free_lasso,
+    is_obstruction_free_lasso,
+)
+from repro.tm import (
+    DSTM,
+    TL2,
+    AggressiveManager,
+    ManagedTM,
+    PoliteManager,
+    SequentialTM,
+    TwoPhaseLockingTM,
+    build_liveness_graph,
+)
+from repro.tm.explore import ExtStatement
+from repro.tm.algorithm import Resp
+
+
+class TestTable3ObstructionFreedom:
+    def test_seq_violates_with_single_abort_loop(self):
+        res = check_obstruction_freedom(SequentialTM(2, 1))
+        assert not res.holds
+        assert [str(s) for s in res.loop] == ["abort1"]
+
+    def test_2pl_violates_with_single_abort_loop(self):
+        res = check_obstruction_freedom(TwoPhaseLockingTM(2, 1))
+        assert not res.holds
+        assert [s.ext_name for s in res.loop] == ["abort"]
+
+    def test_dstm_aggressive_is_obstruction_free(self):
+        res = check_obstruction_freedom(
+            ManagedTM(DSTM(2, 1), AggressiveManager())
+        )
+        assert res.holds
+
+    def test_tl2_polite_violates(self):
+        res = check_obstruction_freedom(
+            ManagedTM(TL2(2, 1), PoliteManager())
+        )
+        assert not res.holds
+        assert [s.ext_name for s in res.loop] == ["abort"]
+
+    def test_bare_dstm_not_obstruction_free(self):
+        """Without the aggressive manager DSTM may abort itself under
+        conflict forever — liveness depends on the manager (Section 6)."""
+        res = check_obstruction_freedom(DSTM(2, 1))
+        assert not res.holds
+
+
+class TestTable3LivelockFreedom:
+    @pytest.mark.parametrize(
+        "tm",
+        [
+            SequentialTM(2, 1),
+            TwoPhaseLockingTM(2, 1),
+            ManagedTM(DSTM(2, 1), AggressiveManager()),
+            ManagedTM(TL2(2, 1), PoliteManager()),
+        ],
+        ids=["seq", "2PL", "dstm+aggr", "TL2+pol"],
+    )
+    def test_no_tm_is_livelock_free(self, tm):
+        res = check_livelock_freedom(tm)
+        assert not res.holds
+
+    def test_dstm_aggr_livelock_loop_shape(self):
+        """The paper's w2: both threads steal ownership back and forth,
+        each aborting once per round, nobody committing."""
+        res = check_livelock_freedom(
+            ManagedTM(DSTM(2, 1), AggressiveManager())
+        )
+        loop_threads = {s.thread for s in res.loop}
+        abort_threads = {s.thread for s in res.loop if s.is_abort}
+        assert loop_threads == abort_threads == {1, 2}
+        assert not any(s.is_commit for s in res.loop)
+        assert any(s.ext_name == "own" for s in res.loop)
+
+
+class TestWaitFreedom:
+    @pytest.mark.parametrize(
+        "tm",
+        [
+            SequentialTM(2, 1),
+            TwoPhaseLockingTM(2, 1),
+            ManagedTM(DSTM(2, 1), AggressiveManager()),
+            ManagedTM(TL2(2, 1), PoliteManager()),
+        ],
+        ids=["seq", "2PL", "dstm+aggr", "TL2+pol"],
+    )
+    def test_no_tm_is_wait_free(self, tm):
+        """Section 2: none of the example TMs satisfy wait freedom."""
+        assert not check_wait_freedom(tm).holds
+
+    def test_single_thread_seq_is_wait_free(self):
+        """One thread alone never aborts under the sequential TM."""
+        assert check_wait_freedom(SequentialTM(1, 1)).holds
+
+
+class TestCertification:
+    def test_counterexamples_violate_definitions(self):
+        for tm in [SequentialTM(2, 1), TwoPhaseLockingTM(2, 1)]:
+            res = check_obstruction_freedom(tm)
+            obs = res.observable_loop
+            assert obs  # lasso projections certified inside the checker
+            assert not is_obstruction_free_lasso(res.observable_stem, obs)
+
+    def test_livelock_counterexample_certified(self):
+        res = check_livelock_freedom(
+            ManagedTM(DSTM(2, 1), AggressiveManager())
+        )
+        assert not is_livelock_free_lasso(
+            res.observable_stem, res.observable_loop
+        )
+
+    def test_stem_is_reachable_prefix(self):
+        res = check_obstruction_freedom(TwoPhaseLockingTM(2, 1))
+        # the stem sets up thread 2's lock; the loop aborts thread 1
+        assert all(isinstance(s, ExtStatement) for s in res.stem)
+
+
+class TestObservableProjection:
+    def test_bot_steps_vanish(self):
+        labels = (
+            ExtStatement(1, "rlock", 1, Resp.BOT),
+            ExtStatement(1, "read", 1, Resp.DONE),
+            ExtStatement(2, "abort", None, Resp.ABORT),
+        )
+        obs = observable_projection(labels)
+        assert [str(s) for s in obs] == ["(r,1)1", "a2"]
+
+    def test_commit_projection(self):
+        labels = (ExtStatement(1, "commit", None, Resp.DONE),)
+        (s,) = observable_projection(labels)
+        assert s.is_commit and s.thread == 1
+
+
+class TestSharedGraph:
+    def test_check_liveness_all(self):
+        results = check_liveness_all(ManagedTM(DSTM(2, 1), AggressiveManager()))
+        names = [r.property_name for r in results]
+        assert names == [
+            "obstruction freedom",
+            "livelock freedom",
+            "wait freedom",
+        ]
+        of, lf, wf = results
+        assert of.holds and not lf.holds and not wf.holds
+
+    def test_graph_reuse_gives_same_verdicts(self):
+        tm = TwoPhaseLockingTM(2, 1)
+        g = build_liveness_graph(tm)
+        a = check_obstruction_freedom(tm, graph=g)
+        b = check_obstruction_freedom(tm)
+        assert a.holds == b.holds
+        assert a.graph_states == b.graph_states
+
+    def test_verdict_strings(self):
+        res = check_obstruction_freedom(SequentialTM(2, 1))
+        assert res.verdict().startswith("N, loop=[abort1]")
+        ok = check_obstruction_freedom(
+            ManagedTM(DSTM(2, 1), AggressiveManager())
+        )
+        assert ok.verdict().startswith("Y")

@@ -1,0 +1,57 @@
+"""Tests for result types and table rendering."""
+
+from repro.checking.reporting import (
+    LivenessResult,
+    SafetyResult,
+    render_table,
+)
+from repro.core.statements import parse_word
+from repro.spec import SS
+from repro.tm.algorithm import Resp
+from repro.tm.explore import ExtStatement
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            "title", ["a", "long-header"], [["xx", "y"], ["z", "wwww"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        # all body lines padded to the same column starts
+        assert lines[2].startswith("--")
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = render_table("t", ["h"], [])
+        assert "h" in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table("t", ["h"], [["wider-than-header"]])
+        assert "wider-than-header" in text
+
+
+class TestSafetyResult:
+    def test_verdict_positive(self):
+        res = SafetyResult("tm", SS, True, 1, 2, 3, 0.5)
+        assert res.verdict() == "Y, 0.50s"
+
+    def test_verdict_negative_includes_word(self):
+        res = SafetyResult(
+            "tm", SS, False, 1, 2, 3, 0.25,
+            counterexample=parse_word("(r,1)1 c1"),
+        )
+        assert res.verdict() == "N, [(r,1)1, c1], 0.25s"
+
+
+class TestLivenessResult:
+    def test_verdict_positive(self):
+        res = LivenessResult("tm", "obstruction freedom", True, 10, 0.1)
+        assert res.verdict().startswith("Y")
+
+    def test_verdict_negative_prints_loop(self):
+        loop = (ExtStatement(1, "abort", None, Resp.ABORT),)
+        res = LivenessResult(
+            "tm", "obstruction freedom", False, 10, 0.1, loop=loop
+        )
+        assert "loop=[abort1]" in res.verdict()

@@ -1,0 +1,126 @@
+"""Tests for conflict detection and strict equivalence."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.conflicts import (
+    ConflictPair,
+    conflicting_pairs,
+    strictly_equivalent,
+)
+from repro.core.statements import parse_word, statements
+
+
+class TestConflictingPairs:
+    def test_read_commit_conflict(self):
+        # t1 globally reads v1; t2 commits writing v1 → conflict
+        w = parse_word("(r,1)1 (w,1)2 c2 c1")
+        pairs = conflicting_pairs(w)
+        assert ConflictPair(0, 2, 1, "read-commit") in pairs
+
+    def test_commit_commit_conflict(self):
+        w = parse_word("(w,1)1 (w,1)2 c1 c2")
+        pairs = conflicting_pairs(w)
+        assert any(p.reason == "commit-commit" for p in pairs)
+
+    def test_local_read_never_conflicts(self):
+        # t1 reads its own write: not a global read
+        w = parse_word("(w,1)1 (r,1)1 (w,1)2 c2 c1")
+        reads = [p for p in pairs_involving(w, 1)]
+        assert all(p.reason != "read-commit" or p.i != 1 for p in reads)
+
+    def test_no_conflict_across_disjoint_vars(self):
+        w = parse_word("(r,1)1 (w,2)2 c2 c1")
+        assert conflicting_pairs(w) == []
+
+    def test_uncommitted_write_no_conflict(self):
+        # t2 writes v1 but never commits: deferred update → no conflict
+        w = parse_word("(r,1)1 (w,1)2 c1")
+        assert conflicting_pairs(w) == []
+
+    def test_aborted_writer_no_conflict(self):
+        w = parse_word("(r,1)1 (w,1)2 a2 c1")
+        assert conflicting_pairs(w) == []
+
+    def test_aborting_readers_global_read_conflicts(self):
+        # opacity cares about aborting readers; the conflict machinery
+        # must see the global read of an aborting transaction
+        w = parse_word("(r,1)3 (w,1)2 c2 a3")
+        pairs = conflicting_pairs(w)
+        assert any(p.reason == "read-commit" and p.var == 1 for p in pairs)
+
+    def test_pairs_are_ordered(self):
+        w = parse_word("(w,1)2 c2 (r,1)1 c1")
+        for p in conflicting_pairs(w):
+            assert p.i < p.j
+
+
+def pairs_involving(w, pos):
+    return [p for p in conflicting_pairs(w) if pos in (p.i, p.j)]
+
+
+class TestStrictEquivalence:
+    def test_identical_words(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 c1")
+        assert strictly_equivalent(w, w)
+
+    def test_different_thread_projections(self):
+        assert not strictly_equivalent(
+            parse_word("(r,1)1 c1"), parse_word("(w,1)1 c1")
+        )
+
+    def test_different_multiset(self):
+        assert not strictly_equivalent(parse_word("c1"), parse_word("c1 c2"))
+
+    def test_commuting_non_conflicting(self):
+        w1 = parse_word("(r,1)1 (w,2)2 c1 c2")
+        w2 = parse_word("(w,2)2 (r,1)1 c2 c1")
+        # no conflicts, both transactions overlap → both orders equivalent
+        assert strictly_equivalent(w1, w2)
+
+    def test_conflict_order_violation(self):
+        # read of v1 before t2's commit vs after it
+        w1 = parse_word("(r,1)1 (w,1)2 c2 c1")
+        w2 = parse_word("(w,1)2 c2 (r,1)1 c1")
+        assert not strictly_equivalent(w1, w2)
+
+    def test_realtime_order_violation(self):
+        # t1's tx wholly precedes t2's in w1; swapping violates (iii)
+        w1 = parse_word("(r,1)1 c1 (r,2)2 c2")
+        w2 = parse_word("(r,2)2 c2 (r,1)1 c1")
+        assert not strictly_equivalent(w1, w2)
+
+    def test_unfinished_may_move_backwards(self):
+        # unfinished x imposes no real-time obligation of its own
+        w1 = parse_word("(r,1)1 (r,2)2 c2")
+        w2 = parse_word("(r,2)2 c2 (r,1)1")
+        assert strictly_equivalent(w1, w2)
+
+    def test_aborting_realtime_respected(self):
+        w1 = parse_word("(r,1)1 a1 (r,2)2 c2")
+        w2 = parse_word("(r,2)2 c2 (r,1)1 a1")
+        assert not strictly_equivalent(w1, w2)
+
+    def test_overlapping_transactions_swap(self):
+        # overlapping transactions: neither precedes, swap allowed if
+        # conflicts permit
+        w1 = parse_word("(r,1)1 (r,2)2 c1 c2")
+        w2 = parse_word("(r,2)2 (r,1)1 c2 c1")
+        assert strictly_equivalent(w1, w2)
+
+
+@st.composite
+def word_pairs(draw):
+    alphabet = statements(2, 2)
+    length = draw(st.integers(0, 6))
+    w = tuple(draw(st.sampled_from(alphabet)) for _ in range(length))
+    return w
+
+
+class TestEquivalenceProperties:
+    @given(word_pairs())
+    def test_reflexive(self, w):
+        assert strictly_equivalent(w, w)
+
+    @given(word_pairs())
+    def test_conflicts_deterministic(self, w):
+        assert conflicting_pairs(w) == conflicting_pairs(w)

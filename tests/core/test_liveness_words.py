@@ -1,0 +1,100 @@
+"""Tests for the lasso liveness predicates of Section 2."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.liveness_words import (
+    is_livelock_free_lasso,
+    is_obstruction_free_lasso,
+    is_wait_free_lasso,
+)
+from repro.core.statements import abort, commit, parse_word, read, statements
+
+
+class TestObstructionFreedom:
+    def test_single_thread_abort_loop_violates(self):
+        # the paper's w1 = a1 counterexample shape
+        assert not is_obstruction_free_lasso((), (abort(1),))
+
+    def test_abort_with_commit_ok(self):
+        assert is_obstruction_free_lasso((), (abort(1), commit(1)))
+
+    def test_abort_with_other_thread_activity_ok(self):
+        assert is_obstruction_free_lasso((), (abort(1), read(1, 2)))
+
+    def test_commit_only_loop_ok(self):
+        assert is_obstruction_free_lasso((), (read(1, 1), commit(1)))
+
+    def test_prefix_is_irrelevant(self):
+        prefix = parse_word("a1 a1 a1")
+        assert is_obstruction_free_lasso(prefix, (commit(1),))
+
+    def test_two_threads_both_aborting_ok_for_of(self):
+        # each thread sees infinitely many statements of the other
+        loop = (abort(1), abort(2))
+        assert is_obstruction_free_lasso((), loop)
+
+
+class TestLivelockFreedom:
+    def test_mutual_abort_loop_violates(self):
+        # the paper's w2 shape: both threads abort forever, nobody commits
+        loop = parse_word("a1 (r,1)1 a2")
+        assert not is_livelock_free_lasso((), loop)
+
+    def test_any_commit_satisfies(self):
+        assert is_livelock_free_lasso((), (abort(1), commit(2)))
+
+    def test_non_aborting_active_thread_satisfies(self):
+        # t2 runs forever without aborting (e.g. stuck retrying reads)
+        loop = (abort(1), read(1, 2))
+        assert is_livelock_free_lasso((), loop)
+
+    def test_single_thread_abort_loop_violates(self):
+        assert not is_livelock_free_lasso((), (abort(1),))
+
+    def test_livelock_freedom_implies_obstruction_freedom(self):
+        # checked on a family of small loops (stated in Section 2)
+        alphabet = statements(2, 1)
+        from itertools import product
+
+        for L in range(1, 4):
+            for loop in product(alphabet, repeat=L):
+                if is_livelock_free_lasso((), loop):
+                    assert is_obstruction_free_lasso((), loop)
+
+
+class TestWaitFreedom:
+    def test_abort_violates(self):
+        assert not is_wait_free_lasso((), (abort(1), commit(1)))
+
+    def test_active_thread_without_commit_violates(self):
+        assert not is_wait_free_lasso((), (read(1, 1),))
+
+    def test_all_committing_ok(self):
+        loop = parse_word("(r,1)1 c1 (r,1)2 c2")
+        assert is_wait_free_lasso((), loop)
+
+    def test_wait_freedom_implies_livelock_freedom(self):
+        alphabet = statements(2, 1)
+        from itertools import product
+
+        for L in range(1, 4):
+            for loop in product(alphabet, repeat=L):
+                if is_wait_free_lasso((), loop):
+                    assert is_livelock_free_lasso((), loop)
+
+
+@st.composite
+def lassos(draw):
+    alphabet = statements(2, 2)
+    loop_len = draw(st.integers(1, 5))
+    loop = tuple(draw(st.sampled_from(alphabet)) for _ in range(loop_len))
+    return loop
+
+
+class TestHierarchyProperty:
+    @given(lassos())
+    def test_wf_implies_lf_implies_of(self, loop):
+        if is_wait_free_lasso((), loop):
+            assert is_livelock_free_lasso((), loop)
+        if is_livelock_free_lasso((), loop):
+            assert is_obstruction_free_lasso((), loop)

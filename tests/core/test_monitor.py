@@ -1,0 +1,103 @@
+"""Tests for the online safety monitors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.monitor import (
+    OpacityMonitor,
+    SafetyMonitor,
+    StrictSerializabilityMonitor,
+)
+from repro.core.properties import is_opaque, is_strictly_serializable
+from repro.core.statements import commit, parse_word, read, statements, write
+from repro.spec import OP, SS
+
+
+class TestBasics:
+    def test_fresh_monitor_ok(self):
+        assert OpacityMonitor(2, 2).ok
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            SafetyMonitor(0, 1, OP)
+        m = OpacityMonitor(2, 2)
+        with pytest.raises(ValueError):
+            m.feed(read(1, 3))  # thread out of range
+        with pytest.raises(ValueError):
+            m.feed(read(5, 1))  # variable out of range
+
+    def test_feed_returns_status(self):
+        m = StrictSerializabilityMonitor(2, 2)
+        assert m.feed(read(1, 1)) is True
+
+    def test_history_recorded(self):
+        m = OpacityMonitor(2, 2)
+        w = parse_word("(r,1)1 (w,1)2 c2")
+        m.feed_word(w)
+        assert m.history == w
+
+
+class TestViolationDetection:
+    def test_stale_reread_breaks_opacity(self):
+        m = OpacityMonitor(2, 2)
+        m.feed_word(parse_word("(r,1)1 (w,1)2 c2"))
+        assert m.ok
+        assert not m.would_accept(read(1, 1))
+        m.feed(read(1, 1))
+        assert not m.ok
+        assert m.violation_index == 3
+
+    def test_monitor_latches(self):
+        m = OpacityMonitor(2, 2)
+        m.feed_word(parse_word("(r,1)1 (w,1)2 c2 (r,1)1"))
+        assert not m.ok
+        m.feed(commit(2))
+        assert not m.ok
+        assert m.violation_index == 3  # first violation remembered
+
+    def test_ss_monitor_tolerates_aborting_reader(self):
+        # fig 2(b) shape: not opaque, strictly serializable
+        w = parse_word("(w,1)2 (r,1)1 c2 (w,2)1 c1")
+        ss = StrictSerializabilityMonitor(2, 2)
+        assert ss.feed_word(w)
+
+    def test_would_accept_does_not_mutate(self):
+        m = OpacityMonitor(2, 2)
+        m.feed_word(parse_word("(r,1)1 (w,1)2 c2"))
+        before = m.history
+        m.would_accept(read(1, 1))
+        assert m.history == before and m.ok
+
+    def test_reset(self):
+        m = OpacityMonitor(2, 2)
+        m.feed_word(parse_word("(r,1)1 (w,1)2 c2 (r,1)1"))
+        assert not m.ok
+        m.reset()
+        assert m.ok and m.history == ()
+
+
+@st.composite
+def words_22(draw, max_len=10):
+    alphabet = statements(2, 2)
+    length = draw(st.integers(0, max_len))
+    return tuple(draw(st.sampled_from(alphabet)) for _ in range(length))
+
+
+class TestAgainstReference:
+    @given(words_22())
+    @settings(max_examples=120, deadline=None)
+    def test_monitor_agrees_with_offline_checkers(self, w):
+        ss = StrictSerializabilityMonitor(2, 2)
+        op = OpacityMonitor(2, 2)
+        assert ss.feed_word(w) == is_strictly_serializable(w)
+        assert op.feed_word(w) == is_opaque(w)
+
+    @given(words_22())
+    @settings(max_examples=60, deadline=None)
+    def test_violation_index_is_first_bad_prefix(self, w):
+        m = OpacityMonitor(2, 2)
+        m.feed_word(w)
+        if m.violation_index is not None:
+            i = m.violation_index
+            assert is_opaque(w[:i])
+            assert not is_opaque(w[: i + 1])

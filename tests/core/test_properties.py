@@ -1,0 +1,154 @@
+"""Tests for the reference safety checkers against the paper's examples."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.properties import (
+    is_opaque,
+    is_strictly_serializable,
+    opacity_witness,
+    strict_serializability_witness,
+)
+from repro.core.statements import parse_word, statements
+from repro.core.words import com, is_sequential
+
+
+# The worked examples of Section 5 (Figures 1 and 2), plus Table 2's
+# counterexample w1 — the ground truth our whole pipeline rests on.
+PAPER_EXAMPLES = [
+    # (name, word, strictly serializable?, opaque?)
+    ("fig1a", "(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1 c3", False, False),
+    (
+        "fig1b",
+        "(w,1)2 (r,2)2 (r,3)3 (r,1)1 c2 (w,2)3 (w,3)1 c1 c3",
+        False,
+        False,
+    ),
+    ("fig2a", "(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1", True, False),
+    ("fig2b", "(w,1)2 (r,1)1 c2 (r,2)3 a3 (w,2)1 c1", True, False),
+    ("table2-w1", "(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1", False, False),
+]
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize("name,text,ss,op", PAPER_EXAMPLES)
+    def test_verdicts(self, name, text, ss, op):
+        w = parse_word(text)
+        assert is_strictly_serializable(w) == ss, name
+        assert is_opaque(w) == op, name
+
+
+class TestBasicVerdicts:
+    def test_empty_word(self):
+        assert is_strictly_serializable(())
+        assert is_opaque(())
+
+    def test_sequential_word(self):
+        w = parse_word("(r,1)1 (w,2)1 c1 (w,1)2 c2")
+        assert is_strictly_serializable(w) and is_opaque(w)
+
+    def test_aborts_only(self):
+        w = parse_word("a1 a2 a1")
+        assert is_strictly_serializable(w) and is_opaque(w)
+
+    def test_aborted_transactions_ignored_by_ss(self):
+        # the aborting read of t3 breaks opacity but not strict
+        # serializability (fig 2b shape)
+        w = parse_word("(w,1)2 (r,1)1 c2 (r,2)3 a3 (w,2)1 c1")
+        assert is_strictly_serializable(w)
+        assert not is_opaque(w)
+
+    def test_stale_second_read_not_opaque(self):
+        # two global reads of the same variable straddling a commit
+        w = parse_word("(r,1)1 (w,1)2 c2 (r,1)1")
+        assert not is_opaque(w)
+
+    def test_write_skew_like_cycle(self):
+        w = parse_word("(r,1)1 (r,2)2 (w,2)1 (w,1)2 c1 c2")
+        assert not is_strictly_serializable(w)
+
+
+class TestWitnesses:
+    def test_ss_witness_is_sequential_equivalent(self):
+        w = parse_word("(r,1)1 (w,1)2 c1 c2")
+        wit = strict_serializability_witness(w)
+        assert wit.holds
+        assert wit.sequential_word is not None
+        assert is_sequential(wit.sequential_word)
+
+    def test_ss_witness_respects_conflict(self):
+        # t1 must serialize before t2
+        w = parse_word("(r,1)1 (w,1)2 c1 c2")
+        wit = strict_serializability_witness(w)
+        threads = [s.thread for s in wit.sequential_word if s.is_commit]
+        assert threads == [1, 2]
+
+    def test_refutation_has_explanation(self):
+        w = parse_word("(r,1)1 (r,2)2 (w,2)1 (w,1)2 c1 c2")
+        wit = strict_serializability_witness(w)
+        assert not wit.holds
+        assert wit.cycle_explanation is not None
+
+    def test_opacity_witness_contains_all_transactions(self):
+        w = parse_word("(r,1)1 (w,2)2 a2 c1")
+        wit = opacity_witness(w)
+        assert wit.holds
+        assert sorted(s.thread for s in wit.sequential_word) == sorted(
+            s.thread for s in w
+        )
+
+
+@st.composite
+def random_words(draw, n=2, k=2, max_len=8):
+    alphabet = statements(n, k)
+    length = draw(st.integers(0, max_len))
+    return tuple(draw(st.sampled_from(alphabet)) for _ in range(length))
+
+
+class TestSemanticProperties:
+    @given(random_words())
+    def test_opacity_implies_strict_serializability(self, w):
+        """piop ⊆ piss (stated in Section 2)."""
+        if is_opaque(w):
+            assert is_strictly_serializable(w)
+
+    @given(random_words())
+    @settings(max_examples=60)
+    def test_prefix_closure(self, w):
+        """Both properties are prefix-closed on our checkers.
+
+        If a prefix is bad, the whole word is bad (the conflict cycle
+        only gains edges as the word grows) — equivalently, good words
+        have good prefixes.
+        """
+        if is_strictly_serializable(w):
+            for i in range(len(w)):
+                assert is_strictly_serializable(w[:i])
+        if is_opaque(w):
+            for i in range(len(w)):
+                assert is_opaque(w[:i])
+
+    @given(random_words())
+    def test_ss_depends_only_on_com(self, w):
+        assert is_strictly_serializable(w) == is_strictly_serializable(
+            com(w)
+        )
+
+    @given(random_words())
+    def test_witness_agrees_with_predicate(self, w):
+        assert strict_serializability_witness(w).holds == (
+            is_strictly_serializable(w)
+        )
+        assert opacity_witness(w).holds == is_opaque(w)
+
+    @given(random_words())
+    @settings(max_examples=60)
+    def test_abort_extension_preserves_properties(self, w):
+        """Aborting a transaction never creates new violations."""
+        from repro.core.statements import abort
+
+        for t in (1, 2):
+            if is_strictly_serializable(w):
+                assert is_strictly_serializable(w + (abort(t),))
+            if is_opaque(w):
+                assert is_opaque(w + (abort(t),))

@@ -1,0 +1,179 @@
+"""Tests for statements, commands, parsing, and alphabets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.statements import (
+    Command,
+    Kind,
+    Statement,
+    abort,
+    commands,
+    commit,
+    format_word,
+    iter_words,
+    parse_statement,
+    parse_word,
+    read,
+    statements,
+    threads_of,
+    variables_of,
+    write,
+)
+
+
+class TestKind:
+    def test_short_names(self):
+        assert Kind.READ.short == "r"
+        assert Kind.WRITE.short == "w"
+        assert Kind.COMMIT.short == "c"
+        assert Kind.ABORT.short == "a"
+
+    def test_values_match_ext_names(self):
+        assert Kind("read") is Kind.READ
+        assert Kind("abort") is Kind.ABORT
+
+
+class TestConstructors:
+    def test_read(self):
+        s = read(2, 1)
+        assert s.kind is Kind.READ and s.var == 2 and s.thread == 1
+        assert s.is_read and not s.is_write
+
+    def test_write(self):
+        s = write(1, 3)
+        assert s.is_write and s.var == 1 and s.thread == 3
+
+    def test_commit_has_no_var(self):
+        s = commit(2)
+        assert s.is_commit and s.var is None and s.is_finishing
+
+    def test_abort_is_finishing(self):
+        s = abort(1)
+        assert s.is_abort and s.is_finishing
+
+    def test_reads_and_writes_are_not_finishing(self):
+        assert not read(1, 1).is_finishing
+        assert not write(1, 1).is_finishing
+
+    def test_command_projection(self):
+        assert read(2, 1).command == Command(Kind.READ, 2)
+        assert commit(5).command == Command(Kind.COMMIT, None)
+
+
+class TestCommandValidation:
+    def test_read_requires_variable(self):
+        with pytest.raises(ValueError):
+            Command(Kind.READ, None).validate()
+
+    def test_commit_rejects_variable(self):
+        with pytest.raises(ValueError):
+            Command(Kind.COMMIT, 3).validate()
+
+    def test_valid_commands_pass(self):
+        assert Command(Kind.WRITE, 1).validate() == Command(Kind.WRITE, 1)
+
+    def test_with_thread(self):
+        assert Command(Kind.READ, 1).with_thread(2) == read(1, 2)
+
+
+class TestAlphabets:
+    def test_commands_count(self):
+        # C = {commit} ∪ ({read, write} × V)
+        assert len(commands(2)) == 2 * 2 + 1
+        assert len(commands(3, include_abort=True)) == 2 * 3 + 2
+
+    def test_commands_zero_vars(self):
+        assert [c.kind for c in commands(0)] == [Kind.COMMIT]
+
+    def test_commands_negative_raises(self):
+        with pytest.raises(ValueError):
+            commands(-1)
+
+    def test_statements_count(self):
+        # Ŝ = Ĉ × T
+        assert len(statements(2, 2)) == 2 * (2 * 2 + 2)
+        assert len(statements(3, 1, include_abort=False)) == 3 * 3
+
+    def test_statements_cover_all_threads(self):
+        assert threads_of(statements(3, 2)) == (1, 2, 3)
+
+    def test_statements_negative_raises(self):
+        with pytest.raises(ValueError):
+            statements(-1, 2)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("(r,1)2", read(1, 2)),
+            ("(w,2)1", write(2, 1)),
+            ("c1", commit(1)),
+            ("a2", abort(2)),
+            ("(read,3)1", read(3, 1)),
+            ("(write,1)4", write(1, 4)),
+            ("commit2", commit(2)),
+            ("abort1", abort(1)),
+        ],
+    )
+    def test_parse_statement(self, text, expected):
+        assert parse_statement(text) == expected
+
+    def test_parse_statement_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_statement("xyzzy")
+
+    def test_parse_word_spaces(self):
+        w = parse_word("(r,1)1 (w,2)1 c1")
+        assert w == (read(1, 1), write(2, 1), commit(1))
+
+    def test_parse_word_commas(self):
+        w = parse_word("(w,2)1, (w,1)2, c2, c1")
+        assert w == (write(2, 1), write(1, 2), commit(2), commit(1))
+
+    def test_parse_empty_word(self):
+        assert parse_word("") == ()
+
+    def test_format_round_trip(self):
+        w = (read(1, 1), write(2, 2), abort(2), commit(1))
+        assert parse_word(format_word(w)) == w
+
+    def test_str_matches_paper_notation(self):
+        assert str(read(1, 2)) == "(r,1)2"
+        assert str(commit(1)) == "c1"
+
+
+@st.composite
+def words(draw, n=2, k=2, max_len=8):
+    alphabet = statements(n, k)
+    length = draw(st.integers(0, max_len))
+    return tuple(
+        draw(st.sampled_from(alphabet)) for _ in range(length)
+    )
+
+
+class TestRoundTripProperty:
+    @given(words())
+    def test_format_parse_round_trip(self, word):
+        assert parse_word(format_word(word)) == word
+
+    @given(words(n=3, k=3))
+    def test_threads_and_variables_bounds(self, word):
+        assert all(1 <= t <= 3 for t in threads_of(word))
+        assert all(1 <= v <= 3 for v in variables_of(word))
+
+
+class TestIterWords:
+    def test_counts_by_length(self):
+        # |Ŝ| = n(2k+2) = 2*(2+2) = 8 for n=2, k=1
+        all_words = list(iter_words(2, 1, 2))
+        assert len(all_words) == 1 + 8 + 64
+
+    def test_starts_with_empty(self):
+        assert next(iter_words(1, 1, 1)) == ()
+
+    def test_without_abort(self):
+        words_ = list(iter_words(1, 1, 1, include_abort=False))
+        assert len(words_) == 1 + 3
+        assert all(not s.is_abort for w in words_ for s in w)

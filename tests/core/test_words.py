@@ -1,0 +1,207 @@
+"""Tests for thread projections, transactions, com(), and sequentiality."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.statements import (
+    abort,
+    commit,
+    parse_word,
+    read,
+    statements,
+    write,
+)
+from repro.core.words import (
+    TxStatus,
+    com,
+    committed_transactions,
+    is_sequential,
+    thread_projection,
+    transaction_at,
+    transactions,
+    unfinished_transactions,
+)
+
+
+class TestThreadProjection:
+    def test_basic(self):
+        w = parse_word("(r,1)1 (w,2)2 c1 a2")
+        assert thread_projection(w, 1) == (read(1, 1), commit(1))
+        assert thread_projection(w, 2) == (write(2, 2), abort(2))
+
+    def test_absent_thread(self):
+        assert thread_projection(parse_word("c1"), 7) == ()
+
+    @given(st.integers(1, 3))
+    def test_projection_is_subsequence_of_word(self, t):
+        w = parse_word("(r,1)1 (w,2)2 c1 (r,2)3 a2 c3")
+        proj = thread_projection(w, t)
+        it = iter(w)
+        assert all(s in it for s in proj)  # subsequence check
+
+
+class TestTransactions:
+    def test_single_committing(self):
+        w = parse_word("(r,1)1 (w,2)1 c1")
+        txs = transactions(w)
+        assert len(txs) == 1
+        assert txs[0].status is TxStatus.COMMITTING
+        assert txs[0].indices == (0, 1, 2)
+
+    def test_aborting(self):
+        txs = transactions(parse_word("(r,1)1 a1"))
+        assert txs[0].status is TxStatus.ABORTING
+
+    def test_unfinished(self):
+        txs = transactions(parse_word("(r,1)1 (w,1)1"))
+        assert txs[0].status is TxStatus.UNFINISHED
+
+    def test_multiple_per_thread(self):
+        w = parse_word("(r,1)1 c1 (w,2)1 a1 (r,1)1")
+        txs = transactions(w)
+        assert [tx.status for tx in txs] == [
+            TxStatus.COMMITTING,
+            TxStatus.ABORTING,
+            TxStatus.UNFINISHED,
+        ]
+        assert [tx.indices for tx in txs] == [(0, 1), (2, 3), (4,)]
+
+    def test_interleaved_threads(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 c1")
+        txs = transactions(w)
+        assert len(txs) == 2
+        by_thread = {tx.thread: tx for tx in txs}
+        assert by_thread[1].indices == (0, 3)
+        assert by_thread[2].indices == (1, 2)
+
+    def test_empty_commit_is_a_transaction(self):
+        txs = transactions(parse_word("c1"))
+        assert len(txs) == 1 and txs[0].is_committing
+
+    def test_ordering_by_first_statement(self):
+        w = parse_word("(r,1)2 (r,1)1 c1 c2")
+        txs = transactions(w)
+        assert [tx.thread for tx in txs] == [2, 1]
+
+    def test_transaction_at(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 c1")
+        assert transaction_at(w, 0).thread == 1
+        assert transaction_at(w, 2).thread == 2
+
+    def test_transaction_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            transaction_at(parse_word("c1"), 5)
+
+
+class TestTransactionQueries:
+    def test_writes(self):
+        w = parse_word("(w,1)1 (w,2)1 c1")
+        assert transactions(w)[0].writes() == {1, 2}
+
+    def test_global_reads_exclude_own_writes(self):
+        # read of v1 after writing v1 is local
+        w = parse_word("(w,1)1 (r,1)1 (r,2)1 c1")
+        tx = transactions(w)[0]
+        assert tx.global_reads() == {2}
+        assert tx.global_read_positions() == [2]
+
+    def test_global_read_before_own_write(self):
+        w = parse_word("(r,1)1 (w,1)1 c1")
+        assert transactions(w)[0].global_reads() == {1}
+
+    def test_commit_position(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 c1")
+        by_thread = {tx.thread: tx for tx in transactions(w)}
+        assert by_thread[1].commit_position() == 3
+        assert by_thread[2].commit_position() == 2
+        assert transactions(parse_word("(r,1)1"))[0].commit_position() is None
+
+    def test_precedes(self):
+        w = parse_word("(r,1)1 c1 (r,1)2 c2")
+        x, y = transactions(w)
+        assert x.precedes(y) and not y.precedes(x)
+
+    def test_overlap_means_no_precedence(self):
+        w = parse_word("(r,1)1 (r,1)2 c1 c2")
+        x, y = transactions(w)
+        assert not x.precedes(y) and not y.precedes(x)
+
+
+class TestCom:
+    def test_keeps_only_committing(self):
+        w = parse_word("(r,1)1 (w,1)2 a2 c1")
+        assert com(w) == (read(1, 1), commit(1))
+
+    def test_drops_unfinished(self):
+        w = parse_word("(r,1)1 (w,2)2 c2")
+        assert com(w) == (write(2, 2), commit(2))
+
+    def test_empty_word(self):
+        assert com(()) == ()
+
+    def test_com_idempotent(self):
+        w = parse_word("(r,1)1 (w,1)2 a2 c1 (r,2)2")
+        assert com(com(w)) == com(w)
+
+    def test_com_preserves_order(self):
+        w = parse_word("(w,1)2 (r,1)1 c2 c1")
+        assert com(w) == (write(1, 2), read(1, 1), commit(2), commit(1))
+
+
+class TestSequential:
+    def test_sequential_word(self):
+        assert is_sequential(parse_word("(r,1)1 c1 (w,1)2 c2"))
+
+    def test_interleaved_not_sequential(self):
+        assert not is_sequential(parse_word("(r,1)1 (w,1)2 c1 c2"))
+
+    def test_empty_and_single(self):
+        assert is_sequential(())
+        assert is_sequential(parse_word("(r,1)1 (w,2)1"))
+
+    def test_unfinished_blocks_are_sequential(self):
+        # two unfinished transactions as contiguous blocks
+        assert is_sequential(parse_word("(r,1)1 (w,1)1 (r,2)2"))
+
+    def test_helpers(self):
+        w = parse_word("(r,1)1 c1 (w,1)2 (r,2)3 a3")
+        assert [tx.thread for tx in committed_transactions(w)] == [1]
+        assert [tx.thread for tx in unfinished_transactions(w)] == [2]
+
+
+@st.composite
+def random_words(draw, n=3, k=2, max_len=10):
+    alphabet = statements(n, k)
+    length = draw(st.integers(0, max_len))
+    return tuple(draw(st.sampled_from(alphabet)) for _ in range(length))
+
+
+class TestTransactionInvariants:
+    @given(random_words())
+    def test_partition(self, w):
+        """Every statement belongs to exactly one transaction."""
+        seen = []
+        for tx in transactions(w):
+            seen.extend(tx.indices)
+        assert sorted(seen) == list(range(len(w)))
+
+    @given(random_words())
+    def test_per_thread_consistency(self, w):
+        for tx in transactions(w):
+            assert all(w[i].thread == tx.thread for i in tx.indices)
+            # only the last statement may finish the transaction
+            for i in tx.indices[:-1]:
+                assert not w[i].is_finishing
+
+    @given(random_words())
+    def test_at_most_one_unfinished_per_thread(self, w):
+        unfinished = unfinished_transactions(w)
+        threads = [tx.thread for tx in unfinished]
+        assert len(threads) == len(set(threads))
+
+    @given(random_words())
+    def test_com_thread_projections(self, w):
+        """com() preserves each committing transaction verbatim."""
+        cw = com(w)
+        for tx in transactions(cw):
+            assert tx.is_committing

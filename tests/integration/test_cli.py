@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestWordCommand:
+    def test_safe_word_exit_zero(self, capsys):
+        assert main(["word", "(r,1)1 (w,2)1 c1"]) == 0
+        out = capsys.readouterr().out
+        assert "strictly serializable: yes" in out
+        assert "opaque:                yes" in out
+
+    def test_unsafe_word_exit_one(self, capsys):
+        code = main(["word", "(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no" in out and "cycle:" in out
+
+    def test_parse_error_exit_two(self, capsys):
+        assert main(["word", "gibberish"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSafetyCommand:
+    def test_single_tm(self, capsys):
+        assert main(["safety", "seq", "-n", "2", "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "seq" in out and "Y," in out
+
+    def test_single_property(self, capsys):
+        assert main(["safety", "2pl", "-k", "1", "--property", "op"]) == 0
+        out = capsys.readouterr().out
+        assert "Σdop" in out and "Σdss" not in out
+
+    def test_violation_exit_code(self, capsys):
+        code = main(["safety", "modtl2", "--manager", "polite"])
+        assert code == 1
+        assert "N," in capsys.readouterr().out
+
+    def test_unknown_tm(self):
+        with pytest.raises(SystemExit):
+            main(["safety", "nosuchtm"])
+
+    def test_unknown_manager(self):
+        with pytest.raises(SystemExit):
+            main(["safety", "seq", "--manager", "nosuch"])
+
+
+class TestLivenessCommand:
+    def test_dstm_aggressive(self, capsys):
+        code = main(["liveness", "dstm", "--manager", "aggressive"])
+        # obstruction free but not livelock free → violations exist
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "dstm+aggr" in out
+        assert "Y," in out  # the OF cell
+
+    def test_defaults_to_one_variable(self, capsys):
+        assert main(["liveness", "seq"]) == 1
+        assert "(2,1)" in capsys.readouterr().out
+
+
+class TestSpecsCommand:
+    def test_sizes(self, capsys):
+        assert main(["specs", "-n", "2", "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Σss" in out and "Σop" in out
+
+    def test_equivalence(self, capsys):
+        code = main(["specs", "-n", "2", "-k", "1", "--check-equivalence"])
+        assert code == 0
+        assert "equivalent: True" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_table1_row(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "2pl",
+                "--schedule",
+                "111112",
+                "-P",
+                "1:r1 w2 c",
+                "-P",
+                "2:w2 c",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run : (rl,1)1, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,2)2" in out
+        assert "word: (r,1)1, (w,2)1, c1" in out
+
+    def test_bad_schedule_exit_two(self, capsys):
+        code = main(
+            ["simulate", "seq", "--schedule", "99", "-P", "1:c"]
+        )
+        assert code == 2
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_builds(self):
+        parser = build_parser()
+        assert parser.format_help()

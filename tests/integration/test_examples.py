@@ -1,0 +1,61 @@
+"""The example scripts must keep running end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    path = os.path.join(EXAMPLES, name)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "verdict: Y" in out
+
+    def test_figures_walkthrough(self, tmp_path):
+        out = run_example("figures_walkthrough.py")
+        assert "commit rejected at 'c1'" in out
+        # clean up the DOT artifacts the example writes next to itself
+        for name in ("lasso.dot", "spec11.dot"):
+            path = os.path.join(EXAMPLES, name)
+            if os.path.exists(path):
+                os.remove(path)
+
+    def test_contention_managers(self):
+        out = run_example("contention_managers.py")
+        assert "dstm+aggr" in out and "TL2+pol" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_custom_tm_walkthrough(self):
+        out = run_example("custom_tm_walkthrough.py")
+        assert "the tool found the anomaly" in out
+        assert out.count("Y,") >= 2
+
+    def test_tl2_bug_hunt(self):
+        out = run_example("tl2_bug_hunt.py")
+        assert "1. TL2 with atomic validation" in out
+        assert "N, [" in out
+
+    def test_verify_paper_results(self):
+        out = run_example("verify_paper_results.py")
+        assert "Table 2" in out and "Table 3" in out
+        assert "equivalent" in out

@@ -1,0 +1,81 @@
+"""Section 5's unbounded-delay example ``wm``.
+
+The paper motivates the specification construction with the parametrized
+word ``wm = (r,v1)t1 · ((w,v1)t2 · c2)^m · (c1)``: its conflict graph has
+m+1 vertices, so no conflict-graph-based online checker can be finite —
+while the prohibited-set construction tracks it in constant space.  These
+tests pin both halves of that claim.
+"""
+
+import pytest
+
+from repro.core.monitor import StrictSerializabilityMonitor
+from repro.core.properties import is_strictly_serializable
+from repro.core.serialization_graph import build_graph
+from repro.core.statements import commit, read, write
+from repro.core.words import com
+from repro.spec.det import det_spec_accepts, initial_state
+from repro.spec import SS
+
+
+def wm(m: int):
+    """The paper's parametrized word with m committing writers."""
+    word = [read(1, 1)]
+    for _ in range(m):
+        word.append(write(1, 2))
+        word.append(commit(2))
+    word.append(commit(1))
+    return tuple(word)
+
+
+class TestConflictGraphGrowsUnboundedly:
+    @pytest.mark.parametrize("m", [1, 3, 7, 12])
+    def test_vertex_count_is_m_plus_1(self, m):
+        graph = build_graph(com(wm(m)))
+        assert len(graph.txs) == m + 1
+
+
+class TestWordsAreSafe:
+    """t1's read precedes every commit, so t1 serializes first: wm is
+    strictly serializable for every m."""
+
+    @pytest.mark.parametrize("m", [0, 1, 4, 9])
+    def test_reference(self, m):
+        assert is_strictly_serializable(wm(m))
+
+    @pytest.mark.parametrize("m", [0, 1, 4, 9])
+    def test_spec(self, m):
+        assert det_spec_accepts(wm(m), 2, 2, SS)
+
+
+class TestSpecMemoryIsConstant:
+    def test_state_reaches_a_fixpoint(self):
+        """After the second round the specification state repeats —
+        constant memory regardless of m, unlike the conflict graph."""
+        from repro.spec.det import det_step
+
+        state = initial_state(2)
+        seen = []
+        word = wm(12)
+        for stmt in word[:-1]:  # exclude the final c1
+            state = det_step(state, stmt, SS)
+            assert state is not None
+            seen.append(state)
+        # the per-round states cycle with period 2 after the first round
+        round_states = seen[1::2]
+        assert len(set(round_states)) <= 2
+
+    def test_monitor_handles_long_instances(self):
+        monitor = StrictSerializabilityMonitor(2, 2)
+        assert monitor.feed_word(wm(50))
+
+    def test_opacity_differs_for_rereads(self):
+        """Appending a second read of v1 to wm (m ≥ 1) breaks opacity —
+        and the monitor pinpoints the exact statement."""
+        from repro.core.monitor import OpacityMonitor
+
+        word = wm(3)[:-1] + (read(1, 1),)
+        monitor = OpacityMonitor(2, 2)
+        monitor.feed_word(word)
+        assert not monitor.ok
+        assert monitor.violation_index == len(word) - 1

@@ -1,0 +1,87 @@
+"""Tests for bounded language enumeration."""
+
+import pytest
+
+from repro.automata.nfa import NFA
+from repro.core.statements import parse_word
+from repro.lang import (
+    enumerate_nfa_language,
+    enumerate_tm_language,
+    language_size_by_length,
+)
+from repro.tm import DSTM, SequentialTM, TwoPhaseLockingTM, build_safety_nfa
+
+
+class TestNfaEnumeration:
+    def test_simple_language(self):
+        nfa = NFA(
+            initial=frozenset([0]),
+            delta={0: {"a": frozenset([1])}, 1: {"b": frozenset([0])}},
+        )
+        words = set(enumerate_nfa_language(nfa, 3))
+        assert words == {
+            (),
+            ("a",),
+            ("a", "b"),
+            ("a", "b", "a"),
+        }
+
+    def test_words_are_unique(self):
+        nfa = build_safety_nfa(SequentialTM(2, 1))
+        words = list(enumerate_nfa_language(nfa, 4))
+        assert len(words) == len(set(words))
+
+    def test_max_words_guard(self):
+        nfa = build_safety_nfa(TwoPhaseLockingTM(2, 2))
+        with pytest.raises(RuntimeError):
+            list(enumerate_nfa_language(nfa, 6, max_words=50))
+
+    def test_rejects_accepting_automata(self):
+        nfa = NFA(
+            initial=frozenset([0]), delta={0: {}}, accepting=frozenset([0])
+        )
+        with pytest.raises(ValueError):
+            list(enumerate_nfa_language(nfa, 2))
+
+
+class TestTmEnumeration:
+    def test_every_enumerated_word_is_member(self):
+        tm = DSTM(2, 1)
+        nfa = build_safety_nfa(tm)
+        for w in enumerate_tm_language(tm, 4):
+            assert nfa.accepts(w)
+
+    def test_completeness_against_membership(self):
+        """Every member word up to the bound is enumerated."""
+        import itertools
+
+        from repro.core.statements import statements
+
+        tm = SequentialTM(2, 1)
+        nfa = build_safety_nfa(tm)
+        enumerated = set(enumerate_tm_language(tm, 3))
+        for L in range(0, 4):
+            for w in itertools.product(statements(2, 1), repeat=L):
+                assert (w in enumerated) == nfa.accepts(w)
+
+    def test_known_word_enumerated(self):
+        words = set(enumerate_tm_language(SequentialTM(2, 2), 3))
+        assert parse_word("(r,1)1 (w,2)1 c1") in words
+
+    def test_prefix_closure_of_enumeration(self):
+        words = set(enumerate_tm_language(TwoPhaseLockingTM(2, 1), 4))
+        for w in words:
+            assert w[:-1] in words or not w
+
+
+class TestSizeFingerprint:
+    def test_lengths(self):
+        counts = language_size_by_length(SequentialTM(2, 1), 3)
+        assert counts[0] == 1  # the empty word
+        assert len(counts) == 4
+
+    def test_more_permissive_tm_has_bigger_language(self):
+        """2PL allows concurrency the sequential TM forbids."""
+        seq = language_size_by_length(SequentialTM(2, 2), 4)
+        tpl = language_size_by_length(TwoPhaseLockingTM(2, 2), 4)
+        assert sum(tpl) > sum(seq)

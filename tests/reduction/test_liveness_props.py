@@ -1,0 +1,78 @@
+"""Tests for the liveness structural properties P5–P6 (Section 6.1)."""
+
+import pytest
+
+from repro.reduction import (
+    check_all_liveness_properties,
+    check_liveness_transaction_projection,
+    check_liveness_variable_projection,
+)
+from repro.reduction.liveness_props import _isolation_decompositions
+from repro.core.statements import parse_word
+from repro.tm import DSTM, TL2, SequentialTM, TwoPhaseLockingTM
+
+
+class TestDecompositions:
+    def test_single_thread_suffix(self):
+        w = parse_word("(r,1)1 c1 (r,1)2 (w,1)2")
+        splits = _isolation_decompositions(w)
+        assert 2 in splits  # suffix = t2's statements only
+
+    def test_commit_in_suffix_excluded(self):
+        w = parse_word("(r,1)1 c1")
+        # any suffix containing c1 is not commit-free
+        assert all(w[i:][0].thread == 1 for i in _isolation_decompositions(w))
+        assert 0 not in _isolation_decompositions(w)
+
+    def test_unfinished_prefix_transaction_blocks(self):
+        # t2's transaction spans the split: not an isolation suffix
+        w = parse_word("(r,1)2 (r,1)1 (w,1)2")
+        assert 2 not in _isolation_decompositions(w)
+
+    def test_empty_word(self):
+        assert _isolation_decompositions(()) == []
+
+
+@pytest.mark.parametrize(
+    "make",
+    [SequentialTM, TwoPhaseLockingTM, DSTM, TL2],
+    ids=["seq", "2PL", "dstm", "TL2"],
+)
+class TestPaperTMsPassP5P6:
+    def test_p5(self, make):
+        rep = check_liveness_transaction_projection(make(2, 2), 4)
+        assert rep.holds, str(rep)
+
+    def test_p6(self, make):
+        rep = check_liveness_variable_projection(make(2, 2), 5)
+        assert rep.holds, str(rep)
+
+
+class TestAllLivenessProperties:
+    def test_reports_all_four_halves(self):
+        reps = check_all_liveness_properties(TwoPhaseLockingTM(2, 1), 4)
+        assert len(reps) == 4
+        assert all(r.holds for r in reps)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [SequentialTM, TwoPhaseLockingTM, DSTM, TL2],
+    ids=["seq", "2PL", "dstm", "TL2"],
+)
+class TestSecondHalves:
+    def test_p5ii_thread_projection(self, make):
+        from repro.reduction.liveness_props import (
+            check_liveness_thread_projection,
+        )
+
+        rep = check_liveness_thread_projection(make(2, 2), 4)
+        assert rep.holds, str(rep)
+
+    def test_p6ii_prefix_variable_projection(self, make):
+        from repro.reduction.liveness_props import (
+            check_liveness_prefix_variable_projection,
+        )
+
+        rep = check_liveness_prefix_variable_projection(make(2, 2), 4)
+        assert rep.holds, str(rep)

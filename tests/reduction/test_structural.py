@@ -1,0 +1,117 @@
+"""Tests for the structural properties P1–P4 (Section 4)."""
+
+import pytest
+
+from repro.core.statements import parse_word
+from repro.reduction import (
+    check_all_safety_properties,
+    check_commit_commutativity,
+    check_monotonicity,
+    check_thread_symmetry,
+    check_transaction_projection,
+    check_unfinished_commutativity,
+    check_variable_projection,
+)
+from repro.tm import DSTM, TL2, SequentialTM, TwoPhaseLockingTM
+
+MAXLEN = 4
+
+FAMILIES = [SequentialTM, TwoPhaseLockingTM, DSTM, TL2]
+IDS = ["seq", "2PL", "dstm", "TL2"]
+
+
+@pytest.mark.parametrize("make", FAMILIES, ids=IDS)
+class TestPaperTMsPassP1P3:
+    def test_p1_transaction_projection(self, make):
+        rep = check_transaction_projection(make(2, 2), MAXLEN)
+        assert rep.holds, str(rep)
+        assert rep.cases_checked > 0
+
+    def test_p2_thread_symmetry(self, make):
+        rep = check_thread_symmetry(make(2, 2), MAXLEN)
+        assert rep.holds, str(rep)
+
+    def test_p3_variable_projection(self, make):
+        rep = check_variable_projection(make(2, 2), MAXLEN)
+        assert rep.holds, str(rep)
+
+
+@pytest.mark.parametrize("make", FAMILIES, ids=IDS)
+class TestMonotonicityExistential:
+    def test_p4_monotonicity(self, make):
+        """The form Theorem 1's proof uses: some sequentialization is in
+        the language.  All four paper TMs satisfy it."""
+        rep = check_monotonicity(make(2, 2), MAXLEN)
+        assert rep.holds, str(rep)
+
+
+class TestMonotonicityUniversal:
+    def test_seq_2pl_tl2_pass_universal(self):
+        for make in [SequentialTM, TwoPhaseLockingTM, TL2]:
+            rep = check_monotonicity(make(2, 2), MAXLEN, universal=True)
+            assert rep.holds, str(rep)
+
+    def test_dstm_fails_universal(self):
+        """Documented finding: DSTM violates the paper's literal 'every
+        w2 ∈ seq(w')' phrasing — its commit-time validation aborts a
+        writer that was moved before the reader."""
+        rep = check_monotonicity(DSTM(2, 2), MAXLEN, universal=True)
+        assert not rep.holds
+        assert rep.witness == parse_word("(r,1)1 (w,1)2 c1 c2")
+
+
+class TestCommutativitySufficientConditions:
+    def test_2pl_dstm_tl2_unfinished_commutative(self):
+        for make in [TwoPhaseLockingTM, DSTM, TL2]:
+            rep = check_unfinished_commutativity(make(2, 2), MAXLEN)
+            assert rep.holds, str(rep)
+
+    def test_2pl_tl2_commit_commutative(self):
+        for make in [TwoPhaseLockingTM, TL2]:
+            rep = check_commit_commutativity(make(2, 2), MAXLEN)
+            assert rep.holds, str(rep)
+
+    def test_dstm_not_commit_commutative(self):
+        """Documented finding: DSTM's eager invalidation refuses the
+        slid form (the same root cause as the universal-monotonicity
+        failure)."""
+        rep = check_commit_commutativity(DSTM(2, 2), MAXLEN)
+        assert not rep.holds
+        assert rep.witness == parse_word("(r,1)1 (w,1)2 c1 c2")
+
+    def test_seq_passes_trivially(self):
+        """The sequential TM admits no concurrent overlaps at all, so
+        the (overlap-guarded) conditions hold with zero cases."""
+        rep = check_unfinished_commutativity(SequentialTM(2, 2), MAXLEN)
+        assert rep.holds and rep.cases_checked == 0
+
+
+class TestViolationDetection:
+    """The checkers must catch TMs that genuinely break the properties."""
+
+    def test_p2_violation_detected(self):
+        from repro.core.statements import Kind
+
+        class OnlyThread1CommitsTM(SequentialTM):
+            """Thread 2 can never commit — blatantly asymmetric.
+
+            Renaming thread 1's committing transactions onto thread 2
+            produces words this TM cannot generate."""
+
+            name = "biased"
+
+            def progress(self, state, cmd, thread):
+                if cmd.kind is Kind.COMMIT and thread == 2:
+                    return []
+                return super().progress(state, cmd, thread)
+
+        rep = check_thread_symmetry(OnlyThread1CommitsTM(2, 1), 4)
+        assert not rep.holds
+
+    def test_report_str_mentions_witness(self):
+        rep = check_monotonicity(DSTM(2, 2), MAXLEN, universal=True)
+        assert "VIOLATED" in str(rep)
+
+    def test_passing_report_str(self):
+        rep = check_transaction_projection(SequentialTM(2, 1), 3)
+        assert "no violation" in str(rep)

@@ -1,0 +1,153 @@
+"""Tests for the deterministic specifications Σdss / Σdop (Algorithm 6)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.properties import is_opaque, is_strictly_serializable
+from repro.core.statements import parse_word, statements
+from repro.spec import OP, SS
+from repro.spec.det import (
+    build_det_spec,
+    det_spec_accepts,
+    det_step,
+    initial_state,
+)
+
+ALPHABET_22 = statements(2, 2)
+
+
+class TestMechanics:
+    def test_initial_state(self):
+        q = initial_state(2)
+        assert all(rec[0] == "fin" and not rec[1] for rec in q)
+
+    def test_no_epsilon_needed_for_commit(self):
+        """The deterministic spec decides at commit time."""
+        q = det_step(initial_state(2), parse_word("(r,1)1")[0], SS)
+        q = det_step(q, parse_word("c1")[0], SS)
+        assert q is not None
+
+    def test_weak_predecessor_recorded_on_read_of_written_var(self):
+        w = parse_word("(w,1)2 (r,1)1")
+        q = det_step(initial_state(2), w[0], SS)
+        q = det_step(q, w[1], SS)
+        # thread 1 (reader) becomes a weak predecessor of thread 2
+        assert 1 in q[1][6]  # wp of thread 2
+
+    def test_self_cycle_blocks_commit(self):
+        # t1 reads v1, t2 writes v1 and also reads v2 which t1 writes:
+        # committing either first closes the other's cycle eventually
+        w = parse_word("(r,1)1 (w,2)1 (r,2)2 (w,1)2")
+        q = initial_state(2)
+        for s in w:
+            q = det_step(q, s, SS)
+            assert q is not None
+        # both now weak predecessors of each other: neither commit runs
+        # to a *pair* of commits; first commit is allowed, second fails
+        q1 = det_step(q, parse_word("c1")[0], SS)
+        assert q1 is not None
+        assert det_step(q1, parse_word("c2")[0], SS) is None
+
+    def test_pending_status_after_commit(self):
+        w = parse_word("(w,1)2 (r,1)1 c2")
+        q = initial_state(2)
+        for s in w:
+            q = det_step(q, s, SS)
+        assert q[0][0] == "pend"  # t1 must now serialize before t2
+
+    def test_doom_is_sticky_across_commits(self):
+        """Regression: Algorithm 6's literal pending-assignment would
+        resurrect an invalid thread."""
+        w = parse_word("(r,1)1 (w,1)2 c2 (r,2)2 (w,1)1 c2")
+        q = initial_state(2)
+        for s in w:
+            q = det_step(q, s, SS)
+            assert q is not None
+        assert q[0][1]  # thread 1 still doomed
+        assert det_step(q, parse_word("c1")[0], SS) is None
+
+    def test_opacity_read_guard(self):
+        # t1 read v1 before t2's commit-write of v1, so t1 serializes
+        # before t2; re-reading v1 after the commit is prohibited
+        w = parse_word("(w,1)2 (r,1)1 c2")
+        q = initial_state(2)
+        for s in w:
+            q = det_step(q, s, OP)
+        assert 1 in q[0][4]  # v1 in prs of thread 1
+        assert det_step(q, parse_word("(r,1)1")[0], OP) is None
+
+
+class TestDeterminism:
+    def test_unique_successor_per_statement(self, det_spec_ss_22):
+        for q, out in det_spec_ss_22.delta.items():
+            assert len(out) == len(set(out))
+
+    def test_build_is_reproducible(self):
+        a = build_det_spec(2, 1, SS)
+        b = build_det_spec(2, 1, SS)
+        assert a.num_states == b.num_states
+        assert a.initial == b.initial
+
+
+class TestDifferentialExhaustive:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3])
+    def test_agrees_with_reference(self, length):
+        for tup in itertools.product(ALPHABET_22, repeat=length):
+            assert det_spec_accepts(
+                tup, 2, 2, SS
+            ) == is_strictly_serializable(tup), tup
+            assert det_spec_accepts(tup, 2, 2, OP) == is_opaque(tup), tup
+
+    @pytest.mark.slow
+    def test_agrees_with_reference_length4(self):
+        for tup in itertools.product(ALPHABET_22, repeat=4):
+            assert det_spec_accepts(
+                tup, 2, 2, SS
+            ) == is_strictly_serializable(tup), tup
+            assert det_spec_accepts(tup, 2, 2, OP) == is_opaque(tup), tup
+
+
+@st.composite
+def words_22(draw, max_len=12):
+    length = draw(st.integers(0, max_len))
+    return tuple(draw(st.sampled_from(ALPHABET_22)) for _ in range(length))
+
+
+class TestDifferentialRandom:
+    @given(words_22())
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_reference(self, w):
+        assert det_spec_accepts(w, 2, 2, SS) == is_strictly_serializable(w)
+        assert det_spec_accepts(w, 2, 2, OP) == is_opaque(w)
+
+
+class TestStateCounts:
+    def test_ss_state_count(self, det_spec_ss_22):
+        """Σdss: 3424 states in our encoding (paper: 3520)."""
+        assert det_spec_ss_22.num_states == 3424
+
+    def test_op_state_count(self, det_spec_op_22):
+        """Σdop: 2272 states — exactly the paper's number."""
+        assert det_spec_op_22.num_states == 2272
+
+    def test_det_smaller_than_nondet(
+        self, det_spec_ss_22, det_spec_op_22, nondet_spec_ss_22,
+        nondet_spec_op_22,
+    ):
+        """Section 5.3's surprise: the hand-built deterministic specs are
+        much smaller than the nondeterministic ones."""
+        assert det_spec_ss_22.num_states < nondet_spec_ss_22.num_states / 3
+        assert det_spec_op_22.num_states < nondet_spec_op_22.num_states / 3
+
+
+class TestPaperCounterexample:
+    def test_w1_rejected(self, det_spec_ss_22, det_spec_op_22):
+        w1 = parse_word("(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1")
+        assert not det_spec_ss_22.accepts(w1)
+        assert not det_spec_op_22.accepts(w1)
+
+    def test_prefix_of_w1_accepted(self, det_spec_ss_22):
+        w1 = parse_word("(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2")
+        assert det_spec_ss_22.accepts(w1)

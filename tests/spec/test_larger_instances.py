@@ -1,0 +1,64 @@
+"""Specification correctness beyond (2, 2).
+
+The reduction theorem makes (2, 2) decisive, but the specifications are
+defined for any (n, k); these tests validate them on sampled words for
+three threads and up to three variables against the reference deciders.
+"""
+
+import random
+
+import pytest
+
+from repro.core.properties import is_opaque, is_strictly_serializable
+from repro.core.statements import statements
+from repro.spec import OP, SS
+from repro.spec.det import det_spec_accepts
+from repro.spec.nondet import spec_accepts
+
+
+def _sampled_words(n, k, trials, max_len, seed):
+    rng = random.Random(seed)
+    alphabet = statements(n, k)
+    for _ in range(trials):
+        length = rng.randint(0, max_len)
+        yield tuple(rng.choice(alphabet) for _ in range(length))
+
+
+class TestThreeThreads:
+    @pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+    def test_det_spec_agrees_31(self, prop):
+        ref = is_strictly_serializable if prop is SS else is_opaque
+        for w in _sampled_words(3, 1, 250, 9, seed=5):
+            assert det_spec_accepts(w, 3, 1, prop) == ref(w), w
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+    def test_det_spec_agrees_32(self, prop):
+        ref = is_strictly_serializable if prop is SS else is_opaque
+        for w in _sampled_words(3, 2, 400, 10, seed=6):
+            assert det_spec_accepts(w, 3, 2, prop) == ref(w), w
+
+    @pytest.mark.slow
+    def test_nondet_spec_agrees_32_opacity(self):
+        for w in _sampled_words(3, 2, 120, 8, seed=7):
+            assert spec_accepts(w, 3, 2, OP) == is_opaque(w), w
+
+
+class TestThreeVariables:
+    @pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+    def test_det_spec_agrees_23(self, prop):
+        ref = is_strictly_serializable if prop is SS else is_opaque
+        for w in _sampled_words(2, 3, 250, 9, seed=8):
+            assert det_spec_accepts(w, 2, 3, prop) == ref(w), w
+
+
+class TestDegenerateInstances:
+    def test_single_thread_everything_accepted(self):
+        """One thread alone is always opaque (no concurrency)."""
+        for w in _sampled_words(1, 2, 200, 8, seed=9):
+            assert det_spec_accepts(w, 1, 2, OP)
+            assert is_opaque(w)
+
+    def test_zero_length_words(self):
+        assert det_spec_accepts((), 3, 3, SS)
+        assert spec_accepts((), 3, 3, OP)

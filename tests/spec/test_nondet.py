@@ -1,0 +1,172 @@
+"""Tests for the nondeterministic specifications Σss / Σop (Algorithm 5).
+
+The anchor is differential agreement with the reference graph-based
+checkers: exhaustively on short words, randomly on longer ones, plus the
+regression words that exposed the invalid-status subtlety.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.properties import is_opaque, is_strictly_serializable
+from repro.core.statements import parse_word, statements
+from repro.spec import OP, SS
+from repro.spec.nondet import (
+    build_nondet_spec,
+    initial_state,
+    nondet_epsilon,
+    nondet_step,
+    spec_accepts,
+)
+
+ALPHABET_22 = statements(2, 2)
+
+
+class TestMechanics:
+    def test_initial_state_shape(self):
+        q = initial_state(2)
+        assert len(q) == 2
+        assert all(rec[0] == "fin" for rec in q)
+
+    def test_epsilon_requires_started(self):
+        q = initial_state(2)
+        assert nondet_epsilon(q, 1, SS) is None
+
+    def test_read_starts_transaction(self):
+        q = nondet_step(initial_state(2), parse_word("(r,1)1")[0], SS)
+        assert q[0][0] == "start"
+        assert 1 in q[0][2]  # rs
+
+    def test_commit_requires_serialization(self):
+        q = nondet_step(initial_state(2), parse_word("(r,1)1")[0], SS)
+        assert nondet_step(q, parse_word("c1")[0], SS) is None
+
+    def test_commit_after_epsilon(self):
+        q = nondet_step(initial_state(2), parse_word("(r,1)1")[0], SS)
+        q = nondet_epsilon(q, 1, SS)
+        assert q is not None and q[0][0] == "ser"
+        q = nondet_step(q, parse_word("c1")[0], SS)
+        assert q is not None and q[0][0] == "fin"
+
+    def test_empty_commit_allowed(self):
+        q = nondet_step(initial_state(2), parse_word("c1")[0], SS)
+        assert q == initial_state(2)
+
+    def test_abort_resets(self):
+        q = nondet_step(initial_state(2), parse_word("(w,1)1")[0], OP)
+        q = nondet_step(q, parse_word("a1")[0], OP)
+        assert q == initial_state(2)
+
+    def test_local_read_is_noop(self):
+        w = parse_word("(w,1)1 (r,1)1")
+        q = nondet_step(initial_state(2), w[0], SS)
+        assert nondet_step(q, w[1], SS) == q
+
+
+class TestDifferentialExhaustive:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3])
+    def test_agrees_with_reference(self, length):
+        for tup in itertools.product(ALPHABET_22, repeat=length):
+            assert spec_accepts(tup, 2, 2, SS) == is_strictly_serializable(
+                tup
+            ), tup
+            assert spec_accepts(tup, 2, 2, OP) == is_opaque(tup), tup
+
+    @pytest.mark.slow
+    def test_agrees_with_reference_length4(self):
+        for tup in itertools.product(ALPHABET_22, repeat=4):
+            assert spec_accepts(tup, 2, 2, SS) == is_strictly_serializable(
+                tup
+            ), tup
+            assert spec_accepts(tup, 2, 2, OP) == is_opaque(tup), tup
+
+
+@st.composite
+def words_22(draw, max_len=10):
+    length = draw(st.integers(0, max_len))
+    return tuple(
+        draw(st.sampled_from(ALPHABET_22)) for _ in range(length)
+    )
+
+
+class TestDifferentialRandom:
+    @given(words_22())
+    @settings(max_examples=150, deadline=None)
+    def test_ss_agrees(self, w):
+        assert spec_accepts(w, 2, 2, SS) == is_strictly_serializable(w)
+
+    @given(words_22())
+    @settings(max_examples=150, deadline=None)
+    def test_op_agrees(self, w):
+        assert spec_accepts(w, 2, 2, OP) == is_opaque(w)
+
+
+class TestRegressions:
+    """Words that exposed the invalid-vs-doomed distinction."""
+
+    def test_resurrected_pending_word(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 (r,2)2 (w,1)1 c2 c1")
+        assert not spec_accepts(w, 2, 2, SS)
+        assert not spec_accepts(w, 2, 2, OP)
+
+    def test_doomed_serialized_reader_word(self):
+        w = parse_word("(r,1)1 (w,2)1 (r,2)2 (w,1)2 c2 (r,1)1")
+        assert spec_accepts(w, 2, 2, SS)
+        assert not spec_accepts(w, 2, 2, OP)
+
+    def test_late_epsilon_interleaving(self):
+        # opaque only if both serialization points interleave correctly
+        w = parse_word("(w,1)2 (r,1)1 c2")
+        assert spec_accepts(w, 2, 2, OP)
+
+
+class TestPaperFigures:
+    @pytest.mark.parametrize(
+        "text,n,k,ss,op",
+        [
+            ("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1 c3", 3, 2, False, False),
+            ("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1", 3, 2, True, False),
+            ("(w,1)2 (r,1)1 c2 (r,2)3 a3 (w,2)1 c1", 3, 2, True, False),
+            (
+                "(w,1)2 (r,2)2 (r,3)3 (r,1)1 c2 (w,2)3 (w,3)1 c1 c3",
+                3,
+                3,
+                False,
+                False,
+            ),
+        ],
+    )
+    def test_figures(self, text, n, k, ss, op):
+        w = parse_word(text)
+        assert spec_accepts(w, n, k, SS) == ss
+        assert spec_accepts(w, n, k, OP) == op
+
+
+class TestAutomaton:
+    def test_state_counts_22(self, nondet_spec_ss_22, nondet_spec_op_22):
+        """Close to the paper's 12345 (ss) and 9202 (op)."""
+        assert nondet_spec_ss_22.num_states == 12796
+        assert nondet_spec_op_22.num_states == 8396
+
+    def test_automaton_agrees_with_simulation(self, nondet_spec_ss_22):
+        for text in [
+            "(r,1)1 (w,1)2 c2 c1",
+            "(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1",
+            "(r,1)1 (r,1)2 c1 c2",
+        ]:
+            w = parse_word(text)
+            assert nondet_spec_ss_22.accepts(w) == spec_accepts(w, 2, 2, SS)
+
+    def test_op_subset_of_ss(self):
+        """piop ⊆ piss at the automaton level on sampled words."""
+        import random
+
+        rng = random.Random(3)
+        for _ in range(300):
+            w = tuple(
+                rng.choice(ALPHABET_22) for _ in range(rng.randint(0, 8))
+            )
+            if spec_accepts(w, 2, 2, OP):
+                assert spec_accepts(w, 2, 2, SS)

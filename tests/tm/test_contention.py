@@ -1,0 +1,137 @@
+"""Tests for contention managers and the TM × manager product."""
+
+import pytest
+
+from repro.core.statements import Command, Kind, parse_word
+from repro.lang import enumerate_tm_language
+from repro.tm import (
+    DSTM,
+    TL2,
+    AggressiveManager,
+    BoundedKarmaManager,
+    Ext,
+    ManagedTM,
+    PermissiveManager,
+    PoliteManager,
+    build_safety_nfa,
+    language_contains,
+)
+
+
+class TestManagers:
+    def test_aggressive_blocks_abort(self):
+        cm = AggressiveManager()
+        p = cm.initial_state()
+        assert cm.step(p, Ext("abort"), 1) == []
+        assert cm.step(p, Ext("own", 1), 1) == [p]
+
+    def test_polite_allows_only_abort(self):
+        cm = PoliteManager()
+        p = cm.initial_state()
+        assert cm.step(p, Ext("abort"), 1) == [p]
+        assert cm.step(p, Ext("lock", 1), 2) == []
+
+    def test_permissive_allows_everything(self):
+        cm = PermissiveManager()
+        p = cm.initial_state()
+        for ext in [Ext("abort"), Ext("read", 1), Ext("validate")]:
+            assert cm.step(p, ext, 1) == [p]
+
+    def test_karma_tracks_priorities(self):
+        cm = BoundedKarmaManager(2, bound=3)
+        p = cm.initial_state()
+        (p,) = cm.step(p, Ext("read", 1), 1)
+        (p,) = cm.step(p, Ext("write", 1), 1)
+        assert p == (2, 0)
+
+    def test_karma_saturates(self):
+        cm = BoundedKarmaManager(2, bound=1)
+        p = cm.initial_state()
+        (p,) = cm.step(p, Ext("read", 1), 1)
+        (p,) = cm.step(p, Ext("read", 1), 1)
+        assert p == (1, 0)
+
+    def test_karma_protects_prioritized_thread(self):
+        cm = BoundedKarmaManager(2, bound=3)
+        # thread 1 has strictly higher priority: it may not self-abort
+        assert cm.step((2, 1), Ext("abort"), 1) == []
+        # equal or lower priority threads may abort (and reset)
+        assert cm.step((1, 1), Ext("abort"), 1) == [(0, 1)]
+
+    def test_karma_validation(self):
+        with pytest.raises(ValueError):
+            BoundedKarmaManager(0)
+        with pytest.raises(ValueError):
+            BoundedKarmaManager(2, bound=0)
+
+
+class TestManagedTM:
+    def test_name_composition(self):
+        tm = ManagedTM(DSTM(2, 2), AggressiveManager())
+        assert tm.name == "dstm+aggr"
+
+    def test_manager_restricts_language(self):
+        """L(Acm) ⊆ L(A) — the key fact behind verifying safety without
+        managers (Section 4)."""
+        base = TL2(2, 1)
+        managed = ManagedTM(TL2(2, 1), PoliteManager())
+        base_nfa = build_safety_nfa(base)
+        for w in enumerate_tm_language(managed, 4):
+            assert base_nfa.accepts(w)
+
+    def test_permissive_manager_preserves_language(self):
+        base = DSTM(2, 1)
+        managed = ManagedTM(DSTM(2, 1), PermissiveManager())
+        base_words = set(enumerate_tm_language(base, 4))
+        managed_words = set(enumerate_tm_language(managed, 4))
+        assert base_words == managed_words
+
+    def test_aggressive_forbids_conflict_self_abort(self):
+        tm = ManagedTM(DSTM(2, 2), AggressiveManager())
+        # reach a state where t2 owns v1 and t1 wants to write v1
+        q = tm.initial_state()
+        (q,) = [
+            tr.state
+            for tr in tm.transitions(q, Command(Kind.WRITE, 1), 2)
+            if tr.ext.name == "own"
+        ]
+        trans = tm.transitions(q, Command(Kind.WRITE, 1), 1)
+        # conflict: φ true; aggressive removes the abort option
+        assert not any(tr.ext.is_abort for tr in trans)
+        assert any(tr.ext.name == "own" for tr in trans)
+
+    def test_polite_forces_conflict_abort(self):
+        tm = ManagedTM(TL2(2, 1), PoliteManager())
+        # t2 locks v1 mid-commit; t1 wrote v1 and tries to commit
+        q = tm.initial_state()
+        (q,) = [
+            tr.state
+            for tr in tm.transitions(q, Command(Kind.WRITE, 1), 2)
+        ]
+        (q,) = [
+            tr.state
+            for tr in tm.transitions(q, Command(Kind.COMMIT, None), 2)
+            if tr.ext.name == "lock"
+        ]
+        (q,) = [
+            tr.state
+            for tr in tm.transitions(q, Command(Kind.WRITE, 1), 1)
+        ]
+        trans = tm.transitions(q, Command(Kind.COMMIT, None), 1)
+        assert all(tr.ext.is_abort for tr in trans)
+
+    def test_forced_aborts_survive_aggressive_manager(self):
+        """Aggressive only vetoes φ-conflict aborts, not abort-enabled
+        ones (rule ii applies only at conflicts)."""
+        tm = ManagedTM(DSTM(2, 1), AggressiveManager())
+        w = parse_word("(w,1)1 (w,1)2 a1")
+        # t2 steals v1 from t1 (allowed, it's an own); t1 then must abort
+        assert language_contains(tm, w)
+
+    def test_conflict_passthrough(self):
+        base = DSTM(2, 2)
+        managed = ManagedTM(DSTM(2, 2), PoliteManager())
+        q = base.initial_state()
+        mq = managed.initial_state()
+        cmd = Command(Kind.WRITE, 1)
+        assert managed.conflict(mq, cmd, 1) == base.conflict(q, cmd, 1)

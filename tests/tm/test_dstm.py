@@ -1,0 +1,132 @@
+"""Tests for DSTM (Algorithm 3): ownership, stealing, validation."""
+
+from repro.core.statements import Command, Kind, parse_word
+from repro.tm import DSTM, Resp, language_contains
+from repro.tm.dstm import ABORTED, FINISHED, INVALID, VALIDATED
+
+
+def fresh():
+    return DSTM(2, 2)
+
+
+def run_progress(tm, state, kind, var, thread):
+    cmd = Command(kind, var)
+    steps = tm.progress(state, cmd, thread)
+    assert len(steps) == 1, steps
+    return steps[0]
+
+
+class TestOwnership:
+    def test_write_owns_then_completes(self):
+        tm = fresh()
+        ext, resp, q1 = run_progress(
+            tm, tm.initial_state(), Kind.WRITE, 1, 1
+        )
+        assert ext.name == "own" and resp is Resp.BOT
+        assert 1 in q1[0][2]  # os of thread 1
+        ext2, resp2, _ = run_progress(tm, q1, Kind.WRITE, 1, 1)
+        assert ext2.name == "write" and resp2 is Resp.DONE
+
+    def test_stealing_aborts_owner(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        # thread 2 steals ownership of v1
+        _, _, q2 = run_progress(tm, q1, Kind.WRITE, 1, 2)
+        assert q2[0][0] == ABORTED
+        assert q2[0][2] == frozenset()  # os cleared
+        assert 1 in q2[1][2]
+
+    def test_conflict_function_on_write(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        assert tm.conflict(q1, Command(Kind.WRITE, 1), 2)
+        assert not tm.conflict(q1, Command(Kind.WRITE, 2), 2)
+
+    def test_aborted_thread_must_abort(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        _, _, q2 = run_progress(tm, q1, Kind.WRITE, 1, 2)
+        # thread 1 (status aborted) has no progress on any command
+        for cmd in tm.commands():
+            assert tm.progress(q2, cmd, 1) == []
+
+
+class TestReads:
+    def test_read_is_single_step(self):
+        tm = fresh()
+        ext, resp, q1 = run_progress(tm, tm.initial_state(), Kind.READ, 1, 1)
+        assert ext.name == "read" and resp is Resp.DONE
+        assert 1 in q1[0][1]  # rs
+
+    def test_read_of_owned_var_no_rs_update(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        _, _, q2 = run_progress(tm, q1, Kind.READ, 1, 1)
+        assert q2[0][1] == frozenset()  # no global read recorded
+
+    def test_read_does_not_conflict(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        assert not tm.conflict(q1, Command(Kind.READ, 1), 2)
+
+
+class TestCommit:
+    def test_validate_then_commit(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.READ, 1, 1)
+        ext, resp, q2 = run_progress(tm, q1, Kind.COMMIT, None, 1)
+        assert ext.name == "validate" and resp is Resp.BOT
+        assert q2[0][0] == VALIDATED
+        ext2, resp2, q3 = run_progress(tm, q2, Kind.COMMIT, None, 1)
+        assert ext2.name == "commit" and resp2 is Resp.DONE
+        assert q3[0][0] == FINISHED
+
+    def test_validate_aborts_owner_of_read_var(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.READ, 1, 1)
+        _, _, q2 = run_progress(tm, q1, Kind.WRITE, 1, 2)  # t2 owns v1
+        _, _, q3 = run_progress(tm, q2, Kind.COMMIT, None, 1)  # validate
+        assert q3[1][0] == ABORTED
+
+    def test_commit_invalidates_readers(self):
+        tm = fresh()
+        _, _, q1 = run_progress(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        _, _, q2 = run_progress(tm, q1, Kind.READ, 1, 2)  # t2 reads v1
+        _, _, q3 = run_progress(tm, q2, Kind.COMMIT, None, 1)  # validate t1
+        _, _, q4 = run_progress(tm, q3, Kind.COMMIT, None, 1)  # commit t1
+        assert q4[1][0] == INVALID
+
+    def test_invalid_thread_cannot_commit(self):
+        tm = fresh()
+        views = (
+            (FINISHED, frozenset(), frozenset()),
+            (INVALID, frozenset([1]), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.COMMIT, None), 2) == []
+
+    def test_commit_conflict_function(self):
+        tm = fresh()
+        views = (
+            (FINISHED, frozenset([1]), frozenset()),
+            (FINISHED, frozenset(), frozenset([1])),
+        )
+        assert tm.conflict(views, Command(Kind.COMMIT, None), 1)
+
+
+class TestLanguage:
+    def test_table1_run_a(self):
+        w = parse_word("(r,1)1 (w,1)2 (w,2)1 c1 a2")
+        assert language_contains(fresh(), w)
+
+    def test_table1_run_b(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 (w,2)1 a1")
+        assert language_contains(fresh(), w)
+
+    def test_early_validation_interleaving(self):
+        # validate may precede the other thread's ownership
+        w = parse_word("(r,1)1 (w,1)2 c1 c2")
+        assert language_contains(fresh(), w)
+
+    def test_never_produces_bad_word(self):
+        w = parse_word("(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1")
+        assert not language_contains(fresh(), w)

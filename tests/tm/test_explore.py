@@ -1,0 +1,123 @@
+"""Tests for the explorer: most-general-program semantics, sizes, views."""
+
+import pytest
+
+from repro.automata.nfa import EPSILON
+from repro.core.statements import parse_word
+from repro.tm import (
+    DSTM,
+    TL2,
+    ManagedTM,
+    ModifiedTL2,
+    PoliteManager,
+    Resp,
+    SequentialTM,
+    TwoPhaseLockingTM,
+    build_liveness_graph,
+    build_safety_nfa,
+    language_contains,
+    transition_system_size,
+)
+
+# Table 1: (TM, word-of-run) rows; every word must be in the language.
+TABLE1 = [
+    (SequentialTM(2, 2), "(r,1)1 (w,2)1 c1 (w,1)2 c2"),
+    (SequentialTM(2, 2), "(r,1)1 (w,2)1 a2 c1 (w,1)2 c2"),
+    (TwoPhaseLockingTM(2, 2), "(r,1)1 (w,2)1 c1"),
+    (TwoPhaseLockingTM(2, 2), "a2 (r,1)1 (w,2)1 c1"),
+    (DSTM(2, 2), "(r,1)1 (w,1)2 (w,2)1 c1 a2"),
+    (DSTM(2, 2), "(r,1)1 (w,1)2 c2 (w,2)1 a1"),
+    (TL2(2, 2), "(r,1)1 (w,2)1 (w,1)2 c1 c2"),
+    (TL2(2, 2), "(r,1)1 (w,2)1 (w,1)2 a1 c2"),
+]
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "tm,word", TABLE1, ids=[f"{tm.name}-{i}" for i, (tm, _) in enumerate(TABLE1)]
+    )
+    def test_run_word_in_language(self, tm, word):
+        assert language_contains(tm, parse_word(word))
+
+
+class TestSizes:
+    """Transition-system sizes (Table 2's Size column, our encoding)."""
+
+    def test_seq(self):
+        assert transition_system_size(SequentialTM(2, 2)) == 3
+
+    def test_sizes_are_stable(self):
+        sizes = {
+            "2PL": transition_system_size(TwoPhaseLockingTM(2, 2)),
+            "dstm": transition_system_size(DSTM(2, 2)),
+        }
+        assert sizes == {"2PL": 240, "dstm": 2864}
+
+    def test_ordering_matches_paper(self):
+        """seq < 2PL < dstm < TL2 ≈ modTL2+pol, as in Table 2."""
+        seq = transition_system_size(SequentialTM(2, 2))
+        tpl = transition_system_size(TwoPhaseLockingTM(2, 2))
+        dstm = transition_system_size(DSTM(2, 2))
+        tl2 = transition_system_size(TL2(2, 2))
+        assert seq < tpl < dstm < tl2
+
+
+class TestSafetyNFA:
+    def test_epsilon_for_bot_steps(self):
+        nfa = build_safety_nfa(TwoPhaseLockingTM(2, 1))
+        has_eps = any(
+            EPSILON in out for out in nfa.delta.values()
+        )
+        assert has_eps
+
+    def test_seq_has_no_internal_steps(self):
+        nfa = build_safety_nfa(SequentialTM(2, 2))
+        assert all(
+            EPSILON not in out for out in nfa.delta.values()
+        )
+
+    def test_prefix_closed(self):
+        nfa = build_safety_nfa(DSTM(2, 1))
+        w = parse_word("(r,1)1 (w,1)2 c2")
+        if nfa.accepts(w):
+            for i in range(len(w)):
+                assert nfa.accepts(w[:i])
+
+    def test_max_states_guard(self):
+        with pytest.raises(RuntimeError):
+            build_safety_nfa(TL2(2, 2), max_states=10)
+
+
+class TestLivenessGraph:
+    def test_edges_labeled_with_extended_statements(self):
+        g = build_liveness_graph(TwoPhaseLockingTM(2, 1))
+        names = {e[1].ext_name for e in g.edges}
+        assert "rlock" in names or "wlock" in names
+        assert "abort" in names
+
+    def test_commit_flag(self):
+        g = build_liveness_graph(SequentialTM(2, 1))
+        commits = [e[1] for e in g.edges if e[1].is_commit]
+        assert commits and all(l.resp is Resp.DONE for l in commits)
+
+    def test_abort_flag(self):
+        g = build_liveness_graph(SequentialTM(2, 1))
+        aborts = [e[1] for e in g.edges if e[1].is_abort]
+        assert aborts and all(l.ext_name == "abort" for l in aborts)
+
+    def test_node_count_matches_explorer(self):
+        tm = DSTM(2, 1)
+        g = build_liveness_graph(tm)
+        assert len(g.nodes) == transition_system_size(tm)
+
+    def test_initial_node_is_first(self):
+        g = build_liveness_graph(SequentialTM(2, 1))
+        assert g.nodes[0] == g.initial
+
+
+class TestManagedSize:
+    def test_modtl2_polite_size(self):
+        size = transition_system_size(
+            ManagedTM(ModifiedTL2(2, 2), PoliteManager())
+        )
+        assert size == 16552  # our encoding (paper: 17520)

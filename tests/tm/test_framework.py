@@ -1,0 +1,136 @@
+"""Tests for the TM-algorithm framework: rules R1–R8, pending semantics."""
+
+import pytest
+
+from repro.core.statements import Command, Kind
+from repro.tm import (
+    DSTM,
+    TL2,
+    AggressiveManager,
+    Ext,
+    ManagedTM,
+    ModifiedTL2,
+    PoliteManager,
+    Resp,
+    SequentialTM,
+    TwoPhaseLockingTM,
+    validate_rules,
+)
+from repro.tm.explore import explore_nodes, initial_node, iter_node_transitions
+
+ALL_TMS = [
+    SequentialTM(2, 2),
+    TwoPhaseLockingTM(2, 2),
+    DSTM(2, 2),
+    TL2(2, 2),
+    ModifiedTL2(2, 2),
+]
+
+
+class TestConstruction:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            SequentialTM(0, 1)
+
+    def test_rejects_zero_variables(self):
+        with pytest.raises(ValueError):
+            DSTM(1, 0)
+
+    def test_commands_match_k(self):
+        tm = TL2(2, 3)
+        cmds = tm.commands()
+        assert len(cmds) == 2 * 3 + 1
+
+    def test_describe(self):
+        assert SequentialTM(2, 2).describe() == "seq(n=2, k=2)"
+
+
+class TestExt:
+    def test_of_command(self):
+        e = Ext.of_command(Command(Kind.READ, 2))
+        assert e.name == "read" and e.var == 2
+
+    def test_abort_flag(self):
+        assert Ext("abort").is_abort
+        assert not Ext("read", 1).is_abort
+
+    def test_commit_flag(self):
+        assert Ext("commit").is_commit
+
+    def test_str(self):
+        assert str(Ext("rlock", 2)) == "rlock(2)"
+        assert str(Ext("validate")) == "validate"
+
+
+@pytest.mark.parametrize("tm", ALL_TMS, ids=lambda t: t.name)
+class TestPaperRules:
+    def test_rules_hold_on_reachable_states(self, tm):
+        """R5–R8 of Section 3, checked on every reachable node."""
+        nodes = explore_nodes(tm)
+        problems = validate_rules(tm, nodes)
+        assert problems == [], problems[:5]
+
+    def test_initial_state_no_pending(self, tm):
+        _, pending = initial_node(tm)
+        assert all(p is None for p in pending)
+
+    def test_abort_transitions_have_response_zero(self, tm):
+        for node in explore_nodes(tm)[:200]:
+            for _, _, tr, _ in iter_node_transitions(tm, node):
+                assert tr.ext.is_abort == (tr.resp is Resp.ABORT)
+
+
+@pytest.mark.parametrize("tm", ALL_TMS, ids=lambda t: t.name)
+class TestPendingSemantics:
+    def test_bot_sets_pending(self, tm):
+        """After a ⊥ response, the thread's pending slot holds the command
+        and only that command is offered next."""
+        for node in explore_nodes(tm)[:300]:
+            for t, cmd, tr, succ in iter_node_transitions(tm, node):
+                _, pending = succ
+                if tr.resp is Resp.BOT:
+                    assert pending[t - 1] == cmd
+                else:
+                    assert pending[t - 1] is None
+
+    def test_pending_thread_only_continues_pending_command(self, tm):
+        for node in explore_nodes(tm)[:300]:
+            _, pending = node
+            for t, cmd, _, _ in iter_node_transitions(tm, node):
+                if pending[t - 1] is not None:
+                    assert cmd == pending[t - 1]
+
+    def test_other_threads_pending_untouched(self, tm):
+        for node in explore_nodes(tm)[:300]:
+            _, pending = node
+            for t, _, _, (_, new_pending) in iter_node_transitions(tm, node):
+                for u in tm.threads():
+                    if u != t:
+                        assert new_pending[u - 1] == pending[u - 1]
+
+
+class TestAbortEnabledness:
+    def test_seq_blocks_second_thread(self):
+        tm = SequentialTM(2, 1)
+        state = (1, 0)  # thread 1 started
+        cmd = Command(Kind.READ, 1)
+        assert tm.is_abort_enabled(state, cmd, 2)
+        assert not tm.is_abort_enabled(state, cmd, 1)
+
+    def test_abort_transition_exists_iff_enabled_or_conflict(self):
+        tm = DSTM(2, 2)
+        for node in explore_nodes(tm)[:400]:
+            state, pending = node
+            for t in tm.threads():
+                cmds = (
+                    [pending[t - 1]]
+                    if pending[t - 1] is not None
+                    else list(tm.commands())
+                )
+                for cmd in cmds:
+                    trans = tm.transitions(state, cmd, t)
+                    has_abort = any(tr.ext.is_abort for tr in trans)
+                    expected = tm.is_abort_enabled(
+                        state, cmd, t
+                    ) or tm.conflict(state, cmd, t)
+                    assert has_abort == expected

@@ -1,0 +1,157 @@
+"""Tests for the lock-free OptimisticTM (our extension, Section 8 style)."""
+
+import pytest
+
+from repro.core.statements import Command, Kind, parse_word
+from repro.spec import OP, SS
+from repro.tm import Resp, language_contains, transition_system_size
+from repro.tm.optimistic import OptimisticTM
+
+
+def fresh():
+    return OptimisticTM(2, 2)
+
+
+def step(tm, state, kind, var, thread):
+    steps = tm.progress(state, Command(kind, var), thread)
+    assert len(steps) == 1, steps
+    return steps[0]
+
+
+class TestMechanics:
+    def test_reads_and_writes_single_step(self):
+        tm = fresh()
+        ext, resp, q = step(tm, tm.initial_state(), Kind.READ, 1, 1)
+        assert resp is Resp.DONE and 1 in q[0][0]
+        ext, resp, q = step(tm, q, Kind.WRITE, 2, 1)
+        assert resp is Resp.DONE and 2 in q[0][1]
+
+    def test_stale_read_aborts(self):
+        tm = fresh()
+        views = (
+            (frozenset(), frozenset(), frozenset([1])),  # v1 modified
+            (frozenset(), frozenset(), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.READ, 1), 1) == []
+
+    def test_own_write_shadows_staleness(self):
+        tm = fresh()
+        views = (
+            (frozenset(), frozenset([1]), frozenset([1])),
+            (frozenset(), frozenset(), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.READ, 1), 1) != []
+
+    def test_commit_publishes_to_active_threads(self):
+        tm = fresh()
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.READ, 2, 2)  # t2 active
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert 1 in q[1][2]  # ms of t2
+        assert q[0] == (frozenset(),) * 3
+
+    def test_commit_skips_idle_threads(self):
+        tm = fresh()
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert q[1][2] == frozenset()
+
+    def test_doomed_commit_aborts(self):
+        tm = fresh()
+        views = (
+            (frozenset([1]), frozenset(), frozenset([1])),
+            (frozenset(), frozenset(), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.COMMIT, None), 1) == []
+
+    def test_write_write_race_detected_at_commit(self):
+        tm = fresh()
+        views = (
+            (frozenset(), frozenset([1]), frozenset([1])),
+            (frozenset(), frozenset(), frozenset()),
+        )
+        # t1 wrote v1, but someone committed v1 meanwhile: ws ∩ ms ≠ ∅
+        assert tm.progress(views, Command(Kind.COMMIT, None), 1) == []
+
+    def test_no_conflict_function(self):
+        tm = fresh()
+        q = tm.initial_state()
+        for cmd in tm.commands():
+            assert not tm.conflict(q, cmd, 1)
+
+
+class TestSafety:
+    def test_opaque_22(self, det_spec_op_22):
+        from repro.checking import check_safety
+
+        res = check_safety(fresh(), OP, spec=det_spec_op_22)
+        assert res.holds
+
+    def test_strictly_serializable_22(self, det_spec_ss_22):
+        from repro.checking import check_safety
+
+        res = check_safety(fresh(), SS, spec=det_spec_ss_22)
+        assert res.holds
+
+    def test_known_bad_word_not_producible(self):
+        w = parse_word("(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1")
+        assert not language_contains(fresh(), w)
+
+    def test_concurrent_disjoint_commits(self):
+        w = parse_word("(w,1)1 (w,2)2 c1 c2")
+        assert language_contains(fresh(), w)
+
+    def test_reader_aborted_by_writer_commit(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 a1")
+        assert language_contains(fresh(), w)
+
+
+class TestLiveness:
+    """The headline: lock-freedom buys obstruction *and* livelock
+    freedom with no contention manager — none of the paper's TMs manage
+    both (Table 3)."""
+
+    def test_obstruction_free(self):
+        from repro.checking import check_obstruction_freedom
+
+        assert check_obstruction_freedom(OptimisticTM(2, 1)).holds
+
+    def test_livelock_free(self):
+        from repro.checking import check_livelock_freedom
+
+        assert check_livelock_freedom(OptimisticTM(2, 1)).holds
+
+    def test_not_wait_free(self):
+        from repro.checking import check_wait_freedom
+
+        res = check_wait_freedom(OptimisticTM(2, 1))
+        assert not res.holds
+        # the starving thread aborts while the other commits forever
+        threads_committing = {
+            s.thread for s in res.loop if s.is_commit
+        }
+        threads_aborting = {s.thread for s in res.loop if s.is_abort}
+        assert threads_committing and threads_aborting
+        assert threads_committing.isdisjoint(threads_aborting)
+
+    def test_size(self):
+        assert transition_system_size(fresh()) == 1696
+
+
+class TestStructuralProperties:
+    """It also satisfies the reduction hypotheses, so the (2,2) and
+    (2,1) verdicts generalize to all programs."""
+
+    def test_p1_p3_and_monotonicity(self):
+        from repro.reduction import check_all_safety_properties
+
+        for rep in check_all_safety_properties(fresh(), 4):
+            assert rep.holds, str(rep)
+
+    def test_liveness_properties(self):
+        from repro.reduction import check_all_liveness_properties
+
+        for rep in check_all_liveness_properties(fresh(), 4):
+            assert rep.holds, str(rep)

@@ -1,0 +1,108 @@
+"""The rules validator must catch deliberately broken TM algorithms.
+
+``validate_rules`` passes on all shipped TMs (test_framework.py); these
+tests confirm it is not vacuous by feeding it TMs that violate each rule
+in turn.
+"""
+
+from typing import List, Tuple
+
+from repro.core.statements import Command, Kind
+from repro.tm import Ext, Resp, SequentialTM, TMAlgorithm, validate_rules
+from repro.tm.algorithm import ABORT_EXT, Transition
+from repro.tm.explore import explore_nodes
+
+
+class _BrokenBase(SequentialTM):
+    """Sequential TM with a hook for targeted breakage."""
+
+
+class TestRuleViolations:
+    def test_r5_missing_transition_detected(self):
+        class NoCommitTM(_BrokenBase):
+            name = "no-commit"
+
+            def transitions(self, state, cmd, thread):
+                if cmd.kind is Kind.COMMIT:
+                    return []  # neither progress nor abort: violates R5
+                return super().transitions(state, cmd, thread)
+
+        tm = NoCommitTM(2, 1)
+        problems = validate_rules(tm, explore_nodes(tm))
+        assert any(p.startswith("R5") for p in problems)
+
+    def test_r6_abort_with_wrong_response_detected(self):
+        class BadAbortTM(_BrokenBase):
+            name = "bad-abort"
+
+            def transitions(self, state, cmd, thread):
+                result = super().transitions(state, cmd, thread)
+                return [
+                    Transition(tr.ext, Resp.DONE, tr.state)
+                    if tr.ext.is_abort
+                    else tr
+                    for tr in result
+                ]
+
+        tm = BadAbortTM(2, 1)
+        problems = validate_rules(tm, explore_nodes(tm))
+        assert any(p.startswith("R6") for p in problems)
+
+    def test_r7_duplicate_extended_command_detected(self):
+        class DuplicateTM(_BrokenBase):
+            name = "dup"
+
+            def progress(self, state, cmd, thread):
+                result = super().progress(state, cmd, thread)
+                if result and cmd.kind is Kind.READ:
+                    ext, resp, q = result[0]
+                    other = self.abort_reset(q, thread)
+                    if other != q:
+                        return result + [(ext, resp, other)]
+                    # force a distinct successor: flip thread 1's status
+                    flipped = (1 - q[0],) + q[1:]
+                    return result + [(ext, resp, flipped)]
+                return result
+
+        tm = DuplicateTM(2, 1)
+        problems = validate_rules(tm, explore_nodes(tm))
+        assert any(p.startswith("R7") for p in problems)
+
+    def test_r8_nondeterminism_without_conflict_detected(self):
+        class TwoWayTM(_BrokenBase):
+            name = "two-way"
+
+            def progress(self, state, cmd, thread):
+                result = super().progress(state, cmd, thread)
+                if result and cmd.kind is Kind.READ:
+                    ext, resp, q = result[0]
+                    # a second, distinct extended command for the same
+                    # statement with φ = false
+                    return result + [(Ext("peek", cmd.var), resp, q)]
+                return result
+
+        tm = TwoWayTM(2, 1)
+        problems = validate_rules(tm, explore_nodes(tm))
+        assert any(p.startswith("R8") for p in problems)
+
+    def test_r8_allowed_under_conflict(self):
+        class ConflictingTM(_BrokenBase):
+            name = "conflicting"
+
+            def conflict(self, state, cmd, thread):
+                return cmd.kind is Kind.READ
+
+            def progress(self, state, cmd, thread):
+                result = super().progress(state, cmd, thread)
+                if result and cmd.kind is Kind.READ:
+                    ext, resp, q = result[0]
+                    return result + [(Ext("peek", cmd.var), resp, q)]
+                return result
+
+        tm = ConflictingTM(2, 1)
+        problems = validate_rules(tm, explore_nodes(tm))
+        assert not any(p.startswith("R8") for p in problems)
+
+    def test_clean_tm_passes(self):
+        tm = SequentialTM(2, 1)
+        assert validate_rules(tm, explore_nodes(tm)) == []

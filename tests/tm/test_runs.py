@@ -1,0 +1,147 @@
+"""Tests for the scheduler-driven simulator against Table 1."""
+
+import pytest
+
+from repro.core.statements import format_word
+from repro.tm import DSTM, TL2, SequentialTM, TwoPhaseLockingTM
+from repro.tm.runs import (
+    ScheduleError,
+    parse_schedule,
+    prefer_abort,
+    prefer_progress,
+    program,
+    simulate,
+)
+
+
+class TestParsers:
+    def test_parse_schedule(self):
+        assert parse_schedule("11122") == [1, 1, 1, 2, 2]
+
+    def test_parse_schedule_rejects_letters(self):
+        with pytest.raises(ValueError):
+            parse_schedule("1a2")
+
+    def test_program(self):
+        p = program("r1 w2 c")
+        assert [c.kind.value for c in p] == ["read", "write", "commit"]
+        assert [c.var for c in p] == [1, 2, None]
+
+    def test_program_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            program("x3")
+
+
+# Table 1 rows as (TM, schedule, programs, expected run, expected word).
+TABLE1_RUNS = [
+    (
+        SequentialTM(2, 2),
+        "11122",
+        {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (w,2)1, c1, (w,1)2, c2",
+        "(r,1)1, (w,2)1, c1, (w,1)2, c2",
+    ),
+    (
+        SequentialTM(2, 2),
+        "112122",
+        {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (w,2)1, a2, c1, (w,1)2, c2",
+        "(r,1)1, (w,2)1, a2, c1, (w,1)2, c2",
+    ),
+    (
+        TwoPhaseLockingTM(2, 2),
+        "111112",
+        {1: "r1 w2 c", 2: "w2 c"},
+        "(rl,1)1, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,2)2",
+        "(r,1)1, (w,2)1, c1",
+    ),
+    (
+        TwoPhaseLockingTM(2, 2),
+        "1211112",
+        {1: "r1 w2 c", 2: "w1 c"},
+        # the paper's run ends with t2 opening a fresh transaction; our
+        # simulator retries the aborted command, so the final ⊥-step
+        # locks v1 instead of v2 — the observable word is identical
+        "(rl,1)1, a2, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,1)2",
+        "a2, (r,1)1, (w,2)1, c1",
+    ),
+    (
+        DSTM(2, 2),
+        "12211112",
+        {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (o,1)2, (w,1)2, (o,2)1, (w,2)1, v1, c1, a2",
+        "(r,1)1, (w,1)2, (w,2)1, c1, a2",
+    ),
+    (
+        TL2(2, 2),
+        "112112212",
+        {1: "r1 w2 c", 2: "w1 c"},
+        "(r,1)1, (w,2)1, (w,1)2, (l,2)1, v1, (l,1)2, v2, c1, c2",
+        "(r,1)1, (w,2)1, (w,1)2, c1, c2",
+    ),
+]
+
+
+class TestTable1Runs:
+    @pytest.mark.parametrize(
+        "tm,sched,progs,run_text,word_text",
+        TABLE1_RUNS,
+        ids=[f"{r[0].name}-{r[1]}" for r in TABLE1_RUNS],
+    )
+    def test_run_and_word(self, tm, sched, progs, run_text, word_text):
+        programs = {t: program(p) for t, p in progs.items()}
+        run = simulate(tm, programs, parse_schedule(sched))
+        assert str(run) == run_text
+        assert format_word(run.word()) == word_text
+
+
+class TestSimulatorSemantics:
+    def test_pending_command_resumes(self):
+        tm = TwoPhaseLockingTM(2, 1)
+        run = simulate(tm, {1: program("r1 c")}, [1, 1, 1])
+        assert [s.ext_name for s in run.steps] == ["rlock", "read", "commit"]
+
+    def test_aborted_transaction_restarts(self):
+        # t2 blocked by t1's write lock aborts, then retries after c1
+        tm = TwoPhaseLockingTM(2, 1)
+        run = simulate(
+            tm,
+            {1: program("w1 c"), 2: program("r1 c")},
+            parse_schedule("1211222"),
+        )
+        word = format_word(run.word())
+        assert word == "a2, (w,1)1, c1, (r,1)2, c2"
+
+    def test_exhausted_program_raises(self):
+        tm = SequentialTM(2, 1)
+        with pytest.raises(ScheduleError):
+            simulate(tm, {1: program("c")}, [1, 1])
+
+    def test_unknown_thread_raises(self):
+        tm = SequentialTM(2, 1)
+        with pytest.raises(ScheduleError):
+            simulate(tm, {1: program("c")}, [7])
+
+    def test_prefer_abort_policy(self):
+        # DSTM write conflict: default steals, prefer_abort yields
+        tm = DSTM(2, 1)
+        programs = {1: program("w1 c"), 2: program("w1 c")}
+        steal = simulate(tm, programs, parse_schedule("1122"))
+        assert not any(s.resp.name == "ABORT" for s in steal.steps[:3])
+        polite = simulate(
+            tm, programs, parse_schedule("1122"), resolve=prefer_abort
+        )
+        assert any(s.resp.name == "ABORT" for s in polite.steps)
+
+    def test_word_is_in_tm_language(self):
+        """Whatever the simulator produces must be a language member."""
+        from repro.tm import build_safety_nfa
+
+        tm = TL2(2, 2)
+        nfa = build_safety_nfa(tm)
+        run = simulate(
+            tm,
+            {1: program("r1 w2 c"), 2: program("w1 c")},
+            parse_schedule("112112212"),
+        )
+        assert nfa.accepts(run.word())

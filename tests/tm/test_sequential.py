@@ -1,0 +1,65 @@
+"""Tests for the sequential TM (Algorithm 1)."""
+
+from repro.core.statements import parse_word
+from repro.tm import SequentialTM, language_contains, transition_system_size
+from repro.lang import enumerate_tm_language
+
+
+class TestStateSpace:
+    def test_table2_size_is_3(self):
+        """Table 2: the sequential TM for (2,2) has exactly 3 states —
+        both-finished plus one started state per thread."""
+        assert transition_system_size(SequentialTM(2, 2)) == 3
+
+    def test_three_threads(self):
+        assert transition_system_size(SequentialTM(3, 1)) == 4
+
+
+class TestLanguage:
+    def test_table1_first_run(self):
+        w = parse_word("(r,1)1 (w,2)1 c1 (w,1)2 c2")
+        assert language_contains(SequentialTM(2, 2), w)
+
+    def test_table1_second_run_with_abort(self):
+        w = parse_word("(r,1)1 (w,2)1 a2 c1 (w,1)2 c2")
+        assert language_contains(SequentialTM(2, 2), w)
+
+    def test_no_interleaving(self):
+        w = parse_word("(r,1)1 (w,1)2 c1 c2")
+        assert not language_contains(SequentialTM(2, 2), w)
+
+    def test_commit_blocked_while_other_started(self):
+        w = parse_word("(r,1)1 c2 c1")
+        assert not language_contains(SequentialTM(2, 2), w)
+
+    def test_empty_commit_allowed_when_idle(self):
+        assert language_contains(SequentialTM(2, 2), parse_word("c1 c2 c1"))
+
+    def test_interrupting_thread_aborts_immediately(self):
+        w = parse_word("(r,1)1 a2 a2 (w,1)1 c1")
+        assert language_contains(SequentialTM(2, 2), w)
+
+    def test_every_language_word_is_transaction_sequential(self):
+        """Modulo empty aborts/commits, transactions never interleave."""
+        from repro.core.words import is_sequential
+
+        for w in enumerate_tm_language(SequentialTM(2, 1), 5):
+            meaningful = tuple(
+                s for s in w if not (s.is_finishing and _is_empty_tx(w, s))
+            )
+            assert is_sequential(meaningful)
+
+
+def _is_empty_tx(word, stmt):
+    """Is this finishing statement an empty transaction (no reads/writes)?"""
+    idx = None
+    for i, s in enumerate(word):
+        if s is stmt:
+            idx = i
+            break
+    assert idx is not None
+    # scan backwards for a statement of the same thread in this tx
+    for j in range(idx - 1, -1, -1):
+        if word[j].thread == stmt.thread:
+            return word[j].is_finishing
+    return True

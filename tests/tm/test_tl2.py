@@ -1,0 +1,175 @@
+"""Tests for TL2 and the modified TL2 of Section 5.4."""
+
+import pytest
+
+from repro.core.statements import Command, Kind, parse_word
+from repro.tm import TL2, ModifiedTL2, PoliteManager, ManagedTM, Resp, language_contains
+from repro.tm.tl2 import ABORTED, FINISHED, RVALIDATED, VALIDATED
+
+BUG_WORD = "(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1"
+
+
+def fresh(**kw):
+    return TL2(2, 2, **kw)
+
+
+def step(tm, state, kind, var, thread):
+    cmd = Command(kind, var)
+    steps = tm.progress(state, cmd, thread)
+    assert len(steps) == 1, steps
+    return steps[0]
+
+
+class TestReadsAndWrites:
+    def test_write_buffers_locally(self):
+        tm = fresh()
+        ext, resp, q1 = step(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        assert ext.name == "write" and resp is Resp.DONE
+        assert 1 in q1[0][2]  # ws
+
+    def test_read_own_write(self):
+        tm = fresh()
+        _, _, q1 = step(tm, tm.initial_state(), Kind.WRITE, 1, 1)
+        _, _, q2 = step(tm, q1, Kind.READ, 1, 1)
+        assert q2[0][1] == frozenset()  # not a global read
+
+    def test_read_of_modified_var_aborts(self):
+        tm = fresh()
+        views = (
+            (FINISHED, frozenset(), frozenset(), frozenset(), frozenset([1])),
+            (FINISHED, frozenset(), frozenset(), frozenset(), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.READ, 1), 1) == []
+
+    def test_read_of_locked_var_aborts_by_default(self):
+        tm = fresh()
+        views = (
+            (FINISHED, frozenset(), frozenset(), frozenset(), frozenset()),
+            (FINISHED, frozenset(), frozenset([1]), frozenset([1]), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.READ, 1), 1) == []
+
+    def test_literal_read_ignores_locks_when_disabled(self):
+        tm = fresh(read_checks_lock=False)
+        views = (
+            (FINISHED, frozenset(), frozenset(), frozenset(), frozenset()),
+            (FINISHED, frozenset(), frozenset([1]), frozenset([1]), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.READ, 1), 1) != []
+
+
+class TestCommitPhases:
+    def test_lock_phase_in_variable_order(self):
+        tm = fresh()
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.WRITE, 2, 1)
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        ext, resp, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert ext.name == "lock" and ext.var == 1 and resp is Resp.BOT
+        ext, _, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert ext.name == "lock" and ext.var == 2
+
+    def test_validate_after_locks(self):
+        tm = fresh()
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)  # lock v1
+        ext, resp, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert ext.name == "validate" and q[0][0] == VALIDATED
+
+    def test_lock_steal_aborts_holder(self):
+        tm = fresh()
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)  # t1 locks v1
+        _, _, q = step(tm, q, Kind.WRITE, 1, 2)
+        # t2's commit: φ holds (lock conflict), lock transition steals
+        trans = tm.transitions(q, Command(Kind.COMMIT, None), 2)
+        lock = [t for t in trans if t.ext.name == "lock"]
+        assert len(lock) == 1
+        assert lock[0].state[0][0] == ABORTED  # t1 stolen from
+        # and the abort option exists too (nondeterministic resolution)
+        assert any(t.ext.is_abort for t in trans)
+
+    def test_commit_updates_modified_sets_of_active_threads(self):
+        tm = fresh()
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.READ, 2, 2)  # t2 active
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)  # lock
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)  # validate
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)  # commit
+        assert 1 in q[1][4]  # ms of t2
+        assert q[0] == (FINISHED,) + (frozenset(),) * 4
+
+    def test_commit_skips_idle_threads(self):
+        tm = fresh()
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert q[1][4] == frozenset()  # idle t2 not poisoned
+
+    def test_validation_fails_on_modified_read_set(self):
+        tm = fresh()
+        views = (
+            (FINISHED, frozenset([1]), frozenset(), frozenset(), frozenset([1])),
+            (FINISHED, frozenset(), frozenset(), frozenset(), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.COMMIT, None), 1) == []
+
+    def test_validation_fails_on_foreign_lock(self):
+        # chklock folded into validate: read set locked by other thread
+        tm = fresh()
+        views = (
+            (FINISHED, frozenset([1]), frozenset(), frozenset(), frozenset()),
+            (FINISHED, frozenset(), frozenset([1]), frozenset([1]), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.COMMIT, None), 1) == []
+
+
+class TestModifiedTL2:
+    def test_validate_split_into_two_steps(self):
+        tm = ModifiedTL2(2, 2)
+        q = tm.initial_state()
+        _, _, q = step(tm, q, Kind.WRITE, 1, 1)
+        _, _, q = step(tm, q, Kind.COMMIT, None, 1)  # lock
+        ext, resp, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert ext.name == "rvalidate" and q[0][0] == RVALIDATED
+        ext, resp, q = step(tm, q, Kind.COMMIT, None, 1)
+        assert ext.name == "chklock" and q[0][0] == VALIDATED
+
+    def test_bug_word_in_modified_language(self):
+        assert language_contains(ModifiedTL2(2, 2), parse_word(BUG_WORD))
+
+    def test_bug_word_in_managed_modified_language(self):
+        tm = ManagedTM(ModifiedTL2(2, 2), PoliteManager())
+        assert language_contains(tm, parse_word(BUG_WORD))
+
+    def test_bug_word_not_in_atomic_tl2(self):
+        assert not language_contains(fresh(), parse_word(BUG_WORD))
+
+    def test_bug_word_not_in_literal_read_tl2(self):
+        # the read-lock check is irrelevant to the §5.4 bug
+        assert not language_contains(
+            fresh(read_checks_lock=False), parse_word(BUG_WORD)
+        )
+
+
+class TestLanguage:
+    def test_table1_run_both_commit(self):
+        w = parse_word("(r,1)1 (w,2)1 (w,1)2 c1 c2")
+        assert language_contains(fresh(), w)
+
+    def test_table1_run_with_abort(self):
+        w = parse_word("(r,1)1 (w,2)1 (w,1)2 a1 c2")
+        assert language_contains(fresh(), w)
+
+    def test_aborted_status_forces_abort(self):
+        tm = fresh()
+        views = (
+            (ABORTED, frozenset(), frozenset([1]), frozenset(), frozenset()),
+            (FINISHED, frozenset(), frozenset(), frozenset(), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.COMMIT, None), 1) == []
