@@ -7,6 +7,8 @@ counterexample.  The benchmarked operation is the inclusion check itself
 (the paper reports up to 3.2 s on its hardware for TL2).
 """
 
+import os
+
 import pytest
 
 from repro.automata.inclusion import check_inclusion_in_dfa
@@ -37,10 +39,19 @@ TMS = [
 PAPER_SIZES = {"seq": 3, "2PL": 99, "dstm": 1846, "TL2": 21568,
                "modTL2+pol": 17520}
 
+# CI smoke runs set a state budget so a regression that blows up the
+# explorer fails fast instead of hanging the job.  The largest (2, 2)
+# transition system (modTL2+pol) has ~16.6k states; 20000 is a tight
+# ceiling, not a constraint on the healthy benchmark.
+MAX_STATES = int(os.environ.get("BENCH_MAX_STATES", "0")) or None
+
 
 @pytest.fixture(scope="module")
 def tm_nfas():
-    return {name: build_safety_nfa(tm) for name, tm, _ in TMS}
+    return {
+        name: build_safety_nfa(tm, max_states=MAX_STATES)
+        for name, tm, _ in TMS
+    }
 
 
 @pytest.mark.parametrize("name,tm,expect", TMS, ids=[t[0] for t in TMS])

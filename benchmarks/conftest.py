@@ -9,21 +9,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.spec import OP, SS
-from repro.spec.det import build_det_spec
-from repro.spec.nondet import build_nondet_spec
+from repro.spec import OP, SS, cached_det_spec, cached_nondet_spec
 
 
 @pytest.fixture(scope="session")
 def specs_22():
-    """Both deterministic specifications for (2, 2)."""
-    return {SS: build_det_spec(2, 2, SS), OP: build_det_spec(2, 2, OP)}
+    """Both deterministic specifications for (2, 2), from the process
+    cache (shared with any pipeline code that runs in the session)."""
+    return {SS: cached_det_spec(2, 2, SS), OP: cached_det_spec(2, 2, OP)}
 
 
 @pytest.fixture(scope="session")
 def nondet_specs_22():
     """Both nondeterministic specifications for (2, 2)."""
-    return {SS: build_nondet_spec(2, 2, SS), OP: build_nondet_spec(2, 2, OP)}
+    return {SS: cached_nondet_spec(2, 2, SS), OP: cached_nondet_spec(2, 2, OP)}
 
 
 def emit(title: str, lines) -> None:

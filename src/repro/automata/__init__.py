@@ -1,5 +1,6 @@
 """Automata substrate: ε-NFAs, DFAs, subset construction, inclusion,
-antichain algorithms, and graph utilities for liveness lassos."""
+antichain algorithms, the interned fast path powering both inclusion
+checkers, and graph utilities for liveness lassos."""
 
 from .nfa import EPSILON, NFA
 from .dfa import DFA
@@ -10,6 +11,8 @@ from .antichain import (
     check_equivalence_antichain,
     check_inclusion_antichain,
 )
+from .interned import InternedDFA, InternedNFA, intern_dfa, intern_nfa
+from .kernel import lazy_product_dfa
 from .dot import dfa_to_dot, lasso_to_dot, nfa_to_dot
 from .graph import (
     Lasso,
@@ -30,6 +33,11 @@ __all__ = [
     "EquivalenceResult",
     "check_equivalence_antichain",
     "check_inclusion_antichain",
+    "InternedDFA",
+    "InternedNFA",
+    "intern_dfa",
+    "intern_nfa",
+    "lazy_product_dfa",
     "dfa_to_dot",
     "lasso_to_dot",
     "nfa_to_dot",

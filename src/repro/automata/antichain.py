@@ -14,6 +14,13 @@ optimization: if ``(s, S)`` has been explored and ``S ⊆ S'``, the pair
 smaller macrostate rejects more continuations — so only ⊆-minimal
 macrostates per A-state are kept.  This is what makes equivalence of the
 ~10k-state specifications feasible.
+
+By default the check runs on the interned fast path
+(:mod:`repro.automata.kernel`): macrostates become integer bitsets, the
+⊆ tests single machine operations, and macro steps OR-reductions over
+memoized per-(state, symbol) closed successor bitsets.  The naive
+implementation is kept (``interned=False``) as the differential-testing
+reference; verdicts and counterexamples are identical.
 """
 
 from __future__ import annotations
@@ -33,7 +40,6 @@ class _Antichain:
 
     def __init__(self) -> None:
         self._by_state: Dict[Hashable, List[FrozenSet]] = {}
-        self.inserted = 0
 
     def subsumed(self, state: Hashable, macro: FrozenSet) -> bool:
         """Is some already-kept macrostate a subset of ``macro``?"""
@@ -46,24 +52,38 @@ class _Antichain:
             return False
         kept[:] = [old for old in kept if not macro <= old]
         kept.append(macro)
-        self.inserted += 1
         return True
 
-    def size(self) -> int:
-        return sum(len(v) for v in self._by_state.values())
 
-
-def check_inclusion_antichain(a: NFA, b: NFA) -> InclusionResult:
+def check_inclusion_antichain(
+    a: NFA, b: NFA, *, interned: bool = True
+) -> InclusionResult:
     """Check L(``a``) ⊆ L(``b``) with the forward antichain algorithm.
 
     Both automata are safety automata; either may have ε-transitions.
     ε-moves of ``a`` advance the A-component only (the B-macrostate is
-    always kept ε-closed).
+    always kept ε-closed).  ``product_states`` uses the shared
+    discovered-pair semantics of :class:`InclusionResult`.
+    ``interned=False`` selects the naive reference implementation.
     """
     if a.accepting is not None or b.accepting is not None:
         raise ValueError(
             "antichain inclusion assumes safety automata (all states accepting)"
         )
+    if interned:
+        from .kernel import antichain_inclusion
+
+        holds, counterexample, discovered = antichain_inclusion(a, b)
+        return InclusionResult(
+            holds=holds,
+            counterexample=counterexample,
+            product_states=discovered,
+        )
+    return _check_inclusion_antichain_naive(a, b)
+
+
+def _check_inclusion_antichain_naive(a: NFA, b: NFA) -> InclusionResult:
+    """The pre-interning reference implementation (kept for testing)."""
     b_init = b.eclosure(b.initial)
     antichain = _Antichain()
     parent: Dict[Tuple, Optional[Tuple[Tuple, Optional[Symbol]]]] = {}
@@ -74,11 +94,9 @@ def check_inclusion_antichain(a: NFA, b: NFA) -> InclusionResult:
             parent[pair] = None
             queue.append(pair)
 
-    explored = 0
     while queue:
         pair = queue.popleft()
         aq, bmacro = pair
-        explored += 1
         for symbol, succs in a.delta.get(aq, {}).items():
             if symbol is EPSILON:
                 for succ in sorted(succs, key=repr):
@@ -91,14 +109,14 @@ def check_inclusion_antichain(a: NFA, b: NFA) -> InclusionResult:
             if not bsucc:
                 word = _reconstruct(parent, pair) + (symbol,)
                 return InclusionResult(
-                    holds=False, counterexample=word, product_states=explored
+                    holds=False, counterexample=word, product_states=len(parent)
                 )
             for succ in sorted(succs, key=repr):
                 nxt = (succ, bsucc)
                 if antichain.insert(succ, bsucc):
                     parent[nxt] = (pair, symbol)
                     queue.append(nxt)
-    return InclusionResult(holds=True, product_states=explored)
+    return InclusionResult(holds=True, product_states=len(parent))
 
 
 @dataclass(frozen=True)

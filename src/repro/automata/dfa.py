@@ -47,18 +47,20 @@ class DFA:
         """Materialize a DFA by BFS from ``initial`` using ``step``.
 
         ``step(q)`` must yield at most one successor per symbol; duplicate
-        symbols with distinct successors raise ``ValueError``.
+        symbols with distinct successors raise ``ValueError``.  As in
+        :meth:`NFA.from_step`, ``max_states`` is enforced when a state is
+        discovered, so at most ``max_states`` states are ever held.
         """
+        if max_states is not None and max_states < 1:
+            raise RuntimeError(
+                f"state-space exploration exceeded {max_states} states (at 1)"
+            )
         delta: Dict[State, Dict[Symbol, State]] = {}
         accept: Set[State] = set()
         queue = deque([initial])
         seen: Set[State] = {initial}
         while queue:
             q = queue.popleft()
-            if max_states is not None and len(seen) > max_states:
-                raise RuntimeError(
-                    f"state-space exploration exceeded {max_states} states"
-                )
             if accepting is not None and accepting(q):
                 accept.add(q)
             out = delta.setdefault(q, {})
@@ -70,6 +72,11 @@ class DFA:
                     )
                 out[symbol] = succ
                 if succ not in seen:
+                    if max_states is not None and len(seen) >= max_states:
+                        raise RuntimeError(
+                            f"state-space exploration exceeded {max_states}"
+                            f" states (at {len(seen) + 1})"
+                        )
                     seen.add(succ)
                     queue.append(succ)
         return cls(

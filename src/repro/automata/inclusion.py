@@ -10,6 +10,12 @@ an observable symbol the DFA cannot follow.
 
 Both automata are interpreted as safety automata (all states accepting,
 prefix-closed languages), which is the only case the paper needs.
+
+By default the check runs on the interned fast path
+(:mod:`repro.automata.kernel`): states are compiled to dense integers
+with transition rows frozen in the reference iteration order, so verdicts
+and counterexamples are identical to the naive implementation, which is
+kept (``interned=False``) as the differential-testing reference.
 """
 
 from __future__ import annotations
@@ -31,8 +37,11 @@ class InclusionResult:
     ``holds`` tells whether L(A) ⊆ L(B).  On failure ``counterexample``
     is a shortest word (by number of observable symbols, then exploration
     order) in L(A) \\ L(B).  ``product_states`` reports how many product
-    states the check explored (the paper's Table 2 "Size" column is the
-    size of the TM transition system; we also expose the product size).
+    pairs the check *discovered* (every pair ever inserted into the BFS
+    parent map, initial pairs included) — both the product checker and
+    the antichain checker use this same discovered-pair semantics.  The
+    paper's Table 2 "Size" column is the size of the TM transition
+    system; we also expose the product size.
     """
 
     holds: bool
@@ -43,17 +52,35 @@ class InclusionResult:
         return self.holds
 
 
-def check_inclusion_in_dfa(nfa: NFA, dfa: DFA) -> InclusionResult:
+def check_inclusion_in_dfa(
+    nfa: NFA, dfa: DFA, *, interned: bool = True
+) -> InclusionResult:
     """Check L(``nfa``) ⊆ L(``dfa``) for safety automata.
 
     ε-transitions of ``nfa`` advance the product without moving the DFA.
     BFS keeps counterexamples short (minimal in total steps, hence close
-    to minimal in observable symbols).
+    to minimal in observable symbols).  ``interned=False`` selects the
+    naive reference implementation (same verdicts, counterexamples and
+    ``product_states``; roughly an order of magnitude slower).
     """
     if nfa.accepting is not None or dfa.accepting is not None:
         raise ValueError(
             "inclusion check assumes safety automata (all states accepting)"
         )
+    if interned:
+        from .kernel import product_dfa
+
+        holds, counterexample, discovered = product_dfa(nfa, dfa)
+        return InclusionResult(
+            holds=holds,
+            counterexample=counterexample,
+            product_states=discovered,
+        )
+    return _check_inclusion_in_dfa_naive(nfa, dfa)
+
+
+def _check_inclusion_in_dfa_naive(nfa: NFA, dfa: DFA) -> InclusionResult:
+    """The pre-interning reference implementation (kept for testing)."""
     start_pairs = [(q, dfa.initial) for q in sorted(nfa.initial, key=repr)]
     # parent: pair -> (previous pair, emitted symbol or None for ε)
     parent: Dict[Tuple, Optional[Tuple[Tuple, Optional[Symbol]]]] = {

@@ -1,0 +1,365 @@
+"""Shared exploration kernel for the language-inclusion checkers.
+
+Both inclusion checkers — product-vs-DFA (:mod:`repro.automata.inclusion`)
+and antichain-vs-NFA (:mod:`repro.automata.antichain`) — are the same
+BFS over product pairs; they differ only in the right-hand component (a
+single DFA state vs. a ⊆-minimal index macrostate).  This module holds
+that BFS once, over the interned representation of
+:mod:`repro.automata.interned`, so both checkers share:
+
+* **pair semantics** — ``product_states`` counts *discovered* pairs
+  (every pair ever inserted into the parent map, initial pairs
+  included), not popped pairs;
+* **counterexample reconstruction** — the parent map records, per pair,
+  its BFS predecessor and the observable symbol emitted (``None`` for
+  ε), and failures replay that chain;
+* **iteration order** — transition rows are frozen at interning time in
+  the exact order the pre-interning implementations iterated, so
+  verdicts *and* counterexamples are identical to the naive checkers.
+
+A third entry point, :func:`lazy_product_dfa`, runs the same product
+BFS against a *step function* instead of a materialized left automaton:
+successor states stream directly into the product and each state's
+transition row is computed (and ordered) exactly once, on first visit.
+This is what lets the safety pipeline skip building the full TM NFA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from .dfa import DFA
+from .interned import intern_dfa, intern_nfa
+from .nfa import EPSILON, NFA
+
+Symbol = Hashable
+
+# Parent map over pair keys (encoded ints or tuples): pair ->
+# (predecessor pair, symbol or None for an ε-move); initial pairs map
+# to None.
+ParentMap = Dict[Hashable, Optional[Tuple[Hashable, Optional[Symbol]]]]
+
+
+def reconstruct(parent: ParentMap, pair: Hashable) -> Tuple[Symbol, ...]:
+    """Observable symbols along the BFS path to ``pair``."""
+    symbols: List[Symbol] = []
+    current: Optional[Hashable] = pair
+    while current is not None:
+        entry = parent[current]
+        if entry is None:
+            break
+        prev, symbol = entry
+        if symbol is not None:
+            symbols.append(symbol)
+        current = prev
+    symbols.reverse()
+    return tuple(symbols)
+
+
+def product_dfa(a: NFA, dfa: DFA):
+    """Product reachability of ``a`` against a deterministic ``dfa``.
+
+    Returns ``(holds, counterexample, discovered_pairs)``.
+    """
+    ia = intern_nfa(a)
+    ib = intern_dfa(dfa)
+    trans = ia.trans
+    b_delta = ib.delta
+    nb = ib.n
+    # Pairs are encoded as a_state * nb + dfa_state: one small-int key.
+    start = [q * nb + ib.initial for q in ia.initial]
+    parent: ParentMap = {pair: None for pair in start}
+    queue = deque(start)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        nq, dq = divmod(pair, nb)
+        brow = b_delta[dq]
+        for symbol, succs in trans[nq]:
+            if symbol is None:  # ε: advance the NFA component only
+                for succ in succs:
+                    nxt = succ * nb + dq
+                    if nxt not in parent:
+                        parent[nxt] = (pair, None)
+                        push(nxt)
+                continue
+            dsucc = brow.get(symbol)
+            if dsucc is None:
+                word = reconstruct(parent, pair) + (symbol,)
+                return False, word, len(parent)
+            for succ in succs:
+                nxt = succ * nb + dsucc
+                if nxt not in parent:
+                    parent[nxt] = (pair, symbol)
+                    push(nxt)
+    return True, None, len(parent)
+
+
+class _IndexAntichain:
+    """Per-left-state antichains of ⊆-minimal index macrostates.
+
+    Macrostates are frozensets of dense ints — they stay tiny for the
+    paper's specifications, so subset tests cost a handful of integer
+    hashes (and frozensets cache their own hash for the parent map).
+    """
+
+    __slots__ = ("_by_state",)
+
+    def __init__(self, n: int) -> None:
+        self._by_state: List[List[frozenset]] = [[] for _ in range(n)]
+
+    def insert(self, state: int, macro: frozenset) -> bool:
+        """Insert unless subsumed; drop kept supersets.  True if inserted."""
+        kept = self._by_state[state]
+        for old in kept:
+            if old <= macro:
+                return False
+        kept[:] = [old for old in kept if not macro <= old]
+        kept.append(macro)
+        return True
+
+
+def antichain_inclusion(a: NFA, b: NFA):
+    """Forward antichain inclusion of ``a`` in ``b`` (both safety NFAs).
+
+    Returns ``(holds, counterexample, discovered_pairs)``.
+    """
+    ia = intern_nfa(a)
+    ib = intern_nfa(b)
+    trans = ia.trans
+    closed_post = ib.closed_post
+    b_init = ib.initial_closure()
+    antichain = _IndexAntichain(ia.n)
+    parent: Dict[Tuple[int, frozenset], Optional[Tuple]] = {}
+    queue: deque = deque()
+    for q in ia.initial:
+        if antichain.insert(q, b_init):
+            pair = (q, b_init)
+            parent[pair] = None
+            queue.append(pair)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        aq, bmacro = pair
+        for symbol, succs in trans[aq]:
+            if symbol is None:  # ε: advance the A component only
+                for succ in succs:
+                    if antichain.insert(succ, bmacro):
+                        nxt = (succ, bmacro)
+                        parent[nxt] = (pair, None)
+                        push(nxt)
+                continue
+            bsucc = closed_post(bmacro, symbol)
+            if not bsucc:
+                word = reconstruct(parent, pair) + (symbol,)
+                return False, word, len(parent)
+            for succ in succs:
+                if antichain.insert(succ, bsucc):
+                    nxt = (succ, bsucc)
+                    parent[nxt] = (pair, symbol)
+                    push(nxt)
+    return True, None, len(parent)
+
+
+StepFn = Callable[[Hashable], Iterable[Tuple[Symbol, Hashable]]]
+
+
+class _LazyLeft:
+    """Incremental interning of a streamed ε-NFA (the product's left side).
+
+    States are indexed on first sight; each state's transition row is
+    computed once, on first expansion, in the exact order ``from_step``
+    plus the product checker would have used (first-occurrence symbol
+    order, ``repr``-sorted successors).  ``max_states`` bounds the
+    number of distinct states interned, mirroring ``from_step``'s guard.
+    """
+
+    __slots__ = ("step", "max_states", "index", "states_of", "rows")
+
+    def __init__(
+        self, step: StepFn, max_states: Optional[int] = None
+    ) -> None:
+        self.step = step
+        self.max_states = max_states
+        self.index: Dict[Hashable, int] = {}
+        self.states_of: List[Hashable] = []
+        self.rows: List[Optional[Tuple]] = []
+
+    def visit(self, q: Hashable) -> int:
+        idx = self.index.get(q)
+        if idx is None:
+            if (
+                self.max_states is not None
+                and len(self.index) >= self.max_states
+            ):
+                raise RuntimeError(
+                    f"state-space exploration exceeded {self.max_states}"
+                    f" states (at {len(self.index) + 1})"
+                )
+            idx = self.index[q] = len(self.rows)
+            self.states_of.append(q)
+            self.rows.append(None)
+        return idx
+
+    def row_of(self, idx: int) -> Tuple:
+        row = self.rows[idx]
+        if row is None:
+            grouped: Dict[Optional[Symbol], List[Hashable]] = {}
+            for symbol, succ in self.step(self.states_of[idx]):
+                key = None if symbol is EPSILON else symbol
+                grouped.setdefault(key, []).append(succ)
+            visit = self.visit
+            row = tuple(
+                (
+                    symbol,
+                    tuple(visit(s) for s in sorted(set(succs), key=repr)),
+                )
+                for symbol, succs in grouped.items()
+            )
+            self.rows[idx] = row
+        return row
+
+
+def lazy_product_dfa(
+    initial: Iterable[Hashable],
+    step: StepFn,
+    dfa: DFA,
+    *,
+    max_states: Optional[int] = None,
+):
+    """On-the-fly product reachability of a streamed ε-NFA against ``dfa``.
+
+    ``step(q)`` yields ``(symbol, successor)`` pairs with ``EPSILON`` for
+    internal moves — the same contract as ``NFA.from_step`` — but no NFA
+    is ever materialized (see :class:`_LazyLeft`).
+
+    Returns ``(holds, counterexample, discovered_pairs, states_seen)``
+    where ``states_seen`` counts distinct left states *discovered*
+    (successors of every expanded state included, even after an early
+    violation) — when inclusion holds this equals the full reachable
+    state count of the streamed automaton.
+    """
+    ib = intern_dfa(dfa)
+    b_delta = ib.delta
+    nb = ib.n
+
+    left = _LazyLeft(step, max_states)
+    row_of = left.row_of
+    init_sorted = sorted(set(initial), key=repr)
+    start_states = [left.visit(q) for q in init_sorted]
+    start = [q * nb + ib.initial for q in start_states]
+    parent: ParentMap = {pair: None for pair in start}
+    queue = deque(start)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        nq, dq = divmod(pair, nb)
+        brow = b_delta[dq]
+        for symbol, succs in row_of(nq):
+            if symbol is None:
+                for succ in succs:
+                    nxt = succ * nb + dq
+                    if nxt not in parent:
+                        parent[nxt] = (pair, None)
+                        push(nxt)
+                continue
+            dsucc = brow.get(symbol)
+            if dsucc is None:
+                word = reconstruct(parent, pair) + (symbol,)
+                return False, word, len(parent), len(left.index)
+            for succ in succs:
+                nxt = succ * nb + dsucc
+                if nxt not in parent:
+                    parent[nxt] = (pair, symbol)
+                    push(nxt)
+    return True, None, len(parent), len(left.index)
+
+
+DetStepFn = Callable[[Hashable, Hashable], Optional[Hashable]]
+
+_SINK = object()  # cached "no transition" marker in lazy spec rows
+
+
+def lazy_product_oracle(
+    initial: Iterable[Hashable],
+    step: StepFn,
+    spec_initial: Hashable,
+    spec_step: DetStepFn,
+    *,
+    max_states: Optional[int] = None,
+):
+    """Fully lazy product: streamed ε-NFA against a *deterministic oracle*.
+
+    Like :func:`lazy_product_dfa`, but the right-hand side is given by
+    its transition function ``spec_step(state, symbol) -> state | None``
+    instead of a materialized DFA — nothing on either side is built up
+    front, so the check is bounded by the *product* reachable set, not
+    by the (possibly astronomically larger) full specification.  Spec
+    states are interned on first sight and each (state, symbol) query is
+    evaluated at most once.
+
+    Returns ``(holds, counterexample, discovered_pairs, states_seen,
+    spec_states_seen)``.
+    """
+    left = _LazyLeft(step, max_states)
+    row_of = left.row_of
+
+    b_index: Dict[Hashable, int] = {spec_initial: 0}
+    b_states: List[Hashable] = [spec_initial]
+    b_rows: List[Dict[Symbol, object]] = [{}]
+
+    init_sorted = sorted(set(initial), key=repr)
+    # Pairs are (left index, spec index) tuples: the spec side grows
+    # on demand, so no fixed-width encoding is available.
+    start = [(left.visit(q), 0) for q in init_sorted]
+    parent: Dict[Tuple[int, int], Optional[Tuple]] = {
+        pair: None for pair in start
+    }
+    queue = deque(start)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        nq, dq = pair
+        brow = b_rows[dq]
+        for symbol, succs in row_of(nq):
+            if symbol is None:
+                for succ in succs:
+                    nxt = (succ, dq)
+                    if nxt not in parent:
+                        parent[nxt] = (pair, None)
+                        push(nxt)
+                continue
+            dsucc = brow.get(symbol)
+            if dsucc is None:  # not yet queried: ask the oracle once
+                target = spec_step(b_states[dq], symbol)
+                if target is None:
+                    dsucc = brow[symbol] = _SINK
+                else:
+                    didx = b_index.get(target)
+                    if didx is None:
+                        didx = b_index[target] = len(b_states)
+                        b_states.append(target)
+                        b_rows.append({})
+                    dsucc = brow[symbol] = didx
+            if dsucc is _SINK:
+                word = reconstruct(parent, pair) + (symbol,)
+                return False, word, len(parent), len(left.index), len(b_index)
+            for succ in succs:
+                nxt = (succ, dsucc)
+                if nxt not in parent:
+                    parent[nxt] = (pair, symbol)
+                    push(nxt)
+    return True, None, len(parent), len(left.index), len(b_index)

@@ -80,25 +80,33 @@ class NFA:
 
         ``step(q)`` yields ``(symbol, successor)`` pairs; use ``EPSILON``
         as the symbol for internal moves.  ``max_states`` guards against
-        runaway exploration of an unexpectedly infinite system.
+        runaway exploration of an unexpectedly infinite system: the bound
+        is enforced when a state is *discovered*, so at most
+        ``max_states`` states are ever held.
         """
         init = frozenset(initial)
+        if max_states is not None and len(init) > max_states:
+            raise RuntimeError(
+                f"state-space exploration exceeded {max_states} states"
+                f" (at {len(init)})"
+            )
         delta: Dict[State, Dict[Symbol, Set[State]]] = {}
         accept: Set[State] = set()
         queue = deque(init)
         seen: Set[State] = set(init)
         while queue:
             q = queue.popleft()
-            if max_states is not None and len(seen) > max_states:
-                raise RuntimeError(
-                    f"state-space exploration exceeded {max_states} states"
-                )
             if accepting is not None and accepting(q):
                 accept.add(q)
             out = delta.setdefault(q, {})
             for symbol, succ in step(q):
                 out.setdefault(symbol, set()).add(succ)
                 if succ not in seen:
+                    if max_states is not None and len(seen) >= max_states:
+                        raise RuntimeError(
+                            f"state-space exploration exceeded {max_states}"
+                            f" states (at {len(seen) + 1})"
+                        )
                     seen.add(succ)
                     queue.append(succ)
         frozen: Dict[State, Dict[Symbol, FrozenSet[State]]] = {
@@ -228,8 +236,13 @@ class NFA:
             order,
         )
 
-    def reverse_reachable(self) -> "NFA":
-        """Restrict to states reachable from the initial set."""
+    def restrict_to_reachable(self) -> "NFA":
+        """Restrict to states *forward*-reachable from the initial set.
+
+        (Formerly misnamed ``reverse_reachable``: the computation is a
+        forward BFS from ``initial``, not a reverse/co-reachability
+        analysis.  The old name remains as a deprecated alias.)
+        """
         reachable: Set[State] = set()
         queue = deque(self.initial)
         reachable.update(self.initial)
@@ -252,3 +265,15 @@ class NFA:
             else frozenset(q for q in self.accepting if q in reachable)
         )
         return NFA(initial=self.initial, delta=delta, accepting=accepting)
+
+    def reverse_reachable(self) -> "NFA":
+        """Deprecated alias of :meth:`restrict_to_reachable`."""
+        import warnings
+
+        warnings.warn(
+            "NFA.reverse_reachable computes forward reachability and has"
+            " been renamed to restrict_to_reachable",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.restrict_to_reachable()

@@ -128,7 +128,7 @@ def check_obstruction_freedom(
     tm: TMAlgorithm, *, graph: Optional[LivenessGraph] = None
 ) -> LivenessResult:
     """Does every loop of a single thread without commits avoid aborts?"""
-    t0 = time.time()
+    t0 = time.perf_counter()
     if graph is None:
         graph = build_liveness_graph(tm)
     for t in tm.threads():
@@ -144,7 +144,7 @@ def check_obstruction_freedom(
                 "obstruction freedom",
                 graph,
                 lasso,
-                time.time() - t0,
+                time.perf_counter() - t0,
                 is_obstruction_free_lasso,
             )
     return LivenessResult(
@@ -152,7 +152,7 @@ def check_obstruction_freedom(
         property_name="obstruction freedom",
         holds=True,
         graph_states=len(graph.nodes),
-        seconds=time.time() - t0,
+        seconds=time.perf_counter() - t0,
     )
 
 
@@ -160,7 +160,7 @@ def check_livelock_freedom(
     tm: TMAlgorithm, *, graph: Optional[LivenessGraph] = None
 ) -> LivenessResult:
     """Is there no commit-free loop in which every participant aborts?"""
-    t0 = time.time()
+    t0 = time.perf_counter()
     if graph is None:
         graph = build_liveness_graph(tm)
     threads = list(tm.threads())
@@ -178,7 +178,7 @@ def check_livelock_freedom(
                     "livelock freedom",
                     graph,
                     lasso,
-                    time.time() - t0,
+                    time.perf_counter() - t0,
                     is_livelock_free_lasso,
                 )
     return LivenessResult(
@@ -186,7 +186,7 @@ def check_livelock_freedom(
         property_name="livelock freedom",
         holds=True,
         graph_states=len(graph.nodes),
-        seconds=time.time() - t0,
+        seconds=time.perf_counter() - t0,
     )
 
 
@@ -201,7 +201,7 @@ def check_wait_freedom(
     paper's TMs: every ⊥-step strictly grows a lock/ownership set, so
     loops always contain completed statements.)
     """
-    t0 = time.time()
+    t0 = time.perf_counter()
     if graph is None:
         graph = build_liveness_graph(tm)
     nodes = {e[0] for e in graph.edges} | {e[2] for e in graph.edges}
@@ -220,7 +220,7 @@ def check_wait_freedom(
                 "wait freedom",
                 graph,
                 lasso,
-                time.time() - t0,
+                time.perf_counter() - t0,
                 is_wait_free_lasso,
             )
     return LivenessResult(
@@ -228,7 +228,7 @@ def check_wait_freedom(
         property_name="wait freedom",
         holds=True,
         graph_states=len(graph.nodes),
-        seconds=time.time() - t0,
+        seconds=time.perf_counter() - t0,
     )
 
 

@@ -8,6 +8,17 @@ deterministic).  On failure the counterexample word is certified against
 the reference decision procedures before being returned — the pipeline
 never reports an uncertified violation.
 
+By default the product is explored *on the fly*: TM successor states
+stream straight from the explorer into the interned product kernel, so
+the full safety NFA is never materialized and TM states unreachable in
+the product (after an early violation) are never even constructed.
+``materialize=True`` selects the original two-phase path (build the NFA,
+then check); both paths produce identical verdicts and counterexamples.
+
+Specifications are pulled from the process-wide memoizing cache
+(:func:`repro.spec.build.cached_det_spec`) unless one is passed in, so
+checking several TMs — or several Table cells — rebuilds nothing.
+
 By the reduction theorem (Theorem 1), a verdict for (2, 2) extends to all
 programs for TMs satisfying the structural properties P1–P4; and since a
 contention manager only restricts the language, safety of the bare TM
@@ -20,13 +31,15 @@ import time
 from typing import Dict, Optional, Tuple
 
 from ..automata.dfa import DFA
-from ..automata.inclusion import check_inclusion_in_dfa
+from ..automata.inclusion import InclusionResult, check_inclusion_in_dfa
+from ..automata.kernel import lazy_product_dfa, lazy_product_oracle
 from ..core.properties import is_opaque, is_strictly_serializable
 from ..core.statements import Statement
+from ..spec.build import cached_det_spec
 from ..spec.common import OP, SS, SafetyProperty
-from ..spec.det import build_det_spec
+from ..spec.det import det_step, initial_state as det_initial_state
 from ..tm.algorithm import TMAlgorithm
-from ..tm.explore import build_safety_nfa
+from ..tm.explore import build_safety_nfa, initial_node, safety_step
 from .reporting import SafetyResult
 
 
@@ -51,18 +64,72 @@ def check_safety(
     *,
     spec: Optional[DFA] = None,
     certify: bool = True,
+    materialize: bool = False,
+    lazy_spec: bool = False,
+    max_states: Optional[int] = None,
 ) -> SafetyResult:
     """Check ``L(tm) ⊆ pi`` for the TM's own (n, k).
 
     ``spec`` may be passed to reuse a prebuilt deterministic
-    specification across several TMs (they only depend on (n, k, prop)).
+    specification; otherwise it comes from the memoizing spec cache.
+    ``materialize=True`` builds the full safety NFA before checking (the
+    original path); the default streams TM states into the product
+    lazily.  ``lazy_spec=True`` additionally streams the *specification*
+    through its transition function (Algorithm 6's ``detSpec``) instead
+    of materializing the DFA — the check is then bounded by the product
+    reachable set, which unlocks (n, k) instances whose full
+    specification is astronomically large.  ``max_states`` bounds the
+    TM state exploration either way.
+
+    ``tm_states`` in the result is the number of TM states explored:
+    when the inclusion holds it equals the full reachable state space
+    on every path, but after a violation the lazy paths report only
+    the states discovered up to the counterexample (a subset of the
+    materialized count).  With ``lazy_spec``, ``spec_states`` likewise
+    counts only the spec states the product discovered.
     """
-    t0 = time.time()
-    nfa = build_safety_nfa(tm)
-    if spec is None:
-        spec = build_det_spec(tm.n, tm.k, prop)
-    result = check_inclusion_in_dfa(nfa, spec)
-    elapsed = time.time() - t0
+    t0 = time.perf_counter()
+    if lazy_spec:
+        if materialize or spec is not None:
+            raise ValueError(
+                "lazy_spec streams the specification: it cannot be"
+                " combined with materialize=True or a prebuilt spec"
+            )
+        holds, counterexample, discovered, tm_states, spec_states = (
+            lazy_product_oracle(
+                [initial_node(tm)],
+                safety_step(tm),
+                det_initial_state(tm.n),
+                lambda state, stmt: det_step(state, stmt, prop),
+                max_states=max_states,
+            )
+        )
+        result = InclusionResult(
+            holds=holds,
+            counterexample=counterexample,
+            product_states=discovered,
+        )
+    else:
+        if spec is None:
+            spec = cached_det_spec(tm.n, tm.k, prop)
+        spec_states = spec.num_states
+        if materialize:
+            nfa = build_safety_nfa(tm, max_states=max_states)
+            result = check_inclusion_in_dfa(nfa, spec)
+            tm_states = nfa.num_states
+        else:
+            holds, counterexample, discovered, tm_states = lazy_product_dfa(
+                [initial_node(tm)],
+                safety_step(tm),
+                spec,
+                max_states=max_states,
+            )
+            result = InclusionResult(
+                holds=holds,
+                counterexample=counterexample,
+                product_states=discovered,
+            )
+    elapsed = time.perf_counter() - t0
     if not result.holds and certify:
         assert result.counterexample is not None
         if _reference_check(result.counterexample, prop):
@@ -74,8 +141,8 @@ def check_safety(
         tm_name=tm.name,
         prop=prop,
         holds=result.holds,
-        tm_states=nfa.num_states,
-        spec_states=spec.num_states,
+        tm_states=tm_states,
+        spec_states=spec_states,
         product_states=result.product_states,
         seconds=elapsed,
         counterexample=result.counterexample,
@@ -96,5 +163,5 @@ def check_safety_both(
 
 
 def build_specs(n: int, k: int) -> Dict[SafetyProperty, DFA]:
-    """Prebuild both deterministic specifications for reuse."""
-    return {SS: build_det_spec(n, k, SS), OP: build_det_spec(n, k, OP)}
+    """Both deterministic specifications, from the memoizing cache."""
+    return {SS: cached_det_spec(n, k, SS), OP: cached_det_spec(n, k, OP)}

@@ -31,9 +31,7 @@ from .checking import (
 )
 from .core.properties import is_opaque, is_strictly_serializable
 from .core.statements import format_word, parse_word
-from .spec import OP, SS
-from .spec.det import build_det_spec
-from .spec.nondet import build_nondet_spec
+from .spec import OP, SS, cached_det_spec, cached_nondet_spec
 from .tm import (
     DSTM,
     TL2,
@@ -123,7 +121,11 @@ def cmd_safety(args: argparse.Namespace) -> int:
     props = (
         [PROPERTIES[args.property]] if args.property else [SS, OP]
     )
-    specs = {p: build_det_spec(n, k, p) for p in props}
+    specs = (
+        {}
+        if args.lazy_spec
+        else {p: cached_det_spec(n, k, p) for p in props}
+    )
     names = (
         sorted(TM_FACTORIES) if args.tm.lower() == "all" else [args.tm]
     )
@@ -133,7 +135,13 @@ def cmd_safety(args: argparse.Namespace) -> int:
         tm = _make_tm(name, n, k, args.manager)
         cells = [tm.name]
         for p in props:
-            res = check_safety(tm, p, spec=specs[p])
+            res = check_safety(
+                tm,
+                p,
+                spec=specs.get(p),
+                materialize=args.materialize,
+                lazy_spec=args.lazy_spec,
+            )
             cells.append(res.verdict())
             if not res.holds:
                 worst = 1
@@ -177,8 +185,8 @@ def cmd_liveness(args: argparse.Namespace) -> int:
 def cmd_specs(args: argparse.Namespace) -> int:
     n, k = args.threads, args.vars
     for p in (SS, OP):
-        nondet = build_nondet_spec(n, k, p)
-        det = build_det_spec(n, k, p)
+        nondet = cached_nondet_spec(n, k, p)
+        det = cached_det_spec(n, k, p)
         line = (
             f"Σ{p.value}: nondet {nondet.num_states} states,"
             f" det {det.num_states} states"
@@ -239,6 +247,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_safety = sub.add_parser("safety", help="Table 2: language inclusion")
     p_safety.add_argument("tm", help="seq|2pl|dstm|tl2|modtl2|all")
     p_safety.add_argument("--property", "-p", choices=sorted(PROPERTIES))
+    mode = p_safety.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--materialize",
+        action="store_true",
+        help="build the full TM automaton before checking instead of"
+        " streaming states into the product lazily",
+    )
+    mode.add_argument(
+        "--lazy-spec",
+        action="store_true",
+        help="also stream the specification through its transition"
+        " function instead of materializing it — required for large"
+        " (n, k) where the full specification is intractable",
+    )
     add_common(p_safety)
     p_safety.set_defaults(func=cmd_safety)
 

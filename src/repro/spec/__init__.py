@@ -10,7 +10,13 @@ from .nondet import (
     nondet_step,
     spec_accepts,
 )
-from .build import build_canonical_spec, build_minimal_spec
+from .build import (
+    build_canonical_spec,
+    build_minimal_spec,
+    cached_det_spec,
+    cached_nondet_spec,
+    clear_spec_cache,
+)
 from .det import (
     build_det_spec,
     det_spec_accepts,
@@ -29,6 +35,9 @@ __all__ = [
     "spec_accepts",
     "build_canonical_spec",
     "build_minimal_spec",
+    "cached_det_spec",
+    "cached_nondet_spec",
+    "clear_spec_cache",
     "build_det_spec",
     "det_spec_accepts",
     "det_step",

@@ -10,10 +10,12 @@ reports but that anyone re-implementing the specifications will want.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 from ..automata.determinize import determinize
 from ..automata.dfa import DFA
+from ..automata.nfa import NFA
 from .common import SafetyProperty
 from .det import build_det_spec
 from .nondet import build_nondet_spec
@@ -35,5 +37,37 @@ def build_canonical_spec(
 def build_minimal_spec(n: int, k: int, prop: SafetyProperty) -> DFA:
     """The minimal safety DFA for pi(n,k), via Moore minimization of the
     hand-built deterministic specification."""
-    compacted, _ = build_det_spec(n, k, prop).compact()
+    compacted, _ = cached_det_spec(n, k, prop).compact()
     return compacted.minimize()
+
+
+# ----------------------------------------------------------------------
+# Memoizing spec cache
+# ----------------------------------------------------------------------
+#
+# The specifications depend only on (n, k, prop), and the (2, 2)
+# instances take seconds to materialize — yet every Table 2/3 cell, every
+# benchmark and every CLI invocation used to rebuild them from scratch.
+# These wrappers make repeated builds free within a process.  Cached
+# automata are shared: callers must treat them as immutable (every
+# algorithm in this library does).
+
+
+@lru_cache(maxsize=None)
+def cached_det_spec(n: int, k: int, prop: SafetyProperty) -> DFA:
+    """Memoized :func:`~repro.spec.det.build_det_spec` (shared instance)."""
+    return build_det_spec(n, k, prop)
+
+
+@lru_cache(maxsize=None)
+def cached_nondet_spec(n: int, k: int, prop: SafetyProperty) -> NFA:
+    """Memoized :func:`~repro.spec.nondet.build_nondet_spec` (shared
+    instance)."""
+    return build_nondet_spec(n, k, prop)
+
+
+def clear_spec_cache() -> None:
+    """Drop all memoized specifications (frees the automata and their
+    interned forms)."""
+    cached_det_spec.cache_clear()
+    cached_nondet_spec.cache_clear()

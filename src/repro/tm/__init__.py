@@ -42,6 +42,7 @@ from .explore import (
     initial_node,
     iter_node_transitions,
     language_contains,
+    safety_step,
     transition_system_size,
 )
 
@@ -81,5 +82,6 @@ __all__ = [
     "initial_node",
     "iter_node_transitions",
     "language_contains",
+    "safety_step",
     "transition_system_size",
 ]

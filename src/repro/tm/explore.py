@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, List, NamedTuple, Optional, Set, Tuple
+from typing import Callable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from ..automata.nfa import EPSILON, NFA
 from ..core.statements import Command, Kind, Statement
@@ -88,10 +88,13 @@ def explore_nodes(
     queue = deque([init])
     while queue:
         node = queue.popleft()
-        if max_states is not None and len(seen) > max_states:
-            raise RuntimeError(f"exploration exceeded {max_states} nodes")
         for _, _, _, succ in iter_node_transitions(tm, node):
             if succ not in seen:
+                if max_states is not None and len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"exploration exceeded {max_states} nodes"
+                        f" (at {len(seen) + 1})"
+                    )
                 seen.add(succ)
                 order.append(succ)
                 queue.append(succ)
@@ -103,15 +106,16 @@ def transition_system_size(tm: TMAlgorithm) -> int:
     return len(explore_nodes(tm))
 
 
-def build_safety_nfa(
-    tm: TMAlgorithm, *, max_states: Optional[int] = None
-) -> NFA:
-    """The TM's language automaton over statements (safety view).
+def safety_step(tm: TMAlgorithm) -> Callable[[Node], Iterator]:
+    """The safety-view step function of ``tm``.
 
-    Labels: :class:`~repro.core.statements.Statement` for completed
-    commands (response 1) and aborts (response 0); ``EPSILON`` for
-    internal extended commands (response ⊥).  All states accept: the
-    language of a TM algorithm is prefix-closed.
+    ``safety_step(tm)(node)`` yields ``(label, successor)`` pairs with
+    :class:`~repro.core.statements.Statement` labels for completed
+    commands (response 1) and aborts (response 0), and ``EPSILON`` for
+    internal extended commands (response ⊥).  This is the contract of
+    ``NFA.from_step`` — and of the lazy product kernel, which streams
+    these successors straight into the inclusion check without ever
+    materializing the NFA.
     """
 
     def step(node: Node):
@@ -123,7 +127,22 @@ def build_safety_nfa(
             else:
                 yield Statement(Kind.ABORT, None, t), succ
 
-    return NFA.from_step([initial_node(tm)], step, max_states=max_states)
+    return step
+
+
+def build_safety_nfa(
+    tm: TMAlgorithm, *, max_states: Optional[int] = None
+) -> NFA:
+    """The TM's language automaton over statements (safety view).
+
+    Materializes the full automaton; all states accept (the language of
+    a TM algorithm is prefix-closed).  The safety pipeline defaults to
+    the lazy path instead (see :func:`repro.checking.safety.check_safety`),
+    which feeds :func:`safety_step` directly into the product kernel.
+    """
+    return NFA.from_step(
+        [initial_node(tm)], safety_step(tm), max_states=max_states
+    )
 
 
 @dataclass(frozen=True)
@@ -146,12 +165,15 @@ def build_liveness_graph(
     queue = deque([init])
     while queue:
         node = queue.popleft()
-        if max_states is not None and len(seen) > max_states:
-            raise RuntimeError(f"exploration exceeded {max_states} nodes")
         for t, _, tr, succ in iter_node_transitions(tm, node):
             label = ExtStatement(t, tr.ext.name, tr.ext.var, tr.resp)
             edges.append((node, label, succ))
             if succ not in seen:
+                if max_states is not None and len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"exploration exceeded {max_states} nodes"
+                        f" (at {len(seen) + 1})"
+                    )
                 seen.add(succ)
                 order.append(succ)
                 queue.append(succ)

@@ -1,0 +1,202 @@
+"""The interned fast path: equivalence with the naive checkers.
+
+The interned kernel must agree with the pre-interning reference
+implementations *exactly* — verdict, counterexample bytes, and the
+discovered-pair count — on arbitrary safety NFAs.  These tests drive
+both paths over randomized automata and over handcrafted edge cases
+(ε-cycles, unreachable states, empty languages).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.antichain import (
+    _check_inclusion_antichain_naive,
+    check_inclusion_antichain,
+)
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.inclusion import (
+    _check_inclusion_in_dfa_naive,
+    check_inclusion_in_dfa,
+)
+from repro.automata.interned import InternedDFA, InternedNFA, intern_dfa, intern_nfa
+from repro.automata.nfa import EPSILON, NFA
+
+
+@st.composite
+def random_safety_nfas(draw, symbols="ab", max_states=5, with_eps=True):
+    n_states = draw(st.integers(1, max_states))
+    delta = {}
+    labels = list(symbols) + ([EPSILON] if with_eps else [])
+    for q in range(n_states):
+        out = {}
+        for sym in labels:
+            targets = draw(
+                st.frozensets(st.integers(0, n_states - 1), max_size=2)
+            )
+            if targets:
+                out[sym] = targets
+        delta[q] = out
+    return NFA(initial=frozenset([0]), delta=delta)
+
+
+def results_equal(r1, r2):
+    return (
+        r1.holds == r2.holds
+        and r1.counterexample == r2.counterexample
+        and r1.product_states == r2.product_states
+    )
+
+
+class TestInternedNFAStructure:
+    def test_dense_indices_cover_all_states(self):
+        nfa = NFA(
+            frozenset([0]),
+            {
+                0: {"a": frozenset([1]), EPSILON: frozenset([2])},
+                1: {"b": frozenset([0, 2])},
+                2: {},
+                77: {"a": frozenset([0])},  # unreachable straggler
+            },
+        )
+        ia = InternedNFA(nfa)
+        assert ia.n == nfa.num_states
+        assert sorted(ia.index_of.values()) == list(range(ia.n))
+        assert all(ia.index_of[ia.state_of[i]] == i for i in range(ia.n))
+
+    def test_eclosure_matches_nfa(self):
+        nfa = NFA(
+            frozenset([0]),
+            {
+                0: {EPSILON: frozenset([1])},
+                1: {EPSILON: frozenset([0, 2]), "a": frozenset([1])},
+                2: {},
+            },
+        )
+        ia = InternedNFA(nfa)
+        for q in (0, 1, 2):
+            expected = nfa.eclosure([q])
+            got = {ia.state_of[i] for i in ia.eclosure_set(ia.index_of[q])}
+            assert got == expected
+
+    def test_closed_post_matches_macro_step(self):
+        nfa = NFA(
+            frozenset([0]),
+            {
+                0: {"a": frozenset([1]), EPSILON: frozenset([1])},
+                1: {"a": frozenset([2]), EPSILON: frozenset([2])},
+                2: {"b": frozenset([0])},
+            },
+        )
+        ia = InternedNFA(nfa)
+        macro = frozenset(ia.index_of[q] for q in (0, 1))
+        got = ia.to_states(ia.closed_post(macro, "a"))
+        assert got == nfa.eclosure(nfa.post([0, 1], "a"))
+
+    def test_instance_caching(self):
+        nfa = NFA(frozenset([0]), {0: {"a": frozenset([0])}})
+        assert intern_nfa(nfa) is intern_nfa(nfa)
+
+    def test_dfa_instance_caching(self):
+        dfa = DFA(initial=0, delta={0: {"a": 0}})
+        assert intern_dfa(dfa) is intern_dfa(dfa)
+
+    def test_interned_dfa_structure(self):
+        dfa = DFA(
+            initial="s", delta={"s": {"a": "t"}, "t": {}, "u": {"a": "s"}}
+        )
+        idfa = InternedDFA(dfa)
+        assert idfa.n == 3
+        assert idfa.initial == 0
+        assert idfa.state_of[0] == "s"
+        # the unreachable straggler's row still resolves its target
+        u = idfa.index_of["u"]
+        assert idfa.delta[u]["a"] == 0
+
+    def test_interned_dfa_covers_successor_only_stragglers(self):
+        """delta must have a row for every index, including unreachable
+        states that appear only as successors of other stragglers."""
+        dfa = DFA(initial="A", delta={"A": {"a": "B"}, "C": {"a": "D"}})
+        idfa = InternedDFA(dfa)
+        assert idfa.n == 4
+        assert len(idfa.delta) == 4
+        assert idfa.delta[idfa.index_of["D"]] == {}
+        assert idfa.delta[idfa.index_of["C"]] == {"a": idfa.index_of["D"]}
+
+
+class TestRandomizedEquivalence:
+    @given(random_safety_nfas(), random_safety_nfas())
+    @settings(max_examples=120, deadline=None)
+    def test_product_interned_equals_naive(self, a, b):
+        d = determinize(b)
+        assert results_equal(
+            check_inclusion_in_dfa(a, d),
+            _check_inclusion_in_dfa_naive(a, d),
+        )
+
+    @given(random_safety_nfas(), random_safety_nfas())
+    @settings(max_examples=120, deadline=None)
+    def test_antichain_interned_equals_naive(self, a, b):
+        assert results_equal(
+            check_inclusion_antichain(a, b),
+            _check_inclusion_antichain_naive(a, b),
+        )
+
+    @given(random_safety_nfas(), random_safety_nfas())
+    @settings(max_examples=80, deadline=None)
+    def test_naive_product_and_antichain_agree(self, a, b):
+        """Satellite regression: the two checkers (naive and interned,
+        product and antichain) all agree on the verdict."""
+        product = check_inclusion_in_dfa(a, determinize(b))
+        antichain = check_inclusion_antichain(a, b)
+        assert product.holds == antichain.holds
+
+
+class TestEdgeCases:
+    def test_empty_language_nfa(self):
+        a = NFA(frozenset([0]), {0: {}})
+        d = DFA(initial=0, delta={0: {}})
+        assert results_equal(
+            check_inclusion_in_dfa(a, d),
+            _check_inclusion_in_dfa_naive(a, d),
+        )
+
+    def test_epsilon_cycle(self):
+        a = NFA(
+            frozenset([0]),
+            {
+                0: {EPSILON: frozenset([1])},
+                1: {EPSILON: frozenset([0]), "a": frozenset([0])},
+            },
+        )
+        d = DFA(initial=0, delta={0: {"b": 0}})
+        assert results_equal(
+            check_inclusion_in_dfa(a, d),
+            _check_inclusion_in_dfa_naive(a, d),
+        )
+
+    def test_multiple_initial_states(self):
+        a = NFA(
+            frozenset([3, 1, 2]),
+            {
+                1: {"a": frozenset([1])},
+                2: {"b": frozenset([2])},
+                3: {},
+            },
+        )
+        d = DFA(initial=0, delta={0: {"a": 0}})
+        assert results_equal(
+            check_inclusion_in_dfa(a, d),
+            _check_inclusion_in_dfa_naive(a, d),
+        )
+        b = NFA(frozenset([0]), {0: {"a": frozenset([0])}})
+        assert results_equal(
+            check_inclusion_antichain(a, b),
+            _check_inclusion_antichain_naive(a, b),
+        )
+
+    def test_guard_still_raised_on_accepting_semantics(self):
+        a = NFA(frozenset([0]), {0: {}}, accepting=frozenset([0]))
+        with pytest.raises(ValueError):
+            check_inclusion_in_dfa(a, DFA(initial=0, delta={0: {}}))

@@ -1,0 +1,163 @@
+"""The lazy product kernels: streamed exploration vs. materialization.
+
+``lazy_product_dfa`` must agree exactly (verdict, counterexample,
+discovered pairs) with materializing the NFA first and running the
+product checker; ``lazy_product_oracle`` must additionally agree when
+the DFA side is streamed through its transition function.  Counterexample
+minimality is checked by exhaustive enumeration of shorter words.
+"""
+
+from itertools import product as iproduct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.inclusion import check_inclusion_in_dfa
+from repro.automata.kernel import lazy_product_dfa, lazy_product_oracle
+from repro.automata.nfa import EPSILON, NFA
+
+
+@st.composite
+def random_safety_nfas(draw, symbols="ab", max_states=5, with_eps=True):
+    n_states = draw(st.integers(1, max_states))
+    delta = {}
+    labels = list(symbols) + ([EPSILON] if with_eps else [])
+    for q in range(n_states):
+        out = {}
+        for sym in labels:
+            targets = draw(
+                st.frozensets(st.integers(0, n_states - 1), max_size=2)
+            )
+            if targets:
+                out[sym] = targets
+        delta[q] = out
+    return NFA(initial=frozenset([0]), delta=delta)
+
+
+@st.composite
+def random_safety_dfas(draw, symbols="ab", max_states=4):
+    n_states = draw(st.integers(1, max_states))
+    delta = {}
+    for q in range(n_states):
+        out = {}
+        for sym in symbols:
+            target = draw(
+                st.one_of(st.none(), st.integers(0, n_states - 1))
+            )
+            if target is not None:
+                out[sym] = target
+        delta[q] = out
+    return DFA(initial=0, delta=delta)
+
+
+def step_of(nfa):
+    """A from_step-style step function replaying ``nfa``'s transitions."""
+
+    def step(q):
+        for symbol, succs in nfa.delta.get(q, {}).items():
+            for s in succs:
+                yield symbol, s
+
+    return step
+
+
+class TestLazyProductDFA:
+    @given(random_safety_nfas(), random_safety_dfas())
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_materialized(self, a, d):
+        holds, cex, pairs, seen = lazy_product_dfa(a.initial, step_of(a), d)
+        ref = check_inclusion_in_dfa(a, d)
+        assert holds == ref.holds
+        assert cex == ref.counterexample
+        assert pairs == ref.product_states
+
+    @given(random_safety_nfas(), random_safety_dfas())
+    @settings(max_examples=60, deadline=None)
+    def test_states_seen_is_full_reachable_set_when_holds(self, a, d):
+        holds, _, _, seen = lazy_product_dfa(a.initial, step_of(a), d)
+        if holds:
+            reachable = a.restrict_to_reachable().num_states
+            assert seen == reachable
+
+    @given(
+        random_safety_nfas(max_states=4, with_eps=False),
+        random_safety_dfas(max_states=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counterexample_is_minimal(self, a, d):
+        """No strictly shorter word of L(A) escapes L(B).
+
+        (ε-free automata only: with ε-moves the BFS minimizes total
+        steps, which is minimal-up-to-ε in observable symbols.)
+        """
+        holds, cex, _, _ = lazy_product_dfa(a.initial, step_of(a), d)
+        if holds:
+            return
+        assert a.accepts(cex) and not d.accepts(cex)
+        alphabet = sorted(a.alphabet(), key=repr)
+        for length in range(len(cex)):
+            for word in iproduct(alphabet, repeat=length):
+                assert not (a.accepts(word) and not d.accepts(word)), (
+                    f"shorter violation {word} than reported {cex}"
+                )
+
+    def test_max_states_guard(self):
+        def step(q):
+            yield "a", q + 1
+
+        d = DFA(initial=0, delta={0: {"a": 0}})
+        with pytest.raises(RuntimeError) as exc:
+            lazy_product_dfa([0], step, d, max_states=10)
+        assert "10" in str(exc.value)
+
+    def test_violation_found_before_budget_exhausted(self):
+        """The lazy product can report a violation without exploring the
+        full (here: unbounded) state space."""
+
+        def step(q):
+            yield "a", q + 1  # infinite chain
+
+        d = DFA(initial=0, delta={0: {"a": 1}, 1: {}})
+        holds, cex, _, seen = lazy_product_dfa(
+            [0], step, d, max_states=100
+        )
+        assert not holds
+        assert cex == ("a", "a")
+        assert seen <= 100
+
+
+class TestLazyProductOracle:
+    @given(random_safety_nfas(), random_safety_dfas())
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_lazy_dfa(self, a, d):
+        r_dfa = lazy_product_dfa(a.initial, step_of(a), d)
+        r_orc = lazy_product_oracle(
+            a.initial, step_of(a), d.initial, d.step
+        )
+        assert r_orc[:4] == r_dfa[:4]
+
+    @given(random_safety_nfas(), random_safety_dfas())
+    @settings(max_examples=60, deadline=None)
+    def test_spec_states_seen_bounded_by_dfa(self, a, d):
+        holds, _, _, _, spec_seen = lazy_product_oracle(
+            a.initial, step_of(a), d.initial, d.step
+        )
+        assert spec_seen <= d.num_states
+
+    def test_oracle_never_queried_outside_product(self):
+        """The spec oracle is only consulted for symbols the streamed
+        automaton actually emits from reachable product states."""
+        queries = []
+
+        def spec_step(state, symbol):
+            queries.append((state, symbol))
+            return state if symbol == "a" else None
+
+        def step(q):
+            if q == 0:
+                yield "a", 1
+
+        holds, _, _, _, _ = lazy_product_oracle([0], step, "S", spec_step)
+        assert holds
+        assert queries == [("S", "a")]

@@ -140,6 +140,42 @@ class TestReachability:
             frozenset([0]),
             {0: {"a": frozenset([1])}, 1: {}, 99: {"b": frozenset([0])}},
         )
-        trimmed = nfa.reverse_reachable()
+        trimmed = nfa.restrict_to_reachable()
         assert 99 not in trimmed.states()
         assert trimmed.accepts(("a",))
+
+    def test_deprecated_alias_still_works(self):
+        nfa = NFA(
+            frozenset([0]),
+            {0: {"a": frozenset([1])}, 1: {}, 99: {"b": frozenset([0])}},
+        )
+        with pytest.warns(DeprecationWarning):
+            trimmed = nfa.reverse_reachable()
+        assert 99 not in trimmed.states()
+
+
+class TestMaxStatesBound:
+    def test_bound_enforced_at_insertion_time(self):
+        """A high-fanout step must not overshoot the bound by the queue:
+        the guard fires as soon as the limit would be crossed, and no
+        more than ``max_states`` states are ever discovered."""
+        discovered = []
+
+        def step(q):
+            discovered.append(q)
+            return [("a", (q, i)) for i in range(100)]
+
+        with pytest.raises(RuntimeError) as exc:
+            NFA.from_step([0], step, max_states=10)
+        assert "10" in str(exc.value)
+        assert "at 11" in str(exc.value)
+        # only the initial state was ever expanded: the first fanout
+        # already exhausts the budget
+        assert discovered == [0]
+
+    def test_exact_bound_is_allowed(self):
+        # chain of exactly 5 states: 0..4
+        nfa = NFA.from_step(
+            [0], lambda q: [("a", q + 1)] if q < 4 else [], max_states=5
+        )
+        assert nfa.num_states == 5

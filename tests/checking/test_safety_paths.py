@@ -1,0 +1,95 @@
+"""Regression: every safety-check path yields identical results.
+
+The safety pipeline has three execution strategies — materialized NFA +
+interned product, lazy streamed product against the cached spec DFA, and
+fully lazy product against the spec transition function — plus the naive
+(non-interned) reference checker.  All four must produce identical
+verdicts, counterexamples and discovered-pair counts for every TM of the
+paper at (2, 2).  This pins the acceptance criterion that the interned
+kernel is byte-identical to the seed implementation.
+"""
+
+import pytest
+
+from repro.automata.inclusion import (
+    _check_inclusion_in_dfa_naive,
+    check_inclusion_in_dfa,
+)
+from repro.checking import check_safety
+from repro.spec import OP, SS, cached_det_spec
+from repro.tm import (
+    DSTM,
+    TL2,
+    ManagedTM,
+    ModifiedTL2,
+    PoliteManager,
+    SequentialTM,
+    TwoPhaseLockingTM,
+    build_safety_nfa,
+)
+
+TMS = [
+    SequentialTM(2, 2),
+    TwoPhaseLockingTM(2, 2),
+    DSTM(2, 2),
+    TL2(2, 2),
+    ManagedTM(ModifiedTL2(2, 2), PoliteManager()),
+]
+IDS = [tm.name for tm in TMS]
+
+
+@pytest.fixture(scope="module")
+def nfas():
+    return {tm.name: build_safety_nfa(tm) for tm in TMS}
+
+
+@pytest.mark.parametrize("tm", TMS, ids=IDS)
+@pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+def test_interned_equals_naive_inclusion(nfas, tm, prop):
+    """Satellite regression: interned vs. non-interned equivalence
+    across all TMs at (2, 2)."""
+    nfa = nfas[tm.name]
+    spec = cached_det_spec(2, 2, prop)
+    fast = check_inclusion_in_dfa(nfa, spec)
+    slow = _check_inclusion_in_dfa_naive(nfa, spec)
+    assert fast.holds == slow.holds
+    assert fast.counterexample == slow.counterexample
+    assert fast.product_states == slow.product_states
+
+
+@pytest.mark.parametrize("tm", TMS, ids=IDS)
+@pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+def test_lazy_paths_equal_materialized(tm, prop):
+    lazy = check_safety(tm, prop)
+    mat = check_safety(tm, prop, materialize=True)
+    oracle = check_safety(tm, prop, lazy_spec=True)
+    for other in (mat, oracle):
+        assert lazy.holds == other.holds
+        assert lazy.counterexample == other.counterexample
+        assert lazy.product_states == other.product_states
+    # when the inclusion holds, the lazy product visits the full TM
+    # state space, so the reported sizes agree as well
+    if lazy.holds:
+        assert lazy.tm_states == mat.tm_states == oracle.tm_states
+
+
+def test_lazy_spec_rejects_conflicting_options():
+    tm = SequentialTM(2, 2)
+    with pytest.raises(ValueError):
+        check_safety(tm, SS, lazy_spec=True, materialize=True)
+    with pytest.raises(ValueError):
+        check_safety(
+            tm, SS, lazy_spec=True, spec=cached_det_spec(2, 2, SS)
+        )
+
+
+def test_spec_cache_returns_shared_instance():
+    assert cached_det_spec(2, 2, SS) is cached_det_spec(2, 2, SS)
+    assert cached_det_spec(2, 2, SS) is not cached_det_spec(2, 2, OP)
+
+
+def test_max_states_bound_respected_on_lazy_path():
+    with pytest.raises(RuntimeError):
+        check_safety(TL2(2, 2), SS, max_states=50)
+    with pytest.raises(RuntimeError):
+        check_safety(TL2(2, 2), SS, max_states=50, materialize=True)
