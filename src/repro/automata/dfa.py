@@ -10,7 +10,7 @@ accept (safety-automaton convention).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -34,6 +34,11 @@ class DFA:
     initial: State
     delta: Dict[State, Dict[Symbol, State]]
     accepting: Optional[FrozenSet[State]] = None
+    #: Lazily cached ``len(states())`` — ``num_states`` sits on every
+    #: ``check_safety`` call and dominated small cells when recomputed.
+    _num_states: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_step(
@@ -98,7 +103,9 @@ class DFA:
 
     @property
     def num_states(self) -> int:
-        return len(self.states())
+        if self._num_states is None:
+            self._num_states = len(self.states())
+        return self._num_states
 
     def alphabet(self) -> Set[Symbol]:
         result: Set[Symbol] = set()

@@ -22,6 +22,13 @@ BFS against a *step function* instead of a materialized left automaton:
 successor states stream directly into the product and each state's
 transition row is computed (and ordered) exactly once, on first visit.
 This is what lets the safety pipeline skip building the full TM NFA.
+
+Finally, :func:`product_dfa_direct` / :func:`product_oracle_direct` run
+the same BFS over *pre-encoded* left states: the compiled TM engine
+(:mod:`repro.tm.compiled`) hands over packed-int states with rows
+already symbol-grouped and ordered, so pairs encode without any per-run
+re-interning while BFS order (and hence verdicts and counterexamples)
+stays byte-identical to the naive streamed path.
 """
 
 from __future__ import annotations
@@ -231,33 +238,203 @@ class _LazyLeft:
         return row
 
 
-def lazy_product_dfa(
-    initial: Iterable[Hashable],
-    step: StepFn,
+RowFn = Callable[[int], Tuple]
+
+
+def _discover_row(
+    row: Tuple,
+    discovered: set,
+    max_states: Optional[int],
+) -> None:
+    """Record a freshly expanded row's successors as discovered states.
+
+    Mirrors :class:`_LazyLeft`'s interning moment exactly: the naive
+    path interns every successor when a state's row is first built, so
+    the discovered-state count (and the ``max_states`` guard, message
+    included) stays byte-identical on the direct packed path.
+    """
+    if max_states is None:
+        for _symbol, succs in row:
+            discovered.update(succs)
+        return
+    for _symbol, succs in row:
+        for succ in succs:
+            if succ not in discovered:
+                if len(discovered) >= max_states:
+                    raise RuntimeError(
+                        f"state-space exploration exceeded {max_states}"
+                        f" states (at {len(discovered) + 1})"
+                    )
+                discovered.add(succ)
+
+
+def product_dfa_direct(
+    row_fn: RowFn,
+    initial: Iterable[int],
     dfa: DFA,
     *,
     max_states: Optional[int] = None,
 ):
-    """On-the-fly product reachability of a streamed ε-NFA against ``dfa``.
+    """Product reachability over *pre-encoded* left states.
 
-    ``step(q)`` yields ``(symbol, successor)`` pairs with ``EPSILON`` for
-    internal moves — the same contract as ``NFA.from_step`` — but no NFA
-    is ever materialized (see :class:`_LazyLeft`).
+    The left side is given by ``row_fn(packed_state)`` returning
+    ``((symbol_or_None, (packed_succ, ...)), ...)`` with symbols in
+    first-occurrence order and successors deduplicated and ordered
+    exactly as :class:`_LazyLeft` would have produced them — the
+    compiled TM engine (:mod:`repro.tm.compiled`) guarantees this.
+    Because left states are already small ints, product pairs encode as
+    ``packed_state * |dfa| + dfa_state`` with no per-run re-interning,
+    and rows memoized inside ``row_fn`` are shared across runs.
 
     Returns ``(holds, counterexample, discovered_pairs, states_seen)``
-    where ``states_seen`` counts distinct left states *discovered*
-    (successors of every expanded state included, even after an early
-    violation) — when inclusion holds this equals the full reachable
-    state count of the streamed automaton.
+    with semantics identical to :func:`lazy_product_dfa` — except that
+    ``initial`` must already be in the naive path's order (packed states
+    cannot be repr-sorted to match decoded-node order here; duplicates
+    are dropped, first occurrence wins).
+
+    NOTE: the BFS bodies of the two ``*_direct`` and the two
+    ``_run_product_*`` functions are intentionally parallel; any change
+    to violation handling, ε-moves or the ``max_states`` message must be
+    mirrored across all four (the differential tests in
+    ``tests/checking/test_safety_paths.py`` and
+    ``tests/tm/test_compiled.py`` pin their byte-identity).
     """
     ib = intern_dfa(dfa)
     b_delta = ib.delta
     nb = ib.n
 
-    left = _LazyLeft(step, max_states)
+    init = list(dict.fromkeys(initial))
+    if max_states is not None and len(init) > max_states:
+        raise RuntimeError(
+            f"state-space exploration exceeded {max_states}"
+            f" states (at {max_states + 1})"
+        )
+    discovered = set(init)
+    expanded = set()
+    start = [q * nb + ib.initial for q in init]
+    parent: ParentMap = {pair: None for pair in start}
+    queue = deque(start)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        nq, dq = divmod(pair, nb)
+        row = row_fn(nq)
+        if nq not in expanded:
+            expanded.add(nq)
+            _discover_row(row, discovered, max_states)
+        brow = b_delta[dq]
+        for symbol, succs in row:
+            if symbol is None:
+                for succ in succs:
+                    nxt = succ * nb + dq
+                    if nxt not in parent:
+                        parent[nxt] = (pair, None)
+                        push(nxt)
+                continue
+            dsucc = brow.get(symbol)
+            if dsucc is None:
+                word = reconstruct(parent, pair) + (symbol,)
+                return False, word, len(parent), len(discovered)
+            for succ in succs:
+                nxt = succ * nb + dsucc
+                if nxt not in parent:
+                    parent[nxt] = (pair, symbol)
+                    push(nxt)
+    return True, None, len(parent), len(discovered)
+
+
+def product_oracle_direct(
+    row_fn: RowFn,
+    initial: Iterable[int],
+    spec_initial: Hashable,
+    spec_step: "DetStepFn",
+    *,
+    max_states: Optional[int] = None,
+):
+    """:func:`product_dfa_direct` against a deterministic oracle.
+
+    The right side is streamed through ``spec_step`` exactly as in
+    :func:`lazy_product_oracle`; pairs are ``(packed_state, spec_index)``
+    tuples because the spec side grows on demand.
+
+    Returns ``(holds, counterexample, discovered_pairs, states_seen,
+    spec_states_seen)``.  ``initial`` ordering/dedup semantics match
+    :func:`product_dfa_direct`.
+    """
+    init = list(dict.fromkeys(initial))
+    if max_states is not None and len(init) > max_states:
+        raise RuntimeError(
+            f"state-space exploration exceeded {max_states}"
+            f" states (at {max_states + 1})"
+        )
+    discovered = set(init)
+    expanded = set()
+
+    b_index: Dict[Hashable, int] = {spec_initial: 0}
+    b_states: List[Hashable] = [spec_initial]
+    b_rows: List[Dict[Symbol, object]] = [{}]
+
+    start = [(q, 0) for q in init]
+    parent: Dict[Tuple[int, int], Optional[Tuple]] = {
+        pair: None for pair in start
+    }
+    queue = deque(start)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        nq, dq = pair
+        row = row_fn(nq)
+        if nq not in expanded:
+            expanded.add(nq)
+            _discover_row(row, discovered, max_states)
+        brow = b_rows[dq]
+        for symbol, succs in row:
+            if symbol is None:
+                for succ in succs:
+                    nxt = (succ, dq)
+                    if nxt not in parent:
+                        parent[nxt] = (pair, None)
+                        push(nxt)
+                continue
+            dsucc = brow.get(symbol)
+            if dsucc is None:  # not yet queried: ask the oracle once
+                target = spec_step(b_states[dq], symbol)
+                if target is None:
+                    dsucc = brow[symbol] = _SINK
+                else:
+                    didx = b_index.get(target)
+                    if didx is None:
+                        didx = b_index[target] = len(b_states)
+                        b_states.append(target)
+                        b_rows.append({})
+                    dsucc = brow[symbol] = didx
+            if dsucc is _SINK:
+                word = reconstruct(parent, pair) + (symbol,)
+                return (
+                    False,
+                    word,
+                    len(parent),
+                    len(discovered),
+                    len(b_index),
+                )
+            for succ in succs:
+                nxt = (succ, dsucc)
+                if nxt not in parent:
+                    parent[nxt] = (pair, symbol)
+                    push(nxt)
+    return True, None, len(parent), len(discovered), len(b_index)
+
+
+def _run_product_dfa(left, initial: List[Hashable], dfa: DFA):
+    """Shared BFS of the streamed-left × DFA product."""
+    ib = intern_dfa(dfa)
+    b_delta = ib.delta
+    nb = ib.n
+
     row_of = left.row_of
-    init_sorted = sorted(set(initial), key=repr)
-    start_states = [left.visit(q) for q in init_sorted]
+    start_states = [left.visit(q) for q in initial]
     start = [q * nb + ib.initial for q in start_states]
     parent: ParentMap = {pair: None for pair in start}
     queue = deque(start)
@@ -287,6 +464,29 @@ def lazy_product_dfa(
     return True, None, len(parent), len(left.index)
 
 
+def lazy_product_dfa(
+    initial: Iterable[Hashable],
+    step: StepFn,
+    dfa: DFA,
+    *,
+    max_states: Optional[int] = None,
+):
+    """On-the-fly product reachability of a streamed ε-NFA against ``dfa``.
+
+    ``step(q)`` yields ``(symbol, successor)`` pairs with ``EPSILON`` for
+    internal moves — the same contract as ``NFA.from_step`` — but no NFA
+    is ever materialized (see :class:`_LazyLeft`).
+
+    Returns ``(holds, counterexample, discovered_pairs, states_seen)``
+    where ``states_seen`` counts distinct left states *discovered*
+    (successors of every expanded state included, even after an early
+    violation) — when inclusion holds this equals the full reachable
+    state count of the streamed automaton.
+    """
+    left = _LazyLeft(step, max_states)
+    return _run_product_dfa(left, sorted(set(initial), key=repr), dfa)
+
+
 DetStepFn = Callable[[Hashable, Hashable], Optional[Hashable]]
 
 _SINK = object()  # cached "no transition" marker in lazy spec rows
@@ -314,16 +514,27 @@ def lazy_product_oracle(
     spec_states_seen)``.
     """
     left = _LazyLeft(step, max_states)
+    return _run_product_oracle(
+        left, sorted(set(initial), key=repr), spec_initial, spec_step
+    )
+
+
+def _run_product_oracle(
+    left,
+    initial: List[Hashable],
+    spec_initial: Hashable,
+    spec_step: DetStepFn,
+):
+    """Shared BFS of the streamed-left × deterministic-oracle product."""
     row_of = left.row_of
 
     b_index: Dict[Hashable, int] = {spec_initial: 0}
     b_states: List[Hashable] = [spec_initial]
     b_rows: List[Dict[Symbol, object]] = [{}]
 
-    init_sorted = sorted(set(initial), key=repr)
     # Pairs are (left index, spec index) tuples: the spec side grows
     # on demand, so no fixed-width encoding is available.
-    start = [(left.visit(q), 0) for q in init_sorted]
+    start = [(left.visit(q), 0) for q in initial]
     parent: Dict[Tuple[int, int], Optional[Tuple]] = {
         pair: None for pair in start
     }

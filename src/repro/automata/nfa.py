@@ -14,7 +14,7 @@ dense integers, which the antichain algorithms rely on for speed.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -62,6 +62,10 @@ class NFA:
     initial: FrozenSet[State]
     delta: Dict[State, Dict[Symbol, FrozenSet[State]]]
     accepting: Optional[FrozenSet[State]] = None
+    #: Lazily cached ``len(states())`` (see the DFA counterpart).
+    _num_states: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -134,7 +138,9 @@ class NFA:
 
     @property
     def num_states(self) -> int:
-        return len(self.states())
+        if self._num_states is None:
+            self._num_states = len(self.states())
+        return self._num_states
 
     def alphabet(self) -> Set[Symbol]:
         """All non-ε symbols appearing on transitions."""

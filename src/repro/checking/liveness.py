@@ -125,12 +125,15 @@ def _find_abort_cycle(
 
 
 def check_obstruction_freedom(
-    tm: TMAlgorithm, *, graph: Optional[LivenessGraph] = None
+    tm: TMAlgorithm,
+    *,
+    graph: Optional[LivenessGraph] = None,
+    compiled: bool = True,
 ) -> LivenessResult:
     """Does every loop of a single thread without commits avoid aborts?"""
     t0 = time.perf_counter()
     if graph is None:
-        graph = build_liveness_graph(tm)
+        graph = build_liveness_graph(tm, compiled=compiled)
     for t in tm.threads():
         edges = [
             e
@@ -157,12 +160,15 @@ def check_obstruction_freedom(
 
 
 def check_livelock_freedom(
-    tm: TMAlgorithm, *, graph: Optional[LivenessGraph] = None
+    tm: TMAlgorithm,
+    *,
+    graph: Optional[LivenessGraph] = None,
+    compiled: bool = True,
 ) -> LivenessResult:
     """Is there no commit-free loop in which every participant aborts?"""
     t0 = time.perf_counter()
     if graph is None:
-        graph = build_liveness_graph(tm)
+        graph = build_liveness_graph(tm, compiled=compiled)
     threads = list(tm.threads())
     for size in range(1, len(threads) + 1):
         for subset in combinations(threads, size):
@@ -191,7 +197,10 @@ def check_livelock_freedom(
 
 
 def check_wait_freedom(
-    tm: TMAlgorithm, *, graph: Optional[LivenessGraph] = None
+    tm: TMAlgorithm,
+    *,
+    graph: Optional[LivenessGraph] = None,
+    compiled: bool = True,
 ) -> LivenessResult:
     """Is there no reachable loop containing an abort at all?
 
@@ -203,7 +212,7 @@ def check_wait_freedom(
     """
     t0 = time.perf_counter()
     if graph is None:
-        graph = build_liveness_graph(tm)
+        graph = build_liveness_graph(tm, compiled=compiled)
     nodes = {e[0] for e in graph.edges} | {e[2] for e in graph.edges}
     for scc in tarjan_sccs(nodes, graph.edges):
         inner = [e for e in graph.edges if e[0] in scc and e[2] in scc]
@@ -232,9 +241,11 @@ def check_wait_freedom(
     )
 
 
-def check_liveness_all(tm: TMAlgorithm) -> Tuple[LivenessResult, ...]:
+def check_liveness_all(
+    tm: TMAlgorithm, *, compiled: bool = True
+) -> Tuple[LivenessResult, ...]:
     """Obstruction, livelock and wait freedom on one shared graph."""
-    graph = build_liveness_graph(tm)
+    graph = build_liveness_graph(tm, compiled=compiled)
     return (
         check_obstruction_freedom(tm, graph=graph),
         check_livelock_freedom(tm, graph=graph),

@@ -32,13 +32,19 @@ from typing import Dict, Optional, Tuple
 
 from ..automata.dfa import DFA
 from ..automata.inclusion import InclusionResult, check_inclusion_in_dfa
-from ..automata.kernel import lazy_product_dfa, lazy_product_oracle
+from ..automata.kernel import (
+    lazy_product_dfa,
+    lazy_product_oracle,
+    product_dfa_direct,
+    product_oracle_direct,
+)
 from ..core.properties import is_opaque, is_strictly_serializable
 from ..core.statements import Statement
 from ..spec.build import cached_det_spec
 from ..spec.common import OP, SS, SafetyProperty
 from ..spec.det import det_step, initial_state as det_initial_state
 from ..tm.algorithm import TMAlgorithm
+from ..tm.compiled import compile_tm
 from ..tm.explore import build_safety_nfa, initial_node, safety_step
 from .reporting import SafetyResult
 
@@ -66,6 +72,7 @@ def check_safety(
     certify: bool = True,
     materialize: bool = False,
     lazy_spec: bool = False,
+    compiled: bool = True,
     max_states: Optional[int] = None,
 ) -> SafetyResult:
     """Check ``L(tm) ⊆ pi`` for the TM's own (n, k).
@@ -81,6 +88,14 @@ def check_safety(
     specification is astronomically large.  ``max_states`` bounds the
     TM state exploration either way.
 
+    By default the lazy paths run on the **compiled engine**
+    (:mod:`repro.tm.compiled`): packed-int TM states with memoized
+    transition rows stream into the product kernel.  ``compiled=False``
+    keeps the naive tuple-of-frozensets streaming as the differential
+    reference; verdicts, counterexamples and all reported counts are
+    byte-identical between the two.  ``materialize=True`` always takes
+    the naive two-phase path.
+
     ``tm_states`` in the result is the number of TM states explored:
     when the inclusion holds it equals the full reachable state space
     on every path, but after a violation the lazy paths report only
@@ -95,15 +110,27 @@ def check_safety(
                 "lazy_spec streams the specification: it cannot be"
                 " combined with materialize=True or a prebuilt spec"
             )
-        holds, counterexample, discovered, tm_states, spec_states = (
-            lazy_product_oracle(
-                [initial_node(tm)],
-                safety_step(tm),
-                det_initial_state(tm.n),
-                lambda state, stmt: det_step(state, stmt, prop),
-                max_states=max_states,
+        if compiled:
+            engine = compile_tm(tm)
+            holds, counterexample, discovered, tm_states, spec_states = (
+                product_oracle_direct(
+                    engine.safety_row,
+                    [engine.initial_node_packed()],
+                    det_initial_state(tm.n),
+                    lambda state, stmt: det_step(state, stmt, prop),
+                    max_states=max_states,
+                )
             )
-        )
+        else:
+            holds, counterexample, discovered, tm_states, spec_states = (
+                lazy_product_oracle(
+                    [initial_node(tm)],
+                    safety_step(tm),
+                    det_initial_state(tm.n),
+                    lambda state, stmt: det_step(state, stmt, prop),
+                    max_states=max_states,
+                )
+            )
         result = InclusionResult(
             holds=holds,
             counterexample=counterexample,
@@ -117,6 +144,21 @@ def check_safety(
             nfa = build_safety_nfa(tm, max_states=max_states)
             result = check_inclusion_in_dfa(nfa, spec)
             tm_states = nfa.num_states
+        elif compiled:
+            engine = compile_tm(tm)
+            holds, counterexample, discovered, tm_states = (
+                product_dfa_direct(
+                    engine.safety_row,
+                    [engine.initial_node_packed()],
+                    spec,
+                    max_states=max_states,
+                )
+            )
+            result = InclusionResult(
+                holds=holds,
+                counterexample=counterexample,
+                product_states=discovered,
+            )
         else:
             holds, counterexample, discovered, tm_states = lazy_product_dfa(
                 [initial_node(tm)],

@@ -141,6 +141,7 @@ def cmd_safety(args: argparse.Namespace) -> int:
                 spec=specs.get(p),
                 materialize=args.materialize,
                 lazy_spec=args.lazy_spec,
+                compiled=args.compiled,
             )
             cells.append(res.verdict())
             if not res.holds:
@@ -160,7 +161,7 @@ def cmd_liveness(args: argparse.Namespace) -> int:
     worst = 0
     for name in names:
         tm = _make_tm(name, n, k, args.manager)
-        graph = build_liveness_graph(tm)
+        graph = build_liveness_graph(tm, compiled=args.compiled)
         cells = [tm.name, str(len(graph.nodes))]
         for check in (
             check_obstruction_freedom,
@@ -261,11 +262,25 @@ def build_parser() -> argparse.ArgumentParser:
         " function instead of materializing it — required for large"
         " (n, k) where the full specification is intractable",
     )
+    p_safety.add_argument(
+        "--no-compiled",
+        dest="compiled",
+        action="store_false",
+        help="disable the compiled packed-state TM engine and stream"
+        " naive tuple states (the differential reference path)",
+    )
     add_common(p_safety)
     p_safety.set_defaults(func=cmd_safety)
 
     p_live = sub.add_parser("liveness", help="Table 3: loop analysis")
     p_live.add_argument("tm", help="seq|2pl|dstm|tl2|modtl2|all")
+    p_live.add_argument(
+        "--no-compiled",
+        dest="compiled",
+        action="store_false",
+        help="build the liveness graph with the naive explorer instead"
+        " of the compiled packed-state engine",
+    )
     add_common(p_live)
     p_live.set_defaults(func=cmd_liveness, vars=1)
 

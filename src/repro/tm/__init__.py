@@ -17,6 +17,7 @@ from .contention import (
     PermissiveManager,
     PoliteManager,
 )
+from .compiled import CompiledTM, ViewCodec, compile_tm
 from .compose import ManagedTM
 from .sequential import SequentialTM
 from .two_phase_locking import TwoPhaseLockingTM
@@ -59,6 +60,9 @@ __all__ = [
     "ContentionManager",
     "PermissiveManager",
     "PoliteManager",
+    "CompiledTM",
+    "ViewCodec",
+    "compile_tm",
     "ManagedTM",
     "SequentialTM",
     "TwoPhaseLockingTM",

@@ -114,6 +114,7 @@ class TMAlgorithm(ABC):
             raise ValueError("need at least one thread and one variable")
         self.n = n
         self.k = k
+        self._commands_cache: Optional[Tuple[Command, ...]] = None
 
     # ------------------------------------------------------------------
     # TM-specific pieces
@@ -174,10 +175,25 @@ class TMAlgorithm(ABC):
     # ------------------------------------------------------------------
 
     def commands(self) -> Tuple[Command, ...]:
-        """The command set ``C`` for this TM's variable count."""
-        from ..core.statements import commands as base_commands
+        """The command set ``C`` for this TM's variable count (cached —
+        the explorer asks for it once per (node, thread) pair)."""
+        cached = self._commands_cache
+        if cached is None:
+            from ..core.statements import commands as base_commands
 
-        return base_commands(self.k)
+            cached = self._commands_cache = base_commands(self.k)
+        return cached
+
+    def view_codec(self):
+        """Optional per-thread view codec for the compiled engine.
+
+        Concrete TMs whose state is a tuple of per-thread views return a
+        :class:`repro.tm.compiled.ViewCodec` packing one view into a
+        fixed-width int (k-bit masks); ``None`` (the default) makes
+        :class:`~repro.tm.compiled.CompiledTM` fall back to interning
+        whole states, which is always correct.
+        """
+        return None
 
     def threads(self) -> range:
         return range(1, self.n + 1)

@@ -1,0 +1,515 @@
+"""Compiled TM engine: packed states, interned views, memoized rows.
+
+The naive explorer re-derives everything from tuples-of-frozensets on
+every visit: each node is a deep composite ``(state, pending)`` tuple
+that gets re-hashed at every dedup check, and ``tm.transitions`` is
+re-run for every (node, command) pair even though nodes sharing a TM
+state share all of their command transitions.  Explicit-state model
+checkers win exactly here, with compact state encodings and cached
+successor computation; this module applies both ideas to the paper's
+TM algorithms:
+
+* **interned thread views** — each per-thread view (e.g. DSTM's
+  ``(status, rs, os)``) is bit-packed by a :class:`ViewCodec` (status
+  index plus ``k``-bit masks for the read/write/ownership sets) and
+  interned into a dense small id;
+* **packed states** — a whole TM state is a single int with one
+  fixed-width view-id digit per thread, and an explorer node adds the
+  pending vector as base-``|C|+1`` digits, so every dict key on the hot
+  path is a machine-word int;
+* **memoized transition rows** — ``tm.transitions`` results are cached
+  per ``(packed_state, thread, command)``, so nodes that differ only in
+  their pending vectors share successor computations, and repeated runs
+  (e.g. the two Table 2 properties of one TM) recompute nothing.
+
+:class:`CompiledTM` keeps the ``initial_state``/``transitions`` contract
+of :class:`~repro.tm.algorithm.TMAlgorithm` and adds the packed-node API
+(``encode_node``/``decode_node``/``node_row``/``expand``) that
+:mod:`repro.tm.explore` and the checking pipelines use.  Algorithms
+without a registered codec (e.g. :class:`~repro.tm.compose.ManagedTM`,
+whose state carries a manager component) fall back to interning whole
+states — the row memoization and int-keyed BFS still apply.
+
+The engine is exact: iteration orders are preserved everywhere, so the
+compiled paths produce byte-identical verdicts, counterexamples, node
+orders and edge lists to the naive paths (pinned by the differential
+tests in ``tests/tm/test_compiled.py``).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.statements import Command, Kind, Statement
+from .algorithm import ABORT_EXT, Ext, Resp, TMAlgorithm, TMState, Transition
+
+
+# ----------------------------------------------------------------------
+# View codecs: per-thread views <-> fixed-width packed ints
+# ----------------------------------------------------------------------
+
+
+class ViewCodec(NamedTuple):
+    """Bijective packing of one thread view into a ``width``-bit int."""
+
+    width: int
+    pack: Callable[[Hashable], int]
+    unpack: Callable[[int], Hashable]
+
+
+def pack_varset(vars_: FrozenSet[int]) -> int:
+    """A set of 1-based variables as a k-bit mask (variable v = bit v-1)."""
+    mask = 0
+    for v in vars_:
+        mask |= 1 << (v - 1)
+    return mask
+
+
+def unpack_varset(mask: int) -> FrozenSet[int]:
+    """Inverse of :func:`pack_varset`."""
+    out = []
+    v = 1
+    while mask:
+        if mask & 1:
+            out.append(v)
+        mask >>= 1
+        v += 1
+    return frozenset(out)
+
+
+def status_mask_codec(
+    k: int, statuses: Optional[Sequence[Hashable]], num_sets: int
+) -> ViewCodec:
+    """Codec for the paper's view shape: optional status + variable sets.
+
+    Packs a view ``(status, set_1, ..., set_m)`` — or just
+    ``(set_1, ..., set_m)`` when ``statuses`` is ``None`` — as the status
+    index in the low bits followed by one ``k``-bit mask per set.
+    """
+    if statuses:
+        status_list = tuple(statuses)
+        sbits = max(1, (len(status_list) - 1).bit_length())
+        sindex = {s: i for i, s in enumerate(status_list)}
+    else:
+        status_list = ()
+        sbits = 0
+        sindex = {}
+    width = sbits + num_sets * k
+    kmask = (1 << k) - 1
+    smask = (1 << sbits) - 1
+
+    def pack(view: Hashable) -> int:
+        if status_list:
+            bits = sindex[view[0]]  # type: ignore[index]
+            sets = view[1:]  # type: ignore[index]
+        else:
+            bits = 0
+            sets = view
+        shift = sbits
+        for s in sets:
+            bits |= pack_varset(s) << shift
+            shift += k
+        return bits
+
+    def unpack(bits: int) -> Hashable:
+        parts: List[Hashable] = []
+        if status_list:
+            parts.append(status_list[bits & smask])
+            bits >>= sbits
+        for _ in range(num_sets):
+            parts.append(unpack_varset(bits & kmask))
+            bits >>= k
+        return tuple(parts)
+
+    return ViewCodec(width, pack, unpack)
+
+
+# ----------------------------------------------------------------------
+# The compiled engine
+# ----------------------------------------------------------------------
+
+#: One explorer transition from a packed node:
+#: ``(thread_index, command_index, ext, resp, packed_successor_node)``.
+NodeTransition = Tuple[int, int, Ext, Resp, int]
+
+
+class CompiledTM:
+    """A :class:`TMAlgorithm` compiled to packed-int states.
+
+    Construct via :func:`compile_tm` to share one engine (and its memo
+    tables) across every check on the same algorithm instance.
+    """
+
+    def __init__(self, tm: TMAlgorithm) -> None:
+        self.tm = tm
+        self.n = tm.n
+        self.k = tm.k
+        self.name = tm.name
+        self._commands: Tuple[Command, ...] = tm.commands()
+        self._ncmds = len(self._commands)
+        self._cmd_index = {c: i for i, c in enumerate(self._commands)}
+        self._pend_base = self._ncmds + 1
+        self._pend_span = self._pend_base ** tm.n
+        self._pend_pow = tuple(self._pend_base ** i for i in range(tm.n))
+        self._all_cmd_indices = tuple(range(self._ncmds))
+
+        self._codec = tm.view_codec()
+        # View table: view -> dense id; dense id -> view.  On the
+        # fallback path the "views" are whole TM states.
+        self._view_ids: Dict[Hashable, int] = {}
+        self._views: List[Hashable] = []
+        # ``transitions`` may be overridden (e.g. ManagedTM); only the
+        # base implementation can be decomposed into progress/φ/abort
+        # without allocating Transition wrappers.
+        self._generic_transitions = (
+            type(tm).transitions is TMAlgorithm.transitions
+        )
+        self._decoded_states: Dict[int, TMState] = {}
+        self._decoded_nodes: Dict[int, Tuple[TMState, tuple]] = {}
+
+        # Memo tables (the whole point of the engine).
+        self._cmd_rows: Dict[int, Tuple[Tuple[Ext, Resp, int], ...]] = {}
+        self._node_rows: Dict[int, Tuple[NodeTransition, ...]] = {}
+        self._safety_rows: Dict[int, tuple] = {}
+        self._live_labels: Dict[Tuple[int, Ext, Resp], object] = {}
+
+        # Interned observable labels for the safety view.
+        self._done_stmt = tuple(
+            tuple(Statement(c.kind, c.var, t) for c in self._commands)
+            for t in range(1, tm.n + 1)
+        )
+        self._abort_stmt = tuple(
+            Statement(Kind.ABORT, None, t) for t in range(1, tm.n + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # State packing
+    # ------------------------------------------------------------------
+
+    def _intern_view(self, view: Hashable) -> int:
+        """Pack ``view`` to its k-bit-mask bits and assign a dense id.
+
+        Dense ids stay below the number of distinct packed values, so
+        ``width`` bits always suffice for a state digit — provided the
+        codec really is a ``width``-bit bijection, which is checked here
+        (once per distinct view) so a faulty custom codec fails loudly
+        instead of silently corrupting packed states.
+        """
+        codec = self._codec
+        bits = codec.pack(view)  # type: ignore[union-attr]
+        if bits >> codec.width or codec.unpack(bits) != view:
+            raise ValueError(
+                f"{self.name}: view codec is not a {codec.width}-bit"
+                f" bijection on {view!r} (packed to {bits:#x})"
+            )
+        vid = len(self._views)
+        self._view_ids[view] = vid
+        self._views.append(view)
+        return vid
+
+    def encode_state(self, state: TMState) -> int:
+        """The packed int of a raw TM state (interning new views)."""
+        codec = self._codec
+        view_ids = self._view_ids
+        if codec is None:
+            packed = view_ids.get(state)
+            if packed is None:
+                packed = len(self._views)
+                view_ids[state] = packed
+                self._views.append(state)
+                self._decoded_states[packed] = state
+            return packed
+        width = codec.width
+        packed = 0
+        shift = 0
+        for view in state:  # type: ignore[union-attr]
+            vid = view_ids.get(view)
+            if vid is None:
+                vid = self._intern_view(view)
+            packed |= vid << shift
+            shift += width
+        return packed
+
+    def decode_state(self, packed: int) -> TMState:
+        """Inverse of :func:`encode_state` (memoized)."""
+        state = self._decoded_states.get(packed)
+        if state is None:
+            codec = self._codec
+            assert codec is not None  # fallback path always pre-populates
+            views = self._views
+            mask = (1 << codec.width) - 1
+            width = codec.width
+            p = packed
+            out = []
+            for _ in range(self.n):
+                out.append(views[p & mask])
+                p >>= width
+            state = tuple(out)
+            self._decoded_states[packed] = state
+        return state
+
+    def encode_node(self, node: Tuple[TMState, tuple]) -> int:
+        """Pack an explorer node ``(state, pending)`` into one int."""
+        state, pending = node
+        base = self._pend_base
+        cmd_index = self._cmd_index
+        packed_pending = 0
+        for slot in reversed(pending):
+            digit = 0 if slot is None else cmd_index[slot] + 1
+            packed_pending = packed_pending * base + digit
+        return self.encode_state(state) * self._pend_span + packed_pending
+
+    def decode_node(self, packed: int) -> Tuple[TMState, tuple]:
+        """Inverse of :func:`encode_node` (memoized)."""
+        node = self._decoded_nodes.get(packed)
+        if node is None:
+            packed_state, packed_pending = divmod(packed, self._pend_span)
+            base = self._pend_base
+            commands = self._commands
+            pending = []
+            for _ in range(self.n):
+                packed_pending, digit = divmod(packed_pending, base)
+                pending.append(None if digit == 0 else commands[digit - 1])
+            node = (self.decode_state(packed_state), tuple(pending))
+            self._decoded_nodes[packed] = node
+        return node
+
+    def initial_node_packed(self) -> int:
+        return self.encode_node((self.tm.initial_state(), (None,) * self.n))
+
+    # ------------------------------------------------------------------
+    # Memoized transition rows
+    # ------------------------------------------------------------------
+
+    def _cmd_row(
+        self, packed_state: int, ti: int, ci: int
+    ) -> Tuple[Tuple[Ext, Resp, int], ...]:
+        """``tm.transitions`` for ``(state, thread ti+1, command ci)``,
+        with packed successor states, computed once per engine."""
+        key = (packed_state * self.n + ti) * self._ncmds + ci
+        row = self._cmd_rows.get(key)
+        if row is None:
+            state = self.decode_state(packed_state)
+            cmd = self._commands[ci]
+            thread = ti + 1
+            encode = self.encode_state
+            tm = self.tm
+            if self._generic_transitions:
+                # Inline TMAlgorithm.transitions without Transition
+                # wrappers: progress entries plus the derived abort.
+                prog = tm.progress(state, cmd, thread)
+                entries = [
+                    (ext, resp, encode(succ)) for ext, resp, succ in prog
+                ]
+                if not prog or tm.conflict(state, cmd, thread):
+                    entries.append(
+                        (
+                            ABORT_EXT,
+                            Resp.ABORT,
+                            encode(tm.abort_reset(state, thread)),
+                        )
+                    )
+                row = tuple(entries)
+            else:
+                row = tuple(
+                    (tr.ext, tr.resp, encode(tr.state))
+                    for tr in tm.transitions(state, cmd, thread)
+                )
+            self._cmd_rows[key] = row
+        return row
+
+    def _pending_digits(self, packed_pending: int) -> List[int]:
+        base = self._pend_base
+        digits = []
+        for _ in range(self.n):
+            packed_pending, digit = divmod(packed_pending, base)
+            digits.append(digit)
+        return digits
+
+    def node_row(self, packed_node: int) -> Tuple[NodeTransition, ...]:
+        """All explorer transitions from a packed node, in the exact
+        order of :func:`repro.tm.explore.iter_node_transitions`."""
+        row = self._node_rows.get(packed_node)
+        if row is None:
+            packed_state, packed_pending = divmod(packed_node, self._pend_span)
+            pend_pow = self._pend_pow
+            cmd_row = self._cmd_row
+            entries: List[NodeTransition] = []
+            digits = self._pending_digits(packed_pending)
+            for ti in range(self.n):
+                digit = digits[ti]
+                cmd_indices = (
+                    (digit - 1,) if digit else self._all_cmd_indices
+                )
+                for ci in cmd_indices:
+                    for ext, resp, succ_state in cmd_row(packed_state, ti, ci):
+                        new_digit = ci + 1 if resp is Resp.BOT else 0
+                        succ_pending = (
+                            packed_pending
+                            + (new_digit - digit) * pend_pow[ti]
+                        )
+                        entries.append(
+                            (
+                                ti,
+                                ci,
+                                ext,
+                                resp,
+                                succ_state * self._pend_span + succ_pending,
+                            )
+                        )
+            row = tuple(entries)
+            self._node_rows[packed_node] = row
+        return row
+
+    def expand(
+        self, frontier: Iterable[int]
+    ) -> List[Tuple[int, Tuple[NodeTransition, ...]]]:
+        """Batched successor computation: rows for a whole frontier."""
+        node_row = self.node_row
+        return [(node, node_row(node)) for node in frontier]
+
+    # ------------------------------------------------------------------
+    # Checker-facing views
+    # ------------------------------------------------------------------
+
+    def safety_row(self, packed_node: int) -> tuple:
+        """The safety view of a node as a pre-grouped kernel row.
+
+        Returns ``((symbol_or_None, (packed_succ, ...)), ...)`` with
+        symbols grouped in first-occurrence order and successors
+        deduplicated and ordered exactly as the naive lazy kernel would
+        have produced (``repr``-sorted decoded nodes), so product BFS
+        over these rows is byte-identical to the naive path.
+        """
+        row = self._safety_rows.get(packed_node)
+        if row is None:
+            # Assembled straight from the memoized command rows (not via
+            # node_row) — the safety product is the hot path and skips
+            # materializing per-node transition tuples.
+            packed_state, packed_pending = divmod(packed_node, self._pend_span)
+            pend_span = self._pend_span
+            pend_pow = self._pend_pow
+            cmd_row = self._cmd_row
+            done_stmt = self._done_stmt
+            abort_stmt = self._abort_stmt
+            grouped: Dict[Optional[Statement], List[int]] = {}
+            digits = self._pending_digits(packed_pending)
+            for ti in range(self.n):
+                digit = digits[ti]
+                cmd_indices = (
+                    (digit - 1,) if digit else self._all_cmd_indices
+                )
+                base_pending = packed_pending - digit * pend_pow[ti]
+                for ci in cmd_indices:
+                    for _ext, resp, succ_state in cmd_row(
+                        packed_state, ti, ci
+                    ):
+                        if resp is Resp.BOT:
+                            key = None
+                            succ_pending = base_pending + (ci + 1) * pend_pow[ti]
+                        elif resp is Resp.DONE:
+                            key = done_stmt[ti][ci]
+                            succ_pending = base_pending
+                        else:
+                            key = abort_stmt[ti]
+                            succ_pending = base_pending
+                        grouped.setdefault(key, []).append(
+                            succ_state * pend_span + succ_pending
+                        )
+            decode = self.decode_node
+            out = []
+            for symbol, succs in grouped.items():
+                if len(succs) > 1:
+                    succs = sorted(
+                        set(succs), key=lambda p: repr(decode(p))
+                    )
+                out.append((symbol, tuple(succs)))
+            row = tuple(out)
+            self._safety_rows[packed_node] = row
+        return row
+
+    def liveness_row(self, packed_node: int) -> tuple:
+        """The liveness view of a node: ``(ExtStatement, packed_succ)``
+        pairs in explorer order, with interned labels."""
+        from .explore import ExtStatement
+
+        labels = self._live_labels
+        out = []
+        for ti, _ci, ext, resp, succ in self.node_row(packed_node):
+            key = (ti, ext, resp)
+            label = labels.get(key)
+            if label is None:
+                label = labels[key] = ExtStatement(
+                    ti + 1, ext.name, ext.var, resp
+                )
+            out.append((label, succ))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # TMAlgorithm-compatible contract
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> TMState:
+        return self.tm.initial_state()
+
+    def transitions(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Transition]:
+        """Same contract as :meth:`TMAlgorithm.transitions`, served from
+        the memoized rows."""
+        packed = self.encode_state(state)
+        decode = self.decode_state
+        return [
+            Transition(ext, resp, decode(succ))
+            for ext, resp, succ in self._cmd_row(
+                packed, thread - 1, self._cmd_index[cmd]
+            )
+        ]
+
+    def commands(self) -> Tuple[Command, ...]:
+        """The cached command set ``C`` (same contract as
+        :meth:`TMAlgorithm.commands`)."""
+        return self._commands
+
+    def threads(self) -> range:
+        return range(1, self.n + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Sizes of the intern/memo tables (for benchmarks and tests)."""
+        return {
+            "views": len(self._views),
+            "decoded_states": len(self._decoded_states),
+            "decoded_nodes": len(self._decoded_nodes),
+            "cmd_rows": len(self._cmd_rows),
+            "node_rows": len(self._node_rows),
+            "safety_rows": len(self._safety_rows),
+        }
+
+
+def compile_tm(tm: TMAlgorithm) -> CompiledTM:
+    """The (cached) compiled engine for ``tm``.
+
+    The engine is memoized on the algorithm instance, so every check on
+    the same instance — both Table 2 properties, the liveness graph, the
+    size column — shares one set of interned views and transition rows.
+    """
+    engine = tm.__dict__.get("_compiled_engine")
+    if engine is None:
+        engine = CompiledTM(tm)
+        tm._compiled_engine = engine  # type: ignore[attr-defined]
+    return engine

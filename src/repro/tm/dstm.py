@@ -123,3 +123,10 @@ class DSTM(TMAlgorithm):
     def abort_reset(self, state: TMState, thread: int) -> TMState:
         views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
         return self._with(views, thread, RESET)
+
+    def view_codec(self):
+        from .compiled import status_mask_codec
+
+        return status_mask_codec(
+            self.k, (FINISHED, ABORTED, VALIDATED, INVALID), 2  # (rs, os)
+        )

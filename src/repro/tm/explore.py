@@ -17,6 +17,13 @@ produced:
 * a **liveness view** (:func:`build_liveness_graph`): the same graph with
   *extended* statements on the edges, as required by Section 6's loop
   conditions.
+
+By default exploration runs on the **compiled engine**
+(:mod:`repro.tm.compiled`): packed-int nodes, interned thread views and
+memoized transition rows.  Every entry point takes ``compiled=False`` to
+force the naive tuple-of-frozensets path, which is kept as the
+differential reference (the two paths produce identical node orders,
+edges, sizes and verdicts — pinned by ``tests/tm/test_compiled.py``).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import Callable, Iterator, List, NamedTuple, Optional, Set, Tuple
 from ..automata.nfa import EPSILON, NFA
 from ..core.statements import Command, Kind, Statement
 from .algorithm import Resp, TMAlgorithm, TMState, Transition
+from .compiled import CompiledTM, compile_tm
 
 PendingVec = Tuple[Optional[Command], ...]
 Node = Tuple[TMState, PendingVec]
@@ -70,7 +78,7 @@ def iter_node_transitions(
     state, pending = node
     for t in tm.threads():
         slot = pending[t - 1]
-        cmds = [slot] if slot is not None else list(tm.commands())
+        cmds = (slot,) if slot is not None else tm.commands()
         for cmd in cmds:
             for tr in tm.transitions(state, cmd, t):
                 new_pending = list(pending)
@@ -78,10 +86,50 @@ def iter_node_transitions(
                 yield t, cmd, tr, (tr.state, tuple(new_pending))
 
 
+def explore_packed(
+    engine: CompiledTM, *, max_states: Optional[int] = None
+) -> List[int]:
+    """All reachable packed nodes, BFS order from the initial node.
+
+    The BFS mirrors the naive :func:`explore_nodes` exactly — compiled
+    rows preserve the explorer's transition order, so decoding this list
+    reproduces the naive node order element for element.
+    """
+    init = engine.initial_node_packed()
+    seen: Set[int] = {init}
+    order: List[int] = [init]
+    queue = deque([init])
+    node_row = engine.node_row
+    while queue:
+        node = queue.popleft()
+        for entry in node_row(node):
+            succ = entry[4]
+            if succ not in seen:
+                if max_states is not None and len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"exploration exceeded {max_states} nodes"
+                        f" (at {len(seen) + 1})"
+                    )
+                seen.add(succ)
+                order.append(succ)
+                queue.append(succ)
+    return order
+
+
 def explore_nodes(
-    tm: TMAlgorithm, *, max_states: Optional[int] = None
+    tm: TMAlgorithm,
+    *,
+    max_states: Optional[int] = None,
+    compiled: bool = True,
 ) -> List[Node]:
     """All reachable explorer nodes, BFS order from the initial node."""
+    if compiled:
+        engine = compile_tm(tm)
+        decode = engine.decode_node
+        return [
+            decode(p)
+            for p in explore_packed(engine, max_states=max_states)
+        ]
     init = initial_node(tm)
     seen: Set[Node] = {init}
     order: List[Node] = [init]
@@ -101,9 +149,11 @@ def explore_nodes(
     return order
 
 
-def transition_system_size(tm: TMAlgorithm) -> int:
+def transition_system_size(tm: TMAlgorithm, *, compiled: bool = True) -> int:
     """Number of reachable nodes — the paper's Table 2 "Size" column."""
-    return len(explore_nodes(tm))
+    if compiled:
+        return len(explore_packed(compile_tm(tm)))
+    return len(explore_nodes(tm, compiled=False))
 
 
 def safety_step(tm: TMAlgorithm) -> Callable[[Node], Iterator]:
@@ -155,9 +205,16 @@ class LivenessGraph:
 
 
 def build_liveness_graph(
-    tm: TMAlgorithm, *, max_states: Optional[int] = None
+    tm: TMAlgorithm,
+    *,
+    max_states: Optional[int] = None,
+    compiled: bool = True,
 ) -> LivenessGraph:
     """Explore the TM and label every edge with its extended statement."""
+    if compiled:
+        return _build_liveness_graph_compiled(
+            compile_tm(tm), max_states=max_states
+        )
     init = initial_node(tm)
     seen: Set[Node] = {init}
     order: List[Node] = [init]
@@ -180,13 +237,80 @@ def build_liveness_graph(
     return LivenessGraph(initial=init, nodes=tuple(order), edges=tuple(edges))
 
 
+def _build_liveness_graph_compiled(
+    engine: CompiledTM, *, max_states: Optional[int] = None
+) -> LivenessGraph:
+    """Compiled :func:`build_liveness_graph`: BFS over packed nodes,
+    decoded once per node for the (identical) output graph."""
+    init = engine.initial_node_packed()
+    seen: Set[int] = {init}
+    order: List[int] = [init]
+    edges: List[Tuple[Node, ExtStatement, Node]] = []
+    queue = deque([init])
+    liveness_row = engine.liveness_row
+    decode = engine.decode_node
+    while queue:
+        node = queue.popleft()
+        node_decoded = decode(node)
+        for label, succ in liveness_row(node):
+            edges.append((node_decoded, label, decode(succ)))
+            if succ not in seen:
+                if max_states is not None and len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"exploration exceeded {max_states} nodes"
+                        f" (at {len(seen) + 1})"
+                    )
+                seen.add(succ)
+                order.append(succ)
+                queue.append(succ)
+    return LivenessGraph(
+        initial=decode(init),
+        nodes=tuple(decode(p) for p in order),
+        edges=tuple(edges),
+    )
+
+
+def _epsilon_closure(engine: CompiledTM, nodes: Set[int]) -> Set[int]:
+    """ε-closure of a packed-node set under the safety view's ⊥-moves."""
+    closure = set(nodes)
+    stack = list(nodes)
+    safety_row = engine.safety_row
+    while stack:
+        node = stack.pop()
+        for symbol, succs in safety_row(node):
+            if symbol is None:
+                for succ in succs:
+                    if succ not in closure:
+                        closure.add(succ)
+                        stack.append(succ)
+    return closure
+
+
 def language_contains(
-    tm: TMAlgorithm, word: Tuple[Statement, ...]
+    tm: TMAlgorithm, word: Tuple[Statement, ...], *, compiled: bool = True
 ) -> bool:
     """Membership of a word in the TM algorithm's language.
 
-    Runs the safety NFA's macro-simulation on the word: the word is
-    producible by the TM under some scheduler iff a run exists.
+    Runs the safety view's macro-simulation on the word: the word is
+    producible by the TM under some scheduler iff a run exists.  The
+    default runs *lazily* on the compiled engine — only the macrostates
+    the word actually reaches are expanded, instead of materializing the
+    entire safety NFA for a single membership query.  All explorer nodes
+    accept (TM languages are prefix-closed), so membership is simply
+    non-emptiness of the final macrostate.
     """
-    nfa = build_safety_nfa(tm)
-    return nfa.accepts(word)
+    if not compiled:
+        return build_safety_nfa(tm).accepts(word)
+    engine = compile_tm(tm)
+    current = _epsilon_closure(engine, {engine.initial_node_packed()})
+    safety_row = engine.safety_row
+    for stmt in word:
+        moved: Set[int] = set()
+        for node in current:
+            for symbol, succs in safety_row(node):
+                if symbol == stmt:
+                    moved.update(succs)
+        if not moved:
+            return False
+        current = _epsilon_closure(engine, moved)
+    return True

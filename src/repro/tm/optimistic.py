@@ -91,3 +91,8 @@ class OptimisticTM(TMAlgorithm):
     def abort_reset(self, state: TMState, thread: int) -> TMState:
         views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
         return self._with(views, thread, RESET)
+
+    def view_codec(self):
+        from .compiled import status_mask_codec
+
+        return status_mask_codec(self.k, None, 3)  # (rs, ws, ms)

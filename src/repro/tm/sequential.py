@@ -56,3 +56,8 @@ class SequentialTM(TMAlgorithm):
         status: Tuple[int, ...] = state  # type: ignore[assignment]
         idx = thread - 1
         return status[:idx] + (FINISHED,) + status[idx + 1 :]
+
+    def view_codec(self):
+        from .compiled import ViewCodec
+
+        return ViewCodec(1, lambda status: status, lambda bits: bits)

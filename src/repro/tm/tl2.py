@@ -179,6 +179,15 @@ class TL2(TMAlgorithm):
         views: Tuple[ThreadView, ...] = state  # type: ignore[assignment]
         return self._with(views, thread, RESET)
 
+    def view_codec(self):
+        from .compiled import status_mask_codec
+
+        return status_mask_codec(
+            self.k,
+            (FINISHED, ABORTED, VALIDATED, RVALIDATED),
+            4,  # (rs, ws, ls, ms)
+        )
+
 
 class ModifiedTL2(TL2):
     """Section 5.4's modified TL2: ``validate`` split into atomic

@@ -84,3 +84,8 @@ class TwoPhaseLockingTM(TMAlgorithm):
     def abort_reset(self, state: TMState, thread: int) -> TMState:
         locks: Tuple[ThreadLocks, ...] = state  # type: ignore[assignment]
         return self._with(locks, thread, EMPTY, EMPTY)
+
+    def view_codec(self):
+        from .compiled import status_mask_codec
+
+        return status_mask_codec(self.k, None, 2)  # (rs, ws)
