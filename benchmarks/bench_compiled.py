@@ -31,7 +31,7 @@ import json
 import sys
 import time
 import tracemalloc
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.checking import check_safety
 from repro.core.statements import format_word
@@ -130,6 +130,123 @@ def run_path(
     return out
 
 
+#: Opt-in --large tier: lazy-spec cells beyond the (2, 2) grid, timed
+#: with a TM-side vs spec-side split so spec-oracle speedups stay
+#: visible in the trajectory.  The split instruments the spec stepper
+#: (rich det_step or the compiled oracle's fill), so the instrumented
+#: round is reported separately from the untimed best round.
+LARGE_FACTORIES: Dict[str, Callable] = {
+    "2pl32": lambda: TwoPhaseLockingTM(3, 2),
+    "dstm23": lambda: DSTM(2, 3),
+}
+
+
+def run_large_path(
+    factory: Callable, prop, spec_compiled: bool, rounds: int
+) -> Dict[str, object]:
+    """Lazy-spec rounds with a spec-side timer on the first (cold) round.
+
+    The spec share is measured by wrapping the path's spec stepper —
+    ``repro.checking.safety.det_step`` on the rich path, the compiled
+    oracle's ``fill`` on the new one — so it counts actual Algorithm 6
+    stepping, not memo hits.  Wrapper overhead inflates the instrumented
+    round slightly; ``best_s`` comes from later, uninstrumented rounds.
+    """
+    import repro.checking.safety as safety_mod
+    from repro.spec.compiled import CompiledSpecOracle
+
+    tm = factory()
+    acc = [0.0, 0]
+    if spec_compiled:
+        orig_fill = CompiledSpecOracle.fill
+
+        def timed_fill(self, sid, sym):
+            t0 = time.perf_counter()
+            out = orig_fill(self, sid, sym)
+            acc[0] += time.perf_counter() - t0
+            acc[1] += 1
+            return out
+
+        CompiledSpecOracle.fill = timed_fill  # type: ignore[method-assign]
+        restore = lambda: setattr(CompiledSpecOracle, "fill", orig_fill)
+    else:
+        orig_step = safety_mod.det_step
+
+        def timed_step(state, stmt, prop_):
+            t0 = time.perf_counter()
+            out = orig_step(state, stmt, prop_)
+            acc[0] += time.perf_counter() - t0
+            acc[1] += 1
+            return out
+
+        safety_mod.det_step = timed_step
+        restore = lambda: setattr(safety_mod, "det_step", orig_step)
+
+    try:
+        t0 = time.perf_counter()
+        result = check_safety(
+            tm, prop, lazy_spec=True, spec_compiled=spec_compiled
+        )
+        instrumented = time.perf_counter() - t0
+    finally:
+        restore()
+
+    times = []
+    for _ in range(max(1, rounds - 1)):
+        t0 = time.perf_counter()
+        result = check_safety(
+            tm, prop, lazy_spec=True, spec_compiled=spec_compiled
+        )
+        times.append(time.perf_counter() - t0)
+    return {
+        "holds": result.holds,
+        "tm_states": result.tm_states,
+        "spec_states": result.spec_states,
+        "product_states": result.product_states,
+        "counterexample": (
+            None
+            if result.counterexample is None
+            else format_word(result.counterexample)
+        ),
+        "instrumented_cold_s": round(instrumented, 6),
+        "spec_side_s": round(acc[0], 6),
+        "tm_side_s": round(instrumented - acc[0], 6),
+        "spec_share": round(acc[0] / instrumented, 3),
+        "spec_steps": acc[1],
+        "best_s": round(min(times), 6),
+    }
+
+
+def run_large_tier(rounds: int) -> Tuple[list, List[str]]:
+    cells = []
+    failures: List[str] = []
+    for name, factory in LARGE_FACTORIES.items():
+        for prop_name, prop in PROPS.items():
+            rich = run_large_path(factory, prop, False, rounds)
+            comp = run_large_path(factory, prop, True, rounds)
+            for key in ("holds", "tm_states", "spec_states",
+                        "product_states", "counterexample"):
+                if rich[key] != comp[key]:
+                    failures.append(
+                        f"large {name}/{prop_name}: {key} differs"
+                        f" ({rich[key]!r} vs {comp[key]!r})"
+                    )
+            cells.append(
+                {
+                    "tm": name,
+                    "prop": prop_name,
+                    "holds": rich["holds"],
+                    "tm_states": rich["tm_states"],
+                    "rich_oracle": rich,
+                    "compiled_oracle": comp,
+                    "speedup_best": round(
+                        rich["best_s"] / comp["best_s"], 2
+                    ),
+                }
+            )
+    return cells, failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -166,6 +283,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also record tracemalloc peaks (slows the runs; excluded"
         " from the timed rounds)",
+    )
+    parser.add_argument(
+        "--large",
+        action="store_true",
+        help="also run the opt-in large lazy-spec tier (2PL (3,2),"
+        " DSTM (2,3)) with a TM-side vs spec-side time split",
     )
     args = parser.parse_args(argv)
 
@@ -233,6 +356,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f" required {args.require_speedup}x"
                 )
 
+    large_cells: list = []
+    if args.large:
+        large_cells, large_failures = run_large_tier(args.rounds)
+        failures.extend(large_failures)
+
     report = {
         "benchmark": "compiled packed-state TM engine vs PR 1 lazy path",
         "instance": "(n=2, k=2)",
@@ -248,6 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "failures": failures,
         },
     }
+    if large_cells:
+        report["large_cells"] = large_cells
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -268,6 +398,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         f" speedup {total_naive / total_compiled:.2f}x"
         f" -> {args.output}"
     )
+    for c in large_cells:
+        rich, comp = c["rich_oracle"], c["compiled_oracle"]
+        print(
+            f"large {c['tm']}/{c['prop']}:"
+            f" rich {rich['best_s']:.3f}s"
+            f" (spec share {rich['spec_share']:.0%})"
+            f" -> compiled {comp['best_s']:.3f}s"
+            f" (spec share {comp['spec_share']:.0%}),"
+            f" speedup {c['speedup_best']:.2f}x"
+        )
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)

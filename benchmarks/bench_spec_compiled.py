@@ -1,0 +1,275 @@
+"""Benchmark gate for the compiled spec oracle (lazy-spec safety path).
+
+Times ``check_safety(..., lazy_spec=True)`` per cell — the PR 2 engine
+(compiled TM side, *rich* ``det_step`` spec oracle; ``spec_compiled=
+False``) vs the compiled spec oracle (packed-int spec states, memoized
+int-indexed rows) — and writes ``BENCH_spec_compiled.json``.  Verdicts
+and all reported counts are asserted identical between the paths before
+any timing is reported, and a ``--jobs`` differential asserts that
+sharded runs reproduce the serial results bit for bit.
+
+As in ``bench_compiled.py``, each path runs ``--rounds`` rounds per cell
+on one long-lived TM instance: ``cold_s`` is the first round (for the
+compiled path that includes compiling both engines), ``best_s`` the
+fastest round (steady state — the PR 2 path re-derives its spec rows
+every round because its oracle memo is per-run; the compiled oracle's
+process-wide memo is precisely the optimization under test).  A third
+number, ``disk_warm_s``, times a simulated fresh process: engines
+restored from an on-disk warm cache written by the previous rounds.
+
+Intended CI use::
+
+    PYTHONPATH=src python benchmarks/bench_spec_compiled.py \
+        --cells dstm22 --rounds 3 --require-speedup 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.checking import check_safety
+from repro.core.statements import format_word
+from repro.spec import OP, SS
+from repro.spec.compiled import clear_spec_oracle_cache
+from repro.tm import DSTM, TwoPhaseLockingTM
+
+#: Cells: name -> (factory, human instance label).  The (2, 3) DSTM cell
+#: is the ROADMAP's "large lazy-spec run" — the one PR 2 left dominated
+#: by the rich spec oracle.
+CELLS: Dict[str, Tuple[Callable, str]] = {
+    "2pl22": (lambda: TwoPhaseLockingTM(2, 2), "2PL (2,2)"),
+    "dstm22": (lambda: DSTM(2, 2), "DSTM (2,2)"),
+    "2pl32": (lambda: TwoPhaseLockingTM(3, 2), "2PL (3,2)"),
+    "dstm23": (lambda: DSTM(2, 3), "DSTM (2,3)"),
+}
+
+PROPS = {"ss": SS, "op": OP}
+
+
+def run_path(
+    factory: Callable,
+    prop,
+    spec_compiled: bool,
+    rounds: int,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> dict:
+    """Rounds of one cell on one long-lived TM instance."""
+    tm = factory()
+    result = None
+
+    def check():
+        nonlocal result
+        result = check_safety(
+            tm,
+            prop,
+            lazy_spec=True,
+            spec_compiled=spec_compiled,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+
+    times: List[float] = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        check()
+        times.append(time.perf_counter() - t0)
+    assert result is not None
+    return {
+        "holds": result.holds,
+        "tm_states": result.tm_states,
+        "spec_states": result.spec_states,
+        "product_states": result.product_states,
+        "counterexample": (
+            None
+            if result.counterexample is None
+            else format_word(result.counterexample)
+        ),
+        "cold_s": round(times[0], 6),
+        "best_s": round(min(times), 6),
+    }
+
+
+def run_disk_warm(factory: Callable, prop) -> dict:
+    """A fresh-process simulation: spill caches, drop every in-process
+    table, then time one warm-started check."""
+    with tempfile.TemporaryDirectory() as d:
+        check_safety(factory(), prop, lazy_spec=True, cache_dir=d)
+        clear_spec_oracle_cache()
+        tm = factory()  # new instance: its engine compiles from nothing
+        t0 = time.perf_counter()
+        result = check_safety(tm, prop, lazy_spec=True, cache_dir=d)
+        elapsed = time.perf_counter() - t0
+        files = os.listdir(d)
+    return {
+        "disk_warm_s": round(elapsed, 6),
+        "cache_files": len(files),
+        "holds": result.holds,
+        "product_states": result.product_states,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--cells",
+        default="dstm22,dstm23",
+        help=f"comma-separated subset of {list(CELLS)}",
+    )
+    parser.add_argument(
+        "--jobs-check",
+        type=int,
+        default=2,
+        metavar="N",
+        help="assert jobs=N results equal serial results (0 disables)",
+    )
+    parser.add_argument(
+        "--skip-disk-warm",
+        action="store_true",
+        help="skip the fresh-process warm-start measurement",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        help="fail unless every benchmarked cell reaches this best-round"
+        " speedup over the PR 2 path",
+    )
+    parser.add_argument("--output", default="BENCH_spec_compiled.json")
+    args = parser.parse_args(argv)
+
+    names = [n.strip().lower() for n in args.cells.split(",") if n.strip()]
+    unknown = [n for n in names if n not in CELLS]
+    if unknown:
+        parser.error(f"unknown cells: {unknown}; choose from {list(CELLS)}")
+
+    cells = []
+    failures: List[str] = []
+    for name in names:
+        factory, label = CELLS[name]
+        for prop_name, prop in PROPS.items():
+            pr2 = run_path(factory, prop, False, args.rounds)
+            comp = run_path(factory, prop, True, args.rounds)
+            for key in (
+                "holds",
+                "tm_states",
+                "spec_states",
+                "product_states",
+                "counterexample",
+            ):
+                if pr2[key] != comp[key]:
+                    failures.append(
+                        f"{name}/{prop_name}: {key} differs between paths"
+                        f" ({pr2[key]!r} vs {comp[key]!r})"
+                    )
+            cell = {
+                "cell": name,
+                "instance": label,
+                "prop": prop_name,
+                "holds": comp["holds"],
+                "tm_states": comp["tm_states"],
+                "spec_states": comp["spec_states"],
+                "product_states": comp["product_states"],
+                "pr2_oracle": pr2,
+                "compiled_oracle": comp,
+                "speedup_cold": round(pr2["cold_s"] / comp["cold_s"], 2),
+                "speedup_best": round(pr2["best_s"] / comp["best_s"], 2),
+            }
+            if args.jobs_check:
+                sharded = run_path(
+                    factory, prop, True, 1, jobs=args.jobs_check
+                )
+                for key in (
+                    "holds",
+                    "tm_states",
+                    "spec_states",
+                    "product_states",
+                    "counterexample",
+                ):
+                    if sharded[key] != comp[key]:
+                        failures.append(
+                            f"{name}/{prop_name}: jobs="
+                            f"{args.jobs_check} {key} differs from serial"
+                            f" ({sharded[key]!r} vs {comp[key]!r})"
+                        )
+                cell["jobs"] = {
+                    "n": args.jobs_check,
+                    "cold_s": sharded["cold_s"],
+                    "identical": all(
+                        sharded[k] == comp[k]
+                        for k in (
+                            "holds",
+                            "tm_states",
+                            "spec_states",
+                            "product_states",
+                            "counterexample",
+                        )
+                    ),
+                }
+            if not args.skip_disk_warm:
+                cell["disk_warm"] = run_disk_warm(factory, prop)
+            cells.append(cell)
+
+    if args.require_speedup is not None:
+        for cell in cells:
+            if cell["speedup_best"] < args.require_speedup:
+                failures.append(
+                    f"{cell['cell']}/{cell['prop']}: best-round speedup"
+                    f" {cell['speedup_best']}x <"
+                    f" required {args.require_speedup}x"
+                )
+
+    total_pr2 = sum(c["pr2_oracle"]["best_s"] for c in cells)
+    total_comp = sum(c["compiled_oracle"]["best_s"] for c in cells)
+    report = {
+        "benchmark": (
+            "compiled spec oracle vs PR 2 rich det_step oracle"
+            " (lazy-spec safety path)"
+        ),
+        "rounds": args.rounds,
+        "cpu_count": os.cpu_count(),
+        "cells": cells,
+        "summary": {
+            "total_pr2_best_s": round(total_pr2, 6),
+            "total_compiled_best_s": round(total_comp, 6),
+            "overall_speedup_best": round(total_pr2 / total_comp, 2),
+            "failures": failures,
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    width = max(len(f"{c['cell']}/{c['prop']}") for c in cells)
+    for c in cells:
+        lbl = f"{c['cell']}/{c['prop']}"
+        warm = c.get("disk_warm", {}).get("disk_warm_s")
+        print(
+            f"{lbl:{width}s}  pr2 {c['pr2_oracle']['best_s']:8.4f}s"
+            f"  compiled {c['compiled_oracle']['best_s']:8.4f}s"
+            f"  speedup {c['speedup_best']:6.2f}x"
+            f"  (cold {c['speedup_cold']:.2f}x"
+            + (f", disk-warm {warm:.4f}s" if warm is not None else "")
+            + ")"
+        )
+    print(
+        f"overall (best rounds): pr2 {total_pr2:.3f}s,"
+        f" compiled {total_comp:.3f}s,"
+        f" speedup {total_pr2 / total_comp:.2f}x -> {args.output}"
+    )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -268,12 +268,48 @@ def _discover_row(
                 discovered.add(succ)
 
 
+#: Level hook for sharded runs: called with the left states of each BFS
+#: level before the level is processed, so an engine can batch-compute
+#: (e.g. across a process pool) the rows the level will demand.
+#: Prefetching is an optimization only — rows are memoized either way —
+#: so a ``None`` prefetch is byte-identical to any other.
+PrefetchFn = Callable[[List[int]], None]
+
+
+def _discover_row_ids(
+    row: Tuple,
+    discovered: set,
+    max_states: Optional[int],
+) -> None:
+    """:func:`_discover_row` for all-int id rows, whose singleton
+    successor groups are bare ints rather than 1-tuples (see
+    ``CompiledTM.safety_row_ids``).  Semantics — counts, guard, message —
+    are identical."""
+    if max_states is None:
+        for _symbol, succs in row:
+            if type(succs) is int:
+                discovered.add(succs)
+            else:
+                discovered.update(succs)
+        return
+    for _symbol, succs in row:
+        for succ in (succs,) if type(succs) is int else succs:
+            if succ not in discovered:
+                if len(discovered) >= max_states:
+                    raise RuntimeError(
+                        f"state-space exploration exceeded {max_states}"
+                        f" states (at {len(discovered) + 1})"
+                    )
+                discovered.add(succ)
+
+
 def product_dfa_direct(
     row_fn: RowFn,
     initial: Iterable[int],
     dfa: DFA,
     *,
     max_states: Optional[int] = None,
+    prefetch: Optional[PrefetchFn] = None,
 ):
     """Product reachability over *pre-encoded* left states.
 
@@ -316,31 +352,38 @@ def product_dfa_direct(
     queue = deque(start)
     pop = queue.popleft
     push = queue.append
+    # A FIFO BFS holds exactly one depth level whenever the previous
+    # level has fully drained, so draining ``len(queue)`` pairs per
+    # outer iteration visits pairs in the identical order while exposing
+    # each level to ``prefetch`` first.
     while queue:
-        pair = pop()
-        nq, dq = divmod(pair, nb)
-        row = row_fn(nq)
-        if nq not in expanded:
-            expanded.add(nq)
-            _discover_row(row, discovered, max_states)
-        brow = b_delta[dq]
-        for symbol, succs in row:
-            if symbol is None:
+        if prefetch is not None:
+            prefetch([p // nb for p in queue])
+        for _ in range(len(queue)):
+            pair = pop()
+            nq, dq = divmod(pair, nb)
+            row = row_fn(nq)
+            if nq not in expanded:
+                expanded.add(nq)
+                _discover_row(row, discovered, max_states)
+            brow = b_delta[dq]
+            for symbol, succs in row:
+                if symbol is None:
+                    for succ in succs:
+                        nxt = succ * nb + dq
+                        if nxt not in parent:
+                            parent[nxt] = (pair, None)
+                            push(nxt)
+                    continue
+                dsucc = brow.get(symbol)
+                if dsucc is None:
+                    word = reconstruct(parent, pair) + (symbol,)
+                    return False, word, len(parent), len(discovered)
                 for succ in succs:
-                    nxt = succ * nb + dq
+                    nxt = succ * nb + dsucc
                     if nxt not in parent:
-                        parent[nxt] = (pair, None)
+                        parent[nxt] = (pair, symbol)
                         push(nxt)
-                continue
-            dsucc = brow.get(symbol)
-            if dsucc is None:
-                word = reconstruct(parent, pair) + (symbol,)
-                return False, word, len(parent), len(discovered)
-            for succ in succs:
-                nxt = succ * nb + dsucc
-                if nxt not in parent:
-                    parent[nxt] = (pair, symbol)
-                    push(nxt)
     return True, None, len(parent), len(discovered)
 
 
@@ -351,6 +394,7 @@ def product_oracle_direct(
     spec_step: "DetStepFn",
     *,
     max_states: Optional[int] = None,
+    prefetch: Optional[PrefetchFn] = None,
 ):
     """:func:`product_dfa_direct` against a deterministic oracle.
 
@@ -383,48 +427,241 @@ def product_oracle_direct(
     pop = queue.popleft
     push = queue.append
     while queue:
-        pair = pop()
-        nq, dq = pair
-        row = row_fn(nq)
+        if prefetch is not None:  # see the level note in product_dfa_direct
+            prefetch([p[0] for p in queue])
+        for _ in range(len(queue)):
+            pair = pop()
+            nq, dq = pair
+            row = row_fn(nq)
+            if nq not in expanded:
+                expanded.add(nq)
+                _discover_row(row, discovered, max_states)
+            brow = b_rows[dq]
+            for symbol, succs in row:
+                if symbol is None:
+                    for succ in succs:
+                        nxt = (succ, dq)
+                        if nxt not in parent:
+                            parent[nxt] = (pair, None)
+                            push(nxt)
+                    continue
+                dsucc = brow.get(symbol)
+                if dsucc is None:  # not yet queried: ask the oracle once
+                    target = spec_step(b_states[dq], symbol)
+                    if target is None:
+                        dsucc = brow[symbol] = _SINK
+                    else:
+                        didx = b_index.get(target)
+                        if didx is None:
+                            didx = b_index[target] = len(b_states)
+                            b_states.append(target)
+                            b_rows.append({})
+                        dsucc = brow[symbol] = didx
+                if dsucc is _SINK:
+                    word = reconstruct(parent, pair) + (symbol,)
+                    return (
+                        False,
+                        word,
+                        len(parent),
+                        len(discovered),
+                        len(b_index),
+                    )
+                for succ in succs:
+                    nxt = (succ, dsucc)
+                    if nxt not in parent:
+                        parent[nxt] = (pair, symbol)
+                        push(nxt)
+    return True, None, len(parent), len(discovered), len(b_index)
+
+
+def product_oracle_packed(
+    row_fn: RowFn,
+    initial: Iterable[int],
+    oracle,
+    *,
+    node_span: int,
+    row_map: Optional[Dict[int, Tuple]] = None,
+    max_states: Optional[int] = None,
+    prefetch: Optional[PrefetchFn] = None,
+):
+    """:func:`product_oracle_direct` with *integer statement ids* on both
+    sides: an all-int hot path.
+
+    ``row_fn(packed_state)`` returns ``((sym_id, (packed_succ, ...)),
+    ...)`` rows with negative ids for ε-moves
+    (``CompiledTM.safety_row_ids``); ``row_map``, when given, is the
+    memo dict behind ``row_fn``, probed directly to skip a Python call
+    per pop on warm rows.  ``oracle`` is a
+    :class:`repro.spec.compiled.CompiledSpecOracle` whose memoized
+    ``rows[spec_id][sym_id]`` table is indexed directly — no dict lookup
+    keyed by rich Statement tuples anywhere.  ``node_span`` is an
+    exclusive bound on packed left states (``CompiledTM.node_span``), so
+    product pairs encode as ``spec_id * node_span + packed_state``: one
+    machine-word key, like :func:`product_dfa_direct`'s.
+
+    Because the oracle is shared (and possibly warm from a previous run
+    or the disk cache), spec states are *not* re-interned per run; the
+    per-run ``spec_states_seen`` is recovered from the parent map
+    instead, which provably equals the rich path's count (every spec
+    state the rich path interns appears as the right component of a
+    discovered pair).
+
+    Returns ``(holds, counterexample_sym_ids, discovered_pairs,
+    states_seen, spec_states_seen)`` — the counterexample is a tuple of
+    statement *ids*; callers map them through ``oracle.symbols``.
+    Ordering/dedup semantics of ``initial`` match
+    :func:`product_dfa_direct`, and the BFS body intentionally parallels
+    the other product functions (see the NOTE in
+    :func:`product_dfa_direct`).
+    """
+    init = list(dict.fromkeys(initial))
+    if max_states is not None and len(init) > max_states:
+        raise RuntimeError(
+            f"state-space exploration exceeded {max_states}"
+            f" states (at {max_states + 1})"
+        )
+    discovered = set(init)
+    expanded = set()
+
+    orows = oracle.rows
+    fill = oracle.fill
+    rows_get = (row_map or {}).get
+
+    # Pairs are spec_id * node_span + packed_node; the initial spec
+    # state has id 0, so the start pairs are the packed nodes themselves.
+    #
+    # This traversal is *untraced*: discovered pairs go into a plain set
+    # and an insertion-order list (no parent back-pointers), which is
+    # measurably cheaper on the holding cells where the whole product is
+    # visited.  When a violation turns up, the traced twin below reruns
+    # the identical BFS with a parent map to reconstruct the word — the
+    # rerun stops at the violation and every row/oracle query it needs
+    # is already memoized, so its cost is a fraction of the first pass.
+    assert oracle.initial_id == 0
+    assert node_span & (node_span - 1) == 0, "node_span must be 2**b"
+    span_bits = node_span.bit_length() - 1
+    span_mask = node_span - 1
+    seen = set(init)
+    order = list(init)
+    add = seen.add
+    append = order.append
+    i = 0
+    if prefetch is not None:
+        prefetch([p & span_mask for p in order])
+        boundary = len(order)
+    else:
+        boundary = -1
+    while i < len(order):
+        if i == boundary:  # see the level note in product_dfa_direct
+            prefetch([p & span_mask for p in order[i:]])
+            boundary = len(order)
+        pair = order[i]
+        i += 1
+        nq = pair & span_mask
+        dq = pair >> span_bits
+        row = rows_get(nq)
+        if row is None:
+            row = row_fn(nq)
         if nq not in expanded:
             expanded.add(nq)
-            _discover_row(row, discovered, max_states)
-        brow = b_rows[dq]
+            _discover_row_ids(row, discovered, max_states)
+        brow = orows[dq]
         for symbol, succs in row:
-            if symbol is None:
-                for succ in succs:
-                    nxt = (succ, dq)
-                    if nxt not in parent:
-                        parent[nxt] = (pair, None)
-                        push(nxt)
-                continue
-            dsucc = brow.get(symbol)
-            if dsucc is None:  # not yet queried: ask the oracle once
-                target = spec_step(b_states[dq], symbol)
-                if target is None:
-                    dsucc = brow[symbol] = _SINK
-                else:
-                    didx = b_index.get(target)
-                    if didx is None:
-                        didx = b_index[target] = len(b_states)
-                        b_states.append(target)
-                        b_rows.append({})
-                    dsucc = brow[symbol] = didx
-            if dsucc is _SINK:
-                word = reconstruct(parent, pair) + (symbol,)
-                return (
-                    False,
-                    word,
-                    len(parent),
-                    len(discovered),
-                    len(b_index),
-                )
-            for succ in succs:
-                nxt = (succ, dsucc)
+            if symbol < 0:  # ε: advance the TM component only
+                base = pair - nq
+            else:
+                dsucc = brow[symbol]
+                if dsucc == -2:  # UNQUERIED: ask the oracle once, ever
+                    dsucc = fill(dq, symbol)
+                if dsucc == -1:  # SINK: rerun traced for the word
+                    return _product_oracle_packed_traced(
+                        row_fn,
+                        init,
+                        oracle,
+                        node_span=node_span,
+                        row_map=row_map,
+                        max_states=max_states,
+                    )
+                base = dsucc << span_bits
+            if type(succs) is int:  # singleton group (the common case)
+                nxt = base + succs
+                if nxt not in seen:
+                    add(nxt)
+                    append(nxt)
+            else:
+                for s in succs:
+                    nxt = base + s
+                    if nxt not in seen:
+                        add(nxt)
+                        append(nxt)
+    spec_seen = len({p >> span_bits for p in seen})
+    return True, None, len(seen), len(discovered), spec_seen
+
+
+def _product_oracle_packed_traced(
+    row_fn: RowFn,
+    init: List[int],
+    oracle,
+    *,
+    node_span: int,
+    row_map: Optional[Dict[int, Tuple]],
+    max_states: Optional[int],
+):
+    """The parent-map twin of :func:`product_oracle_packed`, run when a
+    violation needs its counterexample reconstructed.  Must visit pairs
+    in the identical order (the NOTE in :func:`product_dfa_direct`
+    applies)."""
+    discovered = set(init)
+    expanded = set()
+    orows = oracle.rows
+    fill = oracle.fill
+    rows_get = (row_map or {}).get
+    span_bits = node_span.bit_length() - 1
+    span_mask = node_span - 1
+
+    parent: ParentMap = {pair: None for pair in init}
+    queue = deque(init)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        nq = pair & span_mask
+        dq = pair >> span_bits
+        row = rows_get(nq)
+        if row is None:
+            row = row_fn(nq)
+        if nq not in expanded:
+            expanded.add(nq)
+            _discover_row_ids(row, discovered, max_states)
+        brow = orows[dq]
+        for symbol, succs in row:
+            if symbol < 0:  # ε: advance the TM component only
+                base = pair - nq
+                label = None
+            else:
+                dsucc = brow[symbol]
+                if dsucc == -2:
+                    dsucc = fill(dq, symbol)
+                if dsucc == -1:  # SINK
+                    word = reconstruct(parent, pair) + (symbol,)
+                    spec_seen = len({p >> span_bits for p in parent})
+                    return (
+                        False,
+                        word,
+                        len(parent),
+                        len(discovered),
+                        spec_seen,
+                    )
+                base = dsucc << span_bits
+                label = symbol
+            for succ in (succs,) if type(succs) is int else succs:
+                nxt = base + succ
                 if nxt not in parent:
-                    parent[nxt] = (pair, symbol)
+                    parent[nxt] = (pair, label)
                     push(nxt)
-    return True, None, len(parent), len(discovered), len(b_index)
+    raise AssertionError(
+        "traced rerun found no violation after the untraced pass did"
+    )
 
 
 def _run_product_dfa(left, initial: List[Hashable], dfa: DFA):

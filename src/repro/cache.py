@@ -1,0 +1,107 @@
+"""Versioned on-disk warm-start cache for the compiled engines.
+
+The compiled TM engine (:mod:`repro.tm.compiled`) and the compiled spec
+oracle (:mod:`repro.spec.compiled`) intern states and memoize transition
+rows; both tables depend only on the algorithm/specification identity,
+not on the run.  Spilling them to disk lets repeated CLI invocations and
+benchmark rounds start *warm* — no re-compilation, no re-derivation of
+rows the previous process already computed.
+
+Payloads are keyed by an explicit tuple (algorithm or spec identity plus
+:data:`ENGINE_VERSION`) that is stored inside the file and re-checked on
+load, so a cache written by a different engine version — or a file for a
+different key that happens to collide on name — is silently ignored.  A
+corrupt, truncated or otherwise unreadable file is likewise ignored:
+:func:`load_payload` never raises, it just returns ``None`` and the
+caller recompiles from scratch.  Writes are atomic (tempfile + rename)
+so a crashed process can never leave a half-written cache behind.
+
+The default location is ``$REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``; every entry point
+that persists caches also accepts an explicit directory (``--cache-dir``
+on the CLI).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import tempfile
+from typing import Hashable, Optional
+
+#: Bump whenever a packed encoding or persisted row format changes —
+#: caches written by other versions are ignored, never migrated.
+ENGINE_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else the XDG cache home, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def cache_path(cache_dir: str, key: Hashable) -> str:
+    """The file path for ``key``: a readable slug plus a digest of the
+    full key (the digest disambiguates; the key is still re-checked on
+    load)."""
+    text = repr(key)
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")[:60]
+    return os.path.join(cache_dir, f"{slug}-{digest}.pkl")
+
+
+def load_payload(cache_dir: str, key: Hashable) -> Optional[object]:
+    """The data stored for ``key``, or ``None``.
+
+    ``None`` covers every failure mode — missing file, unpickling error,
+    wrong engine version, key mismatch — so callers can always fall back
+    to recompiling without special-casing.
+    """
+    try:
+        with open(cache_path(cache_dir, key), "rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != ENGINE_VERSION:
+            return None
+        if payload.get("key") != key:
+            return None
+        return payload.get("data")
+    except Exception:
+        return None
+
+
+def save_payload(cache_dir: str, key: Hashable, data: object) -> bool:
+    """Atomically persist ``data`` under ``key``; ``False`` on any failure.
+
+    Failures (unwritable directory, full disk) are swallowed — the warm
+    cache is an optimization, never a correctness dependency.
+    """
+    path = cache_path(cache_dir, key)
+    tmp_path = None
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=cache_dir, prefix=".tmp-", suffix=".pkl"
+        )
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(
+                {"version": ENGINE_VERSION, "key": key, "data": data},
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        os.replace(tmp_path, path)
+        return True
+    except Exception:
+        if tmp_path is not None:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        return False

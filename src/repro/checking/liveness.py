@@ -129,11 +129,12 @@ def check_obstruction_freedom(
     *,
     graph: Optional[LivenessGraph] = None,
     compiled: bool = True,
+    jobs: int = 1,
 ) -> LivenessResult:
     """Does every loop of a single thread without commits avoid aborts?"""
     t0 = time.perf_counter()
     if graph is None:
-        graph = build_liveness_graph(tm, compiled=compiled)
+        graph = build_liveness_graph(tm, compiled=compiled, jobs=jobs)
     for t in tm.threads():
         edges = [
             e
@@ -164,11 +165,12 @@ def check_livelock_freedom(
     *,
     graph: Optional[LivenessGraph] = None,
     compiled: bool = True,
+    jobs: int = 1,
 ) -> LivenessResult:
     """Is there no commit-free loop in which every participant aborts?"""
     t0 = time.perf_counter()
     if graph is None:
-        graph = build_liveness_graph(tm, compiled=compiled)
+        graph = build_liveness_graph(tm, compiled=compiled, jobs=jobs)
     threads = list(tm.threads())
     for size in range(1, len(threads) + 1):
         for subset in combinations(threads, size):
@@ -201,6 +203,7 @@ def check_wait_freedom(
     *,
     graph: Optional[LivenessGraph] = None,
     compiled: bool = True,
+    jobs: int = 1,
 ) -> LivenessResult:
     """Is there no reachable loop containing an abort at all?
 
@@ -212,7 +215,7 @@ def check_wait_freedom(
     """
     t0 = time.perf_counter()
     if graph is None:
-        graph = build_liveness_graph(tm, compiled=compiled)
+        graph = build_liveness_graph(tm, compiled=compiled, jobs=jobs)
     nodes = {e[0] for e in graph.edges} | {e[2] for e in graph.edges}
     for scc in tarjan_sccs(nodes, graph.edges):
         inner = [e for e in graph.edges if e[0] in scc and e[2] in scc]
@@ -242,10 +245,12 @@ def check_wait_freedom(
 
 
 def check_liveness_all(
-    tm: TMAlgorithm, *, compiled: bool = True
+    tm: TMAlgorithm, *, compiled: bool = True, jobs: int = 1
 ) -> Tuple[LivenessResult, ...]:
-    """Obstruction, livelock and wait freedom on one shared graph."""
-    graph = build_liveness_graph(tm, compiled=compiled)
+    """Obstruction, livelock and wait freedom on one shared graph
+    (``jobs`` shards the graph construction; see
+    :func:`repro.tm.explore.build_liveness_graph`)."""
+    graph = build_liveness_graph(tm, compiled=compiled, jobs=jobs)
     return (
         check_obstruction_freedom(tm, graph=graph),
         check_livelock_freedom(tm, graph=graph),

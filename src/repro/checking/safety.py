@@ -28,6 +28,7 @@ covers every managed variant.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
 from ..automata.dfa import DFA
@@ -37,10 +38,12 @@ from ..automata.kernel import (
     lazy_product_oracle,
     product_dfa_direct,
     product_oracle_direct,
+    product_oracle_packed,
 )
 from ..core.properties import is_opaque, is_strictly_serializable
 from ..core.statements import Statement
 from ..spec.build import cached_det_spec
+from ..spec.compiled import cached_spec_oracle
 from ..spec.common import OP, SS, SafetyProperty
 from ..spec.det import det_step, initial_state as det_initial_state
 from ..tm.algorithm import TMAlgorithm
@@ -64,6 +67,23 @@ def _reference_check(word: Tuple[Statement, ...], prop: SafetyProperty) -> bool:
     return is_opaque(word)
 
 
+@contextmanager
+def _warm_sharded(engine, oracle, cache_dir: Optional[str], jobs: int):
+    """Shared scaffolding of the compiled branches: warm-load the
+    engine(s) from ``cache_dir``, open the sharding pool, yield the
+    safety-row prefetch hook (``None`` when serial), spill on exit."""
+    if cache_dir is not None:
+        engine.load_warm(cache_dir)
+        if oracle is not None:
+            oracle.load_warm(cache_dir)
+    with engine.sharded(jobs) as shard:
+        yield None if shard is None else shard.prefetch_safety
+    if cache_dir is not None:
+        engine.save_warm(cache_dir)
+        if oracle is not None:
+            oracle.save_warm(cache_dir)
+
+
 def check_safety(
     tm: TMAlgorithm,
     prop: SafetyProperty,
@@ -73,6 +93,9 @@ def check_safety(
     materialize: bool = False,
     lazy_spec: bool = False,
     compiled: bool = True,
+    spec_compiled: bool = True,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
     max_states: Optional[int] = None,
 ) -> SafetyResult:
     """Check ``L(tm) ⊆ pi`` for the TM's own (n, k).
@@ -96,6 +119,23 @@ def check_safety(
     byte-identical between the two.  ``materialize=True`` always takes
     the naive two-phase path.
 
+    On the compiled ``lazy_spec`` path the specification side runs on
+    the **compiled spec oracle** (:mod:`repro.spec.compiled`): packed-int
+    spec states with process-wide memoized rows, queried by integer
+    statement id — the product BFS is int-to-int on both sides.
+    ``spec_compiled=False`` keeps the rich ``det_step`` oracle (the PR 2
+    engine) as the differential reference for that path.
+
+    ``jobs > 1`` shards the computation of new TM transition rows across
+    a ``multiprocessing`` pool at BFS level boundaries (compiled paths
+    only; see :meth:`repro.tm.compiled.CompiledTM.expand`).  Verdicts,
+    counterexamples and all counts are byte-identical to ``jobs=1``.
+
+    ``cache_dir`` enables the on-disk warm-start cache
+    (:mod:`repro.cache`): interned tables and memoized rows of both
+    compiled engines are restored before the check and spilled after, so
+    repeated process invocations skip re-compilation entirely.
+
     ``tm_states`` in the result is the number of TM states explored:
     when the inclusion holds it equals the full reachable state space
     on every path, but after a violation the lazy paths report only
@@ -110,17 +150,39 @@ def check_safety(
                 "lazy_spec streams the specification: it cannot be"
                 " combined with materialize=True or a prebuilt spec"
             )
-        if compiled:
+        if compiled and spec_compiled:
             engine = compile_tm(tm)
-            holds, counterexample, discovered, tm_states, spec_states = (
-                product_oracle_direct(
-                    engine.safety_row,
-                    [engine.initial_node_packed()],
-                    det_initial_state(tm.n),
-                    lambda state, stmt: det_step(state, stmt, prop),
-                    max_states=max_states,
+            oracle = cached_spec_oracle(tm.n, tm.k, prop)
+            with _warm_sharded(engine, oracle, cache_dir, jobs) as prefetch:
+                holds, ce_ids, discovered, tm_states, spec_states = (
+                    product_oracle_packed(
+                        engine.safety_row_ids,
+                        [engine.initial_node_packed()],
+                        oracle,
+                        node_span=engine.node_span,
+                        row_map=engine.safety_rows_map(),
+                        max_states=max_states,
+                        prefetch=prefetch,
+                    )
                 )
+            counterexample = (
+                None
+                if ce_ids is None
+                else tuple(oracle.symbols[s] for s in ce_ids)
             )
+        elif compiled:
+            engine = compile_tm(tm)
+            with _warm_sharded(engine, None, cache_dir, jobs) as prefetch:
+                holds, counterexample, discovered, tm_states, spec_states = (
+                    product_oracle_direct(
+                        engine.safety_row,
+                        [engine.initial_node_packed()],
+                        det_initial_state(tm.n),
+                        lambda state, stmt: det_step(state, stmt, prop),
+                        max_states=max_states,
+                        prefetch=prefetch,
+                    )
+                )
         else:
             holds, counterexample, discovered, tm_states, spec_states = (
                 lazy_product_oracle(
@@ -146,14 +208,16 @@ def check_safety(
             tm_states = nfa.num_states
         elif compiled:
             engine = compile_tm(tm)
-            holds, counterexample, discovered, tm_states = (
-                product_dfa_direct(
-                    engine.safety_row,
-                    [engine.initial_node_packed()],
-                    spec,
-                    max_states=max_states,
+            with _warm_sharded(engine, None, cache_dir, jobs) as prefetch:
+                holds, counterexample, discovered, tm_states = (
+                    product_dfa_direct(
+                        engine.safety_row,
+                        [engine.initial_node_packed()],
+                        spec,
+                        max_states=max_states,
+                        prefetch=prefetch,
+                    )
                 )
-            )
             result = InclusionResult(
                 holds=holds,
                 counterexample=counterexample,

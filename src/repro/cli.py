@@ -66,6 +66,19 @@ MANAGERS = {
 PROPERTIES = {"ss": SS, "op": OP}
 
 
+def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """``--cache-dir [DIR]``: None when warm-starting is off, the given
+    directory, or the default cache location when passed bare."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    if cache_dir == "":
+        from .cache import default_cache_dir
+
+        return default_cache_dir()
+    return cache_dir
+
+
 def _make_tm(
     name: str, n: int, k: int, manager: Optional[str]
 ) -> TMAlgorithm:
@@ -131,6 +144,7 @@ def cmd_safety(args: argparse.Namespace) -> int:
     )
     rows: List[List[str]] = []
     worst = 0
+    cache_dir = _resolve_cache_dir(args)
     for name in names:
         tm = _make_tm(name, n, k, args.manager)
         cells = [tm.name]
@@ -142,6 +156,9 @@ def cmd_safety(args: argparse.Namespace) -> int:
                 materialize=args.materialize,
                 lazy_spec=args.lazy_spec,
                 compiled=args.compiled,
+                spec_compiled=args.spec_compiled,
+                jobs=args.jobs,
+                cache_dir=cache_dir,
             )
             cells.append(res.verdict())
             if not res.holds:
@@ -161,7 +178,9 @@ def cmd_liveness(args: argparse.Namespace) -> int:
     worst = 0
     for name in names:
         tm = _make_tm(name, n, k, args.manager)
-        graph = build_liveness_graph(tm, compiled=args.compiled)
+        graph = build_liveness_graph(
+            tm, compiled=args.compiled, jobs=args.jobs
+        )
         cells = [tm.name, str(len(graph.nodes))]
         for check in (
             check_obstruction_freedom,
@@ -269,6 +288,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the compiled packed-state TM engine and stream"
         " naive tuple states (the differential reference path)",
     )
+    p_safety.add_argument(
+        "--no-compiled-spec",
+        dest="spec_compiled",
+        action="store_false",
+        help="with --lazy-spec, stream the specification through the"
+        " rich det_step oracle instead of the compiled packed-state"
+        " spec oracle (the differential reference path)",
+    )
+    p_safety.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="shard TM transition-row computation across this many"
+        " worker processes (verdicts are byte-identical to --jobs 1)",
+    )
+    p_safety.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="warm-start from (and spill to) an on-disk cache of"
+        " compiled-engine tables; without DIR uses $REPRO_CACHE_DIR or"
+        " ~/.cache/repro",
+    )
     add_common(p_safety)
     p_safety.set_defaults(func=cmd_safety)
 
@@ -280,6 +325,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="build the liveness graph with the naive explorer instead"
         " of the compiled packed-state engine",
+    )
+    p_live.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="shard liveness-graph construction across this many worker"
+        " processes (the graph is identical to --jobs 1)",
     )
     add_common(p_live)
     p_live.set_defaults(func=cmd_liveness, vars=1)

@@ -23,6 +23,14 @@ from .det import (
     det_step,
     initial_state as det_initial_state,
 )
+from .compiled import (
+    CompiledSpecOracle,
+    cached_spec_oracle,
+    clear_spec_oracle_cache,
+    make_packed_step,
+    pack_spec_state,
+    unpack_spec_state,
+)
 
 __all__ = [
     "OP",
@@ -42,4 +50,10 @@ __all__ = [
     "det_spec_accepts",
     "det_step",
     "det_initial_state",
+    "CompiledSpecOracle",
+    "cached_spec_oracle",
+    "clear_spec_oracle_cache",
+    "make_packed_step",
+    "pack_spec_state",
+    "unpack_spec_state",
 ]

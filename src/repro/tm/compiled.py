@@ -38,6 +38,7 @@ tests in ``tests/tm/test_compiled.py``).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import (
     Callable,
     Dict,
@@ -51,6 +52,7 @@ from typing import (
     Tuple,
 )
 
+from ..cache import load_payload, save_payload
 from ..core.statements import Command, Kind, Statement
 from .algorithm import ABORT_EXT, Ext, Resp, TMAlgorithm, TMState, Transition
 
@@ -143,6 +145,10 @@ def status_mask_codec(
 #: ``(thread_index, command_index, ext, resp, packed_successor_node)``.
 NodeTransition = Tuple[int, int, Ext, Resp, int]
 
+#: Integer statement id marking an internal ε-move in all-int safety
+#: rows (real statement ids are >= 0).
+EPSILON_ID = -1
+
 
 class CompiledTM:
     """A :class:`TMAlgorithm` compiled to packed-int states.
@@ -165,10 +171,31 @@ class CompiledTM:
         self._all_cmd_indices = tuple(range(self._ncmds))
 
         self._codec = tm.view_codec()
+        # Exclusive upper bound on packed states/nodes: with a codec the
+        # digit widths bound every packed value a priori; the fallback
+        # path interns dense state ids, bounded far beyond any feasible
+        # exploration (guarded at intern time).  ``node_span`` lets
+        # product checkers encode (node, spec) pairs as single ints; it
+        # is rounded up to a power of two so pair decomposition is a
+        # shift/mask instead of a divmod.
+        if self._codec is None:
+            self._state_span = 1 << 48
+        else:
+            self._state_span = 1 << (self._codec.width * tm.n)
+        self.node_span = 1 << (
+            (self._state_span * self._pend_span - 1).bit_length()
+        )
         # View table: view -> dense id; dense id -> view.  On the
         # fallback path the "views" are whole TM states.
         self._view_ids: Dict[Hashable, int] = {}
         self._views: List[Hashable] = []
+        # Parallel tables over the *codec bit-packing* of each view: the
+        # process-stable encoding used to ship nodes to worker processes
+        # and to persist the intern table (dense ids are assigned in
+        # discovery order and so differ across processes; codec bits do
+        # not).  Unused on the fallback path.
+        self._view_bits: List[int] = []
+        self._bits_ids: Dict[int, int] = {}
         # ``transitions`` may be overridden (e.g. ManagedTM); only the
         # base implementation can be decomposed into progress/φ/abort
         # without allocating Transition wrappers.
@@ -182,15 +209,34 @@ class CompiledTM:
         self._cmd_rows: Dict[int, Tuple[Tuple[Ext, Resp, int], ...]] = {}
         self._node_rows: Dict[int, Tuple[NodeTransition, ...]] = {}
         self._safety_rows: Dict[int, tuple] = {}
+        self._safety_rows_ids: Dict[int, tuple] = {}
         self._live_labels: Dict[Tuple[int, Ext, Resp], object] = {}
+        self._dirty = False
 
-        # Interned observable labels for the safety view.
+        # Interned observable labels for the safety view, plus their
+        # integer statement ids — the index into
+        # ``statements(n, k, include_abort=True)``, shared with the
+        # compiled spec oracle (:mod:`repro.spec.compiled`).
         self._done_stmt = tuple(
             tuple(Statement(c.kind, c.var, t) for c in self._commands)
             for t in range(1, tm.n + 1)
         )
         self._abort_stmt = tuple(
             Statement(Kind.ABORT, None, t) for t in range(1, tm.n + 1)
+        )
+        stride = self._ncmds + 1  # per-thread statement block incl. abort
+        self._done_sym = tuple(
+            tuple(ti * stride + ci for ci in range(self._ncmds))
+            for ti in range(tm.n)
+        )
+        self._abort_sym = tuple(
+            ti * stride + self._ncmds for ti in range(tm.n)
+        )
+        #: ``_symbols[sym_id]`` is the Statement with that id.
+        self._symbols: Tuple[Statement, ...] = tuple(
+            stmt
+            for ti in range(tm.n)
+            for stmt in (self._done_stmt[ti] + (self._abort_stmt[ti],))
         )
 
     # ------------------------------------------------------------------
@@ -216,6 +262,8 @@ class CompiledTM:
         vid = len(self._views)
         self._view_ids[view] = vid
         self._views.append(view)
+        self._view_bits.append(bits)
+        self._bits_ids[bits] = vid
         return vid
 
     def encode_state(self, state: TMState) -> int:
@@ -226,6 +274,11 @@ class CompiledTM:
             packed = view_ids.get(state)
             if packed is None:
                 packed = len(self._views)
+                if packed >= self._state_span:
+                    raise RuntimeError(
+                        f"{self.name}: interned more than"
+                        f" {self._state_span} states"
+                    )
                 view_ids[state] = packed
                 self._views.append(state)
                 self._decoded_states[packed] = state
@@ -258,6 +311,39 @@ class CompiledTM:
             state = tuple(out)
             self._decoded_states[packed] = state
         return state
+
+    def _encode_successor(
+        self, packed_pred: int, pred: TMState, succ: TMState
+    ) -> int:
+        """Packed int of ``succ``, re-packing only the changed digits.
+
+        TM ``progress``/``abort_reset`` implementations build successor
+        tuples by splicing new views into the predecessor tuple, so most
+        per-thread views are the *same objects*; their digits are copied
+        from ``packed_pred`` without any dict lookup.  Views that fail
+        the identity test go through the normal intern table — new views
+        are interned in thread order, exactly as a full
+        :meth:`encode_state` would have, so dense ids (and therefore all
+        packed values) are byte-identical to full re-encoding.
+        """
+        if succ is pred:
+            return packed_pred
+        codec = self._codec
+        if codec is None:
+            return self.encode_state(succ)
+        width = codec.width
+        digit_mask = (1 << width) - 1
+        view_ids = self._view_ids
+        packed = packed_pred
+        shift = 0
+        for i, view in enumerate(succ):  # type: ignore[union-attr]
+            if view is not pred[i]:  # type: ignore[index]
+                vid = view_ids.get(view)
+                if vid is None:
+                    vid = self._intern_view(view)
+                packed = (packed & ~(digit_mask << shift)) | (vid << shift)
+            shift += width
+        return packed
 
     def encode_node(self, node: Tuple[TMState, tuple]) -> int:
         """Pack an explorer node ``(state, pending)`` into one int."""
@@ -303,30 +389,36 @@ class CompiledTM:
             state = self.decode_state(packed_state)
             cmd = self._commands[ci]
             thread = ti + 1
-            encode = self.encode_state
+            encode = self._encode_successor
             tm = self.tm
             if self._generic_transitions:
                 # Inline TMAlgorithm.transitions without Transition
                 # wrappers: progress entries plus the derived abort.
                 prog = tm.progress(state, cmd, thread)
                 entries = [
-                    (ext, resp, encode(succ)) for ext, resp, succ in prog
+                    (ext, resp, encode(packed_state, state, succ))
+                    for ext, resp, succ in prog
                 ]
                 if not prog or tm.conflict(state, cmd, thread):
                     entries.append(
                         (
                             ABORT_EXT,
                             Resp.ABORT,
-                            encode(tm.abort_reset(state, thread)),
+                            encode(
+                                packed_state,
+                                state,
+                                tm.abort_reset(state, thread),
+                            ),
                         )
                     )
                 row = tuple(entries)
             else:
                 row = tuple(
-                    (tr.ext, tr.resp, encode(tr.state))
+                    (tr.ext, tr.resp, encode(packed_state, state, tr.state))
                     for tr in tm.transitions(state, cmd, thread)
                 )
             self._cmd_rows[key] = row
+            self._dirty = True
         return row
 
     def _pending_digits(self, packed_pending: int) -> List[int]:
@@ -373,26 +465,164 @@ class CompiledTM:
         return row
 
     def expand(
-        self, frontier: Iterable[int]
+        self,
+        frontier: Iterable[int],
+        sharder: "Optional[Sharder]" = None,
     ) -> List[Tuple[int, Tuple[NodeTransition, ...]]]:
-        """Batched successor computation: rows for a whole frontier."""
+        """Batched successor computation: rows for a whole frontier.
+
+        With a :class:`Sharder` (from :meth:`sharded`), rows missing
+        from the memo tables are computed by the worker pool first; the
+        serial collection below then runs entirely on memo hits.  The
+        returned list is identical either way.
+        """
+        nodes = list(frontier)
+        if sharder is not None:
+            sharder.prefetch_nodes(nodes)
         node_row = self.node_row
-        return [(node, node_row(node)) for node in frontier]
+        return [(node, node_row(node)) for node in nodes]
+
+    # ------------------------------------------------------------------
+    # Process-stable node encoding (sharding and persistence)
+    # ------------------------------------------------------------------
+
+    def stable_of_node(self, packed_node: int) -> int:
+        """Re-digit a packed node over codec *bits* instead of dense ids.
+
+        Dense view ids depend on this engine's discovery order; the
+        codec bit-packing of a view does not.  Stable node ints are
+        therefore meaningful across processes (workers re-derive the
+        codec from the algorithm seed) and across runs (the warm cache).
+        Only available for codec-backed engines.
+        """
+        packed_state, packed_pending = divmod(packed_node, self._pend_span)
+        width = self._codec.width  # type: ignore[union-attr]
+        digit_mask = (1 << width) - 1
+        view_bits = self._view_bits
+        stable_state = 0
+        for i in range(self.n):
+            vid = (packed_state >> (width * i)) & digit_mask
+            stable_state |= view_bits[vid] << (width * i)
+        return stable_state * self._pend_span + packed_pending
+
+    def node_of_stable(self, stable_node: int) -> int:
+        """Inverse of :meth:`stable_of_node`, interning unseen views.
+
+        New views are interned in thread-digit order, so translating a
+        merged result sequence interns views in exactly the order a
+        serial computation of the same rows would have.
+        """
+        stable_state, packed_pending = divmod(stable_node, self._pend_span)
+        codec = self._codec
+        assert codec is not None
+        width = codec.width
+        digit_mask = (1 << width) - 1
+        bits_ids = self._bits_ids
+        packed_state = 0
+        for i in range(self.n):
+            bits = (stable_state >> (width * i)) & digit_mask
+            vid = bits_ids.get(bits)
+            if vid is None:
+                vid = self._intern_view(codec.unpack(bits))
+            packed_state |= vid << (width * i)
+        return packed_state * self._pend_span + packed_pending
+
+    def expand_stable(
+        self, mode: str, stable_node: int
+    ) -> Tuple[int, tuple]:
+        """One worker-side expansion: row of a stable node, re-encoded
+        stably.  ``mode`` is ``"safety"`` (all-int safety rows) or
+        ``"node"`` (explorer transitions for the liveness/explore
+        views)."""
+        packed = self.node_of_stable(stable_node)
+        stable = self.stable_of_node
+        if mode == "safety":
+            return stable_node, tuple(
+                (
+                    sym,
+                    stable(succs)
+                    if type(succs) is int
+                    else tuple(stable(s) for s in succs),
+                )
+                for sym, succs in self.safety_row_ids(packed)
+            )
+        return stable_node, tuple(
+            (ti, ci, ext, resp, stable(succ))
+            for ti, ci, ext, resp, succ in self.node_row(packed)
+        )
+
+    def store_stable_row(
+        self, mode: str, packed_node: int, stable_row: tuple
+    ) -> None:
+        """Merge one worker-computed row into this engine's memo tables,
+        translating stable successor ids into (possibly new) dense ids."""
+        translate = self.node_of_stable
+        if mode == "safety":
+            self._safety_rows_ids[packed_node] = tuple(
+                (
+                    sym,
+                    translate(succs)
+                    if type(succs) is int
+                    else tuple(translate(s) for s in succs),
+                )
+                for sym, succs in stable_row
+            )
+        else:
+            self._node_rows[packed_node] = tuple(
+                (ti, ci, ext, resp, translate(succ))
+                for ti, ci, ext, resp, succ in stable_row
+            )
+        self._dirty = True
+
+    @contextmanager
+    def sharded(self, jobs: Optional[int]):
+        """A :class:`Sharder` running ``jobs`` worker processes, or
+        ``None`` when sharding is unavailable.
+
+        Yields ``None`` (callers fall back to the serial path, which is
+        always correct) when ``jobs`` is 1, the TM has no view codec
+        (fallback-interned states have no process-stable encoding), or
+        the algorithm cannot be re-derived from a picklable seed.  The
+        pool is torn down on exit.
+        """
+        if jobs is None or jobs <= 1 or self._codec is None:
+            yield None
+            return
+        seed = _spawn_seed(self.tm)
+        if seed is None:
+            yield None
+            return
+        import multiprocessing
+
+        pool = multiprocessing.get_context().Pool(
+            jobs, initializer=_worker_init, initargs=seed
+        )
+        try:
+            yield Sharder(self, pool, jobs)
+        finally:
+            pool.terminate()
+            pool.join()
 
     # ------------------------------------------------------------------
     # Checker-facing views
     # ------------------------------------------------------------------
 
-    def safety_row(self, packed_node: int) -> tuple:
-        """The safety view of a node as a pre-grouped kernel row.
+    def safety_row_ids(self, packed_node: int) -> tuple:
+        """The safety view of a node as a pre-grouped all-int kernel row.
 
-        Returns ``((symbol_or_None, (packed_succ, ...)), ...)`` with
-        symbols grouped in first-occurrence order and successors
-        deduplicated and ordered exactly as the naive lazy kernel would
-        have produced (``repr``-sorted decoded nodes), so product BFS
-        over these rows is byte-identical to the naive path.
+        Returns ``((sym_id, succs), ...)`` where ``sym_id`` is the
+        integer statement id (:data:`EPSILON_ID` for internal ⊥-moves)
+        and ``succs`` is the bare packed successor int for singleton
+        groups — ~90% of them, spared a tuple wrap and an inner loop on
+        the product hot path — or a tuple of packed successors
+        otherwise.  Symbols are grouped in first-occurrence order and
+        multi-successor groups are deduplicated and ordered exactly as
+        the naive lazy kernel would have produced (``repr``-sorted
+        decoded nodes), so product BFS over these rows is byte-identical
+        to the naive path.  This is the primitive row;
+        :meth:`safety_row` derives the Statement-keyed view from it.
         """
-        row = self._safety_rows.get(packed_node)
+        row = self._safety_rows_ids.get(packed_node)
         if row is None:
             # Assembled straight from the memoized command rows (not via
             # node_row) — the safety product is the hot path and skips
@@ -401,9 +631,9 @@ class CompiledTM:
             pend_span = self._pend_span
             pend_pow = self._pend_pow
             cmd_row = self._cmd_row
-            done_stmt = self._done_stmt
-            abort_stmt = self._abort_stmt
-            grouped: Dict[Optional[Statement], List[int]] = {}
+            done_sym = self._done_sym
+            abort_sym = self._abort_sym
+            grouped: Dict[int, List[int]] = {}
             digits = self._pending_digits(packed_pending)
             for ti in range(self.n):
                 digit = digits[ti]
@@ -416,13 +646,13 @@ class CompiledTM:
                         packed_state, ti, ci
                     ):
                         if resp is Resp.BOT:
-                            key = None
+                            key = EPSILON_ID
                             succ_pending = base_pending + (ci + 1) * pend_pow[ti]
                         elif resp is Resp.DONE:
-                            key = done_stmt[ti][ci]
+                            key = done_sym[ti][ci]
                             succ_pending = base_pending
                         else:
-                            key = abort_stmt[ti]
+                            key = abort_sym[ti]
                             succ_pending = base_pending
                         grouped.setdefault(key, []).append(
                             succ_state * pend_span + succ_pending
@@ -434,8 +664,34 @@ class CompiledTM:
                     succs = sorted(
                         set(succs), key=lambda p: repr(decode(p))
                     )
-                out.append((symbol, tuple(succs)))
+                out.append(
+                    (symbol, succs[0])
+                    if len(succs) == 1
+                    else (symbol, tuple(succs))
+                )
             row = tuple(out)
+            self._safety_rows_ids[packed_node] = row
+            self._dirty = True
+        return row
+
+    def safety_rows_map(self) -> Dict[int, tuple]:
+        """The live memo dict behind :meth:`safety_row_ids` — checkers
+        probe it directly to skip a call per BFS pop on warm rows."""
+        return self._safety_rows_ids
+
+    def safety_row(self, packed_node: int) -> tuple:
+        """:meth:`safety_row_ids` with interned Statement symbols
+        (``None`` for ε) — the view the DFA-sided product consumes."""
+        row = self._safety_rows.get(packed_node)
+        if row is None:
+            symbols = self._symbols
+            row = tuple(
+                (
+                    None if sym < 0 else symbols[sym],
+                    (succs,) if type(succs) is int else succs,
+                )
+                for sym, succs in self.safety_row_ids(packed_node)
+            )
             self._safety_rows[packed_node] = row
         return row
 
@@ -497,8 +753,199 @@ class CompiledTM:
             "decoded_nodes": len(self._decoded_nodes),
             "cmd_rows": len(self._cmd_rows),
             "node_rows": len(self._node_rows),
-            "safety_rows": len(self._safety_rows),
+            "safety_rows": len(self._safety_rows_ids),
         }
+
+    # ------------------------------------------------------------------
+    # Warm-start persistence
+    # ------------------------------------------------------------------
+
+    def _cache_key(self) -> Optional[tuple]:
+        if self._codec is None:
+            return None  # fallback-interned states have no stable encoding
+        return ("tm-engine", type(self.tm).__name__, self.name, self.n, self.k)
+
+    def load_warm(self, cache_dir: str) -> bool:
+        """Restore interned views and safety rows from ``cache_dir``.
+
+        Only a *fresh* engine is restored (nothing interned yet) — the
+        cached dense ids must become this engine's dense ids verbatim.
+        Malformed payloads are rejected wholesale; returns True iff the
+        engine was warmed.
+        """
+        key = self._cache_key()
+        if key is None or self._views or self._dirty:
+            return False
+        data = load_payload(cache_dir, key)
+        if not isinstance(data, dict):
+            return False
+        view_bits = data.get("view_bits")
+        safety_rows = data.get("safety_rows")
+        if not isinstance(view_bits, list) or not isinstance(
+            safety_rows, dict
+        ):
+            return False
+        codec = self._codec
+        try:
+            views = []
+            for bits in view_bits:
+                if not isinstance(bits, int) or bits >> codec.width:
+                    return False
+                view = codec.unpack(bits)
+                if codec.pack(view) != bits:
+                    return False
+                views.append(view)
+            if len(set(view_bits)) != len(view_bits):
+                return False
+            nviews = len(views)
+            width = codec.width
+            digit_mask = (1 << width) - 1
+            state_span = 1 << (width * self.n)
+            pend_span = self._pend_span
+            num_syms = len(self._symbols)
+
+            def valid_node(packed: object) -> bool:
+                if not isinstance(packed, int) or packed < 0:
+                    return False
+                state, _pending = divmod(packed, pend_span)
+                if state >= state_span:
+                    return False
+                return all(
+                    ((state >> (width * i)) & digit_mask) < nviews
+                    for i in range(self.n)
+                )
+
+            for node, row in safety_rows.items():
+                if not valid_node(node) or not isinstance(row, tuple):
+                    return False
+                for sym, succs in row:
+                    if not isinstance(sym, int) or not -1 <= sym < num_syms:
+                        return False
+                    if type(succs) is int:
+                        if not valid_node(succs):
+                            return False
+                    elif not isinstance(succs, tuple) or not all(
+                        valid_node(s) for s in succs
+                    ):
+                        return False
+        except Exception:
+            return False
+        self._views = views
+        self._view_bits = list(view_bits)
+        self._view_ids = {view: i for i, view in enumerate(views)}
+        self._bits_ids = {bits: i for i, bits in enumerate(view_bits)}
+        self._safety_rows_ids = dict(safety_rows)
+        self._dirty = False
+        return True
+
+    def save_warm(self, cache_dir: str) -> bool:
+        """Spill the intern table and safety rows to ``cache_dir``
+        (no-op unless new rows were computed since the last load/save)."""
+        key = self._cache_key()
+        if key is None or not self._dirty:
+            return False
+        ok = save_payload(
+            cache_dir,
+            key,
+            {
+                "view_bits": list(self._view_bits),
+                "safety_rows": dict(self._safety_rows_ids),
+            },
+        )
+        if ok:
+            self._dirty = False
+        return ok
+
+
+# ----------------------------------------------------------------------
+# Sharded expansion across a multiprocessing pool
+# ----------------------------------------------------------------------
+#
+# Dense packed ids are engine-local (assigned in discovery order), so
+# nodes cross process boundaries in the codec-bits *stable* encoding:
+# workers re-derive the codec from the algorithm seed, translate stable
+# -> own-dense, compute rows with their own (persistent, memoizing)
+# engines, and ship rows back stably; the parent merges results in
+# deterministic frontier order, interning any still-unseen views.  All
+# observable outputs (verdicts, counterexamples, node orders, counts)
+# are invariant under dense-id relabeling, so sharded runs are
+# byte-identical to serial ones — pinned by tests/tm/test_parallel.py.
+
+_WORKER_ENGINE: Optional[CompiledTM] = None
+
+
+def _worker_init(tm_cls: type, args: tuple) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = CompiledTM(tm_cls(*args))
+
+
+def _worker_expand(task: Tuple[str, List[int]]) -> List[Tuple[int, tuple]]:
+    mode, stable_nodes = task
+    engine = _WORKER_ENGINE
+    assert engine is not None, "worker pool used before initialization"
+    expand_stable = engine.expand_stable
+    return [expand_stable(mode, sn) for sn in stable_nodes]
+
+
+def _spawn_seed(tm: TMAlgorithm) -> Optional[Tuple[type, tuple]]:
+    """A picklable ``(class, ctor_args)`` seed re-deriving ``tm``, or
+    ``None`` when ``cls(n, k)`` cannot reconstruct this instance (e.g.
+    ManagedTM, which composes a manager, or a TM built with non-default
+    constructor options).  Reconstruction is *verified*: the clone's
+    attributes must equal the original's, engine/command caches aside."""
+    cls = type(tm)
+    try:
+        clone = cls(tm.n, tm.k)
+    except Exception:
+        return None
+    ignore = {"_commands_cache", "_compiled_engine"}
+    mine = {a: v for a, v in tm.__dict__.items() if a not in ignore}
+    theirs = {a: v for a, v in clone.__dict__.items() if a not in ignore}
+    if mine != theirs:
+        return None
+    return cls, (tm.n, tm.k)
+
+
+class Sharder:
+    """Pool-backed row prefetcher for one :class:`CompiledTM`.
+
+    ``prefetch_safety`` / ``prefetch_nodes`` compute the rows missing
+    from the parent's memo tables for a batch of packed nodes (one BFS
+    level), sharded across the pool; subsequent per-node row calls are
+    then pure memo hits.  Prefetching is an optimization only — skipping
+    it (or prefetching more nodes than are later visited) never changes
+    any observable result.
+    """
+
+    def __init__(self, engine: CompiledTM, pool, jobs: int) -> None:
+        self.engine = engine
+        self.pool = pool
+        self.jobs = jobs
+
+    def _prefetch(self, mode: str, nodes: List[int], memo: Dict) -> None:
+        engine = self.engine
+        todo = [n for n in dict.fromkeys(nodes) if n not in memo]
+        if not todo:
+            return
+        stable = [engine.stable_of_node(n) for n in todo]
+        chunk = max(1, -(-len(stable) // self.jobs))
+        tasks = [
+            (mode, stable[i : i + chunk])
+            for i in range(0, len(stable), chunk)
+        ]
+        rows: Dict[int, tuple] = {}
+        for part in self.pool.map(_worker_expand, tasks):
+            for sn, row in part:
+                rows[sn] = row
+        store = engine.store_stable_row
+        for node, sn in zip(todo, stable):
+            store(mode, node, rows[sn])
+
+    def prefetch_safety(self, nodes: List[int]) -> None:
+        self._prefetch("safety", nodes, self.engine._safety_rows_ids)
+
+    def prefetch_nodes(self, nodes: List[int]) -> None:
+        self._prefetch("node", nodes, self.engine._node_rows)
 
 
 def compile_tm(tm: TMAlgorithm) -> CompiledTM:

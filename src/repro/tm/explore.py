@@ -87,32 +87,65 @@ def iter_node_transitions(
 
 
 def explore_packed(
-    engine: CompiledTM, *, max_states: Optional[int] = None
+    engine: CompiledTM,
+    *,
+    max_states: Optional[int] = None,
+    jobs: int = 1,
 ) -> List[int]:
     """All reachable packed nodes, BFS order from the initial node.
 
     The BFS mirrors the naive :func:`explore_nodes` exactly — compiled
     rows preserve the explorer's transition order, so decoding this list
-    reproduces the naive node order element for element.
+    reproduces the naive node order element for element.  ``jobs > 1``
+    computes each BFS level's new rows on a worker pool via
+    :meth:`CompiledTM.expand`; the traversal (and hence the returned
+    order) is identical.
     """
     init = engine.initial_node_packed()
     seen: Set[int] = {init}
     order: List[int] = [init]
-    queue = deque([init])
-    node_row = engine.node_row
-    while queue:
-        node = queue.popleft()
-        for entry in node_row(node):
-            succ = entry[4]
-            if succ not in seen:
-                if max_states is not None and len(seen) >= max_states:
-                    raise RuntimeError(
-                        f"exploration exceeded {max_states} nodes"
-                        f" (at {len(seen) + 1})"
-                    )
-                seen.add(succ)
-                order.append(succ)
-                queue.append(succ)
+    with engine.sharded(jobs) as shard:
+        if shard is None:
+            node_row = engine.node_row
+            queue = deque([init])
+            while queue:
+                node = queue.popleft()
+                for entry in node_row(node):
+                    succ = entry[4]
+                    if succ not in seen:
+                        if (
+                            max_states is not None
+                            and len(seen) >= max_states
+                        ):
+                            raise RuntimeError(
+                                f"exploration exceeded {max_states} nodes"
+                                f" (at {len(seen) + 1})"
+                            )
+                        seen.add(succ)
+                        order.append(succ)
+                        queue.append(succ)
+        else:
+            # Level-synchronous twin: identical traversal order, with
+            # each level's new rows computed on the worker pool first.
+            frontier = [init]
+            while frontier:
+                nxt: List[int] = []
+                for _node, row in engine.expand(frontier, shard):
+                    for entry in row:
+                        succ = entry[4]
+                        if succ not in seen:
+                            if (
+                                max_states is not None
+                                and len(seen) >= max_states
+                            ):
+                                raise RuntimeError(
+                                    f"exploration exceeded {max_states}"
+                                    f" nodes (at {len(seen) + 1})"
+                                )
+                            seen.add(succ)
+                            order.append(succ)
+                            nxt.append(succ)
+                frontier = nxt
     return order
 
 
@@ -121,6 +154,7 @@ def explore_nodes(
     *,
     max_states: Optional[int] = None,
     compiled: bool = True,
+    jobs: int = 1,
 ) -> List[Node]:
     """All reachable explorer nodes, BFS order from the initial node."""
     if compiled:
@@ -128,7 +162,7 @@ def explore_nodes(
         decode = engine.decode_node
         return [
             decode(p)
-            for p in explore_packed(engine, max_states=max_states)
+            for p in explore_packed(engine, max_states=max_states, jobs=jobs)
         ]
     init = initial_node(tm)
     seen: Set[Node] = {init}
@@ -149,10 +183,12 @@ def explore_nodes(
     return order
 
 
-def transition_system_size(tm: TMAlgorithm, *, compiled: bool = True) -> int:
+def transition_system_size(
+    tm: TMAlgorithm, *, compiled: bool = True, jobs: int = 1
+) -> int:
     """Number of reachable nodes — the paper's Table 2 "Size" column."""
     if compiled:
-        return len(explore_packed(compile_tm(tm)))
+        return len(explore_packed(compile_tm(tm), jobs=jobs))
     return len(explore_nodes(tm, compiled=False))
 
 
@@ -209,11 +245,12 @@ def build_liveness_graph(
     *,
     max_states: Optional[int] = None,
     compiled: bool = True,
+    jobs: int = 1,
 ) -> LivenessGraph:
     """Explore the TM and label every edge with its extended statement."""
     if compiled:
         return _build_liveness_graph_compiled(
-            compile_tm(tm), max_states=max_states
+            compile_tm(tm), max_states=max_states, jobs=jobs
         )
     init = initial_node(tm)
     seen: Set[Node] = {init}
@@ -238,31 +275,45 @@ def build_liveness_graph(
 
 
 def _build_liveness_graph_compiled(
-    engine: CompiledTM, *, max_states: Optional[int] = None
+    engine: CompiledTM,
+    *,
+    max_states: Optional[int] = None,
+    jobs: int = 1,
 ) -> LivenessGraph:
     """Compiled :func:`build_liveness_graph`: BFS over packed nodes,
-    decoded once per node for the (identical) output graph."""
+    decoded once per node for the (identical) output graph.  Sharding
+    (``jobs > 1``) computes each BFS level's node rows on the worker
+    pool; the traversal below then runs on memo hits, level by level,
+    in the identical order."""
     init = engine.initial_node_packed()
     seen: Set[int] = {init}
     order: List[int] = [init]
     edges: List[Tuple[Node, ExtStatement, Node]] = []
-    queue = deque([init])
     liveness_row = engine.liveness_row
     decode = engine.decode_node
-    while queue:
-        node = queue.popleft()
-        node_decoded = decode(node)
-        for label, succ in liveness_row(node):
-            edges.append((node_decoded, label, decode(succ)))
-            if succ not in seen:
-                if max_states is not None and len(seen) >= max_states:
-                    raise RuntimeError(
-                        f"exploration exceeded {max_states} nodes"
-                        f" (at {len(seen) + 1})"
-                    )
-                seen.add(succ)
-                order.append(succ)
-                queue.append(succ)
+    with engine.sharded(jobs) as shard:
+        frontier = [init]
+        while frontier:
+            if shard is not None:
+                shard.prefetch_nodes(frontier)
+            nxt: List[int] = []
+            for node in frontier:
+                node_decoded = decode(node)
+                for label, succ in liveness_row(node):
+                    edges.append((node_decoded, label, decode(succ)))
+                    if succ not in seen:
+                        if (
+                            max_states is not None
+                            and len(seen) >= max_states
+                        ):
+                            raise RuntimeError(
+                                f"exploration exceeded {max_states} nodes"
+                                f" (at {len(seen) + 1})"
+                            )
+                        seen.add(succ)
+                        order.append(succ)
+                        nxt.append(succ)
+            frontier = nxt
     return LivenessGraph(
         initial=decode(init),
         nodes=tuple(decode(p) for p in order),

@@ -1,0 +1,94 @@
+"""The safety pipeline's on-disk warm-start cache (``cache_dir=``).
+
+A warm-started check must be bit-for-bit the same check: identical
+verdicts and counts whether the engines were compiled in-process,
+restored from disk, or restored from a cache another ``(n, k)`` or
+property wrote next to it.  Corrupt cache files degrade to a cold run,
+never an error.
+"""
+
+import os
+
+import pytest
+
+from repro.checking import check_safety
+from repro.spec import OP, SS
+from repro.spec.compiled import clear_spec_oracle_cache
+from repro.tm import DSTM, ManagedTM, ModifiedTL2, PoliteManager, compile_tm
+
+
+def _result_tuple(res):
+    return (
+        res.holds,
+        res.counterexample,
+        res.tm_states,
+        res.spec_states,
+        res.product_states,
+    )
+
+
+@pytest.mark.parametrize("prop", [SS, OP], ids=["ss", "op"])
+def test_warm_started_check_identical(tmp_path, prop):
+    d = str(tmp_path)
+    cold = check_safety(DSTM(2, 2), prop, lazy_spec=True, cache_dir=d)
+    assert os.listdir(d)  # something was spilled
+    clear_spec_oracle_cache()  # simulate a fresh process
+    warm = check_safety(DSTM(2, 2), prop, lazy_spec=True, cache_dir=d)
+    assert _result_tuple(warm) == _result_tuple(cold)
+    clear_spec_oracle_cache()
+
+
+def test_warm_start_restores_engine_tables(tmp_path):
+    d = str(tmp_path)
+    check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    fresh = compile_tm(DSTM(2, 2))
+    assert fresh.load_warm(d)
+    assert fresh.stats()["safety_rows"] > 0
+    assert fresh.stats()["views"] > 1
+
+
+def test_warm_start_on_dfa_path(tmp_path):
+    d = str(tmp_path)
+    cold = check_safety(DSTM(2, 2), SS, cache_dir=d)
+    warm = check_safety(DSTM(2, 2), SS, cache_dir=d)
+    assert _result_tuple(warm) == _result_tuple(cold)
+
+
+def test_corrupt_cache_degrades_to_cold_run(tmp_path):
+    d = str(tmp_path)
+    reference = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    for name in os.listdir(d):
+        with open(os.path.join(d, name), "wb") as fh:
+            fh.write(b"not a pickle at all")
+    clear_spec_oracle_cache()
+    rerun = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    assert _result_tuple(rerun) == _result_tuple(reference)
+    clear_spec_oracle_cache()
+
+
+def test_cache_keys_do_not_collide_across_instances(tmp_path):
+    """(2,1) and (2,2) caches coexist; each restores its own tables."""
+    d = str(tmp_path)
+    small = check_safety(DSTM(2, 1), SS, lazy_spec=True, cache_dir=d)
+    big = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    clear_spec_oracle_cache()
+    small2 = check_safety(DSTM(2, 1), SS, lazy_spec=True, cache_dir=d)
+    big2 = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    assert _result_tuple(small2) == _result_tuple(small)
+    assert _result_tuple(big2) == _result_tuple(big)
+    clear_spec_oracle_cache()
+
+
+def test_fallback_interned_tm_skips_cache_silently(tmp_path):
+    """ManagedTM has no codec: nothing is spilled for the TM engine, and
+    the check still works with cache_dir set."""
+    d = str(tmp_path)
+    res = check_safety(
+        ManagedTM(ModifiedTL2(2, 1), PoliteManager()),
+        SS,
+        lazy_spec=True,
+        cache_dir=d,
+    )
+    assert res.holds in (True, False)
+    assert not any(n.startswith("tm-engine") for n in os.listdir(d))
+    clear_spec_oracle_cache()

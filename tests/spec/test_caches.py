@@ -1,0 +1,63 @@
+"""The spec memoization layer: process caches and their hit/miss contract.
+
+``cached_det_spec`` / ``cached_nondet_spec`` (PR 1) and
+``cached_spec_oracle`` (this PR) all memoize on ``(n, k, prop)``; these
+tests pin that repeated lookups are hits returning the *same* object,
+that distinct keys are fully independent, and that clearing really
+forgets.  (The on-disk warm cache's invalidation story is covered in
+``tests/spec/test_compiled.py`` and ``tests/checking/test_warm_cache.py``.)
+"""
+
+from repro.spec import (
+    OP,
+    SS,
+    cached_det_spec,
+    cached_nondet_spec,
+    clear_spec_cache,
+)
+
+
+def test_det_spec_cache_hit_miss_accounting():
+    clear_spec_cache()
+    info0 = cached_det_spec.cache_info()
+    assert info0.currsize == 0
+    a = cached_det_spec(2, 1, SS)
+    info1 = cached_det_spec.cache_info()
+    assert info1.misses == info0.misses + 1
+    b = cached_det_spec(2, 1, SS)
+    info2 = cached_det_spec.cache_info()
+    assert info2.hits == info1.hits + 1
+    assert b is a
+
+
+def test_nondet_spec_cache_hit_miss_accounting():
+    clear_spec_cache()
+    a = cached_nondet_spec(2, 1, SS)
+    misses = cached_nondet_spec.cache_info().misses
+    assert cached_nondet_spec(2, 1, SS) is a
+    assert cached_nondet_spec.cache_info().misses == misses
+
+
+def test_spec_caches_independent_across_keys():
+    clear_spec_cache()
+    ss = cached_det_spec(2, 1, SS)
+    op = cached_det_spec(2, 1, OP)
+    wider = cached_det_spec(2, 2, SS)
+    assert ss is not op and ss is not wider and op is not wider
+    # distinct automata, not views of one another
+    assert ss.num_states != wider.num_states
+
+
+def test_clear_spec_cache_forgets():
+    clear_spec_cache()
+    a = cached_det_spec(2, 1, SS)
+    n = cached_nondet_spec(2, 1, SS)
+    clear_spec_cache()
+    assert cached_det_spec(2, 1, SS) is not a
+    assert cached_nondet_spec(2, 1, SS) is not n
+
+
+def test_det_and_nondet_caches_do_not_interfere():
+    clear_spec_cache()
+    cached_det_spec(2, 1, SS)
+    assert cached_nondet_spec.cache_info().currsize == 0

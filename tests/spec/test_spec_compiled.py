@@ -1,0 +1,292 @@
+"""Differential tests for the compiled spec oracle.
+
+The packed stepper (:func:`repro.spec.compiled.make_packed_step`) must be
+*exact*: on every reachable Algorithm 6 state it has to agree with the
+rich :func:`repro.spec.det.det_step` under the
+:func:`~repro.spec.compiled.pack_spec_state` bijection, for every
+statement, both properties.  These tests walk the full reachable state
+spaces at small (n, k) and compare transition for transition, plus pin
+the oracle's interning/memoization contract and its on-disk warm cache
+(corrupt and version-stale payloads are ignored, never fatal).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cache import ENGINE_VERSION, cache_path
+from repro.core.statements import statements as all_statements
+from repro.spec import OP, SS
+from repro.spec.compiled import (
+    SINK,
+    UNQUERIED,
+    CompiledSpecOracle,
+    cached_spec_oracle,
+    clear_spec_oracle_cache,
+    make_packed_step,
+    pack_spec_state,
+    statement_table,
+    unpack_spec_state,
+)
+from repro.spec.det import det_step, initial_state
+
+INSTANCES = [(2, 1), (2, 2), (3, 1)]
+PROPS = [SS, OP]
+
+
+def walk_rich(n, k, prop):
+    """BFS the rich det_step reachable set; yields (state, stmt, succ)."""
+    from collections import deque
+
+    syms = statement_table(n, k)
+    init = initial_state(n)
+    seen = {init}
+    queue = deque([init])
+    while queue:
+        state = queue.popleft()
+        for stmt in syms:
+            succ = det_step(state, stmt, prop)
+            yield state, stmt, succ
+            if succ is not None and succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+
+
+@pytest.mark.parametrize("n,k", INSTANCES)
+@pytest.mark.parametrize("prop", PROPS, ids=[p.value for p in PROPS])
+def test_packed_step_exhaustive_differential(n, k, prop):
+    """Packed vs rich det_step on every reachable (state, statement)."""
+    step = make_packed_step(n, k, prop)
+    syms = statement_table(n, k)
+    sym_index = {s: i for i, s in enumerate(syms)}
+    assert pack_spec_state(initial_state(n), n, k) == 0
+    for state, stmt, succ in walk_rich(n, k, prop):
+        packed = pack_spec_state(state, n, k)
+        assert unpack_spec_state(packed, n, k) == state
+        got = step(packed, sym_index[stmt])
+        if succ is None:
+            assert got is None, (state, stmt)
+        else:
+            assert got == pack_spec_state(succ, n, k), (state, stmt)
+
+
+@pytest.mark.parametrize("n,k", [(2, 3), (3, 2)])
+@pytest.mark.parametrize("prop", PROPS, ids=[p.value for p in PROPS])
+def test_packed_step_differential_at_large_shapes(n, k, prop):
+    """Capped BFS differential at the shapes the PR's benchmarks run on.
+
+    The small-instance differentials above are exhaustive; these shapes
+    are too big for that, but a layout bug specific to k >= 3 or to
+    (n, k) = (3, 2) (e.g. an off-by-one in the record bit offsets that
+    cancels out at k <= 2) would corrupt exactly the headline cells —
+    so check the first few thousand reachable states here too.
+    """
+    from collections import deque
+
+    step = make_packed_step(n, k, prop)
+    syms = statement_table(n, k)
+    cap = 2000
+    init = initial_state(n)
+    seen = {init}
+    queue = deque([init])
+    while queue:
+        state = queue.popleft()
+        packed = pack_spec_state(state, n, k)
+        assert unpack_spec_state(packed, n, k) == state
+        for i, stmt in enumerate(syms):
+            rich = det_step(state, stmt, prop)
+            got = step(packed, i)
+            if rich is None:
+                assert got is None, (state, stmt)
+            else:
+                assert got == pack_spec_state(rich, n, k), (state, stmt)
+                if rich not in seen and len(seen) < cap:
+                    seen.add(rich)
+                    queue.append(rich)
+
+
+def test_statement_table_is_canonical():
+    """Statement ids are indices into core.statements.statements —
+    shared with the compiled TM engine's symbol tables."""
+    for n, k in INSTANCES:
+        assert statement_table(n, k) == all_statements(
+            n, k, include_abort=True
+        )
+
+
+def test_tm_engine_symbol_ids_match_spec_oracle():
+    """The TM-side done/abort statement ids and the oracle's table agree."""
+    from repro.tm import DSTM, compile_tm
+
+    tm = DSTM(2, 2)
+    engine = compile_tm(tm)
+    oracle = CompiledSpecOracle(2, 2, SS)
+    assert engine._symbols == oracle.symbols
+    for ti in range(tm.n):
+        for ci, cmd in enumerate(engine.commands()):
+            sym = engine._done_sym[ti][ci]
+            assert oracle.symbols[sym].command == cmd
+            assert oracle.symbols[sym].thread == ti + 1
+        assert oracle.symbols[engine._abort_sym[ti]].is_abort
+
+
+# ----------------------------------------------------------------------
+# Oracle interning and memoization
+# ----------------------------------------------------------------------
+
+
+def test_oracle_memoizes_rows():
+    oracle = CompiledSpecOracle(2, 2, SS)
+    assert oracle.rows[0][0] == UNQUERIED
+    first = oracle.step_id(0, 0)
+    assert first >= 0
+    assert oracle.rows[0][0] == first  # memoized in place
+    assert oracle.step_id(0, 0) == first
+    stats = oracle.stats()
+    assert stats["filled_rows"] == 1
+    assert stats["states"] == 2  # initial + the one successor
+
+
+def test_oracle_rejections_are_cached_as_sink():
+    """Some reachable (state, statement) rejects, and the rejection is
+    memoized as SINK rather than re-evaluated."""
+    oracle = CompiledSpecOracle(2, 2, SS)
+    sid = 0
+    while sid < len(oracle.states):
+        for sym in range(oracle.num_symbols):
+            if oracle.step_id(sid, sym) == SINK:
+                assert oracle.rows[sid][sym] == SINK
+                assert oracle.step_id(sid, sym) == SINK
+                return
+        sid += 1
+    raise AssertionError("no rejection reachable in the (2,2) ss spec")
+
+
+def test_cached_spec_oracle_shares_and_separates():
+    clear_spec_oracle_cache()
+    a = cached_spec_oracle(2, 2, SS)
+    assert cached_spec_oracle(2, 2, SS) is a
+    assert cached_spec_oracle(2, 2, OP) is not a
+    assert cached_spec_oracle(2, 1, SS) is not a
+    info = cached_spec_oracle.cache_info()
+    assert info.hits >= 1 and info.misses >= 3
+    clear_spec_oracle_cache()
+    assert cached_spec_oracle(2, 2, SS) is not a
+
+
+def test_oracle_independence_across_keys():
+    """Queries against one (n, k, prop) oracle never leak into another."""
+    clear_spec_oracle_cache()
+    ss = cached_spec_oracle(2, 1, SS)
+    op = cached_spec_oracle(2, 1, OP)
+    for sym in range(ss.num_symbols):
+        ss.step_id(0, sym)
+    assert op.stats()["filled_rows"] == 0
+    clear_spec_oracle_cache()
+
+
+# ----------------------------------------------------------------------
+# Warm-start persistence
+# ----------------------------------------------------------------------
+
+
+def _filled_oracle(n=2, k=1, prop=SS):
+    """An oracle with every reachable row fully evaluated."""
+    oracle = CompiledSpecOracle(n, k, prop)
+    sid = 0
+    while sid < len(oracle.states):  # states grows as rows fill
+        for sym in range(oracle.num_symbols):
+            oracle.step_id(sid, sym)
+        sid += 1
+    return oracle
+
+
+def test_warm_cache_round_trip(tmp_path):
+    d = str(tmp_path)
+    oracle = _filled_oracle()
+    assert oracle.save_warm(d)
+    fresh = CompiledSpecOracle(2, 1, SS)
+    assert fresh.load_warm(d)
+    assert fresh.states == oracle.states
+    assert fresh.rows == oracle.rows
+    # restored tables serve queries without recomputation
+    assert fresh.step_id(0, 0) == oracle.rows[0][0]
+
+
+def test_warm_cache_save_is_dirty_gated(tmp_path):
+    d = str(tmp_path)
+    oracle = _filled_oracle()
+    assert oracle.save_warm(d)
+    assert not oracle.save_warm(d)  # nothing new since last spill
+
+
+def test_warm_cache_not_loaded_into_used_oracle(tmp_path):
+    d = str(tmp_path)
+    _filled_oracle().save_warm(d)
+    used = CompiledSpecOracle(2, 1, SS)
+    used.step_id(0, 0)
+    assert not used.load_warm(d)
+
+
+def test_warm_cache_ignores_corrupt_file(tmp_path):
+    d = str(tmp_path)
+    oracle = _filled_oracle()
+    oracle.save_warm(d)
+    path = cache_path(d, oracle._cache_key())
+    with open(path, "wb") as fh:
+        fh.write(b"\x80garbage that is not a pickle")
+    fresh = CompiledSpecOracle(2, 1, SS)
+    assert not fresh.load_warm(d)
+    assert fresh.step_id(0, 0) >= 0  # recomputes from scratch
+
+
+def test_warm_cache_ignores_stale_engine_version(tmp_path):
+    d = str(tmp_path)
+    oracle = _filled_oracle()
+    key = oracle._cache_key()
+    with open(cache_path(d, key), "wb") as fh:
+        pickle.dump(
+            {
+                "version": ENGINE_VERSION + 1,
+                "key": key,
+                "data": {
+                    "states": list(oracle.states),
+                    "rows": [list(r) for r in oracle.rows],
+                },
+            },
+            fh,
+        )
+    fresh = CompiledSpecOracle(2, 1, SS)
+    assert not fresh.load_warm(d)
+
+
+def test_warm_cache_ignores_malformed_payloads(tmp_path):
+    d = str(tmp_path)
+    oracle = CompiledSpecOracle(2, 1, SS)
+    key = oracle._cache_key()
+    bad_payloads = [
+        {"states": [0], "rows": []},  # length mismatch
+        {"states": [1], "rows": [[UNQUERIED] * oracle.num_symbols]},
+        {"states": [0], "rows": [[99] * oracle.num_symbols]},  # id range
+        {"states": [0, 0], "rows": [[UNQUERIED] * oracle.num_symbols] * 2},
+        {"states": "nope", "rows": "nope"},
+        [],
+    ]
+    for data in bad_payloads:
+        with open(cache_path(d, key), "wb") as fh:
+            pickle.dump(
+                {"version": ENGINE_VERSION, "key": key, "data": data}, fh
+            )
+        fresh = CompiledSpecOracle(2, 1, SS)
+        assert not fresh.load_warm(d), data
+
+
+def test_warm_cache_missing_dir_is_harmless(tmp_path):
+    oracle = CompiledSpecOracle(2, 1, SS)
+    missing = os.path.join(str(tmp_path), "does", "not", "exist")
+    assert not oracle.load_warm(missing)
+    oracle.step_id(0, 0)
+    assert oracle.save_warm(missing)  # created on demand
+    fresh = CompiledSpecOracle(2, 1, SS)
+    assert fresh.load_warm(missing)

@@ -99,6 +99,23 @@ def test_state_and_node_round_trip(name, factory):
         assert engine.decode_state(engine.encode_state(state)) == state
 
 
+@pytest.mark.parametrize("name,factory", PAPER_TMS, ids=IDS)
+def test_incremental_successor_encoding_matches_full(name, factory):
+    """``_encode_successor`` (changed-digit re-packing) must agree with a
+    full ``encode_state`` on every reachable transition."""
+    tm = factory()
+    engine = compile_tm(tm)
+    for state, _pending in explore_nodes(tm, compiled=False)[:300]:
+        packed = engine.encode_state(state)
+        for t in tm.threads():
+            for cmd in tm.commands():
+                for tr in tm.transitions(state, cmd, t):
+                    incremental = engine._encode_successor(
+                        packed, state, tr.state
+                    )
+                    assert incremental == engine.encode_state(tr.state)
+
+
 # ----------------------------------------------------------------------
 # Exploration differentials
 # ----------------------------------------------------------------------
