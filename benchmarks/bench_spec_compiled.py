@@ -17,6 +17,15 @@ process-wide memo is precisely the optimization under test).  A third
 number, ``disk_warm_s``, times a simulated fresh process: engines
 restored from an on-disk warm cache written by the previous rounds.
 
+Each cell additionally records a ``product_bfs`` time split: the kernel
+product functions timed directly on fully warm engines, isolating the
+pair loop from row computation — the packed-oracle BFS, and (on cells
+whose full spec is materializable) the DFA-sided BFS over the
+Statement-keyed delta vs the int-indexed rows, which must not be slower
+(``--require-dfa-parity``).  The ``--jobs`` differential runs both
+sharding flavours — the sharded product BFS itself and row-only
+sharding — and records their timings next to the serial ones.
+
 Intended CI use::
 
     PYTHONPATH=src python benchmarks/bench_spec_compiled.py \
@@ -33,20 +42,33 @@ import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.automata.kernel import (
+    product_dfa_direct,
+    product_dfa_packed,
+    product_oracle_packed,
+)
 from repro.checking import check_safety
 from repro.core.statements import format_word
 from repro.spec import OP, SS
-from repro.spec.compiled import clear_spec_oracle_cache
-from repro.tm import DSTM, TwoPhaseLockingTM
+from repro.spec.build import cached_det_spec
+from repro.spec.compiled import (
+    cached_spec_dfa,
+    cached_spec_oracle,
+    clear_spec_oracle_cache,
+)
+from repro.tm import DSTM, TwoPhaseLockingTM, compile_tm
 
-#: Cells: name -> (factory, human instance label).  The (2, 3) DSTM cell
-#: is the ROADMAP's "large lazy-spec run" — the one PR 2 left dominated
-#: by the rich spec oracle.
-CELLS: Dict[str, Tuple[Callable, str]] = {
-    "2pl22": (lambda: TwoPhaseLockingTM(2, 2), "2PL (2,2)"),
-    "dstm22": (lambda: DSTM(2, 2), "DSTM (2,2)"),
-    "2pl32": (lambda: TwoPhaseLockingTM(3, 2), "2PL (3,2)"),
-    "dstm23": (lambda: DSTM(2, 3), "DSTM (2,3)"),
+#: Cells: name -> (factory, human instance label, dfa_split).  The
+#: (2, 3) DSTM cell is the ROADMAP's "large lazy-spec run" — the one
+#: PR 2 left dominated by the rich spec oracle.  ``dfa_split`` marks the
+#: cells whose full deterministic spec is cheap enough to materialize
+#: for the DFA-sided product-BFS split (the large lazy-only cells exist
+#: precisely because it is not).
+CELLS: Dict[str, Tuple[Callable, str, bool]] = {
+    "2pl22": (lambda: TwoPhaseLockingTM(2, 2), "2PL (2,2)", True),
+    "dstm22": (lambda: DSTM(2, 2), "DSTM (2,2)", True),
+    "2pl32": (lambda: TwoPhaseLockingTM(3, 2), "2PL (3,2)", False),
+    "dstm23": (lambda: DSTM(2, 3), "DSTM (2,3)", False),
 }
 
 PROPS = {"ss": SS, "op": OP}
@@ -58,6 +80,7 @@ def run_path(
     spec_compiled: bool,
     rounds: int,
     jobs: int = 1,
+    shard_product: bool = True,
     cache_dir: Optional[str] = None,
 ) -> dict:
     """Rounds of one cell on one long-lived TM instance."""
@@ -72,6 +95,7 @@ def run_path(
             lazy_spec=True,
             spec_compiled=spec_compiled,
             jobs=jobs,
+            shard_product=shard_product,
             cache_dir=cache_dir,
         )
 
@@ -94,6 +118,68 @@ def run_path(
         "cold_s": round(times[0], 6),
         "best_s": round(min(times), 6),
     }
+
+
+def product_bfs_split(
+    factory: Callable, prop, rounds: int, dfa_split: bool
+) -> dict:
+    """Pure product-BFS timings on *fully warm* engines.
+
+    ``check_safety`` times above include row computation and engine
+    warm-up; here the kernel product functions are timed directly with
+    every row memoized, isolating the pair-loop itself — the bottleneck
+    the sharded product BFS attacks.  On ``dfa_split`` cells the
+    DFA-sided loop is timed twice: over the Statement-keyed delta
+    (``product_dfa_direct``) and over the int-indexed rows
+    (``product_dfa_packed``) — the int-ized delta must not be slower on
+    any cell.
+    """
+    tm = factory()
+    engine = compile_tm(tm)
+    oracle = cached_spec_oracle(tm.n, tm.k, prop)
+    check_safety(tm, prop, lazy_spec=True)  # warm rows on both sides
+    init = [engine.initial_node_packed()]
+    row_map = engine.safety_rows_map()
+
+    def best(fn) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return round(min(times), 6)
+
+    out = {
+        "oracle_packed_bfs_s": best(
+            lambda: product_oracle_packed(
+                engine.safety_row_ids,
+                init,
+                oracle,
+                node_span=engine.node_span,
+                row_map=row_map,
+            )
+        )
+    }
+    if dfa_split:
+        spec = cached_det_spec(tm.n, tm.k, prop)
+        check_safety(tm, prop, spec_compiled=False)  # warm Statement rows
+        cdfa = cached_spec_dfa(tm.n, tm.k, prop).ensure()
+        out["dfa_statement_bfs_s"] = best(
+            lambda: product_dfa_direct(engine.safety_row, init, spec)
+        )
+        out["dfa_int_bfs_s"] = best(
+            lambda: product_dfa_packed(
+                engine.safety_row_ids,
+                init,
+                cdfa.rows,
+                node_span=engine.node_span,
+                row_map=row_map,
+            )
+        )
+        out["dfa_int_not_slower"] = (
+            out["dfa_int_bfs_s"] <= out["dfa_statement_bfs_s"]
+        )
+    return out
 
 
 def run_disk_warm(factory: Callable, prop) -> dict:
@@ -128,7 +214,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=2,
         metavar="N",
-        help="assert jobs=N results equal serial results (0 disables)",
+        help="assert jobs=N results equal serial results, for both the"
+        " sharded product BFS and row-only sharding (0 disables)",
+    )
+    parser.add_argument(
+        "--require-dfa-parity",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="fail unless the int-ized DFA product BFS is within TOL x"
+        " of the Statement-keyed one on every dfa-split cell (e.g. 1.1)",
     )
     parser.add_argument(
         "--skip-disk-warm",
@@ -153,7 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     cells = []
     failures: List[str] = []
     for name in names:
-        factory, label = CELLS[name]
+        factory, label, dfa_split = CELLS[name]
         for prop_name, prop in PROPS.items():
             pr2 = run_path(factory, prop, False, args.rounds)
             comp = run_path(factory, prop, True, args.rounds)
@@ -182,35 +277,47 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "speedup_cold": round(pr2["cold_s"] / comp["cold_s"], 2),
                 "speedup_best": round(pr2["best_s"] / comp["best_s"], 2),
             }
+            cell["product_bfs"] = product_bfs_split(
+                factory, prop, args.rounds, dfa_split
+            )
             if args.jobs_check:
-                sharded = run_path(
-                    factory, prop, True, 1, jobs=args.jobs_check
-                )
-                for key in (
+                result_keys = (
                     "holds",
                     "tm_states",
                     "spec_states",
                     "product_states",
                     "counterexample",
+                )
+                sharded = run_path(
+                    factory, prop, True, 1, jobs=args.jobs_check
+                )
+                rows_only = run_path(
+                    factory,
+                    prop,
+                    True,
+                    1,
+                    jobs=args.jobs_check,
+                    shard_product=False,
+                )
+                for variant, res in (
+                    ("sharded-product", sharded),
+                    ("row-sharding", rows_only),
                 ):
-                    if sharded[key] != comp[key]:
-                        failures.append(
-                            f"{name}/{prop_name}: jobs="
-                            f"{args.jobs_check} {key} differs from serial"
-                            f" ({sharded[key]!r} vs {comp[key]!r})"
-                        )
+                    for key in result_keys:
+                        if res[key] != comp[key]:
+                            failures.append(
+                                f"{name}/{prop_name}: jobs="
+                                f"{args.jobs_check} {variant} {key}"
+                                f" differs from serial"
+                                f" ({res[key]!r} vs {comp[key]!r})"
+                            )
                 cell["jobs"] = {
                     "n": args.jobs_check,
-                    "cold_s": sharded["cold_s"],
+                    "sharded_product_s": sharded["cold_s"],
+                    "row_sharding_s": rows_only["cold_s"],
                     "identical": all(
-                        sharded[k] == comp[k]
-                        for k in (
-                            "holds",
-                            "tm_states",
-                            "spec_states",
-                            "product_states",
-                            "counterexample",
-                        )
+                        sharded[k] == comp[k] and rows_only[k] == comp[k]
+                        for k in result_keys
                     ),
                 }
             if not args.skip_disk_warm:
@@ -224,6 +331,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{cell['cell']}/{cell['prop']}: best-round speedup"
                     f" {cell['speedup_best']}x <"
                     f" required {args.require_speedup}x"
+                )
+    if args.require_dfa_parity is not None:
+        for cell in cells:
+            split = cell["product_bfs"]
+            if "dfa_int_bfs_s" not in split:
+                continue
+            bound = split["dfa_statement_bfs_s"] * args.require_dfa_parity
+            if split["dfa_int_bfs_s"] > bound:
+                failures.append(
+                    f"{cell['cell']}/{cell['prop']}: int-ized DFA product"
+                    f" {split['dfa_int_bfs_s']}s >"
+                    f" {args.require_dfa_parity}x Statement path"
+                    f" {split['dfa_statement_bfs_s']}s"
                 )
 
     total_pr2 = sum(c["pr2_oracle"]["best_s"] for c in cells)
@@ -251,13 +371,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     for c in cells:
         lbl = f"{c['cell']}/{c['prop']}"
         warm = c.get("disk_warm", {}).get("disk_warm_s")
+        split = c["product_bfs"]
+        extras = [f"product-bfs {split['oracle_packed_bfs_s']:.4f}s"]
+        if "dfa_int_bfs_s" in split:
+            extras.append(
+                f"dfa int {split['dfa_int_bfs_s']:.4f}s vs stmt"
+                f" {split['dfa_statement_bfs_s']:.4f}s"
+            )
+        if "jobs" in c:
+            extras.append(
+                f"jobs{c['jobs']['n']} {c['jobs']['sharded_product_s']:.4f}s"
+            )
         print(
             f"{lbl:{width}s}  pr2 {c['pr2_oracle']['best_s']:8.4f}s"
             f"  compiled {c['compiled_oracle']['best_s']:8.4f}s"
             f"  speedup {c['speedup_best']:6.2f}x"
             f"  (cold {c['speedup_cold']:.2f}x"
             + (f", disk-warm {warm:.4f}s" if warm is not None else "")
-            + ")"
+            + "; " + ", ".join(extras) + ")"
         )
     print(
         f"overall (best rounds): pr2 {total_pr2:.3f}s,"

@@ -188,7 +188,15 @@ class InternedDFA:
     implicit rejecting sink, exactly as in :class:`DFA`.
     """
 
-    __slots__ = ("source", "n", "initial", "delta", "state_of", "index_of")
+    __slots__ = (
+        "source",
+        "n",
+        "initial",
+        "delta",
+        "state_of",
+        "index_of",
+        "_delta_ids",
+    )
 
     def __init__(self, dfa: DFA) -> None:
         self.source = dfa
@@ -231,6 +239,38 @@ class InternedDFA:
         self.index_of = index
         self.initial = 0
         self.delta: Tuple[Dict[Symbol, int], ...] = tuple(rows)
+        self._delta_ids: Dict[Tuple[Symbol, ...], Tuple[Tuple[int, ...], ...]] = {}
+
+    def delta_by_symbol_ids(
+        self, symbols: Tuple[Symbol, ...]
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """The delta re-indexed by integer symbol id (memoized).
+
+        ``delta_by_symbol_ids(symbols)[i][sym_id]`` is the successor of
+        state ``i`` on ``symbols[sym_id]``, or ``-1`` for the implicit
+        rejecting sink — the representation the all-int product kernels
+        (:func:`repro.automata.kernel.product_dfa_packed`) index with no
+        symbol hashing on the hot path.  Symbols of the DFA that are
+        missing from ``symbols`` would be unreachable through an id-only
+        checker, so they are rejected loudly rather than dropped.
+        """
+        cached = self._delta_ids.get(symbols)
+        if cached is None:
+            sym_id = {s: i for i, s in enumerate(symbols)}
+            num = len(symbols)
+            table = []
+            for row in self.delta:
+                ids = [-1] * num
+                for symbol, succ in row.items():
+                    idx = sym_id.get(symbol)
+                    if idx is None:
+                        raise ValueError(
+                            f"DFA symbol {symbol!r} is not in the id table"
+                        )
+                    ids[idx] = succ
+                table.append(tuple(ids))
+            cached = self._delta_ids[symbols] = tuple(table)
+        return cached
 
 
 def intern_nfa(nfa: NFA) -> InternedNFA:

@@ -29,6 +29,14 @@ the same BFS over *pre-encoded* left states: the compiled TM engine
 already symbol-grouped and ordered, so pairs encode without any per-run
 re-interning while BFS order (and hence verdicts and counterexamples)
 stays byte-identical to the naive streamed path.
+
+The all-int endgame is :func:`product_oracle_packed` and its DFA-sided
+twin :func:`product_dfa_packed`: integer statement ids on both sides,
+single-machine-word pair keys, untraced traversal with a traced rerun on
+violation — and, given a :class:`PairSharder`, the product BFS *itself*
+runs level-synchronized across a process pool, hash-partitioned by
+``pair % jobs``, with a determinism argument (:func:`_sharded_pair_bfs`)
+that keeps every observable output byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Tuple,
 )
 
@@ -276,6 +285,95 @@ def _discover_row(
 PrefetchFn = Callable[[List[int]], None]
 
 
+class PairSharder:
+    """Backend protocol of the *sharded product BFS* (duck-typed).
+
+    Where :data:`PrefetchFn` only batch-computes left rows, a pair
+    sharder executes whole product levels on a worker pool: the parent
+    partitions each pair frontier by ``pair % jobs``, workers expand
+    their shard (left row + right step, both against worker-local
+    engines rebuilt from the algorithm seed) and return the successor
+    pairs, and the parent merges them into the seen-set between level
+    barriers.  Pairs cross process boundaries in a *stable* encoding
+    ``right_key << span_bits | stable_node`` — the right component is
+    the canonical packed spec state (process-independent by
+    construction), the left the codec-bits node encoding of
+    :meth:`repro.tm.compiled.CompiledTM.stable_of_node`.
+
+    The concrete implementation lives in :mod:`repro.tm.compiled`
+    (``Sharder.pair_sharder``); the kernel only needs:
+
+    * ``jobs`` — the shard count;
+    * ``stable_pairs(packed_nodes)`` — initial pairs (right key 0) in
+      stable encoding, in input order;
+    * ``expand_pairs(shards)`` — one ``(violated, successor_pairs)``
+      result per shard, aligned with the input order.
+    """
+
+    jobs: int
+
+    def stable_pairs(self, packed_nodes: List[int]) -> List[int]:
+        raise NotImplementedError
+
+    def expand_pairs(
+        self, shards: List[List[int]]
+    ) -> List[Tuple[bool, List[int]]]:
+        raise NotImplementedError
+
+
+def _sharded_pair_bfs(
+    sharder: PairSharder, init_stable: List[int], span_bits: int
+):
+    """Level-synchronized, hash-partitioned product BFS over stable pairs.
+
+    Returns ``(violated, pairs, states_seen, spec_states_seen)``.  The
+    determinism argument: a BFS level is a pure function of the previous
+    level and the seen-set (``level_{i+1} = succ(level_i) \\ seen``), so
+    the level *sets* — and with them the final seen-set — are invariant
+    under how a level is partitioned across shards and in which order a
+    shard's successors are merged back.  Every count reported by the
+    holding case is a function of the seen-set alone:
+
+    * ``pairs`` is its size;
+    * ``states_seen`` is the number of distinct left components — in the
+      holding case every successor of every expanded row becomes a pair,
+      so this equals the serial ``discovered`` set (initial states plus
+      all row successors of expanded states);
+    * ``spec_states_seen`` is the number of distinct right components,
+      exactly the serial parent-map recovery.
+
+    Violations carry no counts: the caller reruns the serial *traced*
+    twin, which is byte-identical to the serial path by construction
+    (it *is* the serial path).  ``max_states`` guards are likewise left
+    to the serial path — callers must not hand a sharder over when a
+    bound is set, so the guard's message stays byte-identical.
+    """
+    jobs = sharder.jobs
+    frontier = list(dict.fromkeys(init_stable))
+    seen = set(frontier)
+    add = seen.add
+    while frontier:
+        shards: List[List[int]] = [[] for _ in range(jobs)]
+        for p in frontier:
+            shards[p % jobs].append(p)
+        nxt: List[int] = []
+        push = nxt.append
+        # Shard results are merged in shard-index order: deterministic,
+        # and — per the argument above — any order yields the same sets.
+        for violated, succs in sharder.expand_pairs(shards):
+            if violated:
+                return True, 0, 0, 0
+            for s in succs:
+                if s not in seen:
+                    add(s)
+                    push(s)
+        frontier = nxt
+    span_mask = (1 << span_bits) - 1
+    states_seen = len({p & span_mask for p in seen})
+    spec_seen = len({p >> span_bits for p in seen})
+    return False, len(seen), states_seen, spec_seen
+
+
 def _discover_row_ids(
     row: Tuple,
     discovered: set,
@@ -483,6 +581,7 @@ def product_oracle_packed(
     row_map: Optional[Dict[int, Tuple]] = None,
     max_states: Optional[int] = None,
     prefetch: Optional[PrefetchFn] = None,
+    pair_sharder: Optional[PairSharder] = None,
 ):
     """:func:`product_oracle_direct` with *integer statement ids* on both
     sides: an all-int hot path.
@@ -513,12 +612,36 @@ def product_oracle_packed(
     :func:`product_dfa_direct`, and the BFS body intentionally parallels
     the other product functions (see the NOTE in
     :func:`product_dfa_direct`).
+
+    With a ``pair_sharder`` (and no ``max_states`` bound — bounded runs
+    stay serial so the guard's raise point is byte-identical), the BFS
+    itself runs sharded across the pool (see :func:`_sharded_pair_bfs`);
+    a violating sharded run falls back to the serial traced twin, so
+    verdicts, counterexamples and every count are byte-identical to a
+    serial run.
     """
     init = list(dict.fromkeys(initial))
     if max_states is not None and len(init) > max_states:
         raise RuntimeError(
             f"state-space exploration exceeded {max_states}"
             f" states (at {max_states + 1})"
+        )
+    if pair_sharder is not None and max_states is None:
+        assert oracle.initial_id == 0
+        assert node_span & (node_span - 1) == 0, "node_span must be 2**b"
+        bits = node_span.bit_length() - 1
+        violated, pairs, states_seen, spec_seen = _sharded_pair_bfs(
+            pair_sharder, pair_sharder.stable_pairs(init), bits
+        )
+        if not violated:
+            return True, None, pairs, states_seen, spec_seen
+        return _product_oracle_packed_traced(
+            row_fn,
+            init,
+            oracle,
+            node_span=node_span,
+            row_map=row_map,
+            max_states=max_states,
         )
     discovered = set(init)
     expanded = set()
@@ -652,6 +775,175 @@ def _product_oracle_packed_traced(
                         len(discovered),
                         spec_seen,
                     )
+                base = dsucc << span_bits
+                label = symbol
+            for succ in (succs,) if type(succs) is int else succs:
+                nxt = base + succ
+                if nxt not in parent:
+                    parent[nxt] = (pair, label)
+                    push(nxt)
+    raise AssertionError(
+        "traced rerun found no violation after the untraced pass did"
+    )
+
+
+def product_dfa_packed(
+    row_fn: RowFn,
+    initial: Iterable[int],
+    spec_rows: Sequence[Sequence[int]],
+    *,
+    node_span: int,
+    row_map: Optional[Dict[int, Tuple]] = None,
+    max_states: Optional[int] = None,
+    prefetch: Optional[PrefetchFn] = None,
+    pair_sharder: Optional[PairSharder] = None,
+):
+    """:func:`product_dfa_direct` with *integer statement ids* on both
+    sides — the DFA-sided twin of :func:`product_oracle_packed`.
+
+    ``row_fn`` serves all-int safety rows (``CompiledTM.safety_row_ids``,
+    negative ids for ε) and ``spec_rows`` is the specification's complete
+    int-indexed delta: ``spec_rows[dfa_state][sym_id]`` is the successor
+    state index or ``-1`` for the implicit rejecting sink, with state 0
+    initial (see :class:`repro.spec.compiled.CompiledSpecDFA`).  No
+    Statement is hashed anywhere on the hot path.  Pairs encode as
+    ``dfa_state << span_bits | packed_node``; the traversal is untraced
+    with a traced rerun on violation, exactly as in
+    :func:`product_oracle_packed` (whose ``initial`` semantics, sharding
+    behaviour and byte-identity NOTE all apply).  CAUTION: a
+    ``pair_sharder``'s workers re-derive the specification from its
+    ``(n, k, prop)`` identity, so the sharded path is only sound when
+    ``spec_rows`` is the *canonical* table for that identity — the
+    contract ``check_safety`` enforces by keeping caller-provided specs
+    on the unsharded Statement path; never pass a sharder together with
+    hand-built rows.
+
+    Returns ``(holds, counterexample_sym_ids, discovered_pairs,
+    states_seen)`` — the DFA side is fully materialized, so no
+    spec-states count is reported (callers know ``len(spec_rows)``).
+    """
+    init = list(dict.fromkeys(initial))
+    if max_states is not None and len(init) > max_states:
+        raise RuntimeError(
+            f"state-space exploration exceeded {max_states}"
+            f" states (at {max_states + 1})"
+        )
+    assert node_span & (node_span - 1) == 0, "node_span must be 2**b"
+    span_bits = node_span.bit_length() - 1
+    if pair_sharder is not None and max_states is None:
+        violated, pairs, states_seen, _spec_seen = _sharded_pair_bfs(
+            pair_sharder, pair_sharder.stable_pairs(init), span_bits
+        )
+        if not violated:
+            return True, None, pairs, states_seen
+        return _product_dfa_packed_traced(
+            row_fn,
+            init,
+            spec_rows,
+            node_span=node_span,
+            row_map=row_map,
+            max_states=max_states,
+        )
+    discovered = set(init)
+    expanded = set()
+    rows_get = (row_map or {}).get
+    span_mask = node_span - 1
+
+    seen = set(init)
+    order = list(init)
+    add = seen.add
+    append = order.append
+    i = 0
+    if prefetch is not None:
+        prefetch([p & span_mask for p in order])
+        boundary = len(order)
+    else:
+        boundary = -1
+    while i < len(order):
+        if i == boundary:  # see the level note in product_dfa_direct
+            prefetch([p & span_mask for p in order[i:]])
+            boundary = len(order)
+        pair = order[i]
+        i += 1
+        nq = pair & span_mask
+        dq = pair >> span_bits
+        row = rows_get(nq)
+        if row is None:
+            row = row_fn(nq)
+        if nq not in expanded:
+            expanded.add(nq)
+            _discover_row_ids(row, discovered, max_states)
+        brow = spec_rows[dq]
+        for symbol, succs in row:
+            if symbol < 0:  # ε: advance the TM component only
+                base = pair - nq
+            else:
+                dsucc = brow[symbol]
+                if dsucc < 0:  # sink: rerun traced for the word
+                    return _product_dfa_packed_traced(
+                        row_fn,
+                        init,
+                        spec_rows,
+                        node_span=node_span,
+                        row_map=row_map,
+                        max_states=max_states,
+                    )
+                base = dsucc << span_bits
+            if type(succs) is int:  # singleton group (the common case)
+                nxt = base + succs
+                if nxt not in seen:
+                    add(nxt)
+                    append(nxt)
+            else:
+                for s in succs:
+                    nxt = base + s
+                    if nxt not in seen:
+                        add(nxt)
+                        append(nxt)
+    return True, None, len(seen), len(discovered)
+
+
+def _product_dfa_packed_traced(
+    row_fn: RowFn,
+    init: List[int],
+    spec_rows: Sequence[Sequence[int]],
+    *,
+    node_span: int,
+    row_map: Optional[Dict[int, Tuple]],
+    max_states: Optional[int],
+):
+    """The parent-map twin of :func:`product_dfa_packed` (see
+    :func:`_product_oracle_packed_traced`)."""
+    discovered = set(init)
+    expanded = set()
+    rows_get = (row_map or {}).get
+    span_bits = node_span.bit_length() - 1
+    span_mask = node_span - 1
+
+    parent: ParentMap = {pair: None for pair in init}
+    queue = deque(init)
+    pop = queue.popleft
+    push = queue.append
+    while queue:
+        pair = pop()
+        nq = pair & span_mask
+        dq = pair >> span_bits
+        row = rows_get(nq)
+        if row is None:
+            row = row_fn(nq)
+        if nq not in expanded:
+            expanded.add(nq)
+            _discover_row_ids(row, discovered, max_states)
+        brow = spec_rows[dq]
+        for symbol, succs in row:
+            if symbol < 0:  # ε: advance the TM component only
+                base = pair - nq
+                label = None
+            else:
+                dsucc = brow[symbol]
+                if dsucc < 0:  # sink
+                    word = reconstruct(parent, pair) + (symbol,)
+                    return False, word, len(parent), len(discovered)
                 base = dsucc << span_bits
                 label = symbol
             for succ in (succs,) if type(succs) is int else succs:

@@ -33,7 +33,10 @@ from typing import Hashable, Optional
 
 #: Bump whenever a packed encoding or persisted row format changes —
 #: caches written by other versions are ignored, never migrated.
-ENGINE_VERSION = 1
+#: Version 2: TM-engine payloads gained ``ext_table``/``node_rows`` (the
+#: liveness rows, Ext/Resp in stable int encoding) and the int-rows spec
+#: DFA (``spec-dfa`` keys) joined the cache.
+ENGINE_VERSION = 2
 
 
 def default_cache_dir() -> str:

@@ -37,13 +37,14 @@ from ..automata.kernel import (
     lazy_product_dfa,
     lazy_product_oracle,
     product_dfa_direct,
+    product_dfa_packed,
     product_oracle_direct,
     product_oracle_packed,
 )
 from ..core.properties import is_opaque, is_strictly_serializable
 from ..core.statements import Statement
 from ..spec.build import cached_det_spec
-from ..spec.compiled import cached_spec_oracle
+from ..spec.compiled import cached_spec_dfa, cached_spec_oracle
 from ..spec.common import OP, SS, SafetyProperty
 from ..spec.det import det_step, initial_state as det_initial_state
 from ..tm.algorithm import TMAlgorithm
@@ -71,13 +72,19 @@ def _reference_check(word: Tuple[Statement, ...], prop: SafetyProperty) -> bool:
 def _warm_sharded(engine, oracle, cache_dir: Optional[str], jobs: int):
     """Shared scaffolding of the compiled branches: warm-load the
     engine(s) from ``cache_dir``, open the sharding pool, yield the
-    safety-row prefetch hook (``None`` when serial), spill on exit."""
+    :class:`~repro.tm.compiled.Sharder` (``None`` when serial), spill on
+    exit.  ``oracle`` is any second engine with the ``load_warm``/
+    ``save_warm`` contract (the compiled spec oracle or the int-rows
+    spec DFA), or ``None``.  The cache dir is handed to the pool too so
+    workers warm-start their own engines; note a product-sharded run
+    computes its rows *in* the workers, whose tables die with the pool —
+    it reads the row cache but never populates it."""
     if cache_dir is not None:
         engine.load_warm(cache_dir)
         if oracle is not None:
             oracle.load_warm(cache_dir)
-    with engine.sharded(jobs) as shard:
-        yield None if shard is None else shard.prefetch_safety
+    with engine.sharded(jobs, cache_dir) as shard:
+        yield shard
     if cache_dir is not None:
         engine.save_warm(cache_dir)
         if oracle is not None:
@@ -95,6 +102,7 @@ def check_safety(
     compiled: bool = True,
     spec_compiled: bool = True,
     jobs: int = 1,
+    shard_product: bool = True,
     cache_dir: Optional[str] = None,
     max_states: Optional[int] = None,
 ) -> SafetyResult:
@@ -124,17 +132,40 @@ def check_safety(
     spec states with process-wide memoized rows, queried by integer
     statement id — the product BFS is int-to-int on both sides.
     ``spec_compiled=False`` keeps the rich ``det_step`` oracle (the PR 2
-    engine) as the differential reference for that path.
+    engine) as the differential reference for that path.  On the
+    *materialized-spec* path (``lazy_spec=False``) the same flag selects
+    the **int-rows spec DFA** (:class:`repro.spec.compiled.
+    CompiledSpecDFA`): the canonical specification's delta re-indexed by
+    integer statement id at build time, so the DFA-sided product hashes
+    no Statement either; ``spec_compiled=False`` keeps the
+    Statement-keyed delta as the differential reference.  A caller-
+    provided ``spec`` always takes the Statement path (arbitrary DFAs
+    have no canonical id table).
 
-    ``jobs > 1`` shards the computation of new TM transition rows across
-    a ``multiprocessing`` pool at BFS level boundaries (compiled paths
-    only; see :meth:`repro.tm.compiled.CompiledTM.expand`).  Verdicts,
-    counterexamples and all counts are byte-identical to ``jobs=1``.
+    ``jobs > 1`` shards work across a ``multiprocessing`` pool.  By
+    default (``shard_product=True``) the **product BFS itself** is
+    sharded on the all-int paths: pair frontiers are hash-partitioned by
+    ``pair % jobs``, workers rebuild both engines from the spawn seed
+    and exchange cross-shard successors between level barriers, and the
+    parent merges seen-sets deterministically (see
+    :func:`repro.automata.kernel._sharded_pair_bfs` for the determinism
+    argument).  ``shard_product=False`` — and every configuration the
+    pair sharder cannot serve: ``max_states`` bounds, rich-oracle paths,
+    caller-provided specs, codec-less TMs — falls back to sharding only
+    the computation of new TM transition rows at BFS level boundaries
+    (see :meth:`repro.tm.compiled.CompiledTM.expand`).  Either way
+    verdicts, counterexamples and all counts are byte-identical to
+    ``jobs=1``.
 
     ``cache_dir`` enables the on-disk warm-start cache
     (:mod:`repro.cache`): interned tables and memoized rows of both
     compiled engines are restored before the check and spilled after, so
-    repeated process invocations skip re-compilation entirely.
+    repeated process invocations skip re-compilation entirely.  With
+    ``jobs > 1`` the cache dir also warm-starts the *worker* engines;
+    note that a product-sharded run computes new rows in the workers
+    (whose tables die with the pool), so it reads the row cache but
+    never grows it — populate the cache with a serial or
+    ``shard_product=False`` run first.
 
     ``tm_states`` in the result is the number of TM states explored:
     when the inclusion holds it equals the full reachable state space
@@ -153,7 +184,7 @@ def check_safety(
         if compiled and spec_compiled:
             engine = compile_tm(tm)
             oracle = cached_spec_oracle(tm.n, tm.k, prop)
-            with _warm_sharded(engine, oracle, cache_dir, jobs) as prefetch:
+            with _warm_sharded(engine, oracle, cache_dir, jobs) as shard:
                 holds, ce_ids, discovered, tm_states, spec_states = (
                     product_oracle_packed(
                         engine.safety_row_ids,
@@ -162,7 +193,14 @@ def check_safety(
                         node_span=engine.node_span,
                         row_map=engine.safety_rows_map(),
                         max_states=max_states,
-                        prefetch=prefetch,
+                        prefetch=(
+                            None if shard is None else shard.prefetch_safety
+                        ),
+                        pair_sharder=(
+                            shard.pair_sharder(prop)
+                            if shard is not None and shard_product
+                            else None
+                        ),
                     )
                 )
             counterexample = (
@@ -172,7 +210,7 @@ def check_safety(
             )
         elif compiled:
             engine = compile_tm(tm)
-            with _warm_sharded(engine, None, cache_dir, jobs) as prefetch:
+            with _warm_sharded(engine, None, cache_dir, jobs) as shard:
                 holds, counterexample, discovered, tm_states, spec_states = (
                     product_oracle_direct(
                         engine.safety_row,
@@ -180,7 +218,9 @@ def check_safety(
                         det_initial_state(tm.n),
                         lambda state, stmt: det_step(state, stmt, prop),
                         max_states=max_states,
-                        prefetch=prefetch,
+                        prefetch=(
+                            None if shard is None else shard.prefetch_safety
+                        ),
                     )
                 )
         else:
@@ -199,23 +239,63 @@ def check_safety(
             product_states=discovered,
         )
     else:
-        if spec is None:
-            spec = cached_det_spec(tm.n, tm.k, prop)
-        spec_states = spec.num_states
+        canonical_spec = spec is None
+        if not (canonical_spec and compiled and spec_compiled
+                and not materialize):
+            if spec is None:
+                spec = cached_det_spec(tm.n, tm.k, prop)
+            spec_states = spec.num_states
         if materialize:
             nfa = build_safety_nfa(tm, max_states=max_states)
             result = check_inclusion_in_dfa(nfa, spec)
             tm_states = nfa.num_states
+        elif compiled and spec_compiled and canonical_spec:
+            # The all-int DFA-sided product: int-rows spec delta, int
+            # statement ids, packed pairs — and, warm-started, no rich
+            # DFA is ever materialized.
+            engine = compile_tm(tm)
+            cdfa = cached_spec_dfa(tm.n, tm.k, prop)
+            with _warm_sharded(engine, cdfa, cache_dir, jobs) as shard:
+                cdfa.ensure()
+                holds, ce_ids, discovered, tm_states = product_dfa_packed(
+                    engine.safety_row_ids,
+                    [engine.initial_node_packed()],
+                    cdfa.rows,
+                    node_span=engine.node_span,
+                    row_map=engine.safety_rows_map(),
+                    max_states=max_states,
+                    prefetch=(
+                        None if shard is None else shard.prefetch_safety
+                    ),
+                    pair_sharder=(
+                        shard.pair_sharder(prop)
+                        if shard is not None and shard_product
+                        else None
+                    ),
+                )
+            spec_states = cdfa.num_states
+            counterexample = (
+                None
+                if ce_ids is None
+                else tuple(cdfa.symbols[s] for s in ce_ids)
+            )
+            result = InclusionResult(
+                holds=holds,
+                counterexample=counterexample,
+                product_states=discovered,
+            )
         elif compiled:
             engine = compile_tm(tm)
-            with _warm_sharded(engine, None, cache_dir, jobs) as prefetch:
+            with _warm_sharded(engine, None, cache_dir, jobs) as shard:
                 holds, counterexample, discovered, tm_states = (
                     product_dfa_direct(
                         engine.safety_row,
                         [engine.initial_node_packed()],
                         spec,
                         max_states=max_states,
-                        prefetch=prefetch,
+                        prefetch=(
+                            None if shard is None else shard.prefetch_safety
+                        ),
                     )
                 )
             result = InclusionResult(

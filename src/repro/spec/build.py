@@ -11,11 +11,13 @@ reports but that anyone re-implementing the specifications will want.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..automata.determinize import determinize
 from ..automata.dfa import DFA
+from ..automata.interned import intern_dfa
 from ..automata.nfa import NFA
+from ..core.statements import statements as all_statements
 from .common import SafetyProperty
 from .det import build_det_spec
 from .nondet import build_nondet_spec
@@ -64,6 +66,30 @@ def cached_nondet_spec(n: int, k: int, prop: SafetyProperty) -> NFA:
     """Memoized :func:`~repro.spec.nondet.build_nondet_spec` (shared
     instance)."""
     return build_nondet_spec(n, k, prop)
+
+
+def interned_spec_rows(
+    n: int, k: int, prop: SafetyProperty, *, spec: Optional[DFA] = None
+) -> Tuple[Tuple[int, ...], ...]:
+    """The deterministic specification's delta as int-indexed rows.
+
+    Interns the spec DFA's :class:`~repro.core.statements.Statement`
+    symbols into their canonical integer ids (the index into
+    ``statements(n, k, include_abort=True)`` — the id space shared by the
+    compiled TM engine and the compiled spec oracle) at build time, so
+    product checkers over the result never hash a Statement:
+    ``rows[state][sym_id]`` is the successor state index or ``-1`` for
+    the rejecting sink, with state 0 initial.  ``spec`` defaults to the
+    memoized canonical specification; the interned form is cached on the
+    DFA instance either way.
+    """
+    if spec is None:
+        spec = cached_det_spec(n, k, prop)
+    interned = intern_dfa(spec)
+    assert interned.initial == 0
+    return interned.delta_by_symbol_ids(
+        all_statements(n, k, include_abort=True)
+    )
 
 
 def clear_spec_cache() -> None:

@@ -354,17 +354,22 @@ class CompiledSpecOracle:
     def fill(self, state_id: int, sym: int) -> int:
         """Evaluate and memoize one ``(state, statement)`` query."""
         target = self.step_packed(self.states[state_id], sym)
-        if target is None:
-            succ = SINK
-        else:
-            succ = self._ids.get(target)
-            if succ is None:
-                succ = self._ids[target] = len(self.states)
-                self.states.append(target)
-                self.rows.append([UNQUERIED] * self.num_symbols)
+        succ = SINK if target is None else self.intern_packed(target)
         self.rows[state_id][sym] = succ
         self._dirty = True
         return succ
+
+    def intern_packed(self, packed: int) -> int:
+        """The dense id of a packed state handed in from outside — e.g.
+        a product pair shipped to a worker process by the sharded product
+        BFS, whose stable spec component *is* the packed state."""
+        sid = self._ids.get(packed)
+        if sid is None:
+            sid = self._ids[packed] = len(self.states)
+            self.states.append(packed)
+            self.rows.append([UNQUERIED] * self.num_symbols)
+            self._dirty = True
+        return sid
 
     def stats(self) -> dict:
         """Sizes of the intern/memo tables (for benchmarks and tests)."""
@@ -448,3 +453,104 @@ def cached_spec_oracle(
 def clear_spec_oracle_cache() -> None:
     """Drop all shared oracles (frees their interned tables)."""
     cached_spec_oracle.cache_clear()
+
+
+class CompiledSpecDFA:
+    """The *materialized* deterministic spec, compiled to int rows.
+
+    The DFA-sided safety product (``check_safety(lazy_spec=False)``)
+    used to hash a rich :class:`~repro.core.statements.Statement` per
+    transition against the spec DFA's delta dicts.  This class holds the
+    same automaton as a complete int-indexed table —
+    ``rows[state][sym_id]`` is the successor index or :data:`SINK`,
+    state 0 initial, symbol ids the canonical statement ids shared with
+    the compiled TM engine — which is exactly what
+    :func:`repro.automata.kernel.product_dfa_packed` consumes.
+
+    The table is built on demand (:meth:`ensure`) from the memoized
+    canonical specification via
+    :func:`repro.spec.build.interned_spec_rows`; because it is pure
+    ints, it also spills to the on-disk warm cache, and a warm-started
+    process runs the DFA-sided check without ever materializing the rich
+    DFA.  All observable product outputs are invariant under the state
+    indexing (any bijection yields the same verdicts, counterexamples
+    and counts), so disk-restored tables are interchangeable with
+    freshly interned ones.  Construct via :func:`cached_spec_dfa`.
+    """
+
+    def __init__(self, n: int, k: int, prop: SafetyProperty) -> None:
+        self.n = n
+        self.k = k
+        self.prop = prop
+        self.symbols = statement_table(n, k)
+        self.num_symbols = len(self.symbols)
+        self.rows: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._dirty = False
+
+    @property
+    def num_states(self) -> int:
+        assert self.rows is not None, "ensure() the table first"
+        return len(self.rows)
+
+    def ensure(self) -> "CompiledSpecDFA":
+        """Build the table unless already built (or warm-loaded via
+        :meth:`load_warm`); idempotent."""
+        if self.rows is not None:
+            return self
+        from .build import interned_spec_rows
+
+        self.rows = interned_spec_rows(self.n, self.k, self.prop)
+        self._dirty = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Warm-start persistence
+    # ------------------------------------------------------------------
+
+    def _cache_key(self) -> tuple:
+        return ("spec-dfa", self.n, self.k, self.prop.value)
+
+    def load_warm(self, cache_dir: str) -> bool:
+        """Restore the int table from ``cache_dir`` (fresh tables only;
+        malformed payloads rejected wholesale)."""
+        if self.rows is not None or self._dirty:
+            return False
+        data = load_payload(cache_dir, self._cache_key())
+        if not isinstance(data, dict):
+            return False
+        rows = data.get("rows")
+        if not isinstance(rows, list) or not rows:
+            return False
+        nstates = len(rows)
+        for row in rows:
+            if not isinstance(row, tuple) or len(row) != self.num_symbols:
+                return False
+            for cell in row:
+                if not isinstance(cell, int) or not (SINK <= cell < nstates):
+                    return False
+        self.rows = tuple(rows)
+        self._dirty = False
+        return True
+
+    def save_warm(self, cache_dir: str) -> bool:
+        """Spill the table to ``cache_dir`` (no-op unless dirty)."""
+        if not self._dirty or self.rows is None:
+            return False
+        ok = save_payload(
+            cache_dir, self._cache_key(), {"rows": list(self.rows)}
+        )
+        if ok:
+            self._dirty = False
+        return ok
+
+
+@lru_cache(maxsize=None)
+def cached_spec_dfa(n: int, k: int, prop: SafetyProperty) -> CompiledSpecDFA:
+    """The process-wide shared int-rows spec DFA for ``(n, k, prop)``
+    (built lazily — call :meth:`CompiledSpecDFA.ensure` before use)."""
+    return CompiledSpecDFA(n, k, prop)
+
+
+def clear_spec_dfa_cache() -> None:
+    """Drop all shared int-rows spec DFAs."""
+    cached_spec_dfa.cache_clear()

@@ -56,6 +56,10 @@ from ..cache import load_payload, save_payload
 from ..core.statements import Command, Kind, Statement
 from .algorithm import ABORT_EXT, Ext, Resp, TMAlgorithm, TMState, Transition
 
+#: Stable integer codes for :class:`Resp` in persisted node rows.
+_RESP_OF_CODE = (Resp.BOT, Resp.ABORT, Resp.DONE)
+_RESP_CODE = {resp: code for code, resp in enumerate(_RESP_OF_CODE)}
+
 
 # ----------------------------------------------------------------------
 # View codecs: per-thread views <-> fixed-width packed ints
@@ -238,6 +242,13 @@ class CompiledTM:
             for ti in range(tm.n)
             for stmt in (self._done_stmt[ti] + (self._abort_stmt[ti],))
         )
+
+    @property
+    def symbols(self) -> Tuple[Statement, ...]:
+        """The canonical statement-id table: ``symbols[sym_id]`` is the
+        Statement with that id (the id space of :meth:`safety_row_ids`,
+        shared with the compiled spec layer)."""
+        return self._symbols
 
     # ------------------------------------------------------------------
     # State packing
@@ -462,6 +473,7 @@ class CompiledTM:
                         )
             row = tuple(entries)
             self._node_rows[packed_node] = row
+            self._dirty = True
         return row
 
     def expand(
@@ -575,7 +587,7 @@ class CompiledTM:
         self._dirty = True
 
     @contextmanager
-    def sharded(self, jobs: Optional[int]):
+    def sharded(self, jobs: Optional[int], cache_dir: Optional[str] = None):
         """A :class:`Sharder` running ``jobs`` worker processes, or
         ``None`` when sharding is unavailable.
 
@@ -584,6 +596,12 @@ class CompiledTM:
         (fallback-interned states have no process-stable encoding), or
         the algorithm cannot be re-derived from a picklable seed.  The
         pool is torn down on exit.
+
+        ``cache_dir`` lets the *workers* warm-start their own engines
+        from the on-disk cache too (rows computed on the pool would
+        otherwise always start cold).  Worker memo tables die with the
+        pool — a sharded run never *writes* the row cache; populating
+        it is a serial (or row-sharded) run's job.
         """
         if jobs is None or jobs <= 1 or self._codec is None:
             yield None
@@ -595,7 +613,7 @@ class CompiledTM:
         import multiprocessing
 
         pool = multiprocessing.get_context().Pool(
-            jobs, initializer=_worker_init, initargs=seed
+            jobs, initializer=_worker_init, initargs=(*seed, cache_dir)
         )
         try:
             yield Sharder(self, pool, jobs)
@@ -766,7 +784,8 @@ class CompiledTM:
         return ("tm-engine", type(self.tm).__name__, self.name, self.n, self.k)
 
     def load_warm(self, cache_dir: str) -> bool:
-        """Restore interned views and safety rows from ``cache_dir``.
+        """Restore interned views, safety rows and node rows from
+        ``cache_dir``.
 
         Only a *fresh* engine is restored (nothing interned yet) — the
         cached dense ids must become this engine's dense ids verbatim.
@@ -781,8 +800,13 @@ class CompiledTM:
             return False
         view_bits = data.get("view_bits")
         safety_rows = data.get("safety_rows")
-        if not isinstance(view_bits, list) or not isinstance(
-            safety_rows, dict
+        ext_table = data.get("ext_table")
+        node_rows = data.get("node_rows")
+        if (
+            not isinstance(view_bits, list)
+            or not isinstance(safety_rows, dict)
+            or not isinstance(ext_table, list)
+            or not isinstance(node_rows, dict)
         ):
             return False
         codec = self._codec
@@ -828,6 +852,42 @@ class CompiledTM:
                         valid_node(s) for s in succs
                     ):
                         return False
+            # Node rows (the liveness/explorer view) persist Ext/Resp in
+            # a stable int encoding: ext_table indices and Resp codes.
+            exts: List[Ext] = []
+            for entry in ext_table:
+                if not isinstance(entry, tuple) or len(entry) != 2:
+                    return False
+                ename, evar = entry
+                if not isinstance(ename, str) or not (
+                    evar is None or isinstance(evar, int)
+                ):
+                    return False
+                exts.append(Ext(ename, evar))
+            nexts = len(exts)
+            decoded_rows: Dict[int, Tuple[NodeTransition, ...]] = {}
+            for node, row in node_rows.items():
+                if not valid_node(node) or not isinstance(row, tuple):
+                    return False
+                out = []
+                for entry in row:
+                    if not isinstance(entry, tuple) or len(entry) != 5:
+                        return False
+                    ti, ci, eid, rc, succ = entry
+                    if not (
+                        isinstance(ti, int)
+                        and 0 <= ti < self.n
+                        and isinstance(ci, int)
+                        and 0 <= ci < self._ncmds
+                        and isinstance(eid, int)
+                        and 0 <= eid < nexts
+                        and isinstance(rc, int)
+                        and 0 <= rc < len(_RESP_OF_CODE)
+                        and valid_node(succ)
+                    ):
+                        return False
+                    out.append((ti, ci, exts[eid], _RESP_OF_CODE[rc], succ))
+                decoded_rows[node] = tuple(out)
         except Exception:
             return False
         self._views = views
@@ -835,21 +895,37 @@ class CompiledTM:
         self._view_ids = {view: i for i, view in enumerate(views)}
         self._bits_ids = {bits: i for i, bits in enumerate(view_bits)}
         self._safety_rows_ids = dict(safety_rows)
+        self._node_rows = decoded_rows
         self._dirty = False
         return True
 
     def save_warm(self, cache_dir: str) -> bool:
-        """Spill the intern table and safety rows to ``cache_dir``
-        (no-op unless new rows were computed since the last load/save)."""
+        """Spill the intern table, safety rows and node rows to
+        ``cache_dir`` (no-op unless new rows were computed since the
+        last load/save)."""
         key = self._cache_key()
         if key is None or not self._dirty:
             return False
+        ext_ids: Dict[Ext, int] = {}
+        ext_table: List[Tuple[str, Optional[int]]] = []
+        node_rows: Dict[int, tuple] = {}
+        for node, row in self._node_rows.items():
+            out = []
+            for ti, ci, ext, resp, succ in row:
+                eid = ext_ids.get(ext)
+                if eid is None:
+                    eid = ext_ids[ext] = len(ext_table)
+                    ext_table.append((ext.name, ext.var))
+                out.append((ti, ci, eid, _RESP_CODE[resp], succ))
+            node_rows[node] = tuple(out)
         ok = save_payload(
             cache_dir,
             key,
             {
                 "view_bits": list(self._view_bits),
                 "safety_rows": dict(self._safety_rows_ids),
+                "ext_table": ext_table,
+                "node_rows": node_rows,
             },
         )
         if ok:
@@ -872,11 +948,19 @@ class CompiledTM:
 # byte-identical to serial ones — pinned by tests/tm/test_parallel.py.
 
 _WORKER_ENGINE: Optional[CompiledTM] = None
+_WORKER_CACHE_DIR: Optional[str] = None
+_WORKER_WARMED_PROPS: set = set()
 
 
-def _worker_init(tm_cls: type, args: tuple) -> None:
-    global _WORKER_ENGINE
+def _worker_init(
+    tm_cls: type, args: tuple, cache_dir: Optional[str] = None
+) -> None:
+    global _WORKER_ENGINE, _WORKER_CACHE_DIR
     _WORKER_ENGINE = CompiledTM(tm_cls(*args))
+    _WORKER_CACHE_DIR = cache_dir
+    _WORKER_WARMED_PROPS.clear()
+    if cache_dir is not None:
+        _WORKER_ENGINE.load_warm(cache_dir)
 
 
 def _worker_expand(task: Tuple[str, List[int]]) -> List[Tuple[int, tuple]]:
@@ -885,6 +969,62 @@ def _worker_expand(task: Tuple[str, List[int]]) -> List[Tuple[int, tuple]]:
     assert engine is not None, "worker pool used before initialization"
     expand_stable = engine.expand_stable
     return [expand_stable(mode, sn) for sn in stable_nodes]
+
+
+def _worker_expand_pairs(task) -> Tuple[bool, List[int]]:
+    """One shard of a sharded-product level: expand every stable pair.
+
+    A pair is ``spec_packed << span_bits | stable_node``; the worker
+    resolves both components against its own engines (the TM engine from
+    the pool seed, the spec oracle from ``cached_spec_oracle`` — both
+    memoizing, both persistent across levels) and returns the successor
+    pairs, deduplicated, back in stable encoding.  A SINK transition
+    aborts the shard immediately: the parent reruns the serial traced
+    path, so nothing beyond the violation flag matters.
+    """
+    prop, span_bits, stable_pairs = task
+    engine = _WORKER_ENGINE
+    assert engine is not None, "worker pool used before initialization"
+    from ..spec.compiled import SINK, UNQUERIED, cached_spec_oracle
+
+    oracle = cached_spec_oracle(engine.n, engine.k, prop)
+    if _WORKER_CACHE_DIR is not None and prop not in _WORKER_WARMED_PROPS:
+        _WORKER_WARMED_PROPS.add(prop)  # one load attempt per pool life
+        oracle.load_warm(_WORKER_CACHE_DIR)
+    mask = (1 << span_bits) - 1
+    node_of_stable = engine.node_of_stable
+    stable_of_node = engine.stable_of_node
+    row_of = engine.safety_row_ids
+    orows = oracle.rows
+    states = oracle.states
+    ids_get = oracle._ids.get
+    intern = oracle.intern_packed
+    fill = oracle.fill
+    out: Dict[int, None] = {}  # dedup, insertion-ordered
+    for sp in stable_pairs:
+        stable_node = sp & mask
+        spec_packed = sp >> span_bits
+        row = row_of(node_of_stable(stable_node))
+        sid = ids_get(spec_packed)
+        if sid is None:
+            sid = intern(spec_packed)
+        brow = orows[sid]
+        for sym, succs in row:
+            if sym < 0:  # ε: advance the TM component only
+                base = spec_packed << span_bits
+            else:
+                dsucc = brow[sym]
+                if dsucc == UNQUERIED:
+                    dsucc = fill(sid, sym)
+                if dsucc == SINK:
+                    return True, []
+                base = states[dsucc] << span_bits
+            if type(succs) is int:
+                out[base | stable_of_node(succs)] = None
+            else:
+                for s in succs:
+                    out[base | stable_of_node(s)] = None
+    return False, list(out)
 
 
 def _spawn_seed(tm: TMAlgorithm) -> Optional[Tuple[type, tuple]]:
@@ -915,17 +1055,50 @@ class Sharder:
     then pure memo hits.  Prefetching is an optimization only — skipping
     it (or prefetching more nodes than are later visited) never changes
     any observable result.
+
+    Sharding only pays off on *cold* rows: once the memo tables are warm
+    (a repeated check, a disk-warmed engine) a level's rows are mostly
+    hits and the pickle/IPC round-trip is pure overhead.  The prefetcher
+    therefore short-circuits back to the serial path whenever the
+    *previous* level's memo hit rate reached :attr:`hot_hit_rate` —
+    verdict-neutral by the optimization-only contract above (pinned by
+    ``tests/tm/test_parallel.py``).
     """
+
+    #: Previous-level memo hit rate at or above which the pool is
+    #: skipped and rows are computed serially on demand.
+    hot_hit_rate = 0.9
 
     def __init__(self, engine: CompiledTM, pool, jobs: int) -> None:
         self.engine = engine
         self.pool = pool
         self.jobs = jobs
+        self._last_hit_rate: Optional[float] = None
+        #: Levels whose pool dispatch was skipped as row-warm (for
+        #: tests and benchmarks).
+        self.skipped_prefetches = 0
+
+    def pair_sharder(self, prop) -> "PairSharder":
+        """A kernel-facing sharded-product backend over this pool (see
+        :class:`PairSharder`); ``prop`` is the safety property whose
+        spec oracle the workers rebuild."""
+        return PairSharder(self, prop)
 
     def _prefetch(self, mode: str, nodes: List[int], memo: Dict) -> None:
         engine = self.engine
-        todo = [n for n in dict.fromkeys(nodes) if n not in memo]
+        uniq = dict.fromkeys(nodes)
+        todo = [n for n in uniq if n not in memo]
+        hot = (
+            self._last_hit_rate is not None
+            and self._last_hit_rate >= self.hot_hit_rate
+        )
+        self._last_hit_rate = (
+            1.0 if not uniq else 1.0 - len(todo) / len(uniq)
+        )
         if not todo:
+            return
+        if hot:
+            self.skipped_prefetches += 1
             return
         stable = [engine.stable_of_node(n) for n in todo]
         chunk = max(1, -(-len(stable) // self.jobs))
@@ -946,6 +1119,45 @@ class Sharder:
 
     def prefetch_nodes(self, nodes: List[int]) -> None:
         self._prefetch("node", nodes, self.engine._node_rows)
+
+
+class PairSharder:
+    """Sharded *product BFS* backend over one :class:`Sharder`'s pool.
+
+    Implements the kernel's pair-sharder protocol
+    (:class:`repro.automata.kernel.PairSharder`): the kernel partitions
+    each pair frontier by ``pair % jobs`` and calls
+    :meth:`expand_pairs`; each shard becomes one pool task
+    (:func:`_worker_expand_pairs`), in which the worker expands the
+    pairs against its own seed-rebuilt TM engine and spec oracle.  Pairs
+    travel as ``spec_packed << span_bits | stable_node`` — both halves
+    process-independent: the spec component is the canonical packed
+    Algorithm 6 state, the node component the codec-bits stable
+    encoding.  The same backend serves the oracle-sided *and* the
+    DFA-sided packed products: the materialized specification is exactly
+    the reachable ``det_step`` graph, so workers stepping the compiled
+    oracle traverse the identical product (pinned by the conformance
+    matrix tests).
+    """
+
+    def __init__(self, sharder: Sharder, prop) -> None:
+        self.engine = sharder.engine
+        self.pool = sharder.pool
+        self.jobs = sharder.jobs
+        self.prop = prop
+        self.span_bits = sharder.engine.node_span.bit_length() - 1
+
+    def stable_pairs(self, packed_nodes: List[int]) -> List[int]:
+        """Initial pairs in stable encoding: the initial spec state
+        packs to 0, so these are the stable nodes themselves."""
+        stable = self.engine.stable_of_node
+        return [stable(p) for p in packed_nodes]
+
+    def expand_pairs(
+        self, shards: List[List[int]]
+    ) -> List[Tuple[bool, List[int]]]:
+        tasks = [(self.prop, self.span_bits, shard) for shard in shards]
+        return self.pool.map(_worker_expand_pairs, tasks)
 
 
 def compile_tm(tm: TMAlgorithm) -> CompiledTM:

@@ -246,11 +246,21 @@ def build_liveness_graph(
     max_states: Optional[int] = None,
     compiled: bool = True,
     jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> LivenessGraph:
-    """Explore the TM and label every edge with its extended statement."""
+    """Explore the TM and label every edge with its extended statement.
+
+    ``cache_dir`` warm-starts the compiled engine from the on-disk cache
+    (:mod:`repro.cache`) and spills back after the build — node rows
+    persist in a stable int encoding, so repeated liveness runs across
+    processes recompute nothing.
+    """
     if compiled:
         return _build_liveness_graph_compiled(
-            compile_tm(tm), max_states=max_states, jobs=jobs
+            compile_tm(tm),
+            max_states=max_states,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
     init = initial_node(tm)
     seen: Set[Node] = {init}
@@ -279,19 +289,22 @@ def _build_liveness_graph_compiled(
     *,
     max_states: Optional[int] = None,
     jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> LivenessGraph:
     """Compiled :func:`build_liveness_graph`: BFS over packed nodes,
     decoded once per node for the (identical) output graph.  Sharding
     (``jobs > 1``) computes each BFS level's node rows on the worker
     pool; the traversal below then runs on memo hits, level by level,
     in the identical order."""
+    if cache_dir is not None:
+        engine.load_warm(cache_dir)
     init = engine.initial_node_packed()
     seen: Set[int] = {init}
     order: List[int] = [init]
     edges: List[Tuple[Node, ExtStatement, Node]] = []
     liveness_row = engine.liveness_row
     decode = engine.decode_node
-    with engine.sharded(jobs) as shard:
+    with engine.sharded(jobs, cache_dir) as shard:
         frontier = [init]
         while frontier:
             if shard is not None:
@@ -314,6 +327,8 @@ def _build_liveness_graph_compiled(
                         order.append(succ)
                         nxt.append(succ)
             frontier = nxt
+    if cache_dir is not None:
+        engine.save_warm(cache_dir)
     return LivenessGraph(
         initial=decode(init),
         nodes=tuple(decode(p) for p in order),

@@ -161,3 +161,108 @@ class TestLazyProductOracle:
         holds, _, _, _, _ = lazy_product_oracle([0], step, "S", spec_step)
         assert holds
         assert queries == [("S", "a")]
+
+
+class TestProductDfaPacked:
+    """``product_dfa_packed`` (all-int DFA-sided product) against
+    ``product_dfa_direct`` on hand-built row tables.
+
+    The left automaton is given twice over the same packed states: once
+    as symbol-object rows for the direct checker, once as symbol-id rows
+    (bare ints for singleton groups, ``-1`` for ε) for the packed one;
+    the right side once as a DFA over the symbol objects, once as an
+    int-indexed row table.  Everything observable must match, with the
+    packed counterexample decoding to the direct one through the symbol
+    table.
+    """
+
+    SYMBOLS = ("a", "b")
+    NODE_SPAN = 8  # a power of two covering packed left states 0..4
+
+    def _left(self, rows_ids):
+        """Symbol-object rows derived from id rows (1-tuples for the
+        direct checker's successor groups)."""
+        def row_fn(q):
+            return tuple(
+                (
+                    None if sym < 0 else self.SYMBOLS[sym],
+                    (succs,) if type(succs) is int else succs,
+                )
+                for sym, succs in rows_ids.get(q, ())
+            )
+        return row_fn
+
+    def _spec(self, spec_rows):
+        """A DFA equivalent to the int row table."""
+        from repro.automata.dfa import DFA
+
+        delta = {
+            i: {
+                self.SYMBOLS[s]: succ
+                for s, succ in enumerate(row)
+                if succ >= 0
+            }
+            for i, row in enumerate(spec_rows)
+        }
+        return DFA(initial=0, delta=delta)
+
+    def _compare(self, rows_ids, spec_rows, max_states=None):
+        from repro.automata.kernel import product_dfa_direct, product_dfa_packed
+
+        row_ids_fn = lambda q: rows_ids.get(q, ())
+        direct = product_dfa_direct(
+            self._left(rows_ids), [0], self._spec(spec_rows),
+            max_states=max_states,
+        )
+        packed = product_dfa_packed(
+            row_ids_fn, [0], spec_rows,
+            node_span=self.NODE_SPAN, max_states=max_states,
+        )
+        holds, word_ids, pairs, states = packed
+        word = (
+            None
+            if word_ids is None
+            else tuple(self.SYMBOLS[s] for s in word_ids)
+        )
+        assert (holds, word, pairs, states) == direct
+        return packed
+
+    def test_holding_product(self):
+        rows = {
+            0: ((0, 1), (-1, 2)),          # a -> 1, eps -> 2
+            1: ((1, (0, 2)),),             # b -> {0, 2}
+            2: ((0, 2),),                  # a self-loop
+        }
+        spec = ((1, 0), (1, 1))            # total delta: never violates
+        got = self._compare(rows, spec)
+        assert got[0] is True
+
+    def test_violation_and_counterexample(self):
+        rows = {
+            0: ((0, 1),),                  # a -> 1
+            1: ((-1, 2),),                 # eps -> 2
+            2: ((1, 3),),                  # b -> 3 ... but spec rejects b
+        }
+        spec = ((1, -1), (0, -1))          # b always rejects
+        got = self._compare(rows, spec)
+        assert got[0] is False and got[1] == (0, 1)  # word "a b"
+
+    def test_max_states_guard_message_identical(self):
+        import pytest as _pytest
+        from repro.automata.kernel import (
+            product_dfa_direct,
+            product_dfa_packed,
+        )
+
+        rows = {q: ((0, q + 1),) for q in range(5)}
+        spec = ((0, -1),)  # a self-loop on the only spec state
+        with _pytest.raises(RuntimeError) as direct:
+            product_dfa_direct(
+                self._left(rows), [0], self._spec(spec), max_states=3
+            )
+        with _pytest.raises(RuntimeError) as packed:
+            product_dfa_packed(
+                lambda q: rows.get(q, ()), [0], spec,
+                node_span=self.NODE_SPAN, max_states=3,
+            )
+        assert str(direct.value) == str(packed.value)

@@ -1,0 +1,144 @@
+"""Cross-engine conformance matrix: one suite, every engine combination.
+
+The safety pipeline now has four independent engine axes — the compiled
+TM engine, the compiled spec side (packed oracle on the lazy path,
+int-rows DFA on the materialized path), process sharding (row-prefetch
+or the sharded product BFS itself), and the on-disk warm cache.  Every
+cell of this matrix must produce **byte-identical** verdicts,
+counterexamples and reported counts against the naive reference path
+(``compiled=False``), holding and violating instances alike.  This file
+replaces the per-PR ad-hoc differentials with one systematic sweep; new
+engine axes should be added here, not as new one-off tests.
+"""
+
+import pytest
+
+from repro.checking import check_safety
+from repro.spec import OP, SS
+from repro.spec.compiled import (
+    clear_spec_dfa_cache,
+    clear_spec_oracle_cache,
+)
+from repro.tm import DSTM, ModifiedTL2, TwoPhaseLockingTM
+
+#: Algorithm × property cells that fit tier-1 time.  ModifiedTL2 (2, 2)
+#: is the violating instance: its counterexample must survive every
+#: engine combination bit for bit.
+CELLS = [
+    pytest.param(lambda: TwoPhaseLockingTM(2, 1), SS, id="2pl21-ss"),
+    pytest.param(lambda: TwoPhaseLockingTM(2, 1), OP, id="2pl21-op"),
+    pytest.param(lambda: DSTM(2, 2), SS, id="dstm22-ss"),
+    pytest.param(lambda: DSTM(2, 2), OP, id="dstm22-op"),
+    pytest.param(lambda: ModifiedTL2(2, 2), SS, id="modtl2-22-ss"),
+    pytest.param(lambda: ModifiedTL2(2, 2), OP, id="modtl2-22-op"),
+]
+
+
+def _tuple(res):
+    return (
+        res.holds,
+        res.counterexample,
+        res.tm_states,
+        res.spec_states,
+        res.product_states,
+    )
+
+
+def _combos():
+    """Engine combinations: compiled × spec_compiled × jobs ×
+    sharded-product × warm/cold cache, pruned to the cells where an axis
+    exists (the naive path has no spec engine, no pool and no cache; a
+    pair sharder needs ``jobs > 1`` and a compiled spec side)."""
+    for compiled in (True, False):
+        for spec_compiled in (True, False) if compiled else (True,):
+            for jobs in (1, 2) if compiled else (1,):
+                shard_opts = (
+                    (True, False) if jobs > 1 and spec_compiled else (True,)
+                )
+                for shard_product in shard_opts:
+                    for warm in (False, True) if compiled else (False,):
+                        yield {
+                            "compiled": compiled,
+                            "spec_compiled": spec_compiled,
+                            "jobs": jobs,
+                            "shard_product": shard_product,
+                            "warm": warm,
+                        }
+
+
+@pytest.mark.parametrize("lazy_spec", [False, True], ids=["dfa", "oracle"])
+@pytest.mark.parametrize("factory,prop", CELLS)
+def test_every_engine_combination_matches_naive(
+    tmp_path, factory, prop, lazy_spec
+):
+    cache_dir = str(tmp_path)
+    # Populate the warm cache once, then the warm combos restore from it
+    # after the process-wide compiled-spec caches are dropped (the
+    # closest in-process approximation of a fresh warm-started process).
+    check_safety(factory(), prop, lazy_spec=lazy_spec, cache_dir=cache_dir)
+
+    reference = _tuple(
+        check_safety(factory(), prop, lazy_spec=lazy_spec, compiled=False)
+    )
+    for combo in _combos():
+        kwargs = {
+            "lazy_spec": lazy_spec,
+            "compiled": combo["compiled"],
+            "spec_compiled": combo["spec_compiled"],
+            "jobs": combo["jobs"],
+            "shard_product": combo["shard_product"],
+        }
+        if combo["warm"]:
+            clear_spec_oracle_cache()
+            clear_spec_dfa_cache()
+            kwargs["cache_dir"] = cache_dir
+        got = _tuple(check_safety(factory(), prop, **kwargs))
+        assert got == reference, f"combo {combo} diverged"
+    clear_spec_oracle_cache()
+    clear_spec_dfa_cache()
+
+
+@pytest.mark.parametrize(
+    "factory,prop",
+    [
+        pytest.param(lambda: DSTM(2, 2), SS, id="dstm22-ss"),
+        pytest.param(lambda: ModifiedTL2(2, 2), SS, id="modtl2-22-ss"),
+    ],
+)
+def test_lazy_and_materialized_spec_agree(factory, prop):
+    """Across the lazy axis everything but the spec-states count (full
+    automaton vs product-discovered subset) must agree — the product
+    graphs are identical, only the right-hand representation differs."""
+    lazy = check_safety(factory(), prop, lazy_spec=True)
+    mat = check_safety(factory(), prop, lazy_spec=False)
+    assert lazy.holds == mat.holds
+    assert lazy.counterexample == mat.counterexample
+    assert lazy.tm_states == mat.tm_states
+    assert lazy.product_states == mat.product_states
+
+
+def test_violating_cell_actually_violates():
+    """Guard the matrix itself: the violating cell must keep violating,
+    or the counterexample column of the sweep degenerates."""
+    res = check_safety(ModifiedTL2(2, 2), SS)
+    assert not res.holds
+    assert res.counterexample is not None
+
+
+def test_max_states_guard_identical_across_engines():
+    """The guard raise is order-sensitive, so bounded runs stay serial;
+    every engine combination must produce the identical message."""
+    messages = set()
+    for kwargs in (
+        {},
+        {"jobs": 2},
+        {"jobs": 2, "shard_product": False},
+        {"compiled": False},
+        {"spec_compiled": False},
+    ):
+        with pytest.raises(RuntimeError) as exc:
+            check_safety(
+                DSTM(2, 2), SS, lazy_spec=True, max_states=40, **kwargs
+            )
+        messages.add(str(exc.value))
+    assert len(messages) == 1

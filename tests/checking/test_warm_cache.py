@@ -11,10 +11,22 @@ import os
 
 import pytest
 
+from repro.cache import save_payload
 from repro.checking import check_safety
 from repro.spec import OP, SS
-from repro.spec.compiled import clear_spec_oracle_cache
-from repro.tm import DSTM, ManagedTM, ModifiedTL2, PoliteManager, compile_tm
+from repro.spec.compiled import (
+    CompiledSpecDFA,
+    clear_spec_oracle_cache,
+)
+from repro.tm import (
+    DSTM,
+    ManagedTM,
+    ModifiedTL2,
+    PoliteManager,
+    TwoPhaseLockingTM,
+    compile_tm,
+)
+from repro.tm.explore import build_liveness_graph
 
 
 def _result_tuple(res):
@@ -77,6 +89,81 @@ def test_cache_keys_do_not_collide_across_instances(tmp_path):
     assert _result_tuple(small2) == _result_tuple(small)
     assert _result_tuple(big2) == _result_tuple(big)
     clear_spec_oracle_cache()
+
+
+def test_liveness_rows_warm_cache_hit(tmp_path):
+    """Node rows (Ext/Resp in stable int encoding) spill and restore:
+    a warm-loaded engine starts with the previous run's node rows and
+    the rebuilt graph is identical."""
+    d = str(tmp_path)
+    cold = build_liveness_graph(TwoPhaseLockingTM(2, 1), cache_dir=d)
+    assert any(n.startswith("tm-engine") for n in os.listdir(d))
+    fresh = compile_tm(TwoPhaseLockingTM(2, 1))
+    assert fresh.load_warm(d)
+    assert fresh.stats()["node_rows"] > 0  # the cache hit restored them
+    warm = build_liveness_graph(TwoPhaseLockingTM(2, 1), cache_dir=d)
+    assert warm.initial == cold.initial
+    assert warm.nodes == cold.nodes
+    assert warm.edges == cold.edges
+
+
+def test_liveness_rows_warm_cache_miss_degrades_to_cold(tmp_path):
+    """A cache written for another instance misses cleanly: nothing is
+    restored, the build recomputes, results are identical."""
+    d = str(tmp_path)
+    build_liveness_graph(TwoPhaseLockingTM(2, 1), cache_dir=d)
+    fresh = compile_tm(TwoPhaseLockingTM(2, 2))  # other (n, k): a miss
+    assert not fresh.load_warm(d)
+    assert fresh.stats()["node_rows"] == 0
+    cold = build_liveness_graph(TwoPhaseLockingTM(2, 2))
+    warm = build_liveness_graph(TwoPhaseLockingTM(2, 2), cache_dir=d)
+    assert warm.nodes == cold.nodes and warm.edges == cold.edges
+
+
+def test_liveness_rows_corrupt_cache_degrades_to_cold(tmp_path):
+    d = str(tmp_path)
+    cold = build_liveness_graph(TwoPhaseLockingTM(2, 1), cache_dir=d)
+    for name in os.listdir(d):
+        with open(os.path.join(d, name), "wb") as fh:
+            fh.write(b"garbage")
+    rerun = build_liveness_graph(TwoPhaseLockingTM(2, 1), cache_dir=d)
+    assert rerun.nodes == cold.nodes and rerun.edges == cold.edges
+
+
+def test_malformed_node_rows_reject_whole_payload(tmp_path):
+    """A structurally broken node-row table (dangling ext-table index)
+    rejects the payload wholesale — the engine recompiles from scratch
+    rather than trusting half a cache."""
+    d = str(tmp_path)
+    build_liveness_graph(TwoPhaseLockingTM(2, 1), cache_dir=d)
+    donor = compile_tm(TwoPhaseLockingTM(2, 1))
+    assert donor.load_warm(d)
+    node, row = next(iter(donor._node_rows.items()))
+    save_payload(
+        d,
+        donor._cache_key(),
+        {
+            "view_bits": list(donor._view_bits),
+            "safety_rows": dict(donor._safety_rows_ids),
+            "ext_table": [],  # every ext id now dangles
+            "node_rows": {node: ((0, 0, 99, 0, node),)},
+        },
+    )
+    fresh = compile_tm(TwoPhaseLockingTM(2, 1))
+    assert not fresh.load_warm(d)
+    assert fresh.stats()["views"] == 0  # nothing partially applied
+
+
+def test_spec_dfa_rows_warm_round_trip(tmp_path):
+    """The int-rows spec DFA spills and restores; a warm-loaded table is
+    identical to a freshly interned one."""
+    d = str(tmp_path)
+    built = CompiledSpecDFA(2, 1, SS).ensure()
+    rows = built.rows
+    assert built.save_warm(d)
+    loaded = CompiledSpecDFA(2, 1, SS)
+    assert loaded.load_warm(d)
+    assert loaded.rows == rows
 
 
 def test_fallback_interned_tm_skips_cache_silently(tmp_path):

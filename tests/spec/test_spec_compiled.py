@@ -290,3 +290,66 @@ def test_warm_cache_missing_dir_is_harmless(tmp_path):
     assert oracle.save_warm(missing)  # created on demand
     fresh = CompiledSpecOracle(2, 1, SS)
     assert fresh.load_warm(missing)
+
+
+# ----------------------------------------------------------------------
+# The int-rows spec DFA (materialized-path twin of the oracle)
+# ----------------------------------------------------------------------
+
+
+def test_compiled_spec_dfa_matches_rich_dfa():
+    """CompiledSpecDFA's int table is the interned canonical DFA cell
+    for cell: same state count, same successor per (state, statement)."""
+    from repro.automata.interned import intern_dfa
+    from repro.spec.build import cached_det_spec
+    from repro.spec.compiled import CompiledSpecDFA
+
+    cdfa = CompiledSpecDFA(2, 1, SS).ensure()
+    dfa = cached_det_spec(2, 1, SS)
+    interned = intern_dfa(dfa)
+    assert cdfa.num_states == dfa.num_states == interned.n
+    symbols = statement_table(2, 1)
+    for idx in range(interned.n):
+        rich_row = interned.delta[idx]
+        for sym_id, stmt in enumerate(symbols):
+            expected = rich_row.get(stmt, -1)
+            assert cdfa.rows[idx][sym_id] == expected
+
+
+def test_compiled_spec_dfa_rejects_malformed_payloads(tmp_path):
+    from repro.cache import save_payload
+    from repro.spec.compiled import CompiledSpecDFA
+
+    d = str(tmp_path)
+    key = CompiledSpecDFA(2, 1, SS)._cache_key()
+    num_syms = len(statement_table(2, 1))
+    bad_payloads = [
+        "not a dict",
+        {"rows": "not a list"},
+        {"rows": []},  # no states at all
+        {"rows": [tuple([0] * (num_syms - 1))]},  # wrong row width
+        {"rows": [tuple([5] * num_syms)]},  # successor out of range
+        {"rows": [tuple([-2] * num_syms)]},  # below SINK
+    ]
+    for payload in bad_payloads:
+        save_payload(d, key, payload)
+        fresh = CompiledSpecDFA(2, 1, SS)
+        assert not fresh.load_warm(d), payload
+        assert fresh.rows is None
+
+
+def test_compiled_spec_dfa_load_refuses_used_table(tmp_path):
+    from repro.spec.compiled import CompiledSpecDFA
+
+    d = str(tmp_path)
+    built = CompiledSpecDFA(2, 1, SS).ensure()
+    assert built.save_warm(d)
+    assert not built.load_warm(d)  # already holds a table
+
+
+def test_oracle_intern_packed_is_stable():
+    oracle = CompiledSpecOracle(2, 1, SS)
+    sid = oracle.intern_packed(12345)
+    assert oracle.intern_packed(12345) == sid
+    assert oracle.states[sid] == 12345
+    assert oracle.intern_packed(0) == 0  # the initial state keeps id 0

@@ -126,3 +126,58 @@ def test_sharded_yields_none_when_unavailable():
     codec_tm = compile_tm(DSTM(2, 1))
     with codec_tm.sharded(1) as shard:
         assert shard is None  # jobs=1 never pays for a pool
+
+
+# ----------------------------------------------------------------------
+# Row-prefetch short-circuit on warm memo tables
+#
+# (Sharded-product differentials — jobs x shard_product x warm/cold, on
+# holding and violating cells, plus the bounded-run guard — live in the
+# cross-engine sweep, tests/checking/test_conformance_matrix.py.)
+# ----------------------------------------------------------------------
+
+
+def _result_tuple(res):
+    return (
+        res.holds,
+        res.counterexample,
+        res.tm_states,
+        res.spec_states,
+        res.product_states,
+    )
+
+
+def test_prefetch_short_circuits_on_hot_rows():
+    """After a level of pure memo hits the prefetcher skips the pool;
+    after a cold (skipped) level it dispatches again."""
+    engine = compile_tm(DSTM(2, 1))
+    init = engine.initial_node_packed()
+    row = engine.safety_row_ids(init)  # warm exactly one row
+    succs = list(
+        dict.fromkeys(
+            s
+            for _sym, group in row
+            for s in ((group,) if type(group) is int else group)
+            if s != init
+        )
+    )
+    assert succs
+    memo = engine.safety_rows_map()
+    with engine.sharded(2) as shard:
+        shard.prefetch_safety([init])  # all hits: records rate 1.0
+        assert shard.skipped_prefetches == 0
+        shard.prefetch_safety(succs)  # hot: pool skipped, rows stay cold
+        assert shard.skipped_prefetches == 1
+        assert not any(s in memo for s in succs)
+        shard.prefetch_safety(succs)  # previous level was cold: dispatch
+        assert shard.skipped_prefetches == 1
+        assert all(s in memo for s in succs)
+
+
+def test_hot_short_circuit_is_verdict_neutral():
+    """A fully warm engine short-circuits every level — results must
+    still be byte-identical to serial."""
+    tm = DSTM(2, 2)
+    ser = check_safety(tm, SS, lazy_spec=True)  # warms the shared engine
+    par = check_safety(tm, SS, lazy_spec=True, jobs=2, shard_product=False)
+    assert _result_tuple(par) == _result_tuple(ser)
