@@ -19,17 +19,24 @@ restored from an on-disk warm cache written by the previous rounds.
 
 Each cell additionally records a ``product_bfs`` time split: the kernel
 product functions timed directly on fully warm engines, isolating the
-pair loop from row computation — the packed-oracle BFS, and (on cells
-whose full spec is materializable) the DFA-sided BFS over the
+pair loop from row computation — the packed-oracle BFS, the **dense
+kernel's** array-only bitset BFS over the recorded CSR (``dense_bfs_s``
+/ ``dense_speedup``, gated by ``--require-dense-parity``), and (on
+cells whose full spec is materializable) the DFA-sided BFS over the
 Statement-keyed delta vs the int-indexed rows, which must not be slower
 (``--require-dfa-parity``).  The ``--jobs`` differential runs both
 sharding flavours — the sharded product BFS itself and row-only
-sharding — and records their timings next to the serial ones.
+sharding — and records their timings next to the serial ones; a
+``jobs_sweep`` (default 1/2/4, with the chosen ``--chunk-size`` and
+pool reuse) is recorded per cell, flagged as correctness-only on 1-core
+boxes.  A per-phase ``profile`` split (engine build / row discovery /
+product BFS / trace rerun) of one cold check rides along per cell.
 
 Intended CI use::
 
     PYTHONPATH=src python benchmarks/bench_spec_compiled.py \
-        --cells dstm22 --rounds 3 --require-speedup 1.5
+        --cells dstm22 --rounds 3 --require-speedup 1.5 \
+        --require-dense-parity 1.5
 """
 
 from __future__ import annotations
@@ -82,6 +89,9 @@ def run_path(
     jobs: int = 1,
     shard_product: bool = True,
     cache_dir: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    reuse_pool: bool = False,
+    dense_kernel: bool = True,
 ) -> dict:
     """Rounds of one cell on one long-lived TM instance."""
     tm = factory()
@@ -94,8 +104,11 @@ def run_path(
             prop,
             lazy_spec=True,
             spec_compiled=spec_compiled,
+            dense_kernel=dense_kernel,
             jobs=jobs,
             shard_product=shard_product,
+            chunk_size=chunk_size,
+            reuse_pool=reuse_pool,
             cache_dir=cache_dir,
         )
 
@@ -104,6 +117,8 @@ def run_path(
         t0 = time.perf_counter()
         check()
         times.append(time.perf_counter() - t0)
+    if reuse_pool:
+        compile_tm(tm).close_pools()
     assert result is not None
     return {
         "holds": result.holds,
@@ -137,9 +152,10 @@ def product_bfs_split(
     tm = factory()
     engine = compile_tm(tm)
     oracle = cached_spec_oracle(tm.n, tm.k, prop)
-    check_safety(tm, prop, lazy_spec=True)  # warm rows on both sides
+    check_safety(tm, prop, lazy_spec=True)  # warm rows + dense CSR
     init = [engine.initial_node_packed()]
     row_map = engine.safety_rows_map()
+    dense = engine.dense_csr("oracle", prop)
 
     def best(fn) -> float:
         times = []
@@ -158,8 +174,24 @@ def product_bfs_split(
                 node_span=engine.node_span,
                 row_map=row_map,
             )
-        )
+        ),
+        # The dense kernel's warm pair loop: array-only bitset BFS over
+        # the CSR recorded by the warm-up check above — the acceptance
+        # split of the dense-kernel PR, gated by --require-dense-parity.
+        "dense_bfs_s": best(
+            lambda: product_oracle_packed(
+                engine.safety_row_ids,
+                init,
+                oracle,
+                node_span=engine.node_span,
+                row_map=row_map,
+                dense=dense,
+            )
+        ),
     }
+    out["dense_speedup"] = round(
+        out["oracle_packed_bfs_s"] / out["dense_bfs_s"], 2
+    )
     if dfa_split:
         spec = cached_det_spec(tm.n, tm.k, prop)
         check_safety(tm, prop, spec_compiled=False)  # warm Statement rows
@@ -178,6 +210,17 @@ def product_bfs_split(
         )
         out["dfa_int_not_slower"] = (
             out["dfa_int_bfs_s"] <= out["dfa_statement_bfs_s"]
+        )
+        dense_dfa = engine.dense_csr("dfa", prop)
+        out["dfa_dense_bfs_s"] = best(  # first round records the CSR
+            lambda: product_dfa_packed(
+                engine.safety_row_ids,
+                init,
+                cdfa.rows,
+                node_span=engine.node_span,
+                row_map=row_map,
+                dense=dense_dfa,
+            )
         )
     return out
 
@@ -215,7 +258,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=2,
         metavar="N",
         help="assert jobs=N results equal serial results, for both the"
-        " sharded product BFS and row-only sharding (0 disables)",
+        " sharded product BFS and row-only sharding (0 disables, and"
+        " also disables the jobs sweep)",
+    )
+    parser.add_argument(
+        "--jobs-sweep",
+        default="1,2,4",
+        metavar="LIST",
+        help="comma-separated jobs values for the recorded sharded-"
+        "product timing sweep (skipped when --jobs-check is 0)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="row-prefetcher chunk size recorded with the jobs sweep"
+        " (scheduling-only; results are identical for any value)",
     )
     parser.add_argument(
         "--require-dfa-parity",
@@ -224,6 +283,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="TOL",
         help="fail unless the int-ized DFA product BFS is within TOL x"
         " of the Statement-keyed one on every dfa-split cell (e.g. 1.1)",
+    )
+    parser.add_argument(
+        "--require-dense-parity",
+        type=float,
+        default=None,
+        metavar="MIN_SPEEDUP",
+        help="fail unless the dense warm-engine pair loop is at least"
+        " MIN_SPEEDUP x faster than the set-based loop on every cell"
+        " (1.0 = mere parity; the CI gate uses 1.5)",
     )
     parser.add_argument(
         "--skip-disk-warm",
@@ -298,6 +366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     1,
                     jobs=args.jobs_check,
                     shard_product=False,
+                    chunk_size=args.chunk_size,
                 )
                 for variant, res in (
                     ("sharded-product", sharded),
@@ -320,6 +389,79 @@ def main(argv: Optional[List[str]] = None) -> int:
                         for k in result_keys
                     ),
                 }
+                # The recorded multicore sweep (ROADMAP item (b)):
+                # sharded-product and row-sharding timings per jobs
+                # value with the chosen prefetcher chunk size.  Each
+                # jobs>1 config runs TWO rounds with reuse_pool=True —
+                # the first pays the pool spawn (``*_s``), the second
+                # reuses the parked pool and its warm workers
+                # (``*_reused_s``), isolating the pool-reuse knob.  The
+                # dense kernel is disabled here so the sweep times the
+                # sharding machinery, not the array replay.  The j=1
+                # entry reuses the serial cold timing already recorded
+                # for this cell.  On a 1-core box these are correctness
+                # runs, not wins — flagged via the note.
+                sweep = []
+                for j in sorted(
+                    {
+                        int(x)
+                        for x in args.jobs_sweep.split(",")
+                        if x.strip()
+                    }
+                ):
+                    entry = {"jobs": j, "chunk_size": args.chunk_size}
+                    if j <= 1:
+                        entry["sharded_product_s"] = comp["cold_s"]
+                        entry["row_sharding_s"] = comp["cold_s"]
+                        entry["identical"] = True  # comp *is* serial
+                    else:
+                        sp = run_path(
+                            factory,
+                            prop,
+                            True,
+                            2,
+                            jobs=j,
+                            reuse_pool=True,
+                            dense_kernel=False,
+                        )
+                        ro = run_path(
+                            factory,
+                            prop,
+                            True,
+                            2,
+                            jobs=j,
+                            shard_product=False,
+                            chunk_size=args.chunk_size,
+                            reuse_pool=True,
+                            dense_kernel=False,
+                        )
+                        entry["sharded_product_s"] = sp["cold_s"]
+                        entry["sharded_product_reused_s"] = sp["best_s"]
+                        entry["row_sharding_s"] = ro["cold_s"]
+                        entry["row_sharding_reused_s"] = ro["best_s"]
+                        entry["identical"] = all(
+                            sp[k] == comp[k] and ro[k] == comp[k]
+                            for k in result_keys
+                        )
+                    if not entry["identical"]:
+                        failures.append(
+                            f"{name}/{prop_name}: jobs sweep j={j}"
+                            f" diverged from serial"
+                        )
+                    sweep.append(entry)
+                cell["jobs_sweep"] = sweep
+                if os.cpu_count() == 1:
+                    cell["jobs_sweep_note"] = (
+                        "cpu_count==1: sharded timings are correctness"
+                        " runs, not wins"
+                    )
+            prof: Dict[str, float] = {}
+            check_safety(
+                factory(), prop, lazy_spec=True, profile=prof
+            )
+            cell["profile"] = {
+                key: round(value, 6) for key, value in prof.items()
+            }
             if not args.skip_disk_warm:
                 cell["disk_warm"] = run_disk_warm(factory, prop)
             cells.append(cell)
@@ -344,6 +486,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f" {split['dfa_int_bfs_s']}s >"
                     f" {args.require_dfa_parity}x Statement path"
                     f" {split['dfa_statement_bfs_s']}s"
+                )
+    if args.require_dense_parity is not None:
+        for cell in cells:
+            split = cell["product_bfs"]
+            if split["dense_speedup"] < args.require_dense_parity:
+                failures.append(
+                    f"{cell['cell']}/{cell['prop']}: dense warm pair loop"
+                    f" only {split['dense_speedup']}x over the set-based"
+                    f" loop (< required {args.require_dense_parity}x:"
+                    f" dense {split['dense_bfs_s']}s vs set"
+                    f" {split['oracle_packed_bfs_s']}s)"
                 )
 
     total_pr2 = sum(c["pr2_oracle"]["best_s"] for c in cells)
@@ -372,7 +525,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         lbl = f"{c['cell']}/{c['prop']}"
         warm = c.get("disk_warm", {}).get("disk_warm_s")
         split = c["product_bfs"]
-        extras = [f"product-bfs {split['oracle_packed_bfs_s']:.4f}s"]
+        extras = [
+            f"product-bfs {split['oracle_packed_bfs_s']:.4f}s",
+            f"dense {split['dense_bfs_s']:.4f}s"
+            f" ({split['dense_speedup']:.1f}x)",
+        ]
         if "dfa_int_bfs_s" in split:
             extras.append(
                 f"dfa int {split['dfa_int_bfs_s']:.4f}s vs stmt"

@@ -13,6 +13,7 @@ layer (the liveness checker uses extended statements).
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import (
@@ -44,38 +45,82 @@ def tarjan_sccs(nodes: Iterable[Node], edges: Iterable[Edge]) -> List[Set[Node]]
 
     Returns components in reverse topological order.  Trivial components
     (single node, no self-loop) are included; callers filter as needed.
+
+    Internally the graph is compiled to the dense-kernel representation
+    first: nodes are interned to dense ids (roots first, in input order,
+    then edge endpoints in edge order) and the adjacency becomes flat
+    CSR arrays, so the Tarjan stack machine runs over machine ints
+    instead of re-hashing rich node tuples per visit.  The dense ids,
+    per-node successor order and root order replicate the pre-dense
+    rich-object traversal exactly, so the returned components — content
+    *and* order — are byte-identical to it.
     """
-    adj = adjacency(edges)
-    index: Dict[Node, int] = {}
-    low: Dict[Node, int] = {}
-    on_stack: Set[Node] = set()
-    stack: List[Node] = []
+    ids: Dict[Node, int] = {}
+    order: List[Node] = []
+
+    def intern(v: Node) -> int:
+        vid = ids.get(v)
+        if vid is None:
+            vid = ids[v] = len(order)
+            order.append(v)
+        return vid
+
+    roots = [intern(v) for v in nodes]
+    edge_pairs = array("q")
+    for e in edges:
+        edge_pairs.append(intern(e[0]))
+        edge_pairs.append(intern(e[2]))
+    n = len(order)
+    nedges = len(edge_pairs) // 2
+
+    # Counting-sort CSR build: per-source successor order equals the
+    # edge-list order, matching the dict-of-lists adjacency it replaces.
+    counts = [0] * (n + 1)
+    for i in range(0, 2 * nedges, 2):
+        counts[edge_pairs[i] + 1] += 1
+    offsets = array("q", counts)
+    for i in range(1, n + 1):
+        offsets[i] += offsets[i - 1]
+    cursor = array("q", offsets[:-1])
+    targets = array("q", bytes(8 * nedges))
+    for i in range(0, 2 * nedges, 2):
+        src = edge_pairs[i]
+        targets[cursor[src]] = edge_pairs[i + 1]
+        cursor[src] += 1
+
+    UNVISITED = -1
+    index = array("q", bytes(8 * n))
+    low = array("q", bytes(8 * n))
+    for i in range(n):
+        index[i] = UNVISITED
+    on_stack = bytearray(n)
+    stack: List[int] = []
     sccs: List[Set[Node]] = []
     counter = 0
 
-    for root in nodes:
-        if root in index:
+    for root in roots:
+        if index[root] != UNVISITED:
             continue
-        work: List[Tuple[Node, int]] = [(root, 0)]
+        work: List[Tuple[int, int]] = [(root, offsets[root])]
         while work:
             v, pi = work[-1]
-            if pi == 0:
+            if pi == offsets[v]:
                 index[v] = low[v] = counter
                 counter += 1
                 stack.append(v)
-                on_stack.add(v)
+                on_stack[v] = 1
             advanced = False
-            out = adj.get(v, [])
-            while pi < len(out):
-                w = out[pi][2]
+            end = offsets[v + 1]
+            while pi < end:
+                w = targets[pi]
                 pi += 1
-                if w not in index:
+                if index[w] == UNVISITED:
                     work[-1] = (v, pi)
-                    work.append((w, 0))
+                    work.append((w, offsets[w]))
                     advanced = True
                     break
-                if w in on_stack:
-                    low[v] = min(low[v], index[w])
+                if on_stack[w] and index[w] < low[v]:
+                    low[v] = index[w]
             if advanced:
                 continue
             work.pop()
@@ -83,14 +128,15 @@ def tarjan_sccs(nodes: Iterable[Node], edges: Iterable[Edge]) -> List[Set[Node]]
                 comp: Set[Node] = set()
                 while True:
                     w = stack.pop()
-                    on_stack.discard(w)
-                    comp.add(w)
+                    on_stack[w] = 0
+                    comp.add(order[w])
                     if w == v:
                         break
                 sccs.append(comp)
             if work:
                 parent = work[-1][0]
-                low[parent] = min(low[parent], low[v])
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
     return sccs
 
 

@@ -37,25 +37,50 @@ violation — and, given a :class:`PairSharder`, the product BFS *itself*
 runs level-synchronized across a process pool, hash-partitioned by
 ``pair % jobs``, with a determinism argument (:func:`_sharded_pair_bfs`)
 that keeps every observable output byte-identical to serial.
+
+On top of the packed products sits the **dense kernel**
+(:class:`DenseCSR`): the first serial untraced pass additionally interns
+product pairs into dense ids ``0..P-1`` and records every successor list
+into flat CSR arrays (``array('q')`` offsets/targets).  Every later run
+of the same product — a repeated check, a benchmark round, a process
+warm-started from the on-disk cache — then never touches the
+dict-of-dicts row memos at all: the BFS becomes batched "gather
+successors → mask out seen → extend frontier" sweeps over the CSR with a
+bitset seen-set (a vectorizing numpy fast path is auto-detected; the
+pure-stdlib bytearray path is always present).  Violating products
+keep their partial CSR with the violating pair flagged, so warm reruns
+short-circuit straight to the serial traced twin — verdicts,
+counterexamples and every reported count stay byte-identical to the
+set-based path, which remains available as the differential reference
+(``check_safety(dense_kernel=False)`` / ``--no-dense-kernel``).
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
     Hashable,
     Iterable,
     List,
+    NamedTuple,
     Optional,
     Sequence,
     Tuple,
 )
 
+from ..cache import load_payload, save_payload
 from .dfa import DFA
 from .interned import intern_dfa, intern_nfa
 from .nfa import EPSILON, NFA
+
+try:  # optional fast path; the stdlib path below is always present
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy genuinely absent
+    _np = None
 
 Symbol = Hashable
 
@@ -307,7 +332,9 @@ class PairSharder:
     * ``stable_pairs(packed_nodes)`` — initial pairs (right key 0) in
       stable encoding, in input order;
     * ``expand_pairs(shards)`` — one ``(violated, successor_pairs)``
-      result per shard, aligned with the input order.
+      result per shard, aligned with the input order; the successor
+      container is any int sequence (the concrete backend ships flat
+      ``array('q')`` slices where the pairs fit a machine word).
     """
 
     jobs: int
@@ -317,7 +344,7 @@ class PairSharder:
 
     def expand_pairs(
         self, shards: List[List[int]]
-    ) -> List[Tuple[bool, List[int]]]:
+    ) -> List[Tuple[bool, Sequence[int]]]:
         raise NotImplementedError
 
 
@@ -347,11 +374,24 @@ def _sharded_pair_bfs(
     (it *is* the serial path).  ``max_states`` guards are likewise left
     to the serial path — callers must not hand a sharder over when a
     bound is set, so the guard's message stays byte-identical.
+
+    The two component counts are tracked *incrementally* as pairs enter
+    the seen-set (a full-set comprehension at the end would re-walk —
+    and briefly duplicate — the whole seen-set, which at millions of
+    pairs is real time and real memory).  Workers ship their successor
+    slices back as flat ``array('q')`` chunks where the stable pairs fit
+    a machine word (see :func:`repro.tm.compiled._worker_expand_pairs`);
+    the merge below is agnostic to the container.
     """
     jobs = sharder.jobs
+    span_mask = (1 << span_bits) - 1
     frontier = list(dict.fromkeys(init_stable))
     seen = set(frontier)
     add = seen.add
+    left_seen = {p & span_mask for p in frontier}
+    right_seen = {p >> span_bits for p in frontier}
+    left_add = left_seen.add
+    right_add = right_seen.add
     while frontier:
         shards: List[List[int]] = [[] for _ in range(jobs)]
         for p in frontier:
@@ -367,11 +407,10 @@ def _sharded_pair_bfs(
                 if s not in seen:
                     add(s)
                     push(s)
+                    left_add(s & span_mask)
+                    right_add(s >> span_bits)
         frontier = nxt
-    span_mask = (1 << span_bits) - 1
-    states_seen = len({p & span_mask for p in seen})
-    spec_seen = len({p >> span_bits for p in seen})
-    return False, len(seen), states_seen, spec_seen
+    return False, len(seen), len(left_seen), len(right_seen)
 
 
 def _discover_row_ids(
@@ -399,6 +438,387 @@ def _discover_row_ids(
                         f" states (at {len(discovered) + 1})"
                     )
                 discovered.add(succ)
+
+
+# ----------------------------------------------------------------------
+# The dense kernel: CSR successor tables + bitset BFS over dense pair ids
+# ----------------------------------------------------------------------
+
+#: Edge budget of a dense CSR recording.  Beyond this many successor
+#: entries the recorder frees its arrays and disables itself for the
+#: engine's lifetime — the build degrades to the plain set-based
+#: semantics (results are byte-identical either way; only the array
+#: fast path for *later* runs is lost).  48M ``int64`` entries ≈ 384 MB,
+#: far above every paper instance (DSTM (2,3) records ~30M).
+DENSE_MAX_EDGES = 48_000_000
+
+
+class DenseCSR:
+    """Array-backed successor table of one product-reachability problem.
+
+    Product pairs are interned into *dense ids* ``0..P-1`` in BFS
+    discovery order (initial pairs first); the adjacency is stored in
+    CSR form — ``targets[offsets[i]:offsets[i+1]]`` are the dense ids of
+    pair ``i``'s successors, in exactly the order the packed product
+    functions emit them.  Two parallel arrays keep the pair components
+    for count recovery: ``node_keys[i]`` is the left (TM) component and
+    ``spec_ids[i]`` the right (spec) component of pair ``i`` — both used
+    only for *distinct* counts and the initial-pair match, so any
+    per-run bijective relabeling of either side is admissible.
+
+    A CSR is built as a by-product of the first serial untraced pass
+    (:func:`_product_oracle_packed_dense` / :func:`_product_dfa_packed_dense`)
+    and replayed by :meth:`run`: a level-synchronous BFS over the arrays
+    with a bitset seen-set — "gather successors → mask out seen → extend
+    frontier".  With numpy the sweep is vectorized (fancy-indexed
+    gather, boolean-mask seen filtering, dedup through a level-local
+    marker bitset extracted with ``flatnonzero`` — same sorted frontier
+    as ``np.unique`` without its general sort); the stdlib fallback
+    fuses gather and mask into one loop over a ``bytearray`` bitset.
+    Holding products are *complete* (every
+    reachable pair recorded, no flags): :meth:`run` re-derives the exact
+    set-path counts.  Violating products keep a *partial* CSR whose
+    violating pair is flagged; :meth:`run` then only answers "violated"
+    and the caller reruns the serial traced twin, so counterexamples and
+    violation counts are byte-identical by construction.
+
+    ``node_keys`` starts in the builder's engine-local packed encoding
+    and is re-digited to the process-stable codec-bits encoding
+    (:meth:`repro.tm.compiled.CompiledTM.stable_of_node`) on first
+    :meth:`save_warm` — both encodings biject with TM nodes, so the
+    distinct counts are unchanged.  Persisted payloads (one per
+    ``(algorithm, n, k, property, side)``; see
+    :meth:`repro.tm.compiled.CompiledTM.dense_csr`) let a warm process
+    run the whole product BFS without touching the row memos at all.
+    """
+
+    __slots__ = (
+        "span_bits",
+        "stable_of_node",
+        "cache_key",
+        "node_keys",
+        "spec_ids",
+        "offsets",
+        "targets",
+        "flags",
+        "num_init",
+        "complete",
+        "stable_keys",
+        "disabled",
+        "_dirty",
+    )
+
+    def __init__(
+        self,
+        span_bits: int,
+        stable_of_node: Callable[[int], int],
+        cache_key: Optional[tuple] = None,
+    ) -> None:
+        self.span_bits = span_bits
+        self.stable_of_node = stable_of_node
+        self.cache_key = cache_key
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop any recorded table (used before a rebuild and on the
+        edge-budget bailout)."""
+        self.node_keys: Optional[array] = None
+        self.spec_ids: Optional[array] = None
+        self.offsets: Optional[array] = None
+        self.targets: Optional[array] = None
+        self.flags: Tuple[int, ...] = ()
+        self.num_init = 0
+        self.complete = False
+        #: Whether ``node_keys`` is in the codec-bits stable encoding
+        #: (after a save/load) or the builder's engine-local packing.
+        self.stable_keys = False
+        self.disabled = False
+        self._dirty = False
+
+    @property
+    def built(self) -> bool:
+        return self.offsets is not None and not self.disabled
+
+    def stats(self) -> Dict[str, int]:
+        """Table sizes (for benchmarks and tests)."""
+        if not self.built:
+            return {"pairs": 0, "edges": 0, "complete": False}
+        return {
+            "pairs": len(self.node_keys),
+            "edges": len(self.targets),
+            "complete": self.complete,
+        }
+
+    def matches_init(self, init: Sequence[int]) -> bool:
+        """Whether this table was recorded from exactly these initial
+        packed nodes (right component 0, the canonical initial spec
+        state, is enforced at record time)."""
+        if not self.built or self.num_init != len(init):
+            return False
+        keys = self.node_keys
+        if self.stable_keys:
+            stable = self.stable_of_node
+            return all(keys[i] == stable(p) for i, p in enumerate(init))
+        return all(keys[i] == p for i, p in enumerate(init))
+
+    # ------------------------------------------------------------------
+    # The array-only BFS
+    # ------------------------------------------------------------------
+
+    def run(self) -> Tuple[bool, int, int, int]:
+        """Replay the product BFS over the recorded arrays.
+
+        Returns ``(violated, pairs, states_seen, spec_states_seen)``
+        with the holding-case counts equal to the set-based path's (the
+        :func:`_sharded_pair_bfs` seen-set argument applies verbatim:
+        all three are functions of the reachable pair set alone).  A
+        violated result carries no counts — the caller reruns the serial
+        traced twin.
+        """
+        if _np is not None:
+            return self._run_numpy(_np)
+        return self._run_python()
+
+    def _run_python(self) -> Tuple[bool, int, int, int]:
+        offsets = self.offsets
+        targets = self.targets
+        npairs = len(self.node_keys)
+        seen = bytearray(npairs)  # the bitset seen-set (one byte per id)
+        frontier = list(range(self.num_init))
+        flagged = None
+        if self.flags:
+            flagged = bytearray(npairs)
+            for f in self.flags:
+                flagged[f] = 1
+            if any(flagged[i] for i in frontier):
+                return True, 0, 0, 0
+        for i in frontier:
+            seen[i] = 1
+        pairs = len(frontier)
+        while frontier:
+            nxt: List[int] = []
+            append = nxt.append
+            # Gather + mask fused: slice the CSR row, drop already-seen
+            # ids via the bitset (which also dedups within the batch).
+            for p in frontier:
+                for s in targets[offsets[p] : offsets[p + 1]]:
+                    if not seen[s]:
+                        seen[s] = 1
+                        append(s)
+            if flagged is not None and any(flagged[s] for s in nxt):
+                return True, 0, 0, 0
+            pairs += len(nxt)
+            frontier = nxt
+        states_seen, spec_seen = self._distinct_counts_python(seen)
+        return False, pairs, states_seen, spec_seen
+
+    def _distinct_counts_python(
+        self, seen: bytearray
+    ) -> Tuple[int, int]:
+        if self.complete:  # seen covers every recorded pair
+            return len(set(self.node_keys)), len(set(self.spec_ids))
+        node_keys = self.node_keys  # pragma: no cover - partial CSRs
+        spec_ids = self.spec_ids  # always flag a reachable violation
+        lefts = {node_keys[i] for i, b in enumerate(seen) if b}
+        rights = {spec_ids[i] for i, b in enumerate(seen) if b}
+        return len(lefts), len(rights)
+
+    def _run_numpy(self, np) -> Tuple[bool, int, int, int]:
+        offsets = np.frombuffer(self.offsets, dtype=np.int64)
+        targets = np.frombuffer(self.targets, dtype=np.int64)
+        npairs = len(self.node_keys)
+        seen = np.zeros(npairs, dtype=bool)
+        frontier = np.arange(self.num_init, dtype=np.int64)
+        flagged = None
+        if self.flags:
+            flagged = np.zeros(npairs, dtype=bool)
+            flagged[list(self.flags)] = True
+            if flagged[frontier].any():
+                return True, 0, 0, 0
+        seen[frontier] = True
+        pairs = int(frontier.size)
+        arange = np.arange
+        repeat = np.repeat
+        marker = np.zeros(npairs, dtype=bool)  # level-local dedup bitset
+        while frontier.size:
+            # Gather: one fancy-indexed pull of every successor of the
+            # level (the arange/repeat pattern expands the CSR slices).
+            starts = offsets[frontier]
+            counts = offsets[frontier + 1] - starts
+            total = int(counts.sum())
+            if not total:
+                break
+            shift = np.cumsum(counts) - counts
+            succ = targets[
+                arange(total, dtype=np.int64) + repeat(starts - shift, counts)
+            ]
+            cand = succ[~seen[succ]]  # mask out seen (dups remain)
+            if not cand.size:
+                break
+            # Dedup through the bitset: mark candidates, extract the set
+            # bits in sorted id order, clear for the next level.  (A
+            # sort-based ``np.unique`` gives the identical frontier but
+            # pays an O(E log E) sort where the bitset pays O(P).)
+            marker[cand] = True
+            fresh = np.flatnonzero(marker)
+            marker[fresh] = False
+            if flagged is not None and flagged[fresh].any():
+                return True, 0, 0, 0
+            seen[fresh] = True
+            pairs += int(fresh.size)
+            frontier = fresh
+        if self.complete:
+            states_seen = int(
+                np.unique(np.frombuffer(self.node_keys, np.int64)).size
+            )
+            spec_seen = int(
+                np.unique(np.frombuffer(self.spec_ids, np.int64)).size
+            )
+        else:  # pragma: no cover - partial CSRs always flag a violation
+            states_seen, spec_seen = self._distinct_counts_python(
+                bytearray(seen.tobytes())
+            )
+        return False, pairs, states_seen, spec_seen
+
+    # ------------------------------------------------------------------
+    # Warm-start persistence
+    # ------------------------------------------------------------------
+
+    def save_warm(self, cache_dir: str) -> bool:
+        """Spill the table to ``cache_dir`` (no-op unless newly recorded
+        since the last save/load).  ``node_keys`` is re-digited to the
+        stable encoding first, in place — an idempotent, count-preserving
+        relabeling."""
+        if self.cache_key is None or not self._dirty or not self.built:
+            return False
+        if not self.stable_keys:
+            stable = self.stable_of_node
+            self.node_keys = array("q", (stable(p) for p in self.node_keys))
+            self.stable_keys = True
+        ok = save_payload(
+            cache_dir,
+            self.cache_key,
+            {
+                "span_bits": self.span_bits,
+                "num_init": self.num_init,
+                "complete": self.complete,
+                "flags": list(self.flags),
+                "node_keys": self.node_keys,
+                "spec_ids": self.spec_ids,
+                "offsets": self.offsets,
+                "targets": self.targets,
+            },
+        )
+        if ok:
+            self._dirty = False
+        return ok
+
+    def load_warm(self, cache_dir: str) -> bool:
+        """Restore a table from ``cache_dir`` into a *fresh* (nothing
+        recorded) CSR.  Malformed payloads are rejected wholesale;
+        returns True iff the table was restored.
+
+        Validation is structural — array types, a monotone offset
+        vector, every target/flag id in range, initial pairs on spec
+        state 0, left keys within the node span (vectorized under
+        numpy).  Keys are *not* re-decoded against the view codec: an
+        in-range forged key can only perturb the two distinct-component
+        counts, the same trust already extended to ``spec_ids``.
+        """
+        if self.cache_key is None or self.built or self._dirty:
+            return False
+        data = load_payload(cache_dir, self.cache_key)
+        if not isinstance(data, dict):
+            return False
+        node_keys = data.get("node_keys")
+        spec_ids = data.get("spec_ids")
+        offsets = data.get("offsets")
+        targets = data.get("targets")
+        flags = data.get("flags")
+        num_init = data.get("num_init")
+        complete = data.get("complete")
+        if (
+            data.get("span_bits") != self.span_bits
+            or not isinstance(num_init, int)
+            or not isinstance(complete, bool)
+            or not isinstance(flags, list)
+            or not all(
+                isinstance(a, array) and a.typecode == "q"
+                for a in (node_keys, spec_ids, offsets, targets)
+            )
+        ):
+            return False
+        npairs = len(node_keys)
+        if (
+            not npairs
+            or len(spec_ids) != npairs
+            or len(offsets) != npairs + 1
+            or not 0 < num_init <= npairs
+            or (complete and flags)
+            or (not complete and not flags)
+            or offsets[0] != 0
+            or offsets[-1] != len(targets)
+        ):
+            return False
+        if not all(
+            isinstance(f, int) and 0 <= f < npairs for f in flags
+        ):
+            return False
+        if any(spec_ids[i] for i in range(num_init)):
+            return False
+        span = 1 << self.span_bits
+        if _np is not None:
+            o = _np.frombuffer(offsets, _np.int64)
+            t = _np.frombuffer(targets, _np.int64)
+            k = _np.frombuffer(node_keys, _np.int64)
+            if (_np.diff(o) < 0).any():
+                return False
+            if t.size and not (
+                (t >= 0).all() and (t < npairs).all()
+            ):
+                return False
+            if not ((k >= 0).all() and (k < span).all()):
+                return False
+        else:
+            if any(
+                offsets[i] > offsets[i + 1] for i in range(npairs)
+            ):
+                return False
+            if not all(0 <= s < npairs for s in targets):
+                return False
+            if not all(0 <= key < span for key in node_keys):
+                return False
+        self.node_keys = node_keys
+        self.spec_ids = spec_ids
+        self.offsets = offsets
+        self.targets = targets
+        self.flags = tuple(flags)
+        self.num_init = num_init
+        self.complete = complete
+        self.stable_keys = True
+        self._dirty = False
+        return True
+
+
+class DenseAdjacency(NamedTuple):
+    """CSR adjacency of a labeled transition system over dense node ids.
+
+    The liveness side of the dense layer: nodes are interned in BFS
+    discovery order (``nodes[i]`` is the packed node of dense id ``i``),
+    ``targets[offsets[i]:offsets[i+1]]`` are the dense ids of node
+    ``i``'s successors in exact row order, and ``labels`` holds — per
+    edge, aligned with ``targets`` — an index into ``label_table``
+    (``(thread_index, ext, resp)`` triples, interned).  Built by
+    :meth:`repro.tm.compiled.CompiledTM.dense_node_adjacency` from the
+    memoized node rows; consumed by
+    :func:`repro.tm.explore.build_liveness_graph`.
+    """
+
+    nodes: List[int]
+    offsets: array
+    targets: array
+    labels: array
+    label_table: List[Tuple]
 
 
 def product_dfa_direct(
@@ -582,6 +1002,8 @@ def product_oracle_packed(
     max_states: Optional[int] = None,
     prefetch: Optional[PrefetchFn] = None,
     pair_sharder: Optional[PairSharder] = None,
+    dense: Optional[DenseCSR] = None,
+    profile: Optional[Dict[str, float]] = None,
 ):
     """:func:`product_oracle_direct` with *integer statement ids* on both
     sides: an all-int hot path.
@@ -619,6 +1041,17 @@ def product_oracle_packed(
     a violating sharded run falls back to the serial traced twin, so
     verdicts, counterexamples and every count are byte-identical to a
     serial run.
+
+    A ``dense`` :class:`DenseCSR` (again only without a ``max_states``
+    bound) engages the dense kernel: an already-recorded table replays
+    as the array-only bitset BFS (beating both the serial set path and —
+    on warm products — the sharded one, so it takes precedence over
+    ``pair_sharder``); an empty table is recorded as a by-product of a
+    *serial* first pass — sharded runs of either flavour (a
+    ``pair_sharder``, or a ``prefetch`` hook feeding a row pool) keep
+    their own machinery and record nothing, so a pool is never left
+    idle behind the recorder.  ``profile``, when given, accumulates the
+    traced rerun's time under ``"trace_rerun_s"``.
     """
     init = list(dict.fromkeys(initial))
     if max_states is not None and len(init) > max_states:
@@ -626,6 +1059,43 @@ def product_oracle_packed(
             f"state-space exploration exceeded {max_states}"
             f" states (at {max_states + 1})"
         )
+
+    def rerun_traced():
+        t0 = perf_counter()
+        out = _product_oracle_packed_traced(
+            row_fn,
+            init,
+            oracle,
+            node_span=node_span,
+            row_map=row_map,
+            max_states=max_states,
+        )
+        if profile is not None:
+            profile["trace_rerun_s"] = (
+                profile.get("trace_rerun_s", 0.0) + perf_counter() - t0
+            )
+        return out
+
+    if dense is not None and max_states is None and not dense.disabled:
+        assert oracle.initial_id == 0
+        assert node_span & (node_span - 1) == 0, "node_span must be 2**b"
+        if dense.built and dense.matches_init(init):
+            violated, pairs, states_seen, spec_seen = dense.run()
+            if not violated:
+                return True, None, pairs, states_seen, spec_seen
+            return rerun_traced()
+        if pair_sharder is None and prefetch is None:
+            res = _product_oracle_packed_dense(
+                row_fn,
+                init,
+                oracle,
+                node_span=node_span,
+                row_map=row_map,
+                dense=dense,
+            )
+            if res is not None:
+                return res
+            return rerun_traced()
     if pair_sharder is not None and max_states is None:
         assert oracle.initial_id == 0
         assert node_span & (node_span - 1) == 0, "node_span must be 2**b"
@@ -635,14 +1105,7 @@ def product_oracle_packed(
         )
         if not violated:
             return True, None, pairs, states_seen, spec_seen
-        return _product_oracle_packed_traced(
-            row_fn,
-            init,
-            oracle,
-            node_span=node_span,
-            row_map=row_map,
-            max_states=max_states,
-        )
+        return rerun_traced()
     discovered = set(init)
     expanded = set()
 
@@ -697,14 +1160,7 @@ def product_oracle_packed(
                 if dsucc == -2:  # UNQUERIED: ask the oracle once, ever
                     dsucc = fill(dq, symbol)
                 if dsucc == -1:  # SINK: rerun traced for the word
-                    return _product_oracle_packed_traced(
-                        row_fn,
-                        init,
-                        oracle,
-                        node_span=node_span,
-                        row_map=row_map,
-                        max_states=max_states,
-                    )
+                    return rerun_traced()
                 base = dsucc << span_bits
             if type(succs) is int:  # singleton group (the common case)
                 nxt = base + succs
@@ -787,6 +1243,126 @@ def _product_oracle_packed_traced(
     )
 
 
+def _product_oracle_packed_dense(
+    row_fn: RowFn,
+    init: List[int],
+    oracle,
+    *,
+    node_span: int,
+    row_map: Optional[Dict[int, Tuple]],
+    dense: DenseCSR,
+):
+    """The untraced pass of :func:`product_oracle_packed`, recording a
+    :class:`DenseCSR` as it goes.
+
+    Pairs are interned into dense ids in discovery order (the insertion-
+    order ``order`` list of the set path *is* the id assignment) and
+    every emitted successor — fresh or already seen — is appended to the
+    CSR row, so the recorded table is the product's full adjacency in
+    the exact emission order.  Returns the holds-tuple, or ``None`` on a
+    violation: the violating pair is flagged in the (partial) table and
+    the caller reruns the serial traced twin.  Beyond
+    :data:`DENSE_MAX_EDGES` recorded entries the recorder bails out
+    (``dense.disabled``) and the pass continues with plain set
+    semantics — byte-identical results, no array fast path.
+
+    Recording costs the cold pass ~15-35% over the bare set loop on the
+    largest cells (appends + dense-id interning), bought back many
+    times over by every replay; one-shot cold runs can opt out with
+    ``dense_kernel=False``.  NOTE: this builder and
+    :func:`_product_dfa_packed_dense` are twins by the same mirroring
+    policy as the four product bodies (see :func:`product_dfa_direct`) —
+    any change to interning, recording, the edge budget or violation
+    padding must be applied to both.
+    """
+    orows = oracle.rows
+    fill = oracle.fill
+    rows_get = (row_map or {}).get
+    span_bits = node_span.bit_length() - 1
+    span_mask = node_span - 1
+
+    ids: Dict[int, int] = {}
+    order: List[int] = []
+    node_keys = array("q")
+    spec_ids = array("q")
+    offsets = array("q", (0,))
+    targets = array("q")
+    tappend = targets.append
+    for p in init:
+        ids[p] = len(order)
+        order.append(p)
+        node_keys.append(p & span_mask)
+        spec_ids.append(0)
+    recording = True
+    violated_at = -1
+    i = 0
+    while i < len(order):
+        pair = order[i]
+        nq = pair & span_mask
+        dq = pair >> span_bits
+        row = rows_get(nq)
+        if row is None:
+            row = row_fn(nq)
+        brow = orows[dq]
+        for symbol, succs in row:
+            if symbol < 0:  # ε: advance the TM component only
+                base = pair - nq
+                sbase = dq
+            else:
+                dsucc = brow[symbol]
+                if dsucc == -2:  # UNQUERIED: ask the oracle once, ever
+                    dsucc = fill(dq, symbol)
+                if dsucc == -1:  # SINK
+                    violated_at = i
+                    break
+                base = dsucc << span_bits
+                sbase = dsucc
+            for s in (succs,) if type(succs) is int else succs:
+                nxt = base + s
+                sid = ids.get(nxt)
+                if sid is None:
+                    sid = ids[nxt] = len(order)
+                    order.append(nxt)
+                    if recording:
+                        node_keys.append(s)
+                        spec_ids.append(sbase)
+                if recording:
+                    tappend(sid)
+        if violated_at >= 0:
+            break
+        if recording and len(targets) > DENSE_MAX_EDGES:
+            recording = False
+            node_keys = spec_ids = offsets = targets = None
+            dense.reset()
+            dense.disabled = True
+        if recording:
+            offsets.append(len(targets))
+        i += 1
+    if recording:
+        npairs = len(order)
+        if violated_at >= 0:  # close the aborted row, pad the unexpanded
+            offsets.append(len(targets))
+            offsets.extend([len(targets)] * (npairs + 1 - len(offsets)))
+        dense.node_keys = node_keys
+        dense.spec_ids = spec_ids
+        dense.offsets = offsets
+        dense.targets = targets
+        dense.flags = (violated_at,) if violated_at >= 0 else ()
+        dense.num_init = len(init)
+        dense.complete = violated_at < 0
+        dense.stable_keys = False
+        dense._dirty = True
+    if violated_at >= 0:
+        return None
+    if recording:
+        states_seen = len(set(node_keys))
+        spec_seen = len(set(spec_ids))
+    else:
+        states_seen = len({p & span_mask for p in ids})
+        spec_seen = len({p >> span_bits for p in ids})
+    return True, None, len(order), states_seen, spec_seen
+
+
 def product_dfa_packed(
     row_fn: RowFn,
     initial: Iterable[int],
@@ -797,6 +1373,8 @@ def product_dfa_packed(
     max_states: Optional[int] = None,
     prefetch: Optional[PrefetchFn] = None,
     pair_sharder: Optional[PairSharder] = None,
+    dense: Optional[DenseCSR] = None,
+    profile: Optional[Dict[str, float]] = None,
 ):
     """:func:`product_dfa_direct` with *integer statement ids* on both
     sides — the DFA-sided twin of :func:`product_oracle_packed`.
@@ -821,6 +1399,8 @@ def product_dfa_packed(
     Returns ``(holds, counterexample_sym_ids, discovered_pairs,
     states_seen)`` — the DFA side is fully materialized, so no
     spec-states count is reported (callers know ``len(spec_rows)``).
+    ``dense`` and ``profile`` behave exactly as on the oracle-sided
+    twin.
     """
     init = list(dict.fromkeys(initial))
     if max_states is not None and len(init) > max_states:
@@ -830,13 +1410,10 @@ def product_dfa_packed(
         )
     assert node_span & (node_span - 1) == 0, "node_span must be 2**b"
     span_bits = node_span.bit_length() - 1
-    if pair_sharder is not None and max_states is None:
-        violated, pairs, states_seen, _spec_seen = _sharded_pair_bfs(
-            pair_sharder, pair_sharder.stable_pairs(init), span_bits
-        )
-        if not violated:
-            return True, None, pairs, states_seen
-        return _product_dfa_packed_traced(
+
+    def rerun_traced():
+        t0 = perf_counter()
+        out = _product_dfa_packed_traced(
             row_fn,
             init,
             spec_rows,
@@ -844,6 +1421,37 @@ def product_dfa_packed(
             row_map=row_map,
             max_states=max_states,
         )
+        if profile is not None:
+            profile["trace_rerun_s"] = (
+                profile.get("trace_rerun_s", 0.0) + perf_counter() - t0
+            )
+        return out
+
+    if dense is not None and max_states is None and not dense.disabled:
+        if dense.built and dense.matches_init(init):
+            violated, pairs, states_seen, _spec_seen = dense.run()
+            if not violated:
+                return True, None, pairs, states_seen
+            return rerun_traced()
+        if pair_sharder is None and prefetch is None:
+            res = _product_dfa_packed_dense(
+                row_fn,
+                init,
+                spec_rows,
+                node_span=node_span,
+                row_map=row_map,
+                dense=dense,
+            )
+            if res is not None:
+                return res
+            return rerun_traced()
+    if pair_sharder is not None and max_states is None:
+        violated, pairs, states_seen, _spec_seen = _sharded_pair_bfs(
+            pair_sharder, pair_sharder.stable_pairs(init), span_bits
+        )
+        if not violated:
+            return True, None, pairs, states_seen
+        return rerun_traced()
     discovered = set(init)
     expanded = set()
     rows_get = (row_map or {}).get
@@ -880,14 +1488,7 @@ def product_dfa_packed(
             else:
                 dsucc = brow[symbol]
                 if dsucc < 0:  # sink: rerun traced for the word
-                    return _product_dfa_packed_traced(
-                        row_fn,
-                        init,
-                        spec_rows,
-                        node_span=node_span,
-                        row_map=row_map,
-                        max_states=max_states,
-                    )
+                    return rerun_traced()
                 base = dsucc << span_bits
             if type(succs) is int:  # singleton group (the common case)
                 nxt = base + succs
@@ -954,6 +1555,100 @@ def _product_dfa_packed_traced(
     raise AssertionError(
         "traced rerun found no violation after the untraced pass did"
     )
+
+
+def _product_dfa_packed_dense(
+    row_fn: RowFn,
+    init: List[int],
+    spec_rows: Sequence[Sequence[int]],
+    *,
+    node_span: int,
+    row_map: Optional[Dict[int, Tuple]],
+    dense: DenseCSR,
+):
+    """:func:`_product_oracle_packed_dense` for the DFA-sided product
+    (complete int-indexed spec delta, no oracle fill).  Its twin's
+    mirroring NOTE applies: keep the two builders in lockstep."""
+    rows_get = (row_map or {}).get
+    span_bits = node_span.bit_length() - 1
+    span_mask = node_span - 1
+
+    ids: Dict[int, int] = {}
+    order: List[int] = []
+    node_keys = array("q")
+    spec_ids = array("q")
+    offsets = array("q", (0,))
+    targets = array("q")
+    tappend = targets.append
+    for p in init:
+        ids[p] = len(order)
+        order.append(p)
+        node_keys.append(p & span_mask)
+        spec_ids.append(0)
+    recording = True
+    violated_at = -1
+    i = 0
+    while i < len(order):
+        pair = order[i]
+        nq = pair & span_mask
+        dq = pair >> span_bits
+        row = rows_get(nq)
+        if row is None:
+            row = row_fn(nq)
+        brow = spec_rows[dq]
+        for symbol, succs in row:
+            if symbol < 0:  # ε: advance the TM component only
+                base = pair - nq
+                sbase = dq
+            else:
+                dsucc = brow[symbol]
+                if dsucc < 0:  # sink
+                    violated_at = i
+                    break
+                base = dsucc << span_bits
+                sbase = dsucc
+            for s in (succs,) if type(succs) is int else succs:
+                nxt = base + s
+                sid = ids.get(nxt)
+                if sid is None:
+                    sid = ids[nxt] = len(order)
+                    order.append(nxt)
+                    if recording:
+                        node_keys.append(s)
+                        spec_ids.append(sbase)
+                if recording:
+                    tappend(sid)
+        if violated_at >= 0:
+            break
+        if recording and len(targets) > DENSE_MAX_EDGES:
+            recording = False
+            node_keys = spec_ids = offsets = targets = None
+            dense.reset()
+            dense.disabled = True
+        if recording:
+            offsets.append(len(targets))
+        i += 1
+    if recording:
+        npairs = len(order)
+        if violated_at >= 0:
+            offsets.append(len(targets))
+            offsets.extend([len(targets)] * (npairs + 1 - len(offsets)))
+        dense.node_keys = node_keys
+        dense.spec_ids = spec_ids
+        dense.offsets = offsets
+        dense.targets = targets
+        dense.flags = (violated_at,) if violated_at >= 0 else ()
+        dense.num_init = len(init)
+        dense.complete = violated_at < 0
+        dense.stable_keys = False
+        dense._dirty = True
+    if violated_at >= 0:
+        return None
+    if recording:
+        states_seen = len(set(node_keys))
+    else:
+        states_seen = len({p & span_mask for p in ids})
+    return True, None, len(order), states_seen
 
 
 def _run_product_dfa(left, initial: List[Hashable], dfa: DFA):

@@ -36,7 +36,12 @@ from typing import Hashable, Optional
 #: Version 2: TM-engine payloads gained ``ext_table``/``node_rows`` (the
 #: liveness rows, Ext/Resp in stable int encoding) and the int-rows spec
 #: DFA (``spec-dfa`` keys) joined the cache.
-ENGINE_VERSION = 2
+#: Version 3: the dense kernel's product CSR tables (``dense-csr`` keys:
+#: flat ``array('q')`` offsets/targets over dense pair ids, stable node
+#: keys, violation flags) joined the cache, and the spec oracle / spec
+#: DFA row payloads switched from Python lists to flat ``array('q')``
+#: vectors.
+ENGINE_VERSION = 3
 
 
 def default_cache_dir() -> str:

@@ -68,27 +68,83 @@ def _reference_check(word: Tuple[Statement, ...], prop: SafetyProperty) -> bool:
     return is_opaque(word)
 
 
+def _timed_row_fn(row_fn, row_map: Dict, profile: Dict[str, float]):
+    """Profiling wrapper for the TM row function: memo hits pass
+    through untimed, miss time accumulates under ``row_discovery_s``.
+    Used only when a ``profile`` dict was requested — results are
+    unchanged, the kernel just loses its direct-memo-probe shortcut."""
+    get = row_map.get
+    perf_counter = time.perf_counter
+
+    def wrapped(nq: int):
+        row = get(nq)
+        if row is not None:
+            return row
+        t0 = perf_counter()
+        row = row_fn(nq)
+        profile["row_discovery_s"] += perf_counter() - t0
+        return row
+
+    return wrapped
+
+
+def _close_profile(profile: Dict[str, float], t_product: float) -> None:
+    """Derive the pair-loop share: total product time minus the row
+    discovery and traced-rerun shares the wrappers accumulated."""
+    total = time.perf_counter() - t_product
+    profile["product_bfs_s"] = max(
+        0.0,
+        total - profile["row_discovery_s"] - profile["trace_rerun_s"],
+    )
+
+
 @contextmanager
-def _warm_sharded(engine, oracle, cache_dir: Optional[str], jobs: int):
+def _warm_sharded(
+    engine,
+    oracle,
+    cache_dir: Optional[str],
+    jobs: int,
+    *,
+    dense=None,
+    chunk_size: Optional[int] = None,
+    reuse_pool: bool = False,
+):
     """Shared scaffolding of the compiled branches: warm-load the
     engine(s) from ``cache_dir``, open the sharding pool, yield the
     :class:`~repro.tm.compiled.Sharder` (``None`` when serial), spill on
     exit.  ``oracle`` is any second engine with the ``load_warm``/
     ``save_warm`` contract (the compiled spec oracle or the int-rows
-    spec DFA), or ``None``.  The cache dir is handed to the pool too so
-    workers warm-start their own engines; note a product-sharded run
-    computes its rows *in* the workers, whose tables die with the pool —
-    it reads the row cache but never populates it."""
+    spec DFA), or ``None``; ``dense`` likewise covers the dense-kernel
+    CSR table (:class:`repro.automata.kernel.DenseCSR`), whose restored
+    payload lets the product run array-only, without ever touching the
+    row memos.  The cache dir is handed to the pool too so workers
+    warm-start their own engines; note a product-sharded run computes
+    its rows *in* the workers, whose tables die with the pool — it reads
+    the row cache but never populates it.  ``chunk_size``/``reuse_pool``
+    pass through to :meth:`repro.tm.compiled.CompiledTM.sharded`.
+
+    When the dense table is already recorded (in-process or just
+    restored), the product will replay as the array-only BFS and never
+    dispatch to a pool — so none is opened: a warm dense run must not
+    pay ``jobs`` process spawns for nothing."""
     if cache_dir is not None:
         engine.load_warm(cache_dir)
         if oracle is not None:
             oracle.load_warm(cache_dir)
-    with engine.sharded(jobs, cache_dir) as shard:
+        if dense is not None:
+            dense.load_warm(cache_dir)
+    if dense is not None and dense.built:
+        jobs = 1
+    with engine.sharded(
+        jobs, cache_dir, chunk_size=chunk_size, reuse_pool=reuse_pool
+    ) as shard:
         yield shard
     if cache_dir is not None:
         engine.save_warm(cache_dir)
         if oracle is not None:
             oracle.save_warm(cache_dir)
+        if dense is not None:
+            dense.save_warm(cache_dir)
 
 
 def check_safety(
@@ -101,10 +157,14 @@ def check_safety(
     lazy_spec: bool = False,
     compiled: bool = True,
     spec_compiled: bool = True,
+    dense_kernel: bool = True,
     jobs: int = 1,
     shard_product: bool = True,
+    chunk_size: Optional[int] = None,
+    reuse_pool: bool = False,
     cache_dir: Optional[str] = None,
     max_states: Optional[int] = None,
+    profile: Optional[Dict[str, float]] = None,
 ) -> SafetyResult:
     """Check ``L(tm) ⊆ pi`` for the TM's own (n, k).
 
@@ -157,15 +217,41 @@ def check_safety(
     verdicts, counterexamples and all counts are byte-identical to
     ``jobs=1``.
 
+    On the all-int paths the **dense kernel** is engaged by default
+    (``dense_kernel=True``): the first serial untraced pass records the
+    product's adjacency into a flat CSR table over dense pair ids
+    (:class:`repro.automata.kernel.DenseCSR`, kept on the engine and —
+    with ``cache_dir`` — persisted), and every later run of the same
+    product replays as an array-only bitset BFS that never touches the
+    row memos.  ``dense_kernel=False`` (CLI ``--no-dense-kernel``) keeps
+    the set-based pair loop as the differential reference; verdicts,
+    counterexamples and all counts are byte-identical.  Bounded
+    (``max_states``), codec-less and caller-spec configurations ignore
+    the flag and stay on the set-based path.
+
+    ``chunk_size`` fixes the row-prefetcher's per-task batch and
+    ``reuse_pool=True`` parks the worker pool on the engine across
+    checks (call ``compile_tm(tm).close_pools()`` when done) — both are
+    scheduling-only knobs with byte-identical results.
+
     ``cache_dir`` enables the on-disk warm-start cache
     (:mod:`repro.cache`): interned tables and memoized rows of both
-    compiled engines are restored before the check and spilled after, so
-    repeated process invocations skip re-compilation entirely.  With
-    ``jobs > 1`` the cache dir also warm-starts the *worker* engines;
-    note that a product-sharded run computes new rows in the workers
-    (whose tables die with the pool), so it reads the row cache but
-    never grows it — populate the cache with a serial or
-    ``shard_product=False`` run first.
+    compiled engines — and the dense kernel's CSR tables — are restored
+    before the check and spilled after, so repeated process invocations
+    skip re-compilation entirely.  With ``jobs > 1`` the cache dir also
+    warm-starts the *worker* engines; note that a product-sharded run
+    computes new rows in the workers (whose tables die with the pool),
+    so it reads the row cache but never grows it — populate the cache
+    with a serial or ``shard_product=False`` run first.
+
+    ``profile``, when given an (empty) dict, is filled with a per-phase
+    wall-time split: ``engine_build_s`` (compilation, warm loads, spec
+    table construction), ``row_discovery_s`` (time inside TM row-memo
+    misses), ``product_bfs_s`` (the pair loop proper) and
+    ``trace_rerun_s`` (the serial traced rerun after a violation).
+    Profiling wraps the row function, so it adds a little overhead but
+    changes no result; the CLI exposes it as ``--profile`` (JSON on
+    stderr) and the benchmarks record it per cell.
 
     ``tm_states`` in the result is the number of TM states explored:
     when the inclusion holds it equals the full reachable state space
@@ -175,6 +261,13 @@ def check_safety(
     counts only the spec states the product discovered.
     """
     t0 = time.perf_counter()
+    if profile is not None:
+        profile.update(
+            engine_build_s=0.0,
+            row_discovery_s=0.0,
+            product_bfs_s=0.0,
+            trace_rerun_s=0.0,
+        )
     if lazy_spec:
         if materialize or spec is not None:
             raise ValueError(
@@ -184,14 +277,37 @@ def check_safety(
         if compiled and spec_compiled:
             engine = compile_tm(tm)
             oracle = cached_spec_oracle(tm.n, tm.k, prop)
-            with _warm_sharded(engine, oracle, cache_dir, jobs) as shard:
+            dense = (
+                engine.dense_csr("oracle", prop)
+                if dense_kernel and max_states is None
+                else None
+            )
+            with _warm_sharded(
+                engine,
+                oracle,
+                cache_dir,
+                jobs,
+                dense=dense,
+                chunk_size=chunk_size,
+                reuse_pool=reuse_pool,
+            ) as shard:
+                # The memo dict must be picked up *after* the warm load
+                # above — load_warm rebinds it, and a stale reference
+                # would miss every restored row.
+                row_fn = engine.safety_row_ids
+                row_map = engine.safety_rows_map()
+                if profile is not None:
+                    row_fn = _timed_row_fn(row_fn, row_map, profile)
+                    row_map = None
+                    profile["engine_build_s"] = time.perf_counter() - t0
+                    t_product = time.perf_counter()
                 holds, ce_ids, discovered, tm_states, spec_states = (
                     product_oracle_packed(
-                        engine.safety_row_ids,
+                        row_fn,
                         [engine.initial_node_packed()],
                         oracle,
                         node_span=engine.node_span,
-                        row_map=engine.safety_rows_map(),
+                        row_map=row_map,
                         max_states=max_states,
                         prefetch=(
                             None if shard is None else shard.prefetch_safety
@@ -201,8 +317,12 @@ def check_safety(
                             if shard is not None and shard_product
                             else None
                         ),
+                        dense=dense,
+                        profile=profile,
                     )
                 )
+                if profile is not None:
+                    _close_profile(profile, t_product)
             counterexample = (
                 None
                 if ce_ids is None
@@ -210,7 +330,14 @@ def check_safety(
             )
         elif compiled:
             engine = compile_tm(tm)
-            with _warm_sharded(engine, None, cache_dir, jobs) as shard:
+            with _warm_sharded(
+                engine,
+                None,
+                cache_dir,
+                jobs,
+                chunk_size=chunk_size,
+                reuse_pool=reuse_pool,
+            ) as shard:
                 holds, counterexample, discovered, tm_states, spec_states = (
                     product_oracle_direct(
                         engine.safety_row,
@@ -255,14 +382,35 @@ def check_safety(
             # DFA is ever materialized.
             engine = compile_tm(tm)
             cdfa = cached_spec_dfa(tm.n, tm.k, prop)
-            with _warm_sharded(engine, cdfa, cache_dir, jobs) as shard:
+            dense = (
+                engine.dense_csr("dfa", prop)
+                if dense_kernel and max_states is None
+                else None
+            )
+            with _warm_sharded(
+                engine,
+                cdfa,
+                cache_dir,
+                jobs,
+                dense=dense,
+                chunk_size=chunk_size,
+                reuse_pool=reuse_pool,
+            ) as shard:
                 cdfa.ensure()
+                # Post-warm-load pickup; see the oracle branch above.
+                row_fn = engine.safety_row_ids
+                row_map = engine.safety_rows_map()
+                if profile is not None:
+                    row_fn = _timed_row_fn(row_fn, row_map, profile)
+                    row_map = None
+                    profile["engine_build_s"] = time.perf_counter() - t0
+                    t_product = time.perf_counter()
                 holds, ce_ids, discovered, tm_states = product_dfa_packed(
-                    engine.safety_row_ids,
+                    row_fn,
                     [engine.initial_node_packed()],
                     cdfa.rows,
                     node_span=engine.node_span,
-                    row_map=engine.safety_rows_map(),
+                    row_map=row_map,
                     max_states=max_states,
                     prefetch=(
                         None if shard is None else shard.prefetch_safety
@@ -272,7 +420,11 @@ def check_safety(
                         if shard is not None and shard_product
                         else None
                     ),
+                    dense=dense,
+                    profile=profile,
                 )
+                if profile is not None:
+                    _close_profile(profile, t_product)
             spec_states = cdfa.num_states
             counterexample = (
                 None
@@ -286,7 +438,14 @@ def check_safety(
             )
         elif compiled:
             engine = compile_tm(tm)
-            with _warm_sharded(engine, None, cache_dir, jobs) as shard:
+            with _warm_sharded(
+                engine,
+                None,
+                cache_dir,
+                jobs,
+                chunk_size=chunk_size,
+                reuse_pool=reuse_pool,
+            ) as shard:
                 holds, counterexample, discovered, tm_states = (
                     product_dfa_direct(
                         engine.safety_row,
@@ -316,6 +475,10 @@ def check_safety(
                 product_states=discovered,
             )
     elapsed = time.perf_counter() - t0
+    if profile is not None and not any(profile.values()):
+        # A branch without fine-grained instrumentation (materialized,
+        # naive, rich-oracle): report the whole check as the pair loop.
+        profile["product_bfs_s"] = elapsed
     if not result.holds and certify:
         assert result.counterexample is not None
         if _reference_check(result.counterexample, prop):

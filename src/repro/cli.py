@@ -148,6 +148,9 @@ def cmd_safety(args: argparse.Namespace) -> int:
         tm = _make_tm(name, n, k, args.manager)
         cells = [tm.name]
         for p in props:
+            prof: Optional[Dict[str, float]] = (
+                {} if args.profile else None
+            )
             res = check_safety(
                 tm,
                 p,
@@ -155,10 +158,29 @@ def cmd_safety(args: argparse.Namespace) -> int:
                 lazy_spec=args.lazy_spec,
                 compiled=args.compiled,
                 spec_compiled=args.spec_compiled,
+                dense_kernel=args.dense_kernel,
                 jobs=args.jobs,
                 shard_product=args.shard_product,
+                chunk_size=args.chunk_size,
                 cache_dir=cache_dir,
+                profile=prof,
             )
+            if prof is not None:
+                import json
+
+                print(
+                    json.dumps(
+                        {
+                            "tm": tm.name,
+                            "prop": p.value,
+                            "phases": {
+                                key: round(value, 6)
+                                for key, value in prof.items()
+                            },
+                        }
+                    ),
+                    file=sys.stderr,
+                )
             cells.append(res.verdict())
             if not res.holds:
                 worst = 1
@@ -314,6 +336,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --jobs N, shard only TM transition-row computation"
         " instead of the product BFS itself (the PR 3 behaviour; a"
         " differential reference for the sharded product)",
+    )
+    p_safety.add_argument(
+        "--no-dense-kernel",
+        dest="dense_kernel",
+        action="store_false",
+        help="disable the dense array-backed BFS kernel (CSR successor"
+        " tables + bitset seen-sets) and keep the set-based pair loop"
+        " (the differential reference path)",
+    )
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive integer (got {value})"
+            )
+        return value
+
+    p_safety.add_argument(
+        "--chunk-size",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="with --jobs, fix the row-prefetcher's per-task batch to N"
+        " nodes (default: one even chunk per worker; scheduling-only,"
+        " results are identical)",
+    )
+    p_safety.add_argument(
+        "--profile",
+        action="store_true",
+        help="emit a per-phase time split (engine build / row discovery"
+        " / product BFS / trace rerun) as one JSON line per check on"
+        " stderr",
     )
     p_safety.add_argument(
         "--cache-dir",

@@ -26,7 +26,12 @@ compiles the spec side the same way the TM side was compiled:
   instead of re-deriving Algorithm 6;
 * **warm starts** — the interned state table and memoized rows are pure
   ints, so they spill to the versioned on-disk cache
-  (:mod:`repro.cache`) and repeated CLI invocations start warm.
+  (:mod:`repro.cache`) and repeated CLI invocations start warm;
+* **dense rows** — transition rows live in flat ``array('q')`` vectors
+  (one machine word per ``(state, statement)`` cell) rather than Python
+  lists: the dense kernel's storage discipline, which shrinks the
+  resident tables, makes the persisted payloads raw machine words, and
+  keeps row indexing a C-level operation.
 
 The packed stepper is *exact*: :func:`make_packed_step` mirrors
 :func:`~repro.spec.det.det_step` statement for statement (the packing is
@@ -37,6 +42,7 @@ product BFS over the compiled oracle is byte-identical to the rich path.
 
 from __future__ import annotations
 
+from array import array
 from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
@@ -324,7 +330,8 @@ class CompiledSpecOracle:
 
     ``rows[state_id][statement_id]`` is the successor's dense state id,
     :data:`SINK` for a rejection, or :data:`UNQUERIED` — filled on
-    demand by :meth:`fill`.  State id 0 is always the initial state
+    demand by :meth:`fill`.  Rows are flat ``array('q')`` vectors (see
+    the module docstring).  State id 0 is always the initial state
     (which packs to the integer 0).  Construct via
     :func:`cached_spec_oracle` to share tables process-wide.
     """
@@ -337,8 +344,9 @@ class CompiledSpecOracle:
         self.num_symbols = len(self.symbols)
         self.step_packed = make_packed_step(n, k, prop)
         self._ids = {0: 0}
+        self._fresh_row = array("q", [UNQUERIED]) * self.num_symbols
         self.states: List[int] = [0]
-        self.rows: List[List[int]] = [[UNQUERIED] * self.num_symbols]
+        self.rows: List[array] = [array("q", self._fresh_row)]
         self._dirty = False
 
     #: Dense id of the initial state.
@@ -367,7 +375,7 @@ class CompiledSpecOracle:
         if sid is None:
             sid = self._ids[packed] = len(self.states)
             self.states.append(packed)
-            self.rows.append([UNQUERIED] * self.num_symbols)
+            self.rows.append(array("q", self._fresh_row))
             self._dirty = True
         return sid
 
@@ -412,29 +420,36 @@ class CompiledSpecOracle:
         for state, row in zip(states, rows):
             if not isinstance(state, int) or state < 0:
                 return False
-            if not isinstance(row, list) or len(row) != self.num_symbols:
+            if (
+                not isinstance(row, array)
+                or row.typecode != "q"
+                or len(row) != self.num_symbols
+            ):
                 return False
             for cell in row:
-                if not isinstance(cell, int) or not (
-                    UNQUERIED <= cell < nstates
-                ):
+                if not UNQUERIED <= cell < nstates:
                     return False
         if len(set(states)) != nstates:
             return False
         self.states = list(states)
-        self.rows = [list(row) for row in rows]
+        self.rows = [array("q", row) for row in rows]
         self._ids = {state: i for i, state in enumerate(states)}
         self._dirty = False
         return True
 
     def save_warm(self, cache_dir: str) -> bool:
-        """Spill the tables to ``cache_dir`` (no-op unless dirty)."""
+        """Spill the tables to ``cache_dir`` (no-op unless dirty).  Rows
+        persist as the flat ``array('q')`` vectors they live in — raw
+        machine words on disk."""
         if not self._dirty:
             return False
         ok = save_payload(
             cache_dir,
             self._cache_key(),
-            {"states": list(self.states), "rows": [list(r) for r in self.rows]},
+            {
+                "states": list(self.states),
+                "rows": [array("q", r) for r in self.rows],
+            },
         )
         if ok:
             self._dirty = False
@@ -484,7 +499,8 @@ class CompiledSpecDFA:
         self.prop = prop
         self.symbols = statement_table(n, k)
         self.num_symbols = len(self.symbols)
-        self.rows: Optional[Tuple[Tuple[int, ...], ...]] = None
+        #: One flat ``array('q')`` per state (see the module docstring).
+        self.rows: Optional[Tuple[array, ...]] = None
         self._dirty = False
 
     @property
@@ -499,7 +515,10 @@ class CompiledSpecDFA:
             return self
         from .build import interned_spec_rows
 
-        self.rows = interned_spec_rows(self.n, self.k, self.prop)
+        self.rows = tuple(
+            array("q", row)
+            for row in interned_spec_rows(self.n, self.k, self.prop)
+        )
         self._dirty = True
         return self
 
@@ -523,10 +542,14 @@ class CompiledSpecDFA:
             return False
         nstates = len(rows)
         for row in rows:
-            if not isinstance(row, tuple) or len(row) != self.num_symbols:
+            if (
+                not isinstance(row, array)
+                or row.typecode != "q"
+                or len(row) != self.num_symbols
+            ):
                 return False
             for cell in row:
-                if not isinstance(cell, int) or not (SINK <= cell < nstates):
+                if not SINK <= cell < nstates:
                     return False
         self.rows = tuple(rows)
         self._dirty = False

@@ -38,6 +38,7 @@ tests in ``tests/tm/test_compiled.py``).
 
 from __future__ import annotations
 
+from array import array
 from contextlib import contextmanager
 from typing import (
     Callable,
@@ -52,6 +53,7 @@ from typing import (
     Tuple,
 )
 
+from ..automata.kernel import DenseAdjacency, DenseCSR
 from ..cache import load_payload, save_payload
 from ..core.statements import Command, Kind, Statement
 from .algorithm import ABORT_EXT, Ext, Resp, TMAlgorithm, TMState, Transition
@@ -216,6 +218,13 @@ class CompiledTM:
         self._safety_rows_ids: Dict[int, tuple] = {}
         self._live_labels: Dict[Tuple[int, Ext, Resp], object] = {}
         self._dirty = False
+
+        # The dense layer: per-(side, property) product CSR tables
+        # (:class:`repro.automata.kernel.DenseCSR`), the liveness node
+        # adjacency, and any reusable sharding pools.
+        self._dense: Dict[Tuple[str, str], DenseCSR] = {}
+        self._dense_adj: Optional[DenseAdjacency] = None
+        self._pools: Dict[Tuple[int, Optional[str]], object] = {}
 
         # Interned observable labels for the safety view, plus their
         # integer statement ids — the index into
@@ -587,7 +596,14 @@ class CompiledTM:
         self._dirty = True
 
     @contextmanager
-    def sharded(self, jobs: Optional[int], cache_dir: Optional[str] = None):
+    def sharded(
+        self,
+        jobs: Optional[int],
+        cache_dir: Optional[str] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        reuse_pool: bool = False,
+    ):
         """A :class:`Sharder` running ``jobs`` worker processes, or
         ``None`` when sharding is unavailable.
 
@@ -602,6 +618,13 @@ class CompiledTM:
         otherwise always start cold).  Worker memo tables die with the
         pool — a sharded run never *writes* the row cache; populating
         it is a serial (or row-sharded) run's job.
+
+        ``chunk_size`` fixes the per-task batch of the row prefetcher
+        (default: one even chunk per worker); ``reuse_pool=True`` parks
+        the pool on the engine keyed by ``(jobs, cache_dir)`` instead of
+        tearing it down, so repeated checks skip the spawn cost — call
+        :meth:`close_pools` when done.  Both knobs are scheduling-only:
+        results are byte-identical for every setting.
         """
         if jobs is None or jobs <= 1 or self._codec is None:
             yield None
@@ -610,16 +633,37 @@ class CompiledTM:
         if seed is None:
             yield None
             return
-        import multiprocessing
+        pool_key = (jobs, cache_dir)
+        pool = self._pools.get(pool_key) if reuse_pool else None
+        if pool is None:
+            import multiprocessing
 
-        pool = multiprocessing.get_context().Pool(
-            jobs, initializer=_worker_init, initargs=(*seed, cache_dir)
-        )
+            pool = multiprocessing.get_context().Pool(
+                jobs, initializer=_worker_init, initargs=(*seed, cache_dir)
+            )
+            if reuse_pool:
+                self._pools[pool_key] = pool
         try:
-            yield Sharder(self, pool, jobs)
+            yield Sharder(self, pool, jobs, chunk_size=chunk_size)
+        except BaseException:
+            if reuse_pool:
+                # Never leave a possibly-broken pool parked: the next
+                # reuse would inherit dead workers instead of spawning.
+                self._pools.pop(pool_key, None)
+                pool.terminate()
+                pool.join()
+            raise
         finally:
+            if not reuse_pool:
+                pool.terminate()
+                pool.join()
+
+    def close_pools(self) -> None:
+        """Tear down any pools parked by ``sharded(reuse_pool=True)``."""
+        for pool in self._pools.values():
             pool.terminate()
             pool.join()
+        self._pools.clear()
 
     # ------------------------------------------------------------------
     # Checker-facing views
@@ -729,6 +773,92 @@ class CompiledTM:
                 )
             out.append((label, succ))
         return tuple(out)
+
+    # ------------------------------------------------------------------
+    # The dense layer
+    # ------------------------------------------------------------------
+
+    def dense_csr(self, side: str, prop) -> Optional[DenseCSR]:
+        """The (lazily created) dense product table for one check
+        configuration.
+
+        ``side`` names the product flavour (``"oracle"`` for the
+        lazy-spec packed product, ``"dfa"`` for the int-rows DFA-sided
+        one — their pair spaces are numbered differently, so they keep
+        separate tables) and ``prop`` the safety property.  Returns
+        ``None`` for codec-less engines: without a process-stable node
+        encoding the table could not be validated against — or persisted
+        for — another process.  The table itself is recorded by the
+        kernel on the first serial untraced pass (see
+        :class:`repro.automata.kernel.DenseCSR`).
+        """
+        if self._codec is None:
+            return None
+        prop_value = getattr(prop, "value", str(prop))
+        key = (side, prop_value)
+        csr = self._dense.get(key)
+        if csr is None:
+            csr = self._dense[key] = DenseCSR(
+                span_bits=self.node_span.bit_length() - 1,
+                stable_of_node=self.stable_of_node,
+                cache_key=(
+                    "dense-csr",
+                    type(self.tm).__name__,
+                    self.name,
+                    self.n,
+                    self.k,
+                    prop_value,
+                    side,
+                ),
+            )
+        return csr
+
+    def dense_node_adjacency(self) -> DenseAdjacency:
+        """The CSR adjacency of the full reachable node graph (liveness
+        view), built once per engine from the memoized node rows.
+
+        Nodes are interned in the exact BFS discovery order of
+        :func:`repro.tm.explore.explore_packed`, successors per node in
+        exact row order, so materializing a liveness graph from this
+        adjacency is byte-identical to the row-by-row builder.  Shared
+        by :func:`repro.tm.explore.build_liveness_graph` and (through
+        it) the SCC-based liveness checks.
+        """
+        adj = self._dense_adj
+        if adj is None:
+            init = self.initial_node_packed()
+            ids: Dict[int, int] = {init: 0}
+            order: List[int] = [init]
+            offsets = array("q", (0,))
+            targets = array("q")
+            labels = array("q")
+            label_ids: Dict[Tuple[int, Ext, Resp], int] = {}
+            label_table: List[Tuple[int, Ext, Resp]] = []
+            node_row = self.node_row
+            i = 0
+            while i < len(order):
+                for ti, _ci, ext, resp, succ in node_row(order[i]):
+                    lkey = (ti, ext, resp)
+                    lid = label_ids.get(lkey)
+                    if lid is None:
+                        lid = label_ids[lkey] = len(label_table)
+                        label_table.append(lkey)
+                    sid = ids.get(succ)
+                    if sid is None:
+                        sid = ids[succ] = len(order)
+                        order.append(succ)
+                    targets.append(sid)
+                    labels.append(lid)
+                offsets.append(len(targets))
+                i += 1
+            adj = self._dense_adj = DenseAdjacency(
+                nodes=order,
+                offsets=offsets,
+                targets=targets,
+                labels=labels,
+                label_table=label_table,
+            )
+        return adj
 
     # ------------------------------------------------------------------
     # TMAlgorithm-compatible contract
@@ -971,7 +1101,7 @@ def _worker_expand(task: Tuple[str, List[int]]) -> List[Tuple[int, tuple]]:
     return [expand_stable(mode, sn) for sn in stable_nodes]
 
 
-def _worker_expand_pairs(task) -> Tuple[bool, List[int]]:
+def _worker_expand_pairs(task) -> Tuple[bool, Sequence[int]]:
     """One shard of a sharded-product level: expand every stable pair.
 
     A pair is ``spec_packed << span_bits | stable_node``; the worker
@@ -981,6 +1111,12 @@ def _worker_expand_pairs(task) -> Tuple[bool, List[int]]:
     pairs, deduplicated, back in stable encoding.  A SINK transition
     aborts the shard immediately: the parent reruns the serial traced
     path, so nothing beyond the violation flag matters.
+
+    The successor slice crosses the process boundary as a flat
+    ``array('q')`` — a CSR-style dense chunk that pickles as raw machine
+    words instead of a list of boxed ints — falling back to a plain list
+    on the (huge-instance) shards whose stable pairs overflow 64 bits.
+    The parent's merge iterates either container identically.
     """
     prop, span_bits, stable_pairs = task
     engine = _WORKER_ENGINE
@@ -1024,7 +1160,10 @@ def _worker_expand_pairs(task) -> Tuple[bool, List[int]]:
             else:
                 for s in succs:
                     out[base | stable_of_node(s)] = None
-    return False, list(out)
+    try:
+        return False, array("q", out)
+    except OverflowError:  # stable pairs beyond 64 bits: boxed fallback
+        return False, list(out)
 
 
 def _spawn_seed(tm: TMAlgorithm) -> Optional[Tuple[type, tuple]]:
@@ -1069,10 +1208,25 @@ class Sharder:
     #: skipped and rows are computed serially on demand.
     hot_hit_rate = 0.9
 
-    def __init__(self, engine: CompiledTM, pool, jobs: int) -> None:
+    def __init__(
+        self,
+        engine: CompiledTM,
+        pool,
+        jobs: int,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> None:
         self.engine = engine
         self.pool = pool
         self.jobs = jobs
+        #: Fixed per-task batch size for the row prefetcher; ``None``
+        #: (or any value below 1, clamped here so a bad CLI flag cannot
+        #: starve the pool) splits each level into one even chunk per
+        #: worker.  A scheduling knob only — results are identical for
+        #: any value.
+        if chunk_size is not None and chunk_size < 1:
+            chunk_size = None
+        self.chunk_size = chunk_size
         self._last_hit_rate: Optional[float] = None
         #: Levels whose pool dispatch was skipped as row-warm (for
         #: tests and benchmarks).
@@ -1101,7 +1255,7 @@ class Sharder:
             self.skipped_prefetches += 1
             return
         stable = [engine.stable_of_node(n) for n in todo]
-        chunk = max(1, -(-len(stable) // self.jobs))
+        chunk = self.chunk_size or max(1, -(-len(stable) // self.jobs))
         tasks = [
             (mode, stable[i : i + chunk])
             for i in range(0, len(stable), chunk)
@@ -1155,7 +1309,7 @@ class PairSharder:
 
     def expand_pairs(
         self, shards: List[List[int]]
-    ) -> List[Tuple[bool, List[int]]]:
+    ) -> List[Tuple[bool, Sequence[int]]]:
         tasks = [(self.prop, self.span_bits, shard) for shard in shards]
         return self.pool.map(_worker_expand_pairs, tasks)
 

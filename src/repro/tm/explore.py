@@ -295,9 +295,38 @@ def _build_liveness_graph_compiled(
     decoded once per node for the (identical) output graph.  Sharding
     (``jobs > 1``) computes each BFS level's node rows on the worker
     pool; the traversal below then runs on memo hits, level by level,
-    in the identical order."""
+    in the identical order.
+
+    Serial unbounded builds route through the engine's **dense node
+    adjacency** (:meth:`repro.tm.compiled.CompiledTM.dense_node_adjacency`):
+    the reachable graph is compiled once into CSR arrays over dense node
+    ids — in the identical BFS/row order — and the rich
+    :class:`LivenessGraph` is materialized from the arrays, so repeated
+    liveness checks on one engine re-walk flat arrays instead of
+    re-driving the row memos.  Bounded (``max_states``) builds keep the
+    row-by-row loop so the guard raises at the identical point; sharded
+    builds keep it for the level-synchronized prefetch."""
     if cache_dir is not None:
         engine.load_warm(cache_dir)
+    if max_states is None and (jobs is None or jobs <= 1):
+        adj = engine.dense_node_adjacency()
+        decode = engine.decode_node
+        decoded = [decode(p) for p in adj.nodes]
+        labels_rich = [
+            ExtStatement(ti + 1, ext.name, ext.var, resp)
+            for ti, ext, resp in adj.label_table
+        ]
+        offsets, targets, labels = adj.offsets, adj.targets, adj.labels
+        edges = [
+            (decoded[src], labels_rich[labels[e]], decoded[targets[e]])
+            for src in range(len(decoded))
+            for e in range(offsets[src], offsets[src + 1])
+        ]
+        if cache_dir is not None:
+            engine.save_warm(cache_dir)
+        return LivenessGraph(
+            initial=decoded[0], nodes=tuple(decoded), edges=tuple(edges)
+        )
     init = engine.initial_node_packed()
     seen: Set[int] = {init}
     order: List[int] = [init]

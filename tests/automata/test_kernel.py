@@ -266,3 +266,277 @@ class TestProductDfaPacked:
                 node_span=self.NODE_SPAN, max_states=3,
             )
         assert str(direct.value) == str(packed.value)
+
+
+class TestDenseKernel:
+    """The dense kernel: CSR recording, bitset BFS, persistence.
+
+    Synthetic products over hand-built id rows (the fixtures of
+    ``TestProductDfaPacked``), with an identity stable encoding — the
+    packed left states already are their own process-stable keys here.
+    Every dense result must equal the set-based call bit for bit, on
+    the numpy fast path and the stdlib fallback alike.
+    """
+
+    SYMBOLS = ("a", "b")
+    NODE_SPAN = 8
+    HOLDING_ROWS = {
+        0: ((0, 1), (-1, 2)),          # a -> 1, eps -> 2
+        1: ((1, (0, 2)),),             # b -> {0, 2}
+        2: ((0, 2),),                  # a self-loop
+    }
+    HOLDING_SPEC = ((1, 0), (1, 1))
+    VIOLATING_ROWS = {
+        0: ((0, 1),),                  # a -> 1
+        1: ((-1, 2),),                 # eps -> 2
+        2: ((1, 3),),                  # b -> 3 ... but spec rejects b
+    }
+    VIOLATING_SPEC = ((1, -1), (0, -1))
+
+    def _dense(self, cache_key=None):
+        from repro.automata.kernel import DenseCSR
+
+        return DenseCSR(
+            span_bits=3, stable_of_node=lambda p: p, cache_key=cache_key
+        )
+
+    def _run(self, rows, spec, dense):
+        from repro.automata.kernel import product_dfa_packed
+
+        return product_dfa_packed(
+            lambda q: rows.get(q, ()), [0], spec,
+            node_span=self.NODE_SPAN, dense=dense,
+        )
+
+    def test_csr_construction_is_the_exact_adjacency(self):
+        dense = self._dense()
+        got = self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, dense)
+        assert got == (True, None, 5, 3)
+        # Dense ids in discovery order: 0=(n0,s0) 1=(n1,s1) 2=(n2,s0)
+        # 3=(n0,s1) 4=(n2,s1); rows recorded in exact emission order.
+        assert dense.complete and not dense.flags
+        assert list(dense.node_keys) == [0, 1, 2, 0, 2]
+        assert list(dense.spec_ids) == [0, 1, 0, 1, 1]
+        assert list(dense.offsets) == [0, 2, 4, 5, 7, 8]
+        assert list(dense.targets) == [1, 2, 3, 4, 4, 1, 4, 4]
+        assert dense.num_init == 1 and dense.matches_init([0])
+        assert not dense.matches_init([1])
+
+    @pytest.mark.parametrize("numpy_path", [True, False], ids=["np", "py"])
+    def test_warm_rerun_never_touches_rows(self, monkeypatch, numpy_path):
+        import repro.automata.kernel as kernel_mod
+
+        if not numpy_path:
+            monkeypatch.setattr(kernel_mod, "_np", None)
+        elif kernel_mod._np is None:  # pragma: no cover
+            pytest.skip("numpy unavailable")
+        dense = self._dense()
+        cold = self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, dense)
+
+        def poisoned(q):  # a warm run must be array-only
+            raise AssertionError("row function touched on a warm run")
+
+        from repro.automata.kernel import product_dfa_packed
+
+        warm = product_dfa_packed(
+            poisoned, [0], self.HOLDING_SPEC,
+            node_span=self.NODE_SPAN, dense=dense,
+        )
+        assert warm == cold
+
+    @pytest.mark.parametrize("numpy_path", [True, False], ids=["np", "py"])
+    def test_bitset_dedup_within_a_level(self, monkeypatch, numpy_path):
+        """Two length-2 paths converge on one node in the same BFS level:
+        the gathered batch contains its dense id twice, the bitset must
+        admit it once."""
+        import repro.automata.kernel as kernel_mod
+
+        if not numpy_path:
+            monkeypatch.setattr(kernel_mod, "_np", None)
+        elif kernel_mod._np is None:  # pragma: no cover
+            pytest.skip("numpy unavailable")
+        rows = {
+            0: ((0, (1, 2)),),         # a -> {1, 2}
+            1: ((0, 3),),              # both paths meet at node 3
+            2: ((0, 3),),
+            3: (),
+        }
+        spec = ((0,),)                 # single all-accepting spec state
+        dense = self._dense()
+        cold = self._run(rows, spec, dense)
+        assert cold == (True, None, 4, 4)
+        # the duplicate edge is recorded, the pair only counted once
+        assert list(dense.targets).count(3) == 2
+        warm = self._run(rows, spec, dense)
+        assert warm == cold
+
+    def test_violating_product_flags_partial_csr(self):
+        dense = self._dense()
+        cold = self._run(self.VIOLATING_ROWS, self.VIOLATING_SPEC, dense)
+        reference = self._run(self.VIOLATING_ROWS, self.VIOLATING_SPEC, None)
+        assert cold == reference and cold[1] == (0, 1)  # word "a b"
+        assert not dense.complete and dense.flags
+        assert len(dense.offsets) == len(dense.node_keys) + 1
+        # the warm rerun reaches the flagged pair and re-runs traced
+        warm = self._run(self.VIOLATING_ROWS, self.VIOLATING_SPEC, dense)
+        assert warm == cold
+
+    def test_edge_budget_bailout_disables_recording(self, monkeypatch):
+        import repro.automata.kernel as kernel_mod
+
+        monkeypatch.setattr(kernel_mod, "DENSE_MAX_EDGES", 3)
+        dense = self._dense()
+        got = self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, dense)
+        assert got == (True, None, 5, 3)  # set-based semantics intact
+        assert dense.disabled and not dense.built
+        # a disabled table is skipped entirely on later runs
+        again = self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, dense)
+        assert again == got
+
+    @pytest.mark.parametrize("numpy_path", [True, False], ids=["np", "py"])
+    def test_flagged_initial_pair_short_circuits(
+        self, monkeypatch, numpy_path
+    ):
+        """A product violating on its very first pair flags dense id 0;
+        the warm replay must bail before any sweep."""
+        import repro.automata.kernel as kernel_mod
+
+        if not numpy_path:
+            monkeypatch.setattr(kernel_mod, "_np", None)
+        elif kernel_mod._np is None:  # pragma: no cover
+            pytest.skip("numpy unavailable")
+        rows = {0: ((1, 1),)}          # b from the initial node
+        spec = ((0, -1),)              # ... which the spec rejects
+        dense = self._dense()
+        cold = self._run(rows, spec, dense)
+        assert cold[0] is False and cold[1] == (1,)
+        assert dense.flags == (0,)
+        warm = self._run(rows, spec, dense)
+        assert warm == cold
+
+    def test_oracle_side_edge_budget_bailout(self, monkeypatch):
+        """The pipeline's oracle-sided builder degrades identically when
+        the edge budget trips mid-build."""
+        import repro.automata.kernel as kernel_mod
+        from repro.checking import check_safety
+        from repro.spec import SS
+        from repro.tm import DSTM, compile_tm
+
+        monkeypatch.setattr(kernel_mod, "DENSE_MAX_EDGES", 10)
+        reference = check_safety(
+            DSTM(2, 1), SS, lazy_spec=True, dense_kernel=False
+        )
+        tm = DSTM(2, 1)
+        res = check_safety(tm, SS, lazy_spec=True)
+        assert (res.holds, res.product_states, res.tm_states) == (
+            reference.holds,
+            reference.product_states,
+            reference.tm_states,
+        )
+        csr = compile_tm(tm).dense_csr("oracle", SS)
+        assert csr.disabled and not csr.built
+
+    @pytest.mark.parametrize("numpy_path", [True, False], ids=["np", "py"])
+    def test_save_load_round_trip(self, tmp_path, monkeypatch, numpy_path):
+        import repro.automata.kernel as kernel_mod
+
+        if not numpy_path:
+            monkeypatch.setattr(kernel_mod, "_np", None)
+        elif kernel_mod._np is None:  # pragma: no cover
+            pytest.skip("numpy unavailable")
+        d = str(tmp_path)
+        dense = self._dense(cache_key=("dense-csr", "synthetic", "t"))
+        cold = self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, dense)
+        assert dense.save_warm(d)
+        assert not dense.save_warm(d)  # dirty-gated
+        fresh = self._dense(cache_key=("dense-csr", "synthetic", "t"))
+        assert fresh.load_warm(d)
+        assert fresh.complete and fresh.stable_keys
+        assert list(fresh.targets) == list(dense.targets)
+        warm = self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, fresh)
+        assert warm == cold
+        # a used (or loaded) table refuses another load
+        assert not fresh.load_warm(d)
+
+    @pytest.mark.parametrize("numpy_path", [True, False], ids=["np", "py"])
+    def test_load_rejects_corrupt_and_malformed_payloads(
+        self, tmp_path, monkeypatch, numpy_path
+    ):
+        from array import array
+
+        import repro.automata.kernel as kernel_mod
+        from repro.cache import cache_path, save_payload
+
+        if not numpy_path:
+            monkeypatch.setattr(kernel_mod, "_np", None)
+        elif kernel_mod._np is None:  # pragma: no cover
+            pytest.skip("numpy unavailable")
+
+        d = str(tmp_path)
+        key = ("dense-csr", "synthetic", "t")
+        dense = self._dense(cache_key=key)
+        self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, dense)
+        assert dense.save_warm(d)
+        ok = self._dense(cache_key=key)
+        assert ok.load_warm(d)
+
+        base = {
+            "span_bits": 3,
+            "num_init": 1,
+            "complete": True,
+            "flags": [],
+            "node_keys": array("q", ok.node_keys),
+            "spec_ids": array("q", ok.spec_ids),
+            "offsets": array("q", ok.offsets),
+            "targets": array("q", ok.targets),
+        }
+
+        def variant(**kw):
+            payload = dict(base)
+            payload.update(kw)
+            return payload
+
+        bad_payloads = [
+            "not a dict",
+            variant(span_bits=4),                       # stale geometry
+            variant(num_init=0),
+            variant(num_init=99),
+            variant(complete=False),                    # complete w/o flags
+            variant(flags=[99]),                        # flag out of range
+            variant(flags=[0]),                         # flags on complete
+            variant(offsets=array("q", [0, 2, 4, 5, 7])),   # wrong length
+            variant(offsets=array("q", [0, 4, 2, 5, 7, 8])),  # not monotone
+            variant(offsets=array("q", [0, 2, 4, 5, 7, 9])),  # edge count
+            variant(targets=array("q", [1, 2, 3, 4, 4, 1, 4, 99])),
+            variant(node_keys=array("q", [0, 1, 2, 0, 99])),  # key > span
+            variant(node_keys=list(ok.node_keys)),      # list, not array
+            variant(spec_ids=array("q", [1, 1, 0, 1, 1])),  # init not spec 0
+        ]
+        for payload in bad_payloads:
+            save_payload(d, key, payload)
+            fresh = self._dense(cache_key=key)
+            assert not fresh.load_warm(d), payload
+        # raw garbage on disk degrades to a cold run too
+        with open(cache_path(d, key), "wb") as fh:
+            fh.write(b"\x80garbage that is not a pickle")
+        fresh = self._dense(cache_key=key)
+        assert not fresh.load_warm(d)
+
+    def test_load_rejects_stale_engine_version(self, tmp_path):
+        import pickle
+
+        from repro.cache import ENGINE_VERSION, cache_path
+
+        d = str(tmp_path)
+        key = ("dense-csr", "synthetic", "t")
+        dense = self._dense(cache_key=key)
+        self._run(self.HOLDING_ROWS, self.HOLDING_SPEC, dense)
+        assert dense.save_warm(d)
+        path = cache_path(d, key)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["version"] = ENGINE_VERSION + 1
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        fresh = self._dense(cache_key=key)
+        assert not fresh.load_warm(d)

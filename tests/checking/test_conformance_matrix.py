@@ -1,14 +1,16 @@
 """Cross-engine conformance matrix: one suite, every engine combination.
 
-The safety pipeline now has four independent engine axes — the compiled
+The safety pipeline now has five independent engine axes — the compiled
 TM engine, the compiled spec side (packed oracle on the lazy path,
-int-rows DFA on the materialized path), process sharding (row-prefetch
-or the sharded product BFS itself), and the on-disk warm cache.  Every
-cell of this matrix must produce **byte-identical** verdicts,
-counterexamples and reported counts against the naive reference path
-(``compiled=False``), holding and violating instances alike.  This file
-replaces the per-PR ad-hoc differentials with one systematic sweep; new
-engine axes should be added here, not as new one-off tests.
+int-rows DFA on the materialized path), the dense array-backed BFS
+kernel (CSR successor tables + bitset seen-sets vs the set-based pair
+loop), process sharding (row-prefetch or the sharded product BFS
+itself), and the on-disk warm cache.  Every cell of this matrix must
+produce **byte-identical** verdicts, counterexamples and reported
+counts against the naive reference path (``compiled=False``), holding
+and violating instances alike.  This file replaces the per-PR ad-hoc
+differentials with one systematic sweep; new engine axes should be
+added here, not as new one-off tests.
 """
 
 import pytest
@@ -45,25 +47,34 @@ def _tuple(res):
 
 
 def _combos():
-    """Engine combinations: compiled × spec_compiled × jobs ×
-    sharded-product × warm/cold cache, pruned to the cells where an axis
-    exists (the naive path has no spec engine, no pool and no cache; a
-    pair sharder needs ``jobs > 1`` and a compiled spec side)."""
+    """Engine combinations: compiled × spec_compiled × dense-kernel ×
+    jobs × sharded-product × warm/cold cache, pruned to the cells where
+    an axis exists (the naive path has no spec engine, no pool and no
+    cache; a pair sharder needs ``jobs > 1`` and a compiled spec side;
+    the dense kernel only engages on the all-int compiled-spec
+    paths)."""
     for compiled in (True, False):
         for spec_compiled in (True, False) if compiled else (True,):
-            for jobs in (1, 2) if compiled else (1,):
-                shard_opts = (
-                    (True, False) if jobs > 1 and spec_compiled else (True,)
-                )
-                for shard_product in shard_opts:
-                    for warm in (False, True) if compiled else (False,):
-                        yield {
-                            "compiled": compiled,
-                            "spec_compiled": spec_compiled,
-                            "jobs": jobs,
-                            "shard_product": shard_product,
-                            "warm": warm,
-                        }
+            dense_opts = (
+                (True, False) if compiled and spec_compiled else (False,)
+            )
+            for dense in dense_opts:
+                for jobs in (1, 2) if compiled else (1,):
+                    shard_opts = (
+                        (True, False)
+                        if jobs > 1 and spec_compiled
+                        else (True,)
+                    )
+                    for shard_product in shard_opts:
+                        for warm in (False, True) if compiled else (False,):
+                            yield {
+                                "compiled": compiled,
+                                "spec_compiled": spec_compiled,
+                                "dense": dense,
+                                "jobs": jobs,
+                                "shard_product": shard_product,
+                                "warm": warm,
+                            }
 
 
 @pytest.mark.parametrize("lazy_spec", [False, True], ids=["dfa", "oracle"])
@@ -85,6 +96,7 @@ def test_every_engine_combination_matches_naive(
             "lazy_spec": lazy_spec,
             "compiled": combo["compiled"],
             "spec_compiled": combo["spec_compiled"],
+            "dense_kernel": combo["dense"],
             "jobs": combo["jobs"],
             "shard_product": combo["shard_product"],
         }
@@ -135,6 +147,7 @@ def test_max_states_guard_identical_across_engines():
         {"jobs": 2, "shard_product": False},
         {"compiled": False},
         {"spec_compiled": False},
+        {"dense_kernel": False},
     ):
         with pytest.raises(RuntimeError) as exc:
             check_safety(

@@ -135,3 +135,55 @@ class TestSmallInstances:
     def test_single_thread_always_safe(self):
         res = check_safety(DSTM(1, 2), OP)
         assert res.holds
+
+
+class TestProfile:
+    """check_safety(profile=...) fills the per-phase wall-time split."""
+
+    KEYS = {
+        "engine_build_s",
+        "row_discovery_s",
+        "product_bfs_s",
+        "trace_rerun_s",
+    }
+
+    def test_holding_run_phases(self):
+        prof = {}
+        res = check_safety(DSTM(2, 1), SS, lazy_spec=True, profile=prof)
+        assert res.holds
+        assert set(prof) == self.KEYS
+        assert prof["trace_rerun_s"] == 0.0
+        assert prof["engine_build_s"] >= 0 and prof["product_bfs_s"] > 0
+        assert prof["row_discovery_s"] > 0  # a cold engine computed rows
+
+    def test_violating_run_records_trace_rerun(self):
+        from repro.tm import ModifiedTL2
+
+        prof = {}
+        res = check_safety(ModifiedTL2(2, 2), SS, profile=prof)
+        assert not res.holds
+        assert prof["trace_rerun_s"] > 0
+
+    def test_profiling_changes_no_result(self):
+        plain = check_safety(DSTM(2, 1), OP, lazy_spec=True)
+        prof = {}
+        profiled = check_safety(
+            DSTM(2, 1), OP, lazy_spec=True, profile=prof
+        )
+        assert (
+            profiled.holds, profiled.counterexample, profiled.tm_states,
+            profiled.spec_states, profiled.product_states,
+        ) == (
+            plain.holds, plain.counterexample, plain.tm_states,
+            plain.spec_states, plain.product_states,
+        )
+
+    def test_uninstrumented_branch_reports_coarse_total(self):
+        prof = {}
+        res = check_safety(
+            DSTM(2, 1), SS, lazy_spec=True, spec_compiled=False,
+            profile=prof,
+        )
+        assert res.holds
+        assert prof["product_bfs_s"] > 0  # the whole check, coarsely
+        assert prof["engine_build_s"] == prof["trace_rerun_s"] == 0.0

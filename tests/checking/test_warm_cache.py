@@ -179,3 +179,86 @@ def test_fallback_interned_tm_skips_cache_silently(tmp_path):
     assert res.holds in (True, False)
     assert not any(n.startswith("tm-engine") for n in os.listdir(d))
     clear_spec_oracle_cache()
+
+
+# ----------------------------------------------------------------------
+# The dense kernel's CSR payloads
+# ----------------------------------------------------------------------
+
+
+def test_dense_csr_payload_round_trip(tmp_path):
+    """A warm process replays the product from the CSR payload alone —
+    byte-identical results with *zero* row-memo traffic."""
+    d = str(tmp_path)
+    cold = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    clear_spec_oracle_cache()
+    # Keep only the dense-csr payloads: a warm dense run must not need
+    # the row caches at all (the array-only BFS never touches them).
+    kept = 0
+    for name in os.listdir(d):
+        if name.startswith("dense-csr"):
+            kept += 1
+        else:
+            os.unlink(os.path.join(d, name))
+    assert kept
+    tm = DSTM(2, 2)
+    warm = check_safety(tm, SS, lazy_spec=True, cache_dir=d)
+    assert _result_tuple(warm) == _result_tuple(cold)
+    assert compile_tm(tm).stats()["safety_rows"] == 0  # array-only run
+    clear_spec_oracle_cache()
+
+
+def test_dense_csr_corrupt_payload_degrades_to_cold(tmp_path):
+    d = str(tmp_path)
+    cold = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    clear_spec_oracle_cache()
+    for name in os.listdir(d):
+        if name.startswith("dense-csr"):
+            with open(os.path.join(d, name), "wb") as fh:
+                fh.write(b"\x80garbage that is not a pickle")
+    warm = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    assert _result_tuple(warm) == _result_tuple(cold)
+    clear_spec_oracle_cache()
+
+
+def test_dense_csr_payload_written_for_both_sides(tmp_path):
+    d = str(tmp_path)
+    check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d)
+    check_safety(DSTM(2, 2), SS, lazy_spec=False, cache_dir=d)
+    sides = [n for n in os.listdir(d) if n.startswith("dense-csr")]
+    assert len(sides) == 2  # one oracle-sided, one DFA-sided table
+
+
+def test_dense_csr_violating_payload_round_trip(tmp_path):
+    """A violating product persists its partial flagged CSR; the warm
+    run short-circuits to the traced rerun with the identical word."""
+    d = str(tmp_path)
+    cold = check_safety(ModifiedTL2(2, 2), SS, lazy_spec=True, cache_dir=d)
+    assert not cold.holds
+    clear_spec_oracle_cache()
+    warm = check_safety(ModifiedTL2(2, 2), SS, lazy_spec=True, cache_dir=d)
+    assert _result_tuple(warm) == _result_tuple(cold)
+    clear_spec_oracle_cache()
+
+
+def test_no_dense_kernel_writes_no_csr_payload(tmp_path):
+    d = str(tmp_path)
+    check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d,
+                 dense_kernel=False)
+    assert not [n for n in os.listdir(d) if n.startswith("dense-csr")]
+
+
+def test_warm_row_memo_picked_up_after_load(tmp_path):
+    """The kernel's row_map must be the *post-load* memo dict: a fully
+    row-warm, dense-less run discovers zero rows (the profile wrapper
+    would otherwise time every memo hit as a miss)."""
+    d = str(tmp_path)
+    check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d,
+                 dense_kernel=False)
+    clear_spec_oracle_cache()
+    prof = {}
+    warm = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=d,
+                        dense_kernel=False, profile=prof)
+    assert warm.holds
+    assert prof["row_discovery_s"] == 0.0
+    clear_spec_oracle_cache()

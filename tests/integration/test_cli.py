@@ -108,3 +108,52 @@ class TestParser:
     def test_help_builds(self):
         parser = build_parser()
         assert parser.format_help()
+
+
+class TestDenseKernelAndProfileFlags:
+    def test_no_dense_kernel_identical_output(self, capsys):
+        import re
+
+        def norm(text):
+            # normalize timings (and the padding/rules they stretch)
+            # away; verdict cells and counterexample words must survive
+            text = re.sub(r"\d+\.\d+s", "<t>", text)
+            return re.sub(r"-+", "-", re.sub(r" +", " ", text))
+
+        assert main(["safety", "dstm", "-k", "1", "--lazy-spec"]) == 0
+        dense = capsys.readouterr().out
+        assert main(
+            ["safety", "dstm", "-k", "1", "--lazy-spec", "--no-dense-kernel"]
+        ) == 0
+        set_based = capsys.readouterr().out
+        assert norm(dense) == norm(set_based)
+
+    def test_profile_emits_json_phases_on_stderr(self, capsys):
+        import json
+
+        assert main(["safety", "2pl", "-k", "1", "--profile"]) == 0
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if l.strip()]
+        assert len(lines) == 2  # one JSON record per property
+        for line in lines:
+            record = json.loads(line)
+            assert record["tm"] == "2PL"
+            assert set(record["phases"]) == {
+                "engine_build_s",
+                "row_discovery_s",
+                "product_bfs_s",
+                "trace_rerun_s",
+            }
+            assert all(v >= 0 for v in record["phases"].values())
+
+    def test_chunk_size_flag_accepted(self, capsys):
+        assert main(
+            ["safety", "2pl", "-k", "1", "--jobs", "2", "--chunk-size", "4",
+             "--no-shard-product"]
+        ) == 0
+
+    def test_nonpositive_chunk_size_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["safety", "2pl", "-k", "1", "--jobs", "2",
+                  "--chunk-size", "0"])
+        assert exc.value.code == 2

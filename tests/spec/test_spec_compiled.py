@@ -353,3 +353,40 @@ def test_oracle_intern_packed_is_stable():
     assert oracle.intern_packed(12345) == sid
     assert oracle.states[sid] == 12345
     assert oracle.intern_packed(0) == 0  # the initial state keeps id 0
+
+
+def test_warm_cache_rows_are_flat_arrays(tmp_path):
+    """Rows persist (and restore) as flat array('q') vectors — the dense
+    layer's storage discipline; list rows and out-of-range cells are
+    rejected."""
+    from array import array
+
+    d = str(tmp_path)
+    oracle = _filled_oracle()
+    assert oracle.save_warm(d)
+    fresh = CompiledSpecOracle(2, 1, SS)
+    assert fresh.load_warm(d)
+    assert all(
+        isinstance(row, array) and row.typecode == "q"
+        for row in fresh.rows
+    )
+    key = oracle._cache_key()
+    num = oracle.num_symbols
+    for rows in (
+        [[UNQUERIED] * num],                     # list row: wrong type
+        [array("q", [99] * num)],                # successor out of range
+        [array("l", [UNQUERIED] * num)]          # wrong typecode
+        if array("l").itemsize != 8
+        else [array("q", [UNQUERIED] * (num - 1))],
+    ):
+        with open(cache_path(d, key), "wb") as fh:
+            pickle.dump(
+                {
+                    "version": ENGINE_VERSION,
+                    "key": key,
+                    "data": {"states": [0], "rows": rows},
+                },
+                fh,
+            )
+        bad = CompiledSpecOracle(2, 1, SS)
+        assert not bad.load_warm(d)

@@ -278,3 +278,18 @@ def test_language_contains_matches_nfa_simulation(factory, text):
     assert language_contains(factory(), word) == language_contains(
         factory(), word, compiled=False
     )
+
+
+def test_dense_node_adjacency_memoized_and_covers_graph():
+    """The liveness-side dense adjacency: one CSR per engine, node set
+    and edge count equal to the (byte-identical) rich graph."""
+    tm = DSTM(2, 1)
+    engine = compile_tm(tm)
+    adj = engine.dense_node_adjacency()
+    assert engine.dense_node_adjacency() is adj  # memoized
+    graph = build_liveness_graph(tm)
+    assert len(adj.nodes) == len(graph.nodes)
+    assert len(adj.targets) == len(adj.labels) == len(graph.edges)
+    assert len(adj.offsets) == len(adj.nodes) + 1
+    decoded = [engine.decode_node(p) for p in adj.nodes]
+    assert tuple(decoded) == graph.nodes

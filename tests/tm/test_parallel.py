@@ -181,3 +181,103 @@ def test_hot_short_circuit_is_verdict_neutral():
     ser = check_safety(tm, SS, lazy_spec=True)  # warms the shared engine
     par = check_safety(tm, SS, lazy_spec=True, jobs=2, shard_product=False)
     assert _result_tuple(par) == _result_tuple(ser)
+
+
+def test_chunk_size_knob_is_result_neutral():
+    """--chunk-size is scheduling-only: any per-task batch size must
+    reproduce the serial results bit for bit (row-sharding flavour, so
+    the prefetcher actually consumes the knob)."""
+    serial = check_safety(DSTM(2, 2), SS, lazy_spec=True)
+    for chunk in (1, 7, 10_000):
+        sharded = check_safety(
+            DSTM(2, 2), SS, lazy_spec=True, jobs=2,
+            shard_product=False, chunk_size=chunk,
+        )
+        assert (
+            sharded.holds, sharded.counterexample, sharded.tm_states,
+            sharded.spec_states, sharded.product_states,
+        ) == (
+            serial.holds, serial.counterexample, serial.tm_states,
+            serial.spec_states, serial.product_states,
+        )
+
+
+def test_reuse_pool_parks_and_closes():
+    """reuse_pool=True keeps one pool on the engine across checks (and
+    across both properties); close_pools tears it down."""
+    tm = DSTM(2, 2)
+    engine = compile_tm(tm)
+    serial = check_safety(DSTM(2, 2), SS, lazy_spec=True)
+    for prop in (SS, OP):
+        res = check_safety(
+            tm, prop, lazy_spec=True, jobs=2, reuse_pool=True,
+            dense_kernel=False,
+        )
+        if prop is SS:
+            assert (res.holds, res.product_states) == (
+                serial.holds, serial.product_states,
+            )
+    assert len(engine._pools) == 1  # one pool, reused across checks
+    engine.close_pools()
+    assert not engine._pools
+
+
+def test_worker_pair_slices_are_flat_arrays():
+    """Workers ship successor slices as array('q') chunks when the
+    stable pairs fit a machine word (in-process worker simulation)."""
+    from array import array
+
+    from repro.spec.compiled import clear_spec_oracle_cache
+    from repro.tm import compiled as C
+
+    tm = DSTM(2, 2)
+    engine = compile_tm(tm)
+    span_bits = engine.node_span.bit_length() - 1
+    init_stable = engine.stable_of_node(engine.initial_node_packed())
+    old = C._WORKER_ENGINE, C._WORKER_CACHE_DIR
+    try:
+        C._worker_init(DSTM, (2, 2))
+        violated, succs = C._worker_expand_pairs(
+            (SS, span_bits, [init_stable])
+        )
+    finally:
+        C._WORKER_ENGINE, C._WORKER_CACHE_DIR = old
+        clear_spec_oracle_cache()
+    assert not violated
+    assert isinstance(succs, array) and succs.typecode == "q"
+    assert len(succs) == len(set(succs)) > 0
+
+
+def test_reuse_pool_not_parked_after_failure():
+    """An exception inside a reuse_pool sharding context must evict the
+    (possibly broken) pool instead of parking it for the next check."""
+    engine = compile_tm(DSTM(2, 2))
+    with pytest.raises(RuntimeError, match="boom"):
+        with engine.sharded(2, reuse_pool=True) as shard:
+            assert shard is not None
+            raise RuntimeError("boom")
+    assert not engine._pools
+
+
+def test_nonpositive_chunk_size_clamps_to_default():
+    """Sharder clamps chunk_size < 1 to the per-worker default instead
+    of starving the pool (range step 0/-1 would dispatch nothing)."""
+    for chunk in (0, -5):
+        res = check_safety(
+            DSTM(2, 2), SS, lazy_spec=True, jobs=2,
+            shard_product=False, chunk_size=chunk,
+        )
+        assert res.holds
+
+
+def test_dense_recording_stays_serial():
+    """Sharded runs of either flavour keep their own machinery: a cold
+    jobs>1 run must not silently build the CSR behind an idle pool; the
+    next serial check records it."""
+    tm = DSTM(2, 2)
+    engine = compile_tm(tm)
+    check_safety(tm, SS, lazy_spec=True, jobs=2, shard_product=False)
+    csr = engine.dense_csr("oracle", SS)
+    assert not csr.built  # the prefetch path ran, nothing recorded
+    check_safety(tm, SS, lazy_spec=True)
+    assert csr.built and csr.complete
