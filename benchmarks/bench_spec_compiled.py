@@ -16,6 +16,11 @@ every round because its oracle memo is per-run; the compiled oracle's
 process-wide memo is precisely the optimization under test).  A third
 number, ``disk_warm_s``, times a simulated fresh process: engines
 restored from an on-disk warm cache written by the previous rounds.
+A ``warm_backends`` block rides along per cell, comparing the pickle
+disk backend against the zero-deserialization mmap backend — whole
+warm-check time, direct payload-load time, stored bytes, and the bytes
+saved against an int64-pickle baseline (the pre-typed-width format) —
+gated by ``--require-mmap-parity``.
 
 Each cell additionally records a ``product_bfs`` time split: the kernel
 product functions timed directly on fully warm engines, isolating the
@@ -44,11 +49,18 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import sys
 import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cache import (
+    ENGINE_VERSION,
+    is_int_vector,
+    make_backend,
+    widen_int_vector,
+)
 from repro.automata.kernel import (
     product_dfa_direct,
     product_dfa_packed,
@@ -152,7 +164,9 @@ def product_bfs_split(
     tm = factory()
     engine = compile_tm(tm)
     oracle = cached_spec_oracle(tm.n, tm.k, prop)
-    check_safety(tm, prop, lazy_spec=True)  # warm rows + dense CSR
+    # dense_kernel=True: recording no longer engages by default on
+    # cache-less one-shot runs, but this split times the recorded CSR.
+    check_safety(tm, prop, lazy_spec=True, dense_kernel=True)
     init = [engine.initial_node_packed()]
     row_map = engine.safety_rows_map()
     dense = engine.dense_csr("oracle", prop)
@@ -244,6 +258,62 @@ def run_disk_warm(factory: Callable, prop) -> dict:
     }
 
 
+def run_backend_warm(
+    factory: Callable, prop, backend_name: str, rounds: int
+) -> dict:
+    """Warm-start metrics for one cache backend: whole-check warm time,
+    direct payload-load time (min over ``max(rounds, 10)`` — loads are
+    milliseconds, so extra rounds cost nothing and de-noise the parity
+    gate — each on a fresh backend instance: what a new process pays
+    before its first BFS step), stored bytes, and the int64-pickle
+    baseline those bytes are
+    compared against (every int vector re-widened to ``array('q')`` and
+    pickled, i.e. the pre-typed-width on-disk format)."""
+    with tempfile.TemporaryDirectory() as d:
+        be = make_backend(backend_name, d)
+        check_safety(factory(), prop, lazy_spec=True, cache_dir=be)
+        clear_spec_oracle_cache()
+        tm = factory()  # new instance: its engine compiles from nothing
+        t0 = time.perf_counter()
+        result = check_safety(tm, prop, lazy_spec=True, cache_dir=be)
+        warm_s = time.perf_counter() - t0
+        keys = be.keys()
+        stored = sum(be.stat(k)["bytes"] for k in keys)
+        load_times = []
+        for _ in range(max(rounds, 10)):
+            fresh = make_backend(backend_name, d)
+            t0 = time.perf_counter()
+            for k in keys:
+                assert fresh.load(k) is not None
+            load_times.append(time.perf_counter() - t0)
+        baseline = 0
+        for k in keys:
+            data = be.load(k)
+            if isinstance(data, dict):
+                data = {
+                    name: (
+                        widen_int_vector(v) if is_int_vector(v) else v
+                    )
+                    for name, v in data.items()
+                }
+            baseline += len(
+                pickle.dumps(
+                    {"version": ENGINE_VERSION, "key": k, "data": data},
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            )
+    return {
+        "warm_check_s": round(warm_s, 6),
+        "payload_load_s": round(min(load_times), 6),
+        "stored_bytes": stored,
+        "int64_pickle_bytes": baseline,
+        "bytes_saved_vs_int64_pickle": round(1 - stored / baseline, 3),
+        "cache_files": len(keys),
+        "holds": result.holds,
+        "product_states": result.product_states,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3)
@@ -296,7 +366,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--skip-disk-warm",
         action="store_true",
-        help="skip the fresh-process warm-start measurement",
+        help="skip the fresh-process warm-start measurements (all"
+        " backends)",
+    )
+    parser.add_argument(
+        "--require-mmap-parity",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="fail unless the mmap backend's direct payload-load time is"
+        " within TOL x of the disk (pickle) backend's on every cell"
+        " (1.0 = mmap must be at least as fast)",
     )
     parser.add_argument(
         "--require-speedup",
@@ -464,6 +544,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             }
             if not args.skip_disk_warm:
                 cell["disk_warm"] = run_disk_warm(factory, prop)
+                # Per-backend warm starts (the mmap backend's reason to
+                # exist: zero-deserialization loads off one shared
+                # page-cached mapping; memory has no cross-process warm
+                # start and is skipped).
+                cell["warm_backends"] = {
+                    bn: run_backend_warm(factory, prop, bn, args.rounds)
+                    for bn in ("disk", "mmap")
+                }
             cells.append(cell)
 
     if args.require_speedup is not None:
@@ -497,6 +585,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f" loop (< required {args.require_dense_parity}x:"
                     f" dense {split['dense_bfs_s']}s vs set"
                     f" {split['oracle_packed_bfs_s']}s)"
+                )
+
+    if args.require_mmap_parity is not None:
+        for cell in cells:
+            wb = cell.get("warm_backends")
+            if not wb:
+                continue
+            bound = wb["disk"]["payload_load_s"] * args.require_mmap_parity
+            if wb["mmap"]["payload_load_s"] > bound:
+                failures.append(
+                    f"{cell['cell']}/{cell['prop']}: mmap payload load"
+                    f" {wb['mmap']['payload_load_s']}s >"
+                    f" {args.require_mmap_parity}x disk"
+                    f" {wb['disk']['payload_load_s']}s"
                 )
 
     total_pr2 = sum(c["pr2_oracle"]["best_s"] for c in cells)
@@ -538,6 +640,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if "jobs" in c:
             extras.append(
                 f"jobs{c['jobs']['n']} {c['jobs']['sharded_product_s']:.4f}s"
+            )
+        if "warm_backends" in c:
+            wb = c["warm_backends"]
+            extras.append(
+                f"load disk {wb['disk']['payload_load_s']:.4f}s"
+                f" ({wb['disk']['stored_bytes']}B) vs mmap"
+                f" {wb['mmap']['payload_load_s']:.4f}s"
+                f" ({wb['mmap']['stored_bytes']}B,"
+                f" -{wb['mmap']['bytes_saved_vs_int64_pickle']:.0%}"
+                f" vs int64 pickle)"
             )
         print(
             f"{lbl:{width}s}  pr2 {c['pr2_oracle']['best_s']:8.4f}s"

@@ -72,7 +72,12 @@ from typing import (
     Tuple,
 )
 
-from ..cache import load_payload, save_payload
+from ..cache import (
+    is_int_vector,
+    load_payload,
+    narrow_int_vector,
+    save_payload,
+)
 from .dfa import DFA
 from .interned import intern_dfa, intern_nfa
 from .nfa import EPSILON, NFA
@@ -81,6 +86,16 @@ try:  # optional fast path; the stdlib path below is always present
     import numpy as _np
 except Exception:  # pragma: no cover - numpy genuinely absent
     _np = None
+
+
+def _np_vec(np, vec):
+    """Zero-copy numpy view of an int vector — ``array('i'/'q')`` or a
+    memoryview cast served by the mmap cache backend — with the dtype
+    derived from the vector's own item width (the typed-width policy:
+    the payload carries the width, consumers adapt)."""
+    return np.frombuffer(
+        vec, dtype=np.int32 if vec.itemsize == 4 else np.int64
+    )
 
 Symbol = Hashable
 
@@ -448,8 +463,10 @@ def _discover_row_ids(
 #: entries the recorder frees its arrays and disables itself for the
 #: engine's lifetime — the build degrades to the plain set-based
 #: semantics (results are byte-identical either way; only the array
-#: fast path for *later* runs is lost).  48M ``int64`` entries ≈ 384 MB,
-#: far above every paper instance (DSTM (2,3) records ~30M).
+#: fast path for *later* runs is lost).  48M ``int32`` entries ≈ 192 MB,
+#: far above every paper instance (DSTM (2,3) records ~30M).  The cap
+#: also guarantees dense ids and offsets always fit int32 (the
+#: typed-width policy's invariant for the recorded vectors).
 DENSE_MAX_EDGES = 48_000_000
 
 
@@ -490,6 +507,15 @@ class DenseCSR:
     ``(algorithm, n, k, property, side)``; see
     :meth:`repro.tm.compiled.CompiledTM.dense_csr`) let a warm process
     run the whole product BFS without touching the row memos at all.
+
+    The vectors follow the typed-width policy of :mod:`repro.cache`:
+    recorded as int32 wherever the values provably fit (dense ids and
+    offsets always do under :data:`DENSE_MAX_EDGES`; left keys when the
+    node span is narrower than 32 bits), int64 otherwise, and a loaded
+    table may hold either width — as ``array`` objects from the pickle
+    backends or zero-copy ``memoryview`` casts from the mmap backend
+    (the BFS indexes them identically; numpy wraps them with
+    ``np.frombuffer`` at the loaded width).
     """
 
     __slots__ = (
@@ -624,8 +650,8 @@ class DenseCSR:
         return len(lefts), len(rights)
 
     def _run_numpy(self, np) -> Tuple[bool, int, int, int]:
-        offsets = np.frombuffer(self.offsets, dtype=np.int64)
-        targets = np.frombuffer(self.targets, dtype=np.int64)
+        offsets = _np_vec(np, self.offsets)
+        targets = _np_vec(np, self.targets)
         npairs = len(self.node_keys)
         seen = np.zeros(npairs, dtype=bool)
         frontier = np.arange(self.num_init, dtype=np.int64)
@@ -668,12 +694,8 @@ class DenseCSR:
             pairs += int(fresh.size)
             frontier = fresh
         if self.complete:
-            states_seen = int(
-                np.unique(np.frombuffer(self.node_keys, np.int64)).size
-            )
-            spec_seen = int(
-                np.unique(np.frombuffer(self.spec_ids, np.int64)).size
-            )
+            states_seen = int(np.unique(_np_vec(np, self.node_keys)).size)
+            spec_seen = int(np.unique(_np_vec(np, self.spec_ids)).size)
         else:  # pragma: no cover - partial CSRs always flag a violation
             states_seen, spec_seen = self._distinct_counts_python(
                 bytearray(seen.tobytes())
@@ -693,7 +715,9 @@ class DenseCSR:
             return False
         if not self.stable_keys:
             stable = self.stable_of_node
-            self.node_keys = array("q", (stable(p) for p in self.node_keys))
+            self.node_keys = narrow_int_vector(
+                stable(p) for p in self.node_keys
+            )
             self.stable_keys = True
         ok = save_payload(
             cache_dir,
@@ -743,7 +767,7 @@ class DenseCSR:
             or not isinstance(complete, bool)
             or not isinstance(flags, list)
             or not all(
-                isinstance(a, array) and a.typecode == "q"
+                is_int_vector(a)
                 for a in (node_keys, spec_ids, offsets, targets)
             )
         ):
@@ -768,9 +792,9 @@ class DenseCSR:
             return False
         span = 1 << self.span_bits
         if _np is not None:
-            o = _np.frombuffer(offsets, _np.int64)
-            t = _np.frombuffer(targets, _np.int64)
-            k = _np.frombuffer(node_keys, _np.int64)
+            o = _np_vec(_np, offsets)
+            t = _np_vec(_np, targets)
+            k = _np_vec(_np, node_keys)
             if (_np.diff(o) < 0).any():
                 return False
             if t.size and not (
@@ -1283,10 +1307,13 @@ def _product_oracle_packed_dense(
 
     ids: Dict[int, int] = {}
     order: List[int] = []
-    node_keys = array("q")
-    spec_ids = array("q")
-    offsets = array("q", (0,))
-    targets = array("q")
+    # Typed-width policy, chosen up front (no per-append try/except):
+    # dense ids and offsets are bounded by DENSE_MAX_EDGES < 2**31 so
+    # always int32; left keys need the node span's width.
+    node_keys = array("i" if span_bits < 32 else "q")
+    spec_ids = array("i")
+    offsets = array("i", (0,))
+    targets = array("i")
     tappend = targets.append
     for p in init:
         ids[p] = len(order)
@@ -1575,10 +1602,11 @@ def _product_dfa_packed_dense(
 
     ids: Dict[int, int] = {}
     order: List[int] = []
-    node_keys = array("q")
-    spec_ids = array("q")
-    offsets = array("q", (0,))
-    targets = array("q")
+    # Same typed-width choice as the oracle-sided twin.
+    node_keys = array("i" if span_bits < 32 else "q")
+    spec_ids = array("i")
+    offsets = array("i", (0,))
+    targets = array("i")
     tappend = targets.append
     for p in init:
         ids[p] = len(order)

@@ -1,47 +1,90 @@
-"""Versioned on-disk warm-start cache for the compiled engines.
+"""Pluggable warm-start cache backends for the compiled engines.
 
-The compiled TM engine (:mod:`repro.tm.compiled`) and the compiled spec
-oracle (:mod:`repro.spec.compiled`) intern states and memoize transition
-rows; both tables depend only on the algorithm/specification identity,
-not on the run.  Spilling them to disk lets repeated CLI invocations and
+The compiled TM engine (:mod:`repro.tm.compiled`), the compiled spec
+layer (:mod:`repro.spec.compiled`) and the dense kernel
+(:mod:`repro.automata.kernel`) intern states and memoize transition
+tables; all of them depend only on the algorithm/specification identity,
+not on the run.  Persisting them lets repeated CLI invocations and
 benchmark rounds start *warm* — no re-compilation, no re-derivation of
 rows the previous process already computed.
+
+Persistence is a **backend protocol** (:class:`CacheBackend`:
+``load``/``save``/``keys``/``stat``) with three implementations:
+
+* :class:`DiskCacheBackend` — one pickle file per payload (the original
+  format; a bare ``cache_dir`` string everywhere in the code base still
+  means this backend);
+* :class:`MemoryCacheBackend` — a process-local dict of pickled
+  payloads, for tests and ephemeral runs;
+* :class:`MmapCacheBackend` — versioned *segment files*: integer
+  vectors (CSR offsets/targets, compiled spec rows) are laid out as raw
+  typed buffers after a small pickled header, and :meth:`~MmapCacheBackend.load`
+  returns zero-copy ``memoryview`` casts over one ``mmap`` of the file.
+  N checker processes on one box then share a single page-cached copy
+  of every table and deserialize nothing; numpy consumers wrap the same
+  mapped buffer with ``np.frombuffer`` (still zero-copy), and the
+  stdlib path indexes the memoryview casts directly, so the backend
+  itself needs no numpy.
 
 Payloads are keyed by an explicit tuple (algorithm or spec identity plus
 :data:`ENGINE_VERSION`) that is stored inside the file and re-checked on
 load, so a cache written by a different engine version — or a file for a
 different key that happens to collide on name — is silently ignored.  A
 corrupt, truncated or otherwise unreadable file is likewise ignored:
-:func:`load_payload` never raises, it just returns ``None`` and the
-caller recompiles from scratch.  Writes are atomic (tempfile + rename)
-so a crashed process can never leave a half-written cache behind.
+``load`` never raises, it just returns ``None`` and the caller
+recompiles from scratch.  Writes are **atomic on every backend** (disk
+and mmap: tempfile + ``os.replace``; memory: the entry is swapped in
+only after the payload pickled completely), so concurrent writers can
+never leave a torn payload behind for a reader to trip over.
+
+The module also holds the **typed-width policy** shared by every table:
+integer vectors are ``array('i')`` (int32) whenever their values fit
+and ``array('q')`` (int64) otherwise (:func:`narrow_int_vector`), the
+width travels inside the payload (an array's typecode / a segment's
+recorded typecode), and loaders accept either width — plus the
+memoryview casts the mmap backend serves — via :func:`is_int_vector` /
+:func:`int_vector_typecode`.
 
 The default location is ``$REPRO_CACHE_DIR``, else
 ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``; every entry point
 that persists caches also accepts an explicit directory (``--cache-dir``
-on the CLI).
+on the CLI) and a backend selector (``--cache-backend``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import mmap as _mmap
 import os
 import pickle
 import re
+import struct
 import tempfile
-from typing import Hashable, Optional
+from abc import ABC, abstractmethod
+from array import array
+from typing import Dict, Hashable, List, Optional, Union
 
 #: Bump whenever a packed encoding or persisted row format changes —
 #: caches written by other versions are ignored, never migrated.
 #: Version 2: TM-engine payloads gained ``ext_table``/``node_rows`` (the
 #: liveness rows, Ext/Resp in stable int encoding) and the int-rows spec
 #: DFA (``spec-dfa`` keys) joined the cache.
-#: Version 3: the dense kernel's product CSR tables (``dense-csr`` keys:
-#: flat ``array('q')`` offsets/targets over dense pair ids, stable node
-#: keys, violation flags) joined the cache, and the spec oracle / spec
-#: DFA row payloads switched from Python lists to flat ``array('q')``
-#: vectors.
-ENGINE_VERSION = 3
+#: Version 3: the dense kernel's product CSR tables (``dense-csr`` keys)
+#: joined the cache, and the spec oracle / spec DFA row payloads
+#: switched from Python lists to flat ``array('q')`` vectors.
+#: Version 4: the typed-width pass — integer vectors persist as int32
+#: (``array('i')``) when their values fit, int64 otherwise; spec
+#: oracle/DFA rows flattened into one contiguous vector (sliced back on
+#: load, so the mmap backend can serve them zero-copy); the liveness
+#: node adjacency CSR (``dense-adj`` keys) joined the cache.
+ENGINE_VERSION = 4
+
+#: Inclusive int32 value range of the typed-width policy.
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+#: Magic prefix of a :class:`MmapCacheBackend` segment file.
+SEGMENT_MAGIC = b"RPROSEG1"
 
 
 def default_cache_dir() -> str:
@@ -54,62 +97,458 @@ def default_cache_dir() -> str:
     return os.path.join(base, "repro")
 
 
-def cache_path(cache_dir: str, key: Hashable) -> str:
-    """The file path for ``key``: a readable slug plus a digest of the
-    full key (the digest disambiguates; the key is still re-checked on
-    load)."""
+def _key_slug(key: Hashable, suffix: str) -> str:
+    """Readable slug plus a digest of the full key (the digest
+    disambiguates; the key is still re-checked on load)."""
     text = repr(key)
     digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
     slug = re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")[:60]
-    return os.path.join(cache_dir, f"{slug}-{digest}.pkl")
+    return f"{slug}-{digest}{suffix}"
 
 
-def load_payload(cache_dir: str, key: Hashable) -> Optional[object]:
+def cache_path(cache_dir: str, key: Hashable) -> str:
+    """The pickle-file path for ``key`` under the disk backend."""
+    return os.path.join(cache_dir, _key_slug(key, ".pkl"))
+
+
+# ----------------------------------------------------------------------
+# Typed-width helpers
+# ----------------------------------------------------------------------
+
+
+def is_int_vector(obj: object) -> bool:
+    """Whether ``obj`` is an integer vector a loader accepts: an
+    ``array('i'/'q')`` or a 1-D memoryview cast to one of those widths
+    (what the mmap backend serves)."""
+    if isinstance(obj, array):
+        return obj.typecode in ("i", "q")
+    if isinstance(obj, memoryview):
+        return obj.ndim == 1 and obj.format in ("i", "q")
+    return False
+
+
+def int_vector_typecode(obj: object) -> Optional[str]:
+    """``'i'``/``'q'`` for an accepted int vector, else ``None``."""
+    if isinstance(obj, array) and obj.typecode in ("i", "q"):
+        return obj.typecode
+    if isinstance(obj, memoryview) and obj.ndim == 1 and obj.format in (
+        "i",
+        "q",
+    ):
+        return obj.format
+    return None
+
+
+def narrow_int_vector(values) -> array:
+    """The values as ``array('i')`` when every one fits int32, else
+    ``array('q')`` — the typed-width policy's writer side.  Raises
+    ``OverflowError`` only when a value does not even fit int64 (callers
+    persisting possibly-huge packed ints catch it and fall back to
+    lists)."""
+    if isinstance(values, array) and values.typecode == "q":
+        vals = values
+    else:
+        vals = array("q", values)
+    try:
+        return array("i", vals)
+    except OverflowError:
+        return vals
+
+
+def widen_int_vector(vec) -> array:
+    """An ``array('q')`` copy of any accepted int vector (for the
+    benchmark's int64 baseline and overflow handling)."""
+    return array("q", vec)
+
+
+# ----------------------------------------------------------------------
+# The backend protocol
+# ----------------------------------------------------------------------
+
+
+class CacheBackend(ABC):
+    """One warm-start payload store.
+
+    The contract every implementation keeps:
+
+    * ``load`` never raises — missing entry, corrupt bytes, wrong
+      engine version, key mismatch all return ``None``;
+    * ``save`` is atomic (a concurrent reader sees the old payload or
+      the new one, never a torn hybrid) and swallows failures
+      (returns ``False``) — the cache is an optimization, never a
+      correctness dependency;
+    * ``keys`` lists the keys of every currently readable payload;
+    * ``stat`` reports the stored size in bytes (and the file path
+      where one exists), or ``None`` when the key is absent.
+    """
+
+    @abstractmethod
+    def load(self, key: Hashable) -> Optional[object]:
+        """The data stored for ``key``, or ``None``."""
+
+    @abstractmethod
+    def save(self, key: Hashable, data: object) -> bool:
+        """Atomically persist ``data`` under ``key``; ``False`` on failure."""
+
+    @abstractmethod
+    def keys(self) -> List[Hashable]:
+        """Keys of every readable payload in this store."""
+
+    @abstractmethod
+    def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
+        """``{"bytes": stored_size, "path": file_or_None}``, or ``None``."""
+
+
+class DiskCacheBackend(CacheBackend):
+    """The original pickle-on-disk store: one versioned ``.pkl`` per key."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+
+    def path_for(self, key: Hashable) -> str:
+        return cache_path(self.cache_dir, key)
+
+    def load(self, key: Hashable) -> Optional[object]:
+        try:
+            with open(self.path_for(key), "rb") as fh:
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != ENGINE_VERSION:
+                return None
+            if payload.get("key") != key:
+                return None
+            return payload.get("data")
+        except Exception:
+            return None
+
+    def save(self, key: Hashable, data: object) -> bool:
+        path = self.path_for(key)
+        tmp_path = None
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=".tmp-", suffix=".pkl"
+            )
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    {"version": ENGINE_VERSION, "key": key, "data": data},
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp_path, path)
+            return True
+        except Exception:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            return False
+
+    def keys(self) -> List[Hashable]:
+        out: List[Hashable] = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return out
+        for name in names:
+            if not name.endswith(".pkl") or name.startswith(".tmp-"):
+                continue
+            try:
+                with open(os.path.join(self.cache_dir, name), "rb") as fh:
+                    payload = pickle.load(fh)
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("version") == ENGINE_VERSION
+                ):
+                    out.append(payload.get("key"))
+            except Exception:
+                continue
+        return out
+
+    def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
+        path = self.path_for(key)
+        try:
+            return {"bytes": os.stat(path).st_size, "path": path}
+        except OSError:
+            return None
+
+
+class MemoryCacheBackend(CacheBackend):
+    """An in-process store for tests and ephemeral runs.
+
+    Entries hold the *pickled* payload: loads hand back an independent
+    copy (exactly what a disk round-trip would), the reported size is
+    honest, and a save only swaps the entry in after the whole payload
+    pickled — the atomicity contract for free.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Hashable, bytes] = {}
+
+    def load(self, key: Hashable) -> Optional[object]:
+        blob = self._entries.get(key)
+        if blob is None:
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != ENGINE_VERSION:
+                return None
+            if payload.get("key") != key:
+                return None
+            return payload.get("data")
+        except Exception:
+            return None
+
+    def save(self, key: Hashable, data: object) -> bool:
+        try:
+            blob = pickle.dumps(
+                {"version": ENGINE_VERSION, "key": key, "data": data},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            return False
+        self._entries[key] = blob
+        return True
+
+    def keys(self) -> List[Hashable]:
+        # Honour the "readable payloads only" contract: entries whose
+        # blob no longer unpickles to the current version are invisible.
+        return [k for k in self._entries if self.load(k) is not None]
+
+    def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
+        blob = self._entries.get(key)
+        if blob is None:
+            return None
+        return {"bytes": len(blob), "path": None}
+
+
+class MmapCacheBackend(CacheBackend):
+    """Zero-deserialization segment files, memory-mapped on load.
+
+    Layout of one ``.seg`` file::
+
+        8 bytes   SEGMENT_MAGIC
+        8 bytes   little-endian header length H
+        H bytes   pickled header {version, key, meta, segments}
+        pad       to the next 8-byte boundary
+        raw data  one 8-byte-aligned byte run per segment
+
+    ``save`` splits a dict payload: every ``array('i'/'q')`` (or int
+    memoryview) value becomes a raw segment recorded as
+    ``(name, typecode, offset, nbytes)`` in the header; everything else
+    stays pickled in ``meta``.  ``load`` maps the whole file once
+    (``mmap.ACCESS_READ``) and reconstructs the dict with zero-copy
+    ``memoryview`` casts over the mapping for the segments — indexing a
+    loaded vector reads straight from the page cache, and concurrent
+    checker processes loading the same file share those pages.  The
+    views keep the mapping alive through the buffer protocol; nothing
+    is ever deserialized, and a malformed/truncated/stale file returns
+    ``None`` exactly like the pickle backends.  Non-dict payloads (none
+    of the engines write any) fall back to an all-pickled ``meta``.
+    """
+
+    SUFFIX = ".seg"
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+
+    def path_for(self, key: Hashable) -> str:
+        return os.path.join(self.cache_dir, _key_slug(key, self.SUFFIX))
+
+    @staticmethod
+    def _align(n: int) -> int:
+        return (n + 7) & ~7
+
+    def save(self, key: Hashable, data: object) -> bool:
+        meta: Dict[str, object] = {}
+        segments: List[tuple] = []
+        blobs: List[bytes] = []
+        plain = not isinstance(data, dict)
+        if plain:
+            meta["value"] = data
+        else:
+            off = 0
+            for name, value in data.items():
+                tc = int_vector_typecode(value)
+                if tc is not None and isinstance(name, str):
+                    raw = (
+                        value.tobytes()
+                        if isinstance(value, array)
+                        else bytes(value)
+                    )
+                    segments.append((name, tc, off, len(raw)))
+                    blobs.append(raw)
+                    off = self._align(off + len(raw))
+                else:
+                    meta[name] = value
+        header = {
+            "version": ENGINE_VERSION,
+            "key": key,
+            "plain": plain,
+            "meta": meta,
+            "segments": segments,
+        }
+        path = self.path_for(key)
+        tmp_path = None
+        try:
+            hdr = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=".tmp-", suffix=self.SUFFIX
+            )
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(SEGMENT_MAGIC)
+                fh.write(struct.pack("<Q", len(hdr)))
+                fh.write(hdr)
+                pos = 16 + len(hdr)
+                base = self._align(pos)
+                fh.write(b"\0" * (base - pos))
+                cursor = 0
+                for (_name, _tc, off, nbytes), raw in zip(segments, blobs):
+                    fh.write(b"\0" * (off - cursor))
+                    fh.write(raw)
+                    cursor = off + nbytes
+            os.replace(tmp_path, path)
+            return True
+        except Exception:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            return False
+
+    def _read_header(self, mm) -> Optional[dict]:
+        if len(mm) < 16 or mm[:8] != SEGMENT_MAGIC:
+            return None
+        (hlen,) = struct.unpack("<Q", mm[8:16])
+        if hlen <= 0 or 16 + hlen > len(mm):
+            return None
+        header = pickle.loads(mm[16 : 16 + hlen])
+        if not isinstance(header, dict):
+            return None
+        header["_data_base"] = self._align(16 + hlen)
+        return header
+
+    def load(self, key: Hashable) -> Optional[object]:
+        try:
+            with open(self.path_for(key), "rb") as fh:
+                mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+            header = self._read_header(mm)
+            if header is None:
+                return None
+            if header.get("version") != ENGINE_VERSION:
+                return None
+            if header.get("key") != key:
+                return None
+            meta = header.get("meta")
+            if not isinstance(meta, dict):
+                return None
+            if header.get("plain"):
+                return meta.get("value")
+            out: Dict[str, object] = dict(meta)
+            base = header["_data_base"]
+            view = memoryview(mm)
+            for name, tc, off, nbytes in header.get("segments", ()):
+                if tc not in ("i", "q"):
+                    return None
+                itemsize = 4 if tc == "i" else 8
+                start = base + off
+                if nbytes % itemsize or start + nbytes > len(mm):
+                    return None
+                out[name] = view[start : start + nbytes].cast(tc)
+            return out
+        except Exception:
+            return None
+
+    def keys(self) -> List[Hashable]:
+        out: List[Hashable] = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return out
+        for name in names:
+            if not name.endswith(self.SUFFIX) or name.startswith(".tmp-"):
+                continue
+            try:
+                with open(os.path.join(self.cache_dir, name), "rb") as fh:
+                    mm = _mmap.mmap(
+                        fh.fileno(), 0, access=_mmap.ACCESS_READ
+                    )
+                header = self._read_header(mm)
+                if (
+                    header is not None
+                    and header.get("version") == ENGINE_VERSION
+                ):
+                    out.append(header.get("key"))
+            except Exception:
+                continue
+        return out
+
+    def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
+        path = self.path_for(key)
+        try:
+            return {"bytes": os.stat(path).st_size, "path": path}
+        except OSError:
+            return None
+
+
+#: What every persistence entry point accepts where it used to take a
+#: directory: nothing, a directory (the disk backend), or a backend.
+CacheLike = Union[None, str, CacheBackend]
+
+#: ``--cache-backend`` selector names.
+BACKEND_NAMES = ("disk", "mmap", "memory")
+
+
+def make_backend(name: str, cache_dir: str) -> CacheBackend:
+    """A backend by selector name (see :data:`BACKEND_NAMES`)."""
+    if name == "disk":
+        return DiskCacheBackend(cache_dir)
+    if name == "mmap":
+        return MmapCacheBackend(cache_dir)
+    if name == "memory":
+        return MemoryCacheBackend()
+    raise ValueError(
+        f"unknown cache backend {name!r}; choose from {BACKEND_NAMES}"
+    )
+
+
+def resolve_backend(cache: CacheLike) -> Optional[CacheBackend]:
+    """``None``, a ``CacheBackend`` passed through, or the disk backend
+    over a bare directory string — the polymorphic ``cache_dir``
+    contract every engine's ``load_warm``/``save_warm`` honours."""
+    if cache is None:
+        return None
+    if isinstance(cache, CacheBackend):
+        return cache
+    return DiskCacheBackend(cache)
+
+
+def load_payload(cache: CacheLike, key: Hashable) -> Optional[object]:
     """The data stored for ``key``, or ``None``.
 
-    ``None`` covers every failure mode — missing file, unpickling error,
-    wrong engine version, key mismatch — so callers can always fall back
-    to recompiling without special-casing.
+    ``None`` covers every failure mode — missing entry, unpickling
+    error, wrong engine version, key mismatch — so callers can always
+    fall back to recompiling without special-casing.
     """
-    try:
-        with open(cache_path(cache_dir, key), "rb") as fh:
-            payload = pickle.load(fh)
-        if not isinstance(payload, dict):
-            return None
-        if payload.get("version") != ENGINE_VERSION:
-            return None
-        if payload.get("key") != key:
-            return None
-        return payload.get("data")
-    except Exception:
+    backend = resolve_backend(cache)
+    if backend is None:
         return None
+    return backend.load(key)
 
 
-def save_payload(cache_dir: str, key: Hashable, data: object) -> bool:
+def save_payload(cache: CacheLike, key: Hashable, data: object) -> bool:
     """Atomically persist ``data`` under ``key``; ``False`` on any failure.
 
     Failures (unwritable directory, full disk) are swallowed — the warm
     cache is an optimization, never a correctness dependency.
     """
-    path = cache_path(cache_dir, key)
-    tmp_path = None
-    try:
-        os.makedirs(cache_dir, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=cache_dir, prefix=".tmp-", suffix=".pkl"
-        )
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(
-                {"version": ENGINE_VERSION, "key": key, "data": data},
-                fh,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        os.replace(tmp_path, path)
-        return True
-    except Exception:
-        if tmp_path is not None:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+    backend = resolve_backend(cache)
+    if backend is None:
         return False
+    return backend.save(key, data)

@@ -32,6 +32,7 @@ from ..automata.graph import (
     closed_walk_through,
     tarjan_sccs,
 )
+from ..cache import CacheLike
 from ..core.liveness_words import (
     is_livelock_free_lasso,
     is_obstruction_free_lasso,
@@ -130,7 +131,7 @@ def check_obstruction_freedom(
     graph: Optional[LivenessGraph] = None,
     compiled: bool = True,
     jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: CacheLike = None,
 ) -> LivenessResult:
     """Does every loop of a single thread without commits avoid aborts?"""
     t0 = time.perf_counter()
@@ -169,7 +170,7 @@ def check_livelock_freedom(
     graph: Optional[LivenessGraph] = None,
     compiled: bool = True,
     jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: CacheLike = None,
 ) -> LivenessResult:
     """Is there no commit-free loop in which every participant aborts?"""
     t0 = time.perf_counter()
@@ -210,7 +211,7 @@ def check_wait_freedom(
     graph: Optional[LivenessGraph] = None,
     compiled: bool = True,
     jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: CacheLike = None,
 ) -> LivenessResult:
     """Is there no reachable loop containing an abort at all?
 
@@ -258,7 +259,7 @@ def check_liveness_all(
     *,
     compiled: bool = True,
     jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: CacheLike = None,
 ) -> Tuple[LivenessResult, ...]:
     """Obstruction, livelock and wait freedom on one shared graph
     (``jobs`` shards the graph construction, ``cache_dir`` warm-starts

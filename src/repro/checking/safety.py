@@ -33,6 +33,7 @@ from typing import Dict, Optional, Tuple
 
 from ..automata.dfa import DFA
 from ..automata.inclusion import InclusionResult, check_inclusion_in_dfa
+from ..cache import CacheLike
 from ..automata.kernel import (
     lazy_product_dfa,
     lazy_product_oracle,
@@ -98,11 +99,30 @@ def _close_profile(profile: Dict[str, float], t_product: float) -> None:
     )
 
 
+def _dense_for(engine, side, prop, dense_kernel, cache_dir, max_states):
+    """The dense CSR table a check should use, or ``None``.
+
+    ``dense_kernel`` is tri-state: ``True`` forces recording/replay,
+    ``False`` forces the set-based loop, and ``None`` (the default)
+    auto-gates — record only when a cache is set (the table will be
+    replayed by warm runs) or when the engine already holds a recorded
+    table in-process (replay is free).  A one-shot cold run without a
+    cache thus no longer pays the 15-35% recording overhead for a table
+    nothing will ever replay.  Bounded runs never use the kernel.
+    """
+    if max_states is not None or dense_kernel is False:
+        return None
+    csr = engine.dense_csr(side, prop)
+    if dense_kernel is True or cache_dir is not None:
+        return csr
+    return csr if csr is not None and csr.built else None
+
+
 @contextmanager
 def _warm_sharded(
     engine,
     oracle,
-    cache_dir: Optional[str],
+    cache_dir,
     jobs: int,
     *,
     dense=None,
@@ -157,12 +177,12 @@ def check_safety(
     lazy_spec: bool = False,
     compiled: bool = True,
     spec_compiled: bool = True,
-    dense_kernel: bool = True,
+    dense_kernel: Optional[bool] = None,
     jobs: int = 1,
     shard_product: bool = True,
     chunk_size: Optional[int] = None,
     reuse_pool: bool = False,
-    cache_dir: Optional[str] = None,
+    cache_dir: "CacheLike" = None,
     max_states: Optional[int] = None,
     profile: Optional[Dict[str, float]] = None,
 ) -> SafetyResult:
@@ -217,28 +237,35 @@ def check_safety(
     verdicts, counterexamples and all counts are byte-identical to
     ``jobs=1``.
 
-    On the all-int paths the **dense kernel** is engaged by default
-    (``dense_kernel=True``): the first serial untraced pass records the
-    product's adjacency into a flat CSR table over dense pair ids
-    (:class:`repro.automata.kernel.DenseCSR`, kept on the engine and —
-    with ``cache_dir`` — persisted), and every later run of the same
-    product replays as an array-only bitset BFS that never touches the
-    row memos.  ``dense_kernel=False`` (CLI ``--no-dense-kernel``) keeps
-    the set-based pair loop as the differential reference; verdicts,
-    counterexamples and all counts are byte-identical.  Bounded
-    (``max_states``), codec-less and caller-spec configurations ignore
-    the flag and stay on the set-based path.
+    On the all-int paths the **dense kernel** records the product's
+    adjacency into a flat CSR table over dense pair ids on the first
+    serial untraced pass (:class:`repro.automata.kernel.DenseCSR`, kept
+    on the engine and — with ``cache_dir`` — persisted), and every
+    later run of the same product replays as an array-only bitset BFS
+    that never touches the row memos.  ``dense_kernel`` is tri-state:
+    the default ``None`` auto-gates — recording engages only when a
+    cache is set or the engine already holds a recorded table, so a
+    one-shot cold run skips the 15-35% recording overhead;
+    ``dense_kernel=True`` (CLI ``--dense-kernel``) forces recording
+    even without a cache; ``False`` (CLI ``--no-dense-kernel``) keeps
+    the set-based pair loop as the differential reference.  Verdicts,
+    counterexamples and all counts are byte-identical in every mode.
+    Bounded (``max_states``), codec-less and caller-spec configurations
+    ignore the flag and stay on the set-based path.
 
     ``chunk_size`` fixes the row-prefetcher's per-task batch and
     ``reuse_pool=True`` parks the worker pool on the engine across
     checks (call ``compile_tm(tm).close_pools()`` when done) — both are
     scheduling-only knobs with byte-identical results.
 
-    ``cache_dir`` enables the on-disk warm-start cache
-    (:mod:`repro.cache`): interned tables and memoized rows of both
-    compiled engines — and the dense kernel's CSR tables — are restored
-    before the check and spilled after, so repeated process invocations
-    skip re-compilation entirely.  With ``jobs > 1`` the cache dir also
+    ``cache_dir`` enables the warm-start cache (:mod:`repro.cache`): a
+    directory string selects the pickle-on-disk backend, and any
+    :class:`repro.cache.CacheBackend` instance (e.g. the zero-copy mmap
+    backend, CLI ``--cache-backend mmap``) is used as given.  Interned
+    tables and memoized rows of both compiled engines — and the dense
+    kernel's CSR tables — are restored before the check and spilled
+    after, so repeated process invocations skip re-compilation
+    entirely.  With ``jobs > 1`` the cache dir also
     warm-starts the *worker* engines; note that a product-sharded run
     computes new rows in the workers (whose tables die with the pool),
     so it reads the row cache but never grows it — populate the cache
@@ -277,10 +304,8 @@ def check_safety(
         if compiled and spec_compiled:
             engine = compile_tm(tm)
             oracle = cached_spec_oracle(tm.n, tm.k, prop)
-            dense = (
-                engine.dense_csr("oracle", prop)
-                if dense_kernel and max_states is None
-                else None
+            dense = _dense_for(
+                engine, "oracle", prop, dense_kernel, cache_dir, max_states
             )
             with _warm_sharded(
                 engine,
@@ -382,10 +407,8 @@ def check_safety(
             # DFA is ever materialized.
             engine = compile_tm(tm)
             cdfa = cached_spec_dfa(tm.n, tm.k, prop)
-            dense = (
-                engine.dense_csr("dfa", prop)
-                if dense_kernel and max_states is None
-                else None
+            dense = _dense_for(
+                engine, "dfa", prop, dense_kernel, cache_dir, max_states
             )
             with _warm_sharded(
                 engine,

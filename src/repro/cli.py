@@ -66,17 +66,27 @@ MANAGERS = {
 PROPERTIES = {"ss": SS, "op": OP}
 
 
-def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
-    """``--cache-dir [DIR]``: None when warm-starting is off, the given
-    directory, or the default cache location when passed bare."""
+def _resolve_cache_dir(args: argparse.Namespace):
+    """``--cache-dir [DIR]`` × ``--cache-backend NAME``.
+
+    None when warm-starting is off; otherwise the cache for the given
+    (or default) directory — a bare directory string for the default
+    disk backend, a constructed :class:`repro.cache.CacheBackend` for
+    the others (the checking layer accepts either form).
+    """
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir is None:
         return None
     if cache_dir == "":
         from .cache import default_cache_dir
 
-        return default_cache_dir()
-    return cache_dir
+        cache_dir = default_cache_dir()
+    backend = getattr(args, "cache_backend", "disk") or "disk"
+    if backend == "disk":
+        return cache_dir
+    from .cache import make_backend
+
+    return make_backend(backend, cache_dir)
 
 
 def _make_tm(
@@ -337,7 +347,17 @@ def build_parser() -> argparse.ArgumentParser:
         " instead of the product BFS itself (the PR 3 behaviour; a"
         " differential reference for the sharded product)",
     )
-    p_safety.add_argument(
+    dense_mode = p_safety.add_mutually_exclusive_group()
+    dense_mode.add_argument(
+        "--dense-kernel",
+        dest="dense_kernel",
+        action="store_true",
+        default=None,
+        help="force dense CSR recording even without a cache (by"
+        " default recording only engages when --cache-dir is set, so"
+        " one-shot cold runs skip the recording overhead)",
+    )
+    dense_mode.add_argument(
         "--no-dense-kernel",
         dest="dense_kernel",
         action="store_false",
@@ -379,6 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
         " compiled-engine tables; without DIR uses $REPRO_CACHE_DIR or"
         " ~/.cache/repro",
     )
+    p_safety.add_argument(
+        "--cache-backend",
+        choices=("disk", "mmap", "memory"),
+        default="disk",
+        help="storage backend for --cache-dir: pickle files (disk),"
+        " zero-copy memory-mapped segment files shared across"
+        " processes (mmap), or a process-local store (memory);"
+        " results are identical across backends",
+    )
     add_common(p_safety)
     p_safety.set_defaults(func=cmd_safety)
 
@@ -405,9 +434,15 @@ def build_parser() -> argparse.ArgumentParser:
         const="",
         default=None,
         metavar="DIR",
-        help="warm-start the compiled engine (node rows included) from"
-        " an on-disk cache; without DIR uses $REPRO_CACHE_DIR or"
-        " ~/.cache/repro",
+        help="warm-start the compiled engine (node rows and the dense"
+        " adjacency included) from an on-disk cache; without DIR uses"
+        " $REPRO_CACHE_DIR or ~/.cache/repro",
+    )
+    p_live.add_argument(
+        "--cache-backend",
+        choices=("disk", "mmap", "memory"),
+        default="disk",
+        help="storage backend for --cache-dir (see 'safety --help')",
     )
     add_common(p_live)
     p_live.set_defaults(func=cmd_liveness, vars=1)

@@ -27,11 +27,13 @@ compiles the spec side the same way the TM side was compiled:
 * **warm starts** — the interned state table and memoized rows are pure
   ints, so they spill to the versioned on-disk cache
   (:mod:`repro.cache`) and repeated CLI invocations start warm;
-* **dense rows** — transition rows live in flat ``array('q')`` vectors
-  (one machine word per ``(state, statement)`` cell) rather than Python
-  lists: the dense kernel's storage discipline, which shrinks the
-  resident tables, makes the persisted payloads raw machine words, and
-  keeps row indexing a C-level operation.
+* **dense rows** — transition rows live in flat typed vectors
+  (``array('i')`` under the typed-width policy of :mod:`repro.cache`,
+  int64 only on overflow; one machine word per ``(state, statement)``
+  cell) rather than Python lists: the dense kernel's storage
+  discipline, which shrinks the resident tables, makes the persisted
+  payloads raw machine words — servable zero-copy by the mmap cache
+  backend — and keeps row indexing a C-level operation.
 
 The packed stepper is *exact*: :func:`make_packed_step` mirrors
 :func:`~repro.spec.det.det_step` statement for statement (the packing is
@@ -46,7 +48,13 @@ from array import array
 from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
-from ..cache import load_payload, save_payload
+from ..cache import (
+    int_vector_typecode,
+    is_int_vector,
+    load_payload,
+    narrow_int_vector,
+    save_payload,
+)
 from ..core.statements import Kind, Statement, statements as all_statements
 from .common import FINISHED, PENDING, STARTED, OP, SafetyProperty
 from .det import DetSpecState
@@ -330,8 +338,10 @@ class CompiledSpecOracle:
 
     ``rows[state_id][statement_id]`` is the successor's dense state id,
     :data:`SINK` for a rejection, or :data:`UNQUERIED` — filled on
-    demand by :meth:`fill`.  Rows are flat ``array('q')`` vectors (see
-    the module docstring).  State id 0 is always the initial state
+    demand by :meth:`fill`.  Rows are flat typed vectors — ``array('i')``
+    under the typed-width policy of :mod:`repro.cache`, widened to
+    ``array('q')`` per row on overflow.  State id 0 is always the
+    initial state
     (which packs to the integer 0).  Construct via
     :func:`cached_spec_oracle` to share tables process-wide.
     """
@@ -344,9 +354,13 @@ class CompiledSpecOracle:
         self.num_symbols = len(self.symbols)
         self.step_packed = make_packed_step(n, k, prop)
         self._ids = {0: 0}
-        self._fresh_row = array("q", [UNQUERIED]) * self.num_symbols
+        # Typed-width policy: rows start int32 (state ids, SINK and
+        # UNQUERIED all fit) and individual rows widen to int64 in
+        # :meth:`fill` in the (never yet observed) case of > 2**31 - 1
+        # interned states.
+        self._fresh_row = array("i", [UNQUERIED]) * self.num_symbols
         self.states: List[int] = [0]
-        self.rows: List[array] = [array("q", self._fresh_row)]
+        self.rows: List[array] = [array("i", self._fresh_row)]
         self._dirty = False
 
     #: Dense id of the initial state.
@@ -363,7 +377,11 @@ class CompiledSpecOracle:
         """Evaluate and memoize one ``(state, statement)`` query."""
         target = self.step_packed(self.states[state_id], sym)
         succ = SINK if target is None else self.intern_packed(target)
-        self.rows[state_id][sym] = succ
+        try:
+            self.rows[state_id][sym] = succ
+        except OverflowError:  # pragma: no cover - > 2**31 - 1 states
+            self.rows[state_id] = row = array("q", self.rows[state_id])
+            row[sym] = succ
         self._dirty = True
         return succ
 
@@ -375,7 +393,7 @@ class CompiledSpecOracle:
         if sid is None:
             sid = self._ids[packed] = len(self.states)
             self.states.append(packed)
-            self.rows.append(array("q", self._fresh_row))
+            self.rows.append(array("i", self._fresh_row))
             self._dirty = True
         return sid
 
@@ -408,48 +426,58 @@ class CompiledSpecOracle:
             return False
         states = data.get("states")
         rows = data.get("rows")
-        if (
-            not isinstance(states, list)
-            or not isinstance(rows, list)
-            or len(states) != len(rows)
-            or not states
-            or states[0] != 0
-        ):
+        # Packed states usually persist as a typed int vector
+        # (narrowed), but can exceed int64 on large (n, k) — a plain
+        # list of Python ints is the declared fallback.
+        if not (isinstance(states, list) or is_int_vector(states)):
+            return False
+        states = list(states)
+        if not states or states[0] != 0:
             return False
         nstates = len(states)
-        for state, row in zip(states, rows):
+        tc = int_vector_typecode(rows)
+        if tc is None or len(rows) != nstates * self.num_symbols:
+            return False
+        for state in states:
             if not isinstance(state, int) or state < 0:
                 return False
-            if (
-                not isinstance(row, array)
-                or row.typecode != "q"
-                or len(row) != self.num_symbols
-            ):
-                return False
-            for cell in row:
-                if not UNQUERIED <= cell < nstates:
-                    return False
         if len(set(states)) != nstates:
             return False
-        self.states = list(states)
-        self.rows = [array("q", row) for row in rows]
+        for cell in rows:
+            if not UNQUERIED <= cell < nstates:
+                return False
+        ns = self.num_symbols
+        # Copy each flat-row slice into a mutable per-state array —
+        # :meth:`fill` writes into rows, so mmap-served views must not
+        # be aliased here.
+        self.states = states
+        self.rows = [
+            array(tc, rows[i * ns : (i + 1) * ns]) for i in range(nstates)
+        ]
         self._ids = {state: i for i, state in enumerate(states)}
         self._dirty = False
         return True
 
     def save_warm(self, cache_dir: str) -> bool:
         """Spill the tables to ``cache_dir`` (no-op unless dirty).  Rows
-        persist as the flat ``array('q')`` vectors they live in — raw
-        machine words on disk."""
+        flatten into one typed int vector (int32 unless any row widened)
+        — raw machine words on disk, sliced back on load; packed states
+        narrow to the smallest width they fit (a plain list if even
+        int64 overflows)."""
         if not self._dirty:
             return False
+        tc = "q" if any(r.typecode == "q" for r in self.rows) else "i"
+        flat = array(tc)
+        for row in self.rows:
+            flat.extend(row)
+        try:
+            states: object = narrow_int_vector(self.states)
+        except OverflowError:  # beyond int64: pickle the plain ints
+            states = list(self.states)
         ok = save_payload(
             cache_dir,
             self._cache_key(),
-            {
-                "states": list(self.states),
-                "rows": [array("q", r) for r in self.rows],
-            },
+            {"states": states, "rows": flat},
         )
         if ok:
             self._dirty = False
@@ -499,8 +527,10 @@ class CompiledSpecDFA:
         self.prop = prop
         self.symbols = statement_table(n, k)
         self.num_symbols = len(self.symbols)
-        #: One flat ``array('q')`` per state (see the module docstring).
-        self.rows: Optional[Tuple[array, ...]] = None
+        #: One flat typed int vector per state — ``array('i')`` when
+        #: built, zero-copy slices of the persisted flat table when
+        #: warm-loaded (memoryviews under the mmap backend).
+        self.rows: Optional[Tuple] = None
         self._dirty = False
 
     @property
@@ -516,7 +546,7 @@ class CompiledSpecDFA:
         from .build import interned_spec_rows
 
         self.rows = tuple(
-            array("q", row)
+            array("i", row)
             for row in interned_spec_rows(self.n, self.k, self.prop)
         )
         self._dirty = True
@@ -537,30 +567,40 @@ class CompiledSpecDFA:
         data = load_payload(cache_dir, self._cache_key())
         if not isinstance(data, dict):
             return False
-        rows = data.get("rows")
-        if not isinstance(rows, list) or not rows:
+        flat = data.get("rows")
+        nstates = data.get("num_states")
+        ns = self.num_symbols
+        if (
+            not is_int_vector(flat)
+            or not isinstance(nstates, int)
+            or nstates <= 0
+            or len(flat) != nstates * ns
+        ):
             return False
-        nstates = len(rows)
-        for row in rows:
-            if (
-                not isinstance(row, array)
-                or row.typecode != "q"
-                or len(row) != self.num_symbols
-            ):
+        for cell in flat:
+            if not SINK <= cell < nstates:
                 return False
-            for cell in row:
-                if not SINK <= cell < nstates:
-                    return False
-        self.rows = tuple(rows)
+        # Rows are read-only after ensure(): slices of the flat vector
+        # suffice, and under the mmap backend they are zero-copy views
+        # straight into the page cache.
+        self.rows = tuple(
+            flat[i * ns : (i + 1) * ns] for i in range(nstates)
+        )
         self._dirty = False
         return True
 
     def save_warm(self, cache_dir: str) -> bool:
-        """Spill the table to ``cache_dir`` (no-op unless dirty)."""
+        """Spill the table to ``cache_dir`` (no-op unless dirty): one
+        flat typed vector plus the state count."""
         if not self._dirty or self.rows is None:
             return False
+        flat = array(self.rows[0].typecode if self.rows else "i")
+        for row in self.rows:
+            flat.extend(row)
         ok = save_payload(
-            cache_dir, self._cache_key(), {"rows": list(self.rows)}
+            cache_dir,
+            self._cache_key(),
+            {"rows": flat, "num_states": len(self.rows)},
         )
         if ok:
             self._dirty = False

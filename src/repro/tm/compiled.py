@@ -54,7 +54,12 @@ from typing import (
 )
 
 from ..automata.kernel import DenseAdjacency, DenseCSR
-from ..cache import load_payload, save_payload
+from ..cache import (
+    is_int_vector,
+    load_payload,
+    narrow_int_vector,
+    save_payload,
+)
 from ..core.statements import Command, Kind, Statement
 from .algorithm import ABORT_EXT, Ext, Resp, TMAlgorithm, TMState, Transition
 
@@ -224,6 +229,7 @@ class CompiledTM:
         # adjacency, and any reusable sharding pools.
         self._dense: Dict[Tuple[str, str], DenseCSR] = {}
         self._dense_adj: Optional[DenseAdjacency] = None
+        self._adj_dirty = False
         self._pools: Dict[Tuple[int, Optional[str]], object] = {}
 
         # Interned observable labels for the safety view, plus their
@@ -829,9 +835,12 @@ class CompiledTM:
             init = self.initial_node_packed()
             ids: Dict[int, int] = {init: 0}
             order: List[int] = [init]
-            offsets = array("q", (0,))
-            targets = array("q")
-            labels = array("q")
+            # Typed-width policy: dense node ids, edge offsets and label
+            # ids are all counts of in-memory objects — int32 holds them
+            # on anything this side of a 2**31-node graph.
+            offsets = array("i", (0,))
+            targets = array("i")
+            labels = array("i")
             label_ids: Dict[Tuple[int, Ext, Resp], int] = {}
             label_table: List[Tuple[int, Ext, Resp]] = []
             node_row = self.node_row
@@ -858,6 +867,7 @@ class CompiledTM:
                 labels=labels,
                 label_table=label_table,
             )
+            self._adj_dirty = True
         return adj
 
     # ------------------------------------------------------------------
@@ -1060,6 +1070,142 @@ class CompiledTM:
         )
         if ok:
             self._dirty = False
+        return ok
+
+    def _adj_cache_key(self) -> Optional[tuple]:
+        if self._codec is None:
+            return None
+        return ("dense-adj", type(self.tm).__name__, self.name, self.n, self.k)
+
+    def load_dense_adj(self, cache_dir) -> bool:
+        """Restore the liveness node adjacency CSR (the safety side's
+        ``dense-csr`` symmetric): a warm liveness run then materializes
+        its graph from arrays alone, never touching the node-row memos.
+
+        Nodes persist in the stable codec-bits encoding and are
+        translated back through :meth:`node_of_stable` (interning views
+        in recorded discovery order — the same order a fresh build would
+        have used, so the decoded graph is byte-identical).  Malformed
+        payloads are rejected wholesale before anything is interned.
+        """
+        key = self._adj_cache_key()
+        if key is None or self._dense_adj is not None or self._adj_dirty:
+            return False
+        data = load_payload(cache_dir, key)
+        if not isinstance(data, dict):
+            return False
+        stable_nodes = data.get("nodes")
+        offsets = data.get("offsets")
+        targets = data.get("targets")
+        labels = data.get("labels")
+        label_entries = data.get("label_table")
+        if not all(
+            is_int_vector(v)
+            for v in (stable_nodes, offsets, targets, labels)
+        ) or not isinstance(label_entries, list):
+            return False
+        nnodes = len(stable_nodes)
+        nedges = len(targets)
+        if (
+            not nnodes
+            or len(offsets) != nnodes + 1
+            or len(labels) != nedges
+            or offsets[0] != 0
+            or offsets[-1] != nedges
+        ):
+            return False
+        if any(offsets[i] > offsets[i + 1] for i in range(nnodes)):
+            return False
+        if not all(0 <= t < nnodes for t in targets):
+            return False
+        nlabels = len(label_entries)
+        if not all(0 <= l < nlabels for l in labels):
+            return False
+        label_table: List[Tuple[int, Ext, Resp]] = []
+        for entry in label_entries:
+            if not isinstance(entry, tuple) or len(entry) != 4:
+                return False
+            ti, ename, evar, rc = entry
+            if not (
+                isinstance(ti, int)
+                and 0 <= ti < self.n
+                and isinstance(ename, str)
+                and (evar is None or isinstance(evar, int))
+                and isinstance(rc, int)
+                and 0 <= rc < len(_RESP_OF_CODE)
+            ):
+                return False
+            label_table.append((ti, Ext(ename, evar), _RESP_OF_CODE[rc]))
+        # Validate every stable node against the codec *before* any view
+        # is interned, so a rejected payload leaves the engine untouched.
+        codec = self._codec
+        width = codec.width  # type: ignore[union-attr]
+        digit_mask = (1 << width) - 1
+        pend_span = self._pend_span
+        known_bits = set(self._bits_ids)
+        try:
+            for s in stable_nodes:
+                if s < 0:
+                    return False
+                state, _pending = divmod(s, pend_span)
+                if state >> (width * self.n):
+                    return False
+                for i in range(self.n):
+                    bits = (state >> (width * i)) & digit_mask
+                    if bits not in known_bits:
+                        view = codec.unpack(bits)
+                        if codec.pack(view) != bits:
+                            return False
+                        known_bits.add(bits)
+            if len(set(stable_nodes)) != nnodes:
+                return False
+            if stable_nodes[0] != self.stable_of_node(
+                self.initial_node_packed()
+            ):
+                return False
+            nodes = [self.node_of_stable(s) for s in stable_nodes]
+        except Exception:
+            return False
+        self._dense_adj = DenseAdjacency(
+            nodes=nodes,
+            offsets=offsets,
+            targets=targets,
+            labels=labels,
+            label_table=label_table,
+        )
+        self._adj_dirty = False
+        return True
+
+    def save_dense_adj(self, cache_dir) -> bool:
+        """Spill the liveness node adjacency CSR (no-op unless newly
+        built since the last load/save).  Nodes are re-digited to the
+        stable encoding and narrowed; the CSR vectors persist at their
+        recorded width."""
+        key = self._adj_cache_key()
+        adj = self._dense_adj
+        if key is None or adj is None or not self._adj_dirty:
+            return False
+        stable = self.stable_of_node
+        try:
+            nodes = narrow_int_vector(stable(p) for p in adj.nodes)
+        except OverflowError:  # pragma: no cover - beyond-int64 spans
+            return False
+        ok = save_payload(
+            cache_dir,
+            key,
+            {
+                "nodes": nodes,
+                "offsets": adj.offsets,
+                "targets": adj.targets,
+                "labels": adj.labels,
+                "label_table": [
+                    (ti, ext.name, ext.var, _RESP_CODE[resp])
+                    for ti, ext, resp in adj.label_table
+                ],
+            },
+        )
+        if ok:
+            self._adj_dirty = False
         return ok
 
 

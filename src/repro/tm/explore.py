@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from ..automata.nfa import EPSILON, NFA
+from ..cache import CacheLike
 from ..core.statements import Command, Kind, Statement
 from .algorithm import Resp, TMAlgorithm, TMState, Transition
 from .compiled import CompiledTM, compile_tm
@@ -246,7 +247,7 @@ def build_liveness_graph(
     max_states: Optional[int] = None,
     compiled: bool = True,
     jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: "CacheLike" = None,
 ) -> LivenessGraph:
     """Explore the TM and label every edge with its extended statement.
 
@@ -289,7 +290,7 @@ def _build_liveness_graph_compiled(
     *,
     max_states: Optional[int] = None,
     jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: "CacheLike" = None,
 ) -> LivenessGraph:
     """Compiled :func:`build_liveness_graph`: BFS over packed nodes,
     decoded once per node for the (identical) output graph.  Sharding
@@ -309,6 +310,11 @@ def _build_liveness_graph_compiled(
     if cache_dir is not None:
         engine.load_warm(cache_dir)
     if max_states is None and (jobs is None or jobs <= 1):
+        # Warm runs restore the persisted adjacency CSR directly — the
+        # graph then materializes from arrays alone, without driving a
+        # single node row (the liveness twin of the dense-csr replay).
+        if cache_dir is not None:
+            engine.load_dense_adj(cache_dir)
         adj = engine.dense_node_adjacency()
         decode = engine.decode_node
         decoded = [decode(p) for p in adj.nodes]
@@ -323,6 +329,7 @@ def _build_liveness_graph_compiled(
             for e in range(offsets[src], offsets[src + 1])
         ]
         if cache_dir is not None:
+            engine.save_dense_adj(cache_dir)
             engine.save_warm(cache_dir)
         return LivenessGraph(
             initial=decoded[0], nodes=tuple(decoded), edges=tuple(edges)

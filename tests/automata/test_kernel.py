@@ -427,7 +427,9 @@ class TestDenseKernel:
             DSTM(2, 1), SS, lazy_spec=True, dense_kernel=False
         )
         tm = DSTM(2, 1)
-        res = check_safety(tm, SS, lazy_spec=True)
+        # dense_kernel=True: recording no longer engages by default on
+        # cache-less one-shot runs (the auto-gating default).
+        res = check_safety(tm, SS, lazy_spec=True, dense_kernel=True)
         assert (res.holds, res.product_states, res.tm_states) == (
             reference.holds,
             reference.product_states,

@@ -5,7 +5,8 @@ TM engine, the compiled spec side (packed oracle on the lazy path,
 int-rows DFA on the materialized path), the dense array-backed BFS
 kernel (CSR successor tables + bitset seen-sets vs the set-based pair
 loop), process sharding (row-prefetch or the sharded product BFS
-itself), and the on-disk warm cache.  Every cell of this matrix must
+itself), and the warm cache over its pluggable backends (disk pickle,
+in-memory, mmap segments).  Every cell of this matrix must
 produce **byte-identical** verdicts, counterexamples and reported
 counts against the naive reference path (``compiled=False``), holding
 and violating instances alike.  This file replaces the per-PR ad-hoc
@@ -13,8 +14,11 @@ differentials with one systematic sweep; new engine axes should be
 added here, not as new one-off tests.
 """
 
+import os
+
 import pytest
 
+from repro.cache import MemoryCacheBackend, MmapCacheBackend
 from repro.checking import check_safety
 from repro.spec import OP, SS
 from repro.spec.compiled import (
@@ -48,11 +52,15 @@ def _tuple(res):
 
 def _combos():
     """Engine combinations: compiled × spec_compiled × dense-kernel ×
-    jobs × sharded-product × warm/cold cache, pruned to the cells where
+    jobs × sharded-product × cache backend, pruned to the cells where
     an axis exists (the naive path has no spec engine, no pool and no
     cache; a pair sharder needs ``jobs > 1`` and a compiled spec side;
-    the dense kernel only engages on the all-int compiled-spec
-    paths)."""
+    the dense kernel only engages on the all-int compiled-spec paths).
+    The backend axis: ``None`` is a cold run; ``"disk"`` warm-restores
+    everywhere; the ``"memory"`` and ``"mmap"`` backends join on the
+    serial combos (one representative of each per engine shape keeps
+    the sweep inside tier-1 time — the backend-protocol conformance
+    itself lives in ``tests/test_cache_backends.py``)."""
     for compiled in (True, False):
         for spec_compiled in (True, False) if compiled else (True,):
             dense_opts = (
@@ -66,14 +74,21 @@ def _combos():
                         else (True,)
                     )
                     for shard_product in shard_opts:
-                        for warm in (False, True) if compiled else (False,):
+                        backend_opts = (None,)
+                        if compiled:
+                            backend_opts = (
+                                (None, "disk", "memory", "mmap")
+                                if jobs == 1
+                                else (None, "disk")
+                            )
+                        for backend in backend_opts:
                             yield {
                                 "compiled": compiled,
                                 "spec_compiled": spec_compiled,
                                 "dense": dense,
                                 "jobs": jobs,
                                 "shard_product": shard_product,
-                                "warm": warm,
+                                "backend": backend,
                             }
 
 
@@ -83,10 +98,20 @@ def test_every_engine_combination_matches_naive(
     tmp_path, factory, prop, lazy_spec
 ):
     cache_dir = str(tmp_path)
-    # Populate the warm cache once, then the warm combos restore from it
-    # after the process-wide compiled-spec caches are dropped (the
-    # closest in-process approximation of a fresh warm-started process).
-    check_safety(factory(), prop, lazy_spec=lazy_spec, cache_dir=cache_dir)
+    # Populate one warm store per backend, then the warm combos restore
+    # from it after the process-wide compiled-spec caches are dropped
+    # (the closest in-process approximation of a fresh warm-started
+    # process).  The memory backend must be the *same object* across
+    # populate and restore — it has no disk.
+    backends = {
+        "disk": cache_dir,
+        "mmap": MmapCacheBackend(os.path.join(cache_dir, "mm")),
+        "memory": MemoryCacheBackend(),
+    }
+    for store in backends.values():
+        clear_spec_oracle_cache()
+        clear_spec_dfa_cache()
+        check_safety(factory(), prop, lazy_spec=lazy_spec, cache_dir=store)
 
     reference = _tuple(
         check_safety(factory(), prop, lazy_spec=lazy_spec, compiled=False)
@@ -100,10 +125,10 @@ def test_every_engine_combination_matches_naive(
             "jobs": combo["jobs"],
             "shard_product": combo["shard_product"],
         }
-        if combo["warm"]:
+        if combo["backend"] is not None:
             clear_spec_oracle_cache()
             clear_spec_dfa_cache()
-            kwargs["cache_dir"] = cache_dir
+            kwargs["cache_dir"] = backends[combo["backend"]]
         got = _tuple(check_safety(factory(), prop, **kwargs))
         assert got == reference, f"combo {combo} diverged"
     clear_spec_oracle_cache()

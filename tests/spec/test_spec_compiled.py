@@ -356,9 +356,9 @@ def test_oracle_intern_packed_is_stable():
 
 
 def test_warm_cache_rows_are_flat_arrays(tmp_path):
-    """Rows persist (and restore) as flat array('q') vectors — the dense
-    layer's storage discipline; list rows and out-of-range cells are
-    rejected."""
+    """Rows persist as ONE flat typed vector (int32 under the typed-width
+    policy) and restore as mutable per-state arrays of the persisted
+    width; per-row lists and out-of-range cells are rejected."""
     from array import array
 
     d = str(tmp_path)
@@ -367,17 +367,16 @@ def test_warm_cache_rows_are_flat_arrays(tmp_path):
     fresh = CompiledSpecOracle(2, 1, SS)
     assert fresh.load_warm(d)
     assert all(
-        isinstance(row, array) and row.typecode == "q"
+        isinstance(row, array) and row.typecode == "i"
         for row in fresh.rows
     )
     key = oracle._cache_key()
     num = oracle.num_symbols
     for rows in (
-        [[UNQUERIED] * num],                     # list row: wrong type
-        [array("q", [99] * num)],                # successor out of range
-        [array("l", [UNQUERIED] * num)]          # wrong typecode
-        if array("l").itemsize != 8
-        else [array("q", [UNQUERIED] * (num - 1))],
+        [UNQUERIED] * num,                       # list: not a typed vector
+        array("i", [99] * num),                  # successor out of range
+        array("i", [UNQUERIED] * (num - 1)),     # wrong flat length
+        [array("q", [UNQUERIED] * num)],         # v3 per-row format
     ):
         with open(cache_path(d, key), "wb") as fh:
             pickle.dump(

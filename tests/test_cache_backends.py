@@ -1,0 +1,414 @@
+"""The cache backend protocol's shared conformance contract.
+
+Every backend — pickle-on-disk, in-memory, mmap segment files — must
+behave identically at the protocol level: round-trip payloads intact,
+reject stale/corrupt/mismatched entries by returning ``None`` (never
+raising), save atomically, preserve the typed widths of integer
+vectors, and report ``keys``/``stat`` honestly.  On top of that the
+mmap backend is pinned to its reason for existing: loaded vectors are
+zero-copy memoryview casts over the mapping, and a warm dense safety
+run off a pure-segment cache deserializes no rows at all.
+"""
+
+import os
+import pickle
+from array import array
+
+import pytest
+
+import repro.cache as cache_mod
+from repro.cache import (
+    ENGINE_VERSION,
+    INT32_MAX,
+    SEGMENT_MAGIC,
+    CacheBackend,
+    DiskCacheBackend,
+    MemoryCacheBackend,
+    MmapCacheBackend,
+    int_vector_typecode,
+    is_int_vector,
+    load_payload,
+    make_backend,
+    narrow_int_vector,
+    resolve_backend,
+    save_payload,
+    widen_int_vector,
+)
+
+BACKENDS = ("disk", "memory", "mmap")
+
+KEY = ("unit-test", 2, 1, "ss")
+OTHER_KEY = ("unit-test", 3, 2, "op")
+
+#: A payload shaped like the engines' real ones: typed vectors of both
+#: widths plus non-vector metadata riding in the same dict.
+PAYLOAD = {
+    "offsets": array("i", [0, 2, 5]),
+    "targets": array("q", [1, 2, 1 << 40, -5, 0]),
+    "label_table": [("inv", "read", 0, 1)],
+    "num_states": 3,
+}
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    return make_backend(request.param, str(tmp_path))
+
+
+def _assert_payload_round_trip(loaded):
+    assert loaded is not None
+    assert loaded["label_table"] == PAYLOAD["label_table"]
+    assert loaded["num_states"] == 3
+    for name in ("offsets", "targets"):
+        got = loaded[name]
+        assert is_int_vector(got)
+        assert int_vector_typecode(got) == PAYLOAD[name].typecode
+        assert list(got) == list(PAYLOAD[name])
+
+
+# ----------------------------------------------------------------------
+# Protocol conformance (all backends)
+# ----------------------------------------------------------------------
+
+
+def test_round_trip_preserves_vectors_and_meta(backend):
+    assert backend.save(KEY, PAYLOAD)
+    _assert_payload_round_trip(backend.load(KEY))
+
+
+def test_missing_key_loads_none(backend):
+    assert backend.load(KEY) is None
+    assert backend.stat(KEY) is None
+    assert backend.keys() == []
+
+
+def test_stale_engine_version_rejected(backend, monkeypatch):
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION", ENGINE_VERSION - 1)
+    assert backend.save(KEY, PAYLOAD)
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION", ENGINE_VERSION)
+    assert backend.load(KEY) is None
+    assert backend.keys() == []  # keys() lists only readable payloads
+
+
+def test_key_mismatch_rejected(backend):
+    """A payload filed under another key's slot is ignored — the key
+    stored *inside* the payload is authoritative, not the file name."""
+    assert backend.save(KEY, PAYLOAD)
+    if isinstance(backend, MemoryCacheBackend):
+        backend._entries[OTHER_KEY] = backend._entries[KEY]
+    else:
+        with open(backend.path_for(KEY), "rb") as fh:
+            blob = fh.read()
+        with open(backend.path_for(OTHER_KEY), "wb") as fh:
+            fh.write(blob)
+    assert backend.load(OTHER_KEY) is None
+
+
+def test_corrupt_bytes_load_none(backend):
+    assert backend.save(KEY, PAYLOAD)
+    garbage = b"\x80garbage that is neither pickle nor segment"
+    if isinstance(backend, MemoryCacheBackend):
+        backend._entries[KEY] = garbage
+    else:
+        with open(backend.path_for(KEY), "wb") as fh:
+            fh.write(garbage)
+    assert backend.load(KEY) is None
+    assert backend.keys() == []
+
+
+def test_save_overwrites_atomically(backend):
+    assert backend.save(KEY, PAYLOAD)
+    assert backend.save(KEY, {"offsets": array("i", [0, 1])})
+    loaded = backend.load(KEY)
+    assert list(loaded["offsets"]) == [0, 1]
+    assert "targets" not in loaded
+    if not isinstance(backend, MemoryCacheBackend):
+        leftovers = [
+            n
+            for n in os.listdir(backend.cache_dir)
+            if n.startswith(".tmp-")
+        ]
+        assert leftovers == []  # no torn temp files left behind
+
+
+def test_save_failure_swallowed(tmp_path):
+    """Disk-backed backends report unwritable destinations as False
+    rather than raising — the cache is an optimization only."""
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_bytes(b"")
+    for cls in (DiskCacheBackend, MmapCacheBackend):
+        b = cls(str(blocker / "sub"))
+        assert b.save(KEY, PAYLOAD) is False
+        assert b.load(KEY) is None
+
+
+def test_keys_and_stat_contract(backend):
+    assert backend.save(KEY, PAYLOAD)
+    assert backend.save(OTHER_KEY, {"v": 1})
+    assert sorted(backend.keys()) == sorted([KEY, OTHER_KEY])
+    st = backend.stat(KEY)
+    assert st is not None and st["bytes"] > 0
+    if isinstance(backend, MemoryCacheBackend):
+        assert st["path"] is None
+    else:
+        assert st["path"] == backend.path_for(KEY)
+        assert os.stat(st["path"]).st_size == st["bytes"]
+
+
+def test_width_round_trip_both_widths(backend):
+    """int32 stays int32 and int64 stays int64 across a round trip —
+    the width travels inside the payload."""
+    data = {
+        "narrow": array("i", [INT32_MAX, -1, 0]),
+        "wide": array("q", [INT32_MAX + 1, 0]),
+    }
+    assert backend.save(KEY, data)
+    loaded = backend.load(KEY)
+    assert loaded["narrow"].itemsize == 4
+    assert loaded["wide"].itemsize == 8
+    assert list(loaded["narrow"]) == [INT32_MAX, -1, 0]
+    assert list(loaded["wide"]) == [INT32_MAX + 1, 0]
+
+
+def test_backend_object_as_cache_dir(backend):
+    """The polymorphic wrappers accept a backend wherever the code base
+    used to take a directory string."""
+    assert save_payload(backend, KEY, PAYLOAD)
+    _assert_payload_round_trip(load_payload(backend, KEY))
+    assert load_payload(None, KEY) is None
+    assert save_payload(None, KEY, PAYLOAD) is False
+
+
+def test_default_cache_dir_env_precedence(monkeypatch, tmp_path):
+    from repro.cache import cache_path, default_cache_dir
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+    assert default_cache_dir() == str(tmp_path / "explicit")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == str(tmp_path / "xdg" / "repro")
+    monkeypatch.delenv("XDG_CACHE_HOME")
+    assert default_cache_dir().endswith(os.path.join(".cache", "repro"))
+    # Distinct keys must map to distinct, filesystem-safe file names.
+    p1 = cache_path(str(tmp_path), ("a b", 1))
+    p2 = cache_path(str(tmp_path), ("a b", 2))
+    assert p1 != p2 and p1.endswith(".pkl")
+    assert os.path.basename(p1) == os.path.basename(p1).replace(" ", "")
+
+
+def test_resolve_backend_contract(tmp_path):
+    assert resolve_backend(None) is None
+    disk = resolve_backend(str(tmp_path))
+    assert isinstance(disk, DiskCacheBackend)
+    mm = MmapCacheBackend(str(tmp_path))
+    assert resolve_backend(mm) is mm
+    with pytest.raises(ValueError):
+        make_backend("redis", str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# Typed-width helpers
+# ----------------------------------------------------------------------
+
+
+def test_narrow_int_vector_widens_on_overflow():
+    small = narrow_int_vector([0, INT32_MAX, -(INT32_MAX + 1)])
+    assert small.typecode == "i"
+    wide = narrow_int_vector([0, 1 << 40])
+    assert wide.typecode == "q"
+    with pytest.raises(OverflowError):
+        narrow_int_vector([1 << 70])  # beyond int64: caller's problem
+    assert widen_int_vector(small).typecode == "q"
+    assert list(widen_int_vector(small)) == list(small)
+
+
+def test_int_vector_predicates():
+    assert is_int_vector(array("i", [1]))
+    assert is_int_vector(array("q", [1]))
+    assert is_int_vector(memoryview(array("i", [1])))
+    assert not is_int_vector([1, 2])
+    assert not is_int_vector(array("d", [1.0]))
+    assert not is_int_vector(b"\x00" * 8)
+    assert int_vector_typecode(memoryview(array("q", [1]))) == "q"
+    assert int_vector_typecode("nope") is None
+
+
+# ----------------------------------------------------------------------
+# Mmap specifics
+# ----------------------------------------------------------------------
+
+
+def test_mmap_load_returns_zero_copy_views(tmp_path):
+    b = MmapCacheBackend(str(tmp_path))
+    assert b.save(KEY, PAYLOAD)
+    loaded = b.load(KEY)
+    for name in ("offsets", "targets"):
+        view = loaded[name]
+        assert isinstance(view, memoryview)
+        assert view.format == PAYLOAD[name].typecode
+        assert list(view) == list(PAYLOAD[name])
+    # Views must be independently usable after the load call returns
+    # (they keep the mapping alive through the buffer protocol).
+    assert loaded["offsets"][2] == 5
+
+
+def test_mmap_segments_are_aligned(tmp_path):
+    """Every raw segment starts on an 8-byte boundary in the file, so
+    ``memoryview.cast`` and ``np.frombuffer`` never see a misaligned
+    int64."""
+    b = MmapCacheBackend(str(tmp_path))
+    assert b.save(KEY, PAYLOAD)
+    with open(b.path_for(KEY), "rb") as fh:
+        blob = fh.read()
+    assert blob[:8] == SEGMENT_MAGIC
+    import struct
+
+    (hlen,) = struct.unpack("<Q", blob[8:16])
+    header = pickle.loads(blob[16 : 16 + hlen])
+    base = MmapCacheBackend._align(16 + hlen)
+    assert header["segments"]
+    for _name, _tc, off, _nbytes in header["segments"]:
+        assert (base + off) % 8 == 0
+
+
+def test_mmap_truncated_file_loads_none(tmp_path):
+    b = MmapCacheBackend(str(tmp_path))
+    assert b.save(KEY, PAYLOAD)
+    path = b.path_for(KEY)
+    size = os.stat(path).st_size
+    for keep in (0, 4, 16, size - 8):
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(blob[:keep])
+        assert b.load(KEY) is None
+        b.save(KEY, PAYLOAD)  # restore for the next truncation point
+
+
+def test_mmap_bad_magic_and_header_load_none(tmp_path):
+    b = MmapCacheBackend(str(tmp_path))
+    assert b.save(KEY, PAYLOAD)
+    path = b.path_for(KEY)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(b"WRONGMAG" + blob[8:])
+    assert b.load(KEY) is None
+    # Header length pointing past EOF.
+    import struct
+
+    with open(path, "wb") as fh:
+        fh.write(SEGMENT_MAGIC + struct.pack("<Q", 1 << 40) + b"\x00" * 64)
+    assert b.load(KEY) is None
+
+
+def test_mmap_plain_payload_round_trip(tmp_path):
+    """Non-dict payloads still round-trip (all-pickled fallback)."""
+    b = MmapCacheBackend(str(tmp_path))
+    assert b.save(KEY, [1, 2, 3])
+    assert b.load(KEY) == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Full pipeline over the backend matrix
+# ----------------------------------------------------------------------
+
+
+def _result_tuple(res):
+    return (
+        res.holds,
+        res.counterexample,
+        res.tm_states,
+        res.spec_states,
+        res.product_states,
+    )
+
+
+def test_mmap_warm_dense_run_deserializes_nothing(tmp_path):
+    """The zero-deserialization pin: a warm dense safety run off a
+    pure-segment mmap cache replays the product from mapped CSR tables
+    alone — byte-identical verdicts, zero safety-row traffic, and the
+    engine's CSR vectors are memoryviews over the mapping."""
+    from repro.checking import check_safety
+    from repro.spec import SS
+    from repro.spec.compiled import clear_spec_oracle_cache
+    from repro.tm import DSTM, compile_tm
+
+    d = str(tmp_path)
+    be = MmapCacheBackend(d)
+    cold = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=be)
+    clear_spec_oracle_cache()
+    kept = 0
+    for name in os.listdir(d):
+        if name.startswith("dense-csr"):
+            kept += 1
+        else:
+            os.unlink(os.path.join(d, name))
+    assert kept
+    tm = DSTM(2, 2)
+    warm = check_safety(tm, SS, lazy_spec=True, cache_dir=MmapCacheBackend(d))
+    assert _result_tuple(warm) == _result_tuple(cold)
+    engine = compile_tm(tm)
+    assert engine.stats()["safety_rows"] == 0  # array-only run
+    csr = engine.dense_csr("oracle", SS)
+    assert csr is not None and csr.built
+    assert isinstance(csr.targets, memoryview)
+    assert isinstance(csr.offsets, memoryview)
+    clear_spec_oracle_cache()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_safety_warm_identical_across_backends(tmp_path, name):
+    from repro.checking import check_safety
+    from repro.spec import SS
+    from repro.spec.compiled import clear_spec_oracle_cache
+    from repro.tm import DSTM
+
+    be = make_backend(name, str(tmp_path))
+    cold = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=be)
+    clear_spec_oracle_cache()
+    warm = check_safety(DSTM(2, 2), SS, lazy_spec=True, cache_dir=be)
+    assert _result_tuple(warm) == _result_tuple(cold)
+    assert be.keys()  # the run actually populated the store
+    clear_spec_oracle_cache()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_liveness_dense_adj_warm_round_trip(tmp_path, name):
+    """A cold liveness build persists the node adjacency CSR; a warm
+    build restores it and yields an identical graph without re-walking
+    the successor relation row by row.  (Codec-capable TMs only —
+    ManagedTM has no stable encoding and silently skips the cache.)"""
+    from repro.tm import DSTM, compile_tm
+    from repro.tm.explore import build_liveness_graph
+
+    be = make_backend(name, str(tmp_path))
+    cold = build_liveness_graph(DSTM(2, 1), cache_dir=be)
+    assert any(
+        isinstance(k, tuple) and k and k[0] == "dense-adj"
+        for k in be.keys()
+    )
+    tm = DSTM(2, 1)
+    warm = build_liveness_graph(tm, cache_dir=be)
+    assert set(warm.nodes) == set(cold.nodes)
+    assert set(warm.edges) == set(cold.edges)
+    assert warm.initial == cold.initial
+    fresh = compile_tm(DSTM(2, 1))  # a fresh engine, nothing interned
+    assert fresh.load_dense_adj(be)  # the payload is directly loadable
+
+
+def test_liveness_dense_adj_corrupt_payload_degrades(tmp_path):
+    from repro.tm import DSTM
+    from repro.tm.explore import build_liveness_graph
+
+    d = str(tmp_path)
+    cold = build_liveness_graph(DSTM(2, 1), cache_dir=d)
+    corrupted = 0
+    for fname in os.listdir(d):
+        if fname.startswith("dense-adj"):
+            with open(os.path.join(d, fname), "wb") as fh:
+                fh.write(b"\x80not a payload")
+            corrupted += 1
+    assert corrupted
+    warm = build_liveness_graph(DSTM(2, 1), cache_dir=d)
+    assert set(warm.edges) == set(cold.edges)

@@ -279,5 +279,7 @@ def test_dense_recording_stays_serial():
     check_safety(tm, SS, lazy_spec=True, jobs=2, shard_product=False)
     csr = engine.dense_csr("oracle", SS)
     assert not csr.built  # the prefetch path ran, nothing recorded
-    check_safety(tm, SS, lazy_spec=True)
+    # dense_kernel=True: recording no longer engages by default on
+    # cache-less one-shot runs (the auto-gating default).
+    check_safety(tm, SS, lazy_spec=True, dense_kernel=True)
     assert csr.built and csr.complete
