@@ -62,7 +62,7 @@ import struct
 import tempfile
 from abc import ABC, abstractmethod
 from array import array
-from typing import Dict, Hashable, List, Optional, Union
+from typing import Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 #: Bump whenever a packed encoding or persisted row format changes —
 #: caches written by other versions are ignored, never migrated.
@@ -85,6 +85,22 @@ INT32_MAX = (1 << 31) - 1
 
 #: Magic prefix of a :class:`MmapCacheBackend` segment file.
 SEGMENT_MAGIC = b"RPROSEG1"
+
+#: Suffix appended to a rejected payload file when it is quarantined.
+#: Quarantined files are invisible to ``load``/``keys`` (their names no
+#: longer end in the backend suffix) but are listed by ``doctor`` so an
+#: operator can inspect or delete them.
+QUARANTINE_SUFFIX = ".bad"
+
+#: ``doctor`` entry statuses that count as anomalies: the entry is
+#: unusable and will never become usable (``"quarantined"`` and
+#: ``"ok"`` are healthy; a quarantined file is an *already handled*
+#: anomaly).
+DOCTOR_ANOMALIES = ("stale", "corrupt", "truncated", "mismatch", "orphan")
+
+#: Sentinel for "validate the stored key against the file name instead
+#: of a caller-supplied key" (the doctor's self-consistency mode).
+_SELF_KEY = object()
 
 
 def default_cache_dir() -> str:
@@ -109,6 +125,79 @@ def _key_slug(key: Hashable, suffix: str) -> str:
 def cache_path(cache_dir: str, key: Hashable) -> str:
     """The pickle-file path for ``key`` under the disk backend."""
     return os.path.join(cache_dir, _key_slug(key, ".pkl"))
+
+
+def quarantine_path(path: str) -> Optional[str]:
+    """Atomically rename a rejected payload file to ``<path>.bad``.
+
+    Best-effort: returns the quarantine path on success, ``None`` when
+    the rename failed (read-only directory, file already gone — e.g. a
+    concurrent loader quarantined it first).  Quarantining is what stops
+    a corrupt or stale file from being re-read and re-rejected on every
+    warm start; ``repro doctor`` lists the ``.bad`` files it leaves.
+    """
+    target = path + QUARANTINE_SUFFIX
+    try:
+        os.replace(path, target)
+        return target
+    except OSError:
+        return None
+
+
+def _doctor_file_entries(
+    cache_dir: str,
+    suffix: str,
+    diagnose: Callable[[str], Tuple[str, Optional[object]]],
+    fix: bool,
+) -> List[Dict[str, object]]:
+    """Shared ``doctor`` walk of one file-backed store.
+
+    Classifies every file of the backend's ``suffix`` family under
+    ``cache_dir``: readable payloads (``ok``), version-audit failures
+    (``stale``), unreadable/short files (``corrupt``/``truncated``),
+    entries filed under the wrong name (``mismatch``), leftover
+    atomic-write temporaries (``orphan``) and previously quarantined
+    files (``quarantined``).  With ``fix``, anomalous payloads are
+    quarantined and orphan temporaries removed; each entry records the
+    action taken (``"quarantined"``/``"removed"``/``"failed"``).
+    Read-only by default: without ``fix`` nothing on disk changes.
+    """
+    out: List[Dict[str, object]] = []
+    try:
+        names = sorted(os.listdir(cache_dir))
+    except OSError:
+        return out
+    for name in names:
+        path = os.path.join(cache_dir, name)
+        try:
+            size = os.stat(path).st_size
+        except OSError:
+            continue
+        action: Optional[str] = None
+        if name.endswith(suffix + QUARANTINE_SUFFIX):
+            status = "quarantined"
+        elif name.startswith(".tmp-") and name.endswith(suffix):
+            status = "orphan"
+            if fix:
+                try:
+                    os.unlink(path)
+                    action = "removed"
+                except OSError:
+                    action = "failed"
+        elif name.endswith(suffix):
+            status, _data = diagnose(path)
+            if status != "ok" and fix:
+                action = (
+                    "quarantined"
+                    if quarantine_path(path) is not None
+                    else "failed"
+                )
+        else:
+            continue  # another backend's file (or unrelated)
+        out.append(
+            {"name": name, "status": status, "bytes": size, "action": action}
+        )
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +287,23 @@ class CacheBackend(ABC):
     def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
         """``{"bytes": stored_size, "path": file_or_None}``, or ``None``."""
 
+    def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
+        """Health audit of every entry in this store.
+
+        Returns one ``{"name", "status", "bytes", "action"}`` dict per
+        entry — ``status`` is ``"ok"`` for a payload ``load`` would
+        serve, one of :data:`DOCTOR_ANOMALIES` for an entry it would
+        reject (version audit → ``"stale"``, unreadable → ``"corrupt"``,
+        short segment data → ``"truncated"``, filed under the wrong name
+        → ``"mismatch"``, leftover atomic-write temporary →
+        ``"orphan"``) and ``"quarantined"`` for an already-quarantined
+        entry.  Read-only by default; with ``fix`` anomalies are
+        quarantined (or, for orphans, removed) and the ``action`` field
+        records what happened.  Backends without an inspectable store
+        may return an empty list (the default).
+        """
+        return []
+
 
 class DiskCacheBackend(CacheBackend):
     """The original pickle-on-disk store: one versioned ``.pkl`` per key."""
@@ -208,19 +314,51 @@ class DiskCacheBackend(CacheBackend):
     def path_for(self, key: Hashable) -> str:
         return cache_path(self.cache_dir, key)
 
-    def load(self, key: Hashable) -> Optional[object]:
+    def _diagnose(
+        self, path: str, expected_key: object = _SELF_KEY
+    ) -> Tuple[str, Optional[object]]:
+        """Validate one pickle file: ``(status, data)``.
+
+        ``status`` is ``"ok"`` (with the payload data), ``"missing"``,
+        ``"corrupt"`` (unreadable or structurally wrong), ``"stale"``
+        (version audit failed) or ``"mismatch"`` (the stored key is not
+        the expected one — with the :data:`_SELF_KEY` default, the file
+        name does not match the stored key's slug).  This is the single
+        rejection logic shared by :meth:`load` and :meth:`doctor`.
+        """
         try:
-            with open(self.path_for(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 payload = pickle.load(fh)
-            if not isinstance(payload, dict):
-                return None
-            if payload.get("version") != ENGINE_VERSION:
-                return None
-            if payload.get("key") != key:
-                return None
-            return payload.get("data")
+        except FileNotFoundError:
+            return "missing", None
         except Exception:
-            return None
+            return "corrupt", None
+        if not isinstance(payload, dict):
+            return "corrupt", None
+        if payload.get("version") != ENGINE_VERSION:
+            return "stale", None
+        key = payload.get("key")
+        if expected_key is _SELF_KEY:
+            if os.path.basename(path) != _key_slug(key, ".pkl"):
+                return "mismatch", None
+        elif key != expected_key:
+            return "mismatch", None
+        return "ok", payload.get("data")
+
+    def load(self, key: Hashable) -> Optional[object]:
+        path = self.path_for(key)
+        try:
+            status, data = self._diagnose(path, expected_key=key)
+        except Exception:
+            status, data = "corrupt", None
+        if status == "ok":
+            return data
+        if status != "missing":
+            # Quarantine instead of re-reading and re-rejecting the same
+            # corrupt/stale payload on every warm start (best-effort;
+            # ``repro doctor`` lists the ``.bad`` file this leaves).
+            quarantine_path(path)
+        return None
 
     def save(self, key: Hashable, data: object) -> bool:
         path = self.path_for(key)
@@ -274,6 +412,11 @@ class DiskCacheBackend(CacheBackend):
         except OSError:
             return None
 
+    def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
+        return _doctor_file_entries(
+            self.cache_dir, ".pkl", self._diagnose, fix
+        )
+
 
 class MemoryCacheBackend(CacheBackend):
     """An in-process store for tests and ephemeral runs.
@@ -286,22 +429,34 @@ class MemoryCacheBackend(CacheBackend):
 
     def __init__(self) -> None:
         self._entries: Dict[Hashable, bytes] = {}
+        self._quarantined: Dict[Hashable, bytes] = {}
+
+    def _diagnose_blob(self, key: Hashable, blob: bytes) -> Tuple[str, Optional[object]]:
+        """The pickle backends' rejection logic over an in-memory blob."""
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            return "corrupt", None
+        if not isinstance(payload, dict):
+            return "corrupt", None
+        if payload.get("version") != ENGINE_VERSION:
+            return "stale", None
+        if payload.get("key") != key:
+            return "mismatch", None
+        return "ok", payload.get("data")
 
     def load(self, key: Hashable) -> Optional[object]:
         blob = self._entries.get(key)
         if blob is None:
             return None
-        try:
-            payload = pickle.loads(blob)
-            if not isinstance(payload, dict):
-                return None
-            if payload.get("version") != ENGINE_VERSION:
-                return None
-            if payload.get("key") != key:
-                return None
-            return payload.get("data")
-        except Exception:
-            return None
+        status, data = self._diagnose_blob(key, blob)
+        if status == "ok":
+            return data
+        # Same churn-stopping contract as the file backends: a rejected
+        # entry moves to the quarantine map instead of being re-rejected
+        # on every load.
+        self._quarantined[key] = self._entries.pop(key)
+        return None
 
     def save(self, key: Hashable, data: object) -> bool:
         try:
@@ -317,13 +472,44 @@ class MemoryCacheBackend(CacheBackend):
     def keys(self) -> List[Hashable]:
         # Honour the "readable payloads only" contract: entries whose
         # blob no longer unpickles to the current version are invisible.
-        return [k for k in self._entries if self.load(k) is not None]
+        # (Snapshot the keys: a rejecting ``load`` quarantines, which
+        # mutates ``_entries`` mid-scan.)
+        return [k for k in list(self._entries) if self.load(k) is not None]
 
     def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
         blob = self._entries.get(key)
         if blob is None:
             return None
         return {"bytes": len(blob), "path": None}
+
+    def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        already_quarantined = sorted(self._quarantined, key=repr)
+        for key in sorted(self._entries, key=repr):
+            blob = self._entries[key]
+            status, _data = self._diagnose_blob(key, blob)
+            action: Optional[str] = None
+            if status != "ok" and fix:
+                self._quarantined[key] = self._entries.pop(key)
+                action = "quarantined"
+            out.append(
+                {
+                    "name": repr(key),
+                    "status": status,
+                    "bytes": len(blob),
+                    "action": action,
+                }
+            )
+        for key in already_quarantined:
+            out.append(
+                {
+                    "name": repr(key),
+                    "status": "quarantined",
+                    "bytes": len(self._quarantined[key]),
+                    "action": None,
+                }
+            )
+        return out
 
 
 class MmapCacheBackend(CacheBackend):
@@ -422,48 +608,96 @@ class MmapCacheBackend(CacheBackend):
                     pass
             return False
 
-    def _read_header(self, mm) -> Optional[dict]:
-        if len(mm) < 16 or mm[:8] != SEGMENT_MAGIC:
-            return None
-        (hlen,) = struct.unpack("<Q", mm[8:16])
-        if hlen <= 0 or 16 + hlen > len(mm):
-            return None
-        header = pickle.loads(mm[16 : 16 + hlen])
-        if not isinstance(header, dict):
-            return None
-        header["_data_base"] = self._align(16 + hlen)
-        return header
-
-    def load(self, key: Hashable) -> Optional[object]:
+    def _parse_header(self, mm) -> Tuple[str, Optional[dict]]:
+        """``(status, header)`` for one mapped segment file: ``"ok"``
+        with the pickled header (plus its computed ``_data_base``),
+        ``"truncated"`` when the header length points past EOF, or
+        ``"corrupt"`` for everything else a reader could trip over."""
         try:
-            with open(self.path_for(key), "rb") as fh:
+            if len(mm) < 16 or mm[:8] != SEGMENT_MAGIC:
+                return "corrupt", None
+            (hlen,) = struct.unpack("<Q", mm[8:16])
+            if hlen <= 0:
+                return "corrupt", None
+            if 16 + hlen > len(mm):
+                return "truncated", None
+            header = pickle.loads(mm[16 : 16 + hlen])
+            if not isinstance(header, dict):
+                return "corrupt", None
+            header["_data_base"] = self._align(16 + hlen)
+            return "ok", header
+        except Exception:
+            return "corrupt", None
+
+    def _read_header(self, mm) -> Optional[dict]:
+        status, header = self._parse_header(mm)
+        return header if status == "ok" else None
+
+    def _diagnose(
+        self, path: str, expected_key: object = _SELF_KEY
+    ) -> Tuple[str, Optional[object]]:
+        """Validate one segment file: ``(status, data)``.
+
+        Statuses are the disk backend's (:meth:`DiskCacheBackend.
+        _diagnose`) plus ``"truncated"`` for a file whose header or
+        recorded segments extend past EOF — the torn-copy shape an
+        interrupted transfer (or a filesystem running out of space
+        behind a non-atomic writer) leaves behind.
+        """
+        try:
+            with open(path, "rb") as fh:
                 mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
-            header = self._read_header(mm)
-            if header is None:
-                return None
+        except FileNotFoundError:
+            return "missing", None
+        except Exception:
+            return "corrupt", None  # includes empty files (mmap refuses)
+        try:
+            status, header = self._parse_header(mm)
+            if status != "ok":
+                return status, None
             if header.get("version") != ENGINE_VERSION:
-                return None
-            if header.get("key") != key:
-                return None
+                return "stale", None
+            key = header.get("key")
+            if expected_key is _SELF_KEY:
+                if os.path.basename(path) != _key_slug(key, self.SUFFIX):
+                    return "mismatch", None
+            elif key != expected_key:
+                return "mismatch", None
             meta = header.get("meta")
             if not isinstance(meta, dict):
-                return None
+                return "corrupt", None
             if header.get("plain"):
-                return meta.get("value")
+                return "ok", meta.get("value")
             out: Dict[str, object] = dict(meta)
             base = header["_data_base"]
             view = memoryview(mm)
             for name, tc, off, nbytes in header.get("segments", ()):
                 if tc not in ("i", "q"):
-                    return None
+                    return "corrupt", None
                 itemsize = 4 if tc == "i" else 8
                 start = base + off
-                if nbytes % itemsize or start + nbytes > len(mm):
-                    return None
+                if nbytes % itemsize:
+                    return "corrupt", None
+                if start + nbytes > len(mm):
+                    return "truncated", None
                 out[name] = view[start : start + nbytes].cast(tc)
-            return out
+            return "ok", out
         except Exception:
-            return None
+            return "corrupt", None
+
+    def load(self, key: Hashable) -> Optional[object]:
+        path = self.path_for(key)
+        try:
+            status, data = self._diagnose(path, expected_key=key)
+        except Exception:
+            status, data = "corrupt", None
+        if status == "ok":
+            return data
+        if status != "missing":
+            # Stop the silent churn: a payload this load rejected would
+            # be re-read and re-rejected by every future warm start.
+            quarantine_path(path)
+        return None
 
     def keys(self) -> List[Hashable]:
         out: List[Hashable] = []
@@ -495,6 +729,11 @@ class MmapCacheBackend(CacheBackend):
             return {"bytes": os.stat(path).st_size, "path": path}
         except OSError:
             return None
+
+    def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
+        return _doctor_file_entries(
+            self.cache_dir, self.SUFFIX, self._diagnose, fix
+        )
 
 
 #: What every persistence entry point accepts where it used to take a

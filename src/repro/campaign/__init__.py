@@ -1,0 +1,48 @@
+"""Fault-tolerant campaign execution (``repro batch`` / ``repro doctor``).
+
+A *campaign* is a validated matrix of safety checks — TM × property ×
+(n, k), with per-cell overrides — executed one cell at a time under a
+supervisor (:mod:`.supervisor`) that isolates each check in its own
+subprocess with a wall-clock timeout, an RSS cap, and bounded
+retry-with-backoff that degrades sharded→serial and warm→cold before
+recording a still-failing cell as ``error`` and moving on.  Every
+outcome is appended to an atomic JSONL journal (:mod:`.journal`) so an
+interrupted campaign resumes exactly where it stopped, and the final
+JSON/markdown reports (:mod:`.report`) are byte-identical whether or
+not the campaign was interrupted.  :mod:`.doctor` is the companion
+read-only cache-health scanner behind ``repro doctor``.
+"""
+
+from .doctor import run_doctor
+from .journal import Journal
+from .report import (
+    EXIT_ERRORS,
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    build_report,
+    render_markdown,
+    report_exit_code,
+)
+from .runner import CampaignRun, run_campaign
+from .spec import CampaignSpec, CampaignSpecError, load_spec, parse_spec
+from .supervisor import run_cell
+
+__all__ = [
+    "CampaignRun",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "EXIT_ERRORS",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "EXIT_VIOLATIONS",
+    "Journal",
+    "build_report",
+    "load_spec",
+    "parse_spec",
+    "render_markdown",
+    "report_exit_code",
+    "run_campaign",
+    "run_cell",
+    "run_doctor",
+]

@@ -1,0 +1,125 @@
+"""``repro doctor``: cache-directory health scans.
+
+Read-only by default: every ``.pkl``/``.seg`` entry in the directory is
+validated with the *same* corrupt/stale/mismatch/truncated rejection
+logic the backends' ``load`` uses (:meth:`repro.cache.CacheBackend.
+doctor`), orphaned temp files from interrupted atomic saves are
+detected, and already-quarantined ``.bad`` files are listed.  With
+``fix=True`` anomalies are quarantined (renamed ``<name>.bad``) and
+orphans removed, after which a rescan reports the directory clean.
+
+Exit-code contract (papyra-style)::
+
+    0  healthy (or --fix left the directory clean); a missing
+       directory is vacuously healthy
+    1  anomalies found (read-only mode)
+    2  the scan itself failed (unreadable directory)
+    3  --fix could not repair everything
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from ..cache import (
+    DOCTOR_ANOMALIES,
+    DiskCacheBackend,
+    MmapCacheBackend,
+)
+
+DOCTOR_OK = 0
+DOCTOR_ANOMALOUS = 1
+DOCTOR_SCAN_FAILED = 2
+DOCTOR_FIX_INCOMPLETE = 3
+
+
+def run_doctor(
+    cache_dir: str, fix: bool = False
+) -> Tuple[int, Dict[str, object]]:
+    """Scan ``cache_dir``; ``(exit_code, report)``.
+
+    The report lists one record per file — ``{"name", "status",
+    "bytes", "action"}`` with ``backend`` added — and a summary of
+    counts by status.
+    """
+    entries: List[Dict[str, object]] = []
+    if not os.path.isdir(cache_dir):
+        report = {
+            "cache_dir": cache_dir,
+            "exists": False,
+            "entries": [],
+            "summary": {},
+        }
+        return DOCTOR_OK, report
+    if not os.access(cache_dir, os.R_OK):
+        return DOCTOR_SCAN_FAILED, {
+            "cache_dir": cache_dir,
+            "exists": True,
+            "entries": [],
+            "summary": {},
+            "error": "directory is not readable",
+        }
+    for backend_name, backend in (
+        ("disk", DiskCacheBackend(cache_dir)),
+        ("mmap", MmapCacheBackend(cache_dir)),
+    ):
+        for record in backend.doctor(fix=fix):
+            record = dict(record)
+            record["backend"] = backend_name
+            entries.append(record)
+    summary: Dict[str, int] = {}
+    for record in entries:
+        status = record["status"]
+        summary[status] = summary.get(status, 0) + 1
+    report = {
+        "cache_dir": cache_dir,
+        "exists": True,
+        "entries": entries,
+        "summary": summary,
+    }
+    anomalies = [
+        record for record in entries
+        if record["status"] in DOCTOR_ANOMALIES
+    ]
+    if not anomalies:
+        return DOCTOR_OK, report
+    if not fix:
+        return DOCTOR_ANOMALOUS, report
+    unfixed = [
+        record for record in anomalies if record.get("action") == "failed"
+    ]
+    return (DOCTOR_FIX_INCOMPLETE if unfixed else DOCTOR_OK), report
+
+
+def render_doctor(report: Dict[str, object]) -> str:
+    """Human-facing scan listing."""
+    lines = [f"doctor: {report['cache_dir']}"]
+    if not report.get("exists"):
+        lines.append("  directory does not exist; nothing to scan")
+        return "\n".join(lines) + "\n"
+    if report.get("error"):
+        lines.append(f"  error: {report['error']}")
+        return "\n".join(lines) + "\n"
+    entries = report["entries"]
+    if not entries:
+        lines.append("  empty cache directory")
+    for record in entries:
+        action = record.get("action")
+        suffix = f" [{action}]" if action else ""
+        lines.append(
+            "  {:<12} {:>10}B  {}{}".format(
+                record["status"],
+                record.get("bytes", 0),
+                record["name"],
+                suffix,
+            )
+        )
+    summary = report["summary"]
+    if summary:
+        counts = ", ".join(
+            f"{count} {status}"
+            for status, count in sorted(summary.items())
+        )
+        lines.append(f"  summary: {counts}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,92 @@
+"""The campaign journal: an append-only JSONL outcome log.
+
+Line 1 is a header naming the campaign and its spec digest; every
+following line is one cell outcome.  Appends are atomic at the OS level
+(one ``write`` of one ``\\n``-terminated line on an ``O_APPEND`` file
+descriptor, fsynced before close), so a campaign killed mid-cell loses
+at most the in-flight cell — never a recorded one, and never the file's
+integrity.  Loading tolerates a torn final line (a crash during the
+append) by skipping unparseable lines; resume then simply re-runs the
+cell whose record was torn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+
+class Journal:
+    """One campaign's JSONL journal at ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def _append_line(self, obj: Dict[str, object]) -> None:
+        line = json.dumps(obj, sort_keys=True) + "\n"
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def start(self, name: str, digest: str) -> None:
+        """Truncate and write a fresh header."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+        self._append_line(
+            {"type": "campaign", "name": name, "digest": digest,
+             "version": 1}
+        )
+
+    def append_cell(self, entry: Dict[str, object]) -> None:
+        assert entry.get("type") == "cell" and "id" in entry
+        self._append_line(entry)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+    ) -> Tuple[Optional[Dict[str, object]], Dict[str, Dict[str, object]]]:
+        """``(header, {cell_id: entry})``; ``(None, {})`` when absent.
+
+        Unparseable lines (a torn tail from a crash mid-append) are
+        skipped; for a duplicated cell id the *last* record wins.
+        """
+        header: Optional[Dict[str, object]] = None
+        entries: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return None, {}
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(obj, dict):
+                continue
+            if obj.get("type") == "campaign" and header is None:
+                header = obj
+            elif obj.get("type") == "cell" and isinstance(
+                obj.get("id"), str
+            ):
+                entries[obj["id"]] = obj
+        return header, entries

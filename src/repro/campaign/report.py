@@ -1,0 +1,127 @@
+"""Campaign reports: canonical JSON + markdown, stable exit codes.
+
+The report is a pure function of the spec and the journal entries —
+wall-clock times stay in the journal and are deliberately **excluded**
+here, so a campaign interrupted and resumed produces a byte-identical
+report to an uninterrupted one (pinned by tests and the acceptance
+criteria).
+
+Exit-code contract (``repro batch``)::
+
+    0  every cell passed
+    1  >= 1 violation (a check that completed and found a bug)
+    2  usage error (bad spec, bad flags) — argparse/ValueError level
+    3  >= 1 cell errored or timed out (dominates violations: an
+       incomplete campaign's "all clear" means nothing)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .runner import CampaignRun
+
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+EXIT_ERRORS = 3
+
+
+def build_report(run: CampaignRun) -> Dict[str, object]:
+    """The canonical (deterministic, time-free) report document."""
+    cells: List[Dict[str, object]] = []
+    summary = {"pass": 0, "fail": 0, "timeout": 0, "error": 0,
+               "missing": 0}
+    for cell in run.spec.cells:
+        entry = run.entries.get(cell["id"])
+        if entry is None:
+            summary["missing"] += 1
+            cells.append({"id": cell["id"], "status": "missing"})
+            continue
+        status = entry.get("status", "error")
+        summary[status] = summary.get(status, 0) + 1
+        cells.append(
+            {
+                "id": cell["id"],
+                "status": status,
+                "attempts": entry.get("attempts"),
+                "faults": [
+                    {
+                        "attempt": fault.get("attempt"),
+                        "class": fault.get("class"),
+                        "detail": fault.get("detail"),
+                        "degraded": fault.get("degraded"),
+                    }
+                    for fault in entry.get("faults") or ()
+                ],
+                "result": entry.get("result"),
+                "error": entry.get("error"),
+            }
+        )
+    return {
+        "campaign": run.spec.name,
+        "digest": run.spec.digest,
+        "cells": cells,
+        "summary": summary,
+    }
+
+
+def report_exit_code(report: Dict[str, object]) -> int:
+    summary = report["summary"]
+    if summary["error"] or summary["timeout"] or summary["missing"]:
+        return EXIT_ERRORS
+    if summary["fail"]:
+        return EXIT_VIOLATIONS
+    return EXIT_OK
+
+
+def render_json(report: Dict[str, object]) -> str:
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def render_markdown(report: Dict[str, object]) -> str:
+    """A human-facing summary table (also deterministic)."""
+    lines = [
+        f"# campaign `{report['campaign']}`",
+        "",
+        "| cell | status | attempts | faults | product states |"
+        " counterexample |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for cell in report["cells"]:
+        result = cell.get("result") or {}
+        faults = cell.get("faults") or ()
+        fault_text = (
+            "; ".join(
+                "{}{}".format(
+                    fault["class"],
+                    f"->{fault['degraded']}" if fault.get("degraded")
+                    else "",
+                )
+                for fault in faults
+            )
+            or "-"
+        )
+        counterexample = result.get("counterexample") or "-"
+        lines.append(
+            "| {} | {} | {} | {} | {} | {} |".format(
+                cell["id"],
+                cell["status"],
+                cell.get("attempts", "-"),
+                fault_text,
+                result.get("product_states", "-"),
+                counterexample,
+            )
+        )
+    summary = report["summary"]
+    lines += [
+        "",
+        "**summary**: {pass} pass, {fail} fail, {timeout} timeout,"
+        " {error} error, {missing} missing".format(
+            **{key: summary[key] for key in
+               ("pass", "fail", "timeout", "error", "missing")}
+        ),
+        "",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""The campaign loop: journal-resumable cell-by-cell execution.
+
+``run_campaign`` walks the spec's cells in order, skipping every cell
+the journal already records (the resume path) and appending each new
+outcome as soon as its supervisor returns — so killing the process at
+any point loses at most the in-flight cell.  ``limit`` stops after N
+*newly executed* cells; the tests use it to simulate an interruption
+deterministically (run 2 cells, "crash", resume, and compare reports).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .journal import Journal
+from .spec import CampaignSpec, CampaignSpecError
+from .supervisor import run_cell
+
+
+class CampaignRun:
+    """Everything a report needs: the spec plus the journal entries."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        entries: Dict[str, Dict[str, object]],
+    ) -> None:
+        self.spec = spec
+        self.entries = entries
+
+    @property
+    def complete(self) -> bool:
+        return all(cell["id"] in self.entries for cell in self.spec.cells)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    journal_path: str,
+    *,
+    resume: bool = True,
+    limit: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignRun:
+    """Execute ``spec``, journaling to ``journal_path``.
+
+    With ``resume`` (the default), an existing journal for the *same*
+    spec digest replays its completed cells; a journal for a different
+    digest raises :class:`CampaignSpecError` (start over with
+    ``--no-resume`` or a fresh journal path).  ``resume=False`` always
+    truncates.  Faulted cells never raise — every outcome, ``error``
+    included, lands in the journal and the campaign moves on.
+    """
+    say = progress or (lambda _line: None)
+    journal = Journal(journal_path)
+    entries: Dict[str, Dict[str, object]] = {}
+    if resume:
+        header, entries = journal.load()
+        if header is None:
+            entries = {}
+            journal.start(spec.name, spec.digest)
+        elif header.get("digest") != spec.digest:
+            raise CampaignSpecError(
+                f"journal {journal_path} was written for a different"
+                " campaign spec (digest mismatch); use --no-resume to"
+                " start over"
+            )
+        # Drop journal entries for cells the spec no longer has (a
+        # digest match makes this impossible, but stay defensive).
+        known = {cell["id"] for cell in spec.cells}
+        entries = {k: v for k, v in entries.items() if k in known}
+        if entries:
+            say(f"resuming: {len(entries)} cell(s) replayed from journal")
+    else:
+        journal.start(spec.name, spec.digest)
+
+    ran = 0
+    for cell in spec.cells:
+        cell_id = cell["id"]
+        if cell_id in entries:
+            continue
+        if limit is not None and ran >= limit:
+            break
+        say(f"[{len(entries) + 1}/{len(spec.cells)}] {cell_id} ...")
+        outcome = run_cell(cell)
+        entry = {"type": "cell", "id": cell_id}
+        entry.update(outcome)
+        journal.append_cell(entry)
+        entries[cell_id] = entry
+        ran += 1
+        status = entry["status"]
+        nfaults = len(entry.get("faults") or ())
+        suffix = f" ({nfaults} fault(s))" if nfaults else ""
+        say(f"    -> {status}{suffix}")
+    return CampaignRun(spec, entries)

@@ -1,0 +1,243 @@
+"""Per-cell supervision: isolate, bound, retry, degrade.
+
+Each campaign cell runs ``check_safety`` in its own subprocess: a hang
+(e.g. a pool worker SIGKILLed mid-``map``, which ``multiprocessing``
+silently swallows), an OOM kill, or a crash takes down only the child,
+and the supervisor's wall clock is the one bound that covers *every*
+failure shape.  The child reports back over a pipe; the parent waits
+with ``poll(timeout)`` **before** joining (join-first deadlocks when
+the result exceeds the pipe buffer).
+
+Retry policy: a faulted attempt (timeout, crash, memory, exception) is
+retried up to ``retries`` times with exponential backoff, degrading the
+configuration monotonically first — ``jobs>1`` falls back to serial,
+then a warm ``cache_dir`` falls back to cold — so a fault in the
+sharding or cache layer cannot fail a cell that the plain serial path
+can finish.  Degradation never changes verdicts: sharding and warm
+starts are optimization-only (the repo-wide byte-identical contract).
+A cell whose every attempt faults is recorded as ``timeout``/``error``
+without aborting the campaign.
+
+Fault injection (spec ``inject``, validated in :mod:`.spec`) exists so
+the tests and the CI smoke can exercise exactly these paths: SIGKILL
+the child, hang it, raise in it, or balloon its RSS, each on the first
+N attempts only — the retry then demonstrates recovery.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from typing import Dict, List, Optional
+
+#: Fault classes a single attempt can report.
+FAULT_TIMEOUT = "timeout"
+FAULT_CRASH = "crash"
+FAULT_MEMORY = "memory"
+FAULT_EXCEPTION = "exception"
+
+#: Grace period for terminate before escalating to SIGKILL.
+_TERM_GRACE_S = 5.0
+
+
+def _apply_memory_cap(memory_mb: Optional[int]) -> None:
+    if not memory_mb:
+        return
+    try:
+        import resource
+
+        limit = int(memory_mb) * 1024 * 1024
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except Exception:
+        pass  # platform without rlimits: the timeout still bounds us
+
+
+def _apply_injections(inject: Dict[str, object], attempt: int) -> None:
+    if attempt <= inject.get("sigkill_attempts", 0):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if attempt <= inject.get("hang_attempts", 0):
+        time.sleep(float(inject.get("hang_s", 3600)))
+    if attempt <= inject.get("fail_attempts", 0):
+        raise RuntimeError(f"injected failure (attempt {attempt})")
+    alloc_mb = inject.get("alloc_mb")
+    if alloc_mb:
+        # Ballast to trip the RLIMIT_AS cap; kept alive via the raise
+        # path only — a successful check frees it immediately.
+        ballast = bytearray(int(alloc_mb) * 1024 * 1024)
+        del ballast
+
+
+def _resolve_cell_cache(cell: Dict[str, object]):
+    cache_dir = cell.get("cache_dir")
+    if not cache_dir:
+        return None
+    backend = cell.get("cache_backend") or "disk"
+    if backend == "disk":
+        return cache_dir
+    from ..cache import make_backend
+
+    return make_backend(backend, cache_dir)
+
+
+def _run_check(cell: Dict[str, object]) -> Dict[str, object]:
+    """The actual check, in-process (the child body, minus plumbing)."""
+    from ..checking import check_safety
+    from ..cli import PROPERTIES, _make_tm
+    from ..core.statements import format_word
+
+    tm = _make_tm(
+        cell["tm"], cell["n"], cell["k"], cell.get("manager")
+    )
+    res = check_safety(
+        tm,
+        PROPERTIES[cell["property"]],
+        lazy_spec=bool(cell.get("lazy_spec")),
+        compiled=bool(cell.get("compiled", True)),
+        spec_compiled=bool(cell.get("spec_compiled", True)),
+        dense_kernel=cell.get("dense_kernel"),
+        jobs=int(cell.get("jobs") or 1),
+        shard_product=bool(cell.get("shard_product", True)),
+        chunk_size=cell.get("chunk_size"),
+        cache_dir=_resolve_cell_cache(cell),
+        max_states=cell.get("max_states"),
+    )
+    return {
+        "tm_name": res.tm_name,
+        "holds": res.holds,
+        "counterexample": (
+            None
+            if res.counterexample is None
+            else format_word(res.counterexample)
+        ),
+        "tm_states": res.tm_states,
+        "spec_states": res.spec_states,
+        "product_states": res.product_states,
+        "seconds": round(res.seconds, 6),
+    }
+
+
+def _cell_worker(conn, cell: Dict[str, object], attempt: int) -> None:
+    try:
+        _apply_memory_cap(cell.get("memory_mb"))
+        _apply_injections(cell.get("inject") or {}, attempt)
+        result = _run_check(cell)
+        conn.send({"ok": True, "result": result})
+    except MemoryError:
+        conn.send(
+            {"ok": False, "fault": FAULT_MEMORY,
+             "detail": "memory cap exceeded"}
+        )
+    except BaseException as exc:  # report, don't die silently
+        conn.send(
+            {"ok": False, "fault": FAULT_EXCEPTION, "detail": repr(exc)}
+        )
+    finally:
+        conn.close()
+
+
+def _degrade(cell: Dict[str, object]) -> Optional[str]:
+    """Mutate ``cell`` one rung down the ladder; name the rung taken."""
+    if int(cell.get("jobs") or 1) > 1:
+        cell["jobs"] = 1
+        return "serial"
+    if cell.get("cache_dir"):
+        cell["cache_dir"] = None
+        return "cold"
+    return None
+
+
+def _attempt(
+    cell: Dict[str, object], attempt: int
+) -> Dict[str, object]:
+    """One supervised attempt: ``{"ok": ..., ...}`` like the child's
+    message, plus the synthesized timeout/crash faults."""
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_cell_worker, args=(child_conn, cell, attempt)
+    )
+    proc.start()
+    child_conn.close()
+    timeout_s = float(cell.get("timeout_s") or 300.0)
+    try:
+        if not parent_conn.poll(timeout_s):
+            proc.terminate()
+            proc.join(_TERM_GRACE_S)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+            return {
+                "ok": False,
+                "fault": FAULT_TIMEOUT,
+                "detail": f"no result within {timeout_s:g}s",
+            }
+        try:
+            msg = parent_conn.recv()
+        except EOFError:
+            proc.join()
+            return {
+                "ok": False,
+                "fault": FAULT_CRASH,
+                "detail": f"worker died (exit code {proc.exitcode})",
+            }
+        proc.join()
+        return msg
+    finally:
+        parent_conn.close()
+        if proc.is_alive():  # pragma: no cover - belt and braces
+            proc.kill()
+            proc.join()
+
+
+def run_cell(cell: Dict[str, object]) -> Dict[str, object]:
+    """Run one cell to a journal entry (sans ``type``/``id``).
+
+    Statuses: ``pass``/``fail`` from a completed check, ``timeout``
+    when the final attempt hit the wall clock, ``error`` for any other
+    exhausted fault.  ``faults`` records every failed attempt with the
+    degradation rung the *next* attempt took.
+    """
+    cell = dict(cell)  # degradation mutates a private copy
+    retries = int(cell.get("retries") or 0)
+    backoff_s = float(cell.get("backoff_s") or 0.0)
+    faults: List[Dict[str, object]] = []
+    attempts = 0
+    last: Dict[str, object] = {}
+    for attempt in range(1, retries + 2):
+        attempts = attempt
+        last = _attempt(cell, attempt)
+        if last.get("ok"):
+            result = dict(last["result"])
+            seconds = result.pop("seconds", None)
+            return {
+                "status": "pass" if result["holds"] else "fail",
+                "result": result,
+                "error": None,
+                "attempts": attempts,
+                "faults": faults,
+                "seconds": seconds,
+            }
+        degraded = _degrade(cell) if attempt <= retries else None
+        faults.append(
+            {
+                "attempt": attempt,
+                "class": last.get("fault", FAULT_EXCEPTION),
+                "detail": last.get("detail", ""),
+                "degraded": degraded,
+            }
+        )
+        if attempt <= retries and backoff_s > 0:
+            time.sleep(backoff_s * (2 ** (attempt - 1)))
+    status = (
+        "timeout" if last.get("fault") == FAULT_TIMEOUT else "error"
+    )
+    return {
+        "status": status,
+        "result": None,
+        "error": last.get("detail", ""),
+        "attempts": attempts,
+        "faults": faults,
+        "seconds": None,
+    }

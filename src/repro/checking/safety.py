@@ -49,7 +49,7 @@ from ..spec.compiled import cached_spec_dfa, cached_spec_oracle
 from ..spec.common import OP, SS, SafetyProperty
 from ..spec.det import det_step, initial_state as det_initial_state
 from ..tm.algorithm import TMAlgorithm
-from ..tm.compiled import compile_tm
+from ..tm.compiled import PoolCrashError, compile_tm
 from ..tm.explore import build_safety_nfa, initial_node, safety_step
 from .reporting import SafetyResult
 
@@ -116,6 +116,31 @@ def _dense_for(engine, side, prop, dense_kernel, cache_dir, max_states):
     if dense_kernel is True or cache_dir is not None:
         return csr
     return csr if csr is not None and csr.built else None
+
+
+def _run_sharded_product(run, shard, prop, shard_product):
+    """Dispatch one packed-product BFS, degrading to serial on a dead
+    pool.
+
+    ``run(prefetch, pair_sharder)`` performs the BFS with the given
+    sharding hooks.  If the pool dies beyond revival mid-BFS
+    (:class:`~repro.tm.compiled.PoolCrashError` out of the pair
+    sharder's level dispatch), the product is simply rerun with both
+    hooks disabled: a failed ``map`` merges nothing into the parent, and
+    sharding is optimization-only, so the serial rerun is byte-identical
+    to what the sharded run would have produced (the rerun reuses the
+    rows already memoized — warm memo tables never change results).
+    """
+    pair_sharder = (
+        shard.pair_sharder(prop)
+        if shard is not None and shard_product
+        else None
+    )
+    prefetch = None if shard is None else shard.prefetch_safety
+    try:
+        return run(prefetch, pair_sharder)
+    except PoolCrashError:
+        return run(None, None)
 
 
 @contextmanager
@@ -327,23 +352,22 @@ def check_safety(
                     profile["engine_build_s"] = time.perf_counter() - t0
                     t_product = time.perf_counter()
                 holds, ce_ids, discovered, tm_states, spec_states = (
-                    product_oracle_packed(
-                        row_fn,
-                        [engine.initial_node_packed()],
-                        oracle,
-                        node_span=engine.node_span,
-                        row_map=row_map,
-                        max_states=max_states,
-                        prefetch=(
-                            None if shard is None else shard.prefetch_safety
+                    _run_sharded_product(
+                        lambda prefetch, pair_sharder: product_oracle_packed(
+                            row_fn,
+                            [engine.initial_node_packed()],
+                            oracle,
+                            node_span=engine.node_span,
+                            row_map=row_map,
+                            max_states=max_states,
+                            prefetch=prefetch,
+                            pair_sharder=pair_sharder,
+                            dense=dense,
+                            profile=profile,
                         ),
-                        pair_sharder=(
-                            shard.pair_sharder(prop)
-                            if shard is not None and shard_product
-                            else None
-                        ),
-                        dense=dense,
-                        profile=profile,
+                        shard,
+                        prop,
+                        shard_product,
                     )
                 )
                 if profile is not None:
@@ -428,23 +452,22 @@ def check_safety(
                     row_map = None
                     profile["engine_build_s"] = time.perf_counter() - t0
                     t_product = time.perf_counter()
-                holds, ce_ids, discovered, tm_states = product_dfa_packed(
-                    row_fn,
-                    [engine.initial_node_packed()],
-                    cdfa.rows,
-                    node_span=engine.node_span,
-                    row_map=row_map,
-                    max_states=max_states,
-                    prefetch=(
-                        None if shard is None else shard.prefetch_safety
+                holds, ce_ids, discovered, tm_states = _run_sharded_product(
+                    lambda prefetch, pair_sharder: product_dfa_packed(
+                        row_fn,
+                        [engine.initial_node_packed()],
+                        cdfa.rows,
+                        node_span=engine.node_span,
+                        row_map=row_map,
+                        max_states=max_states,
+                        prefetch=prefetch,
+                        pair_sharder=pair_sharder,
+                        dense=dense,
+                        profile=profile,
                     ),
-                    pair_sharder=(
-                        shard.pair_sharder(prop)
-                        if shard is not None and shard_product
-                        else None
-                    ),
-                    dense=dense,
-                    profile=profile,
+                    shard,
+                    prop,
+                    shard_product,
                 )
                 if profile is not None:
                     _close_profile(profile, t_product)

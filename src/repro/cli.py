@@ -10,15 +10,21 @@ Subcommands::
     python -m repro specs --threads 2 --vars 2           # spec sizes + Thm 3
     python -m repro simulate 2PL --schedule 111112 \\
         --program "1:r1 w2 c" --program "2:w2 c"         # a Table 1 run
+    python -m repro batch campaign.json                  # supervised sweep
+    python -m repro doctor /path/to/cache [--fix]        # cache health
 
 Exit status is 0 when every requested property holds, 1 when a violation
 was found, 2 on usage errors — so the tool scripts cleanly into CI for
-anyone developing a TM with this library.
+anyone developing a TM with this library.  ``batch`` adds 3 for cells
+that errored or timed out (errors dominate violations), and ``doctor``
+follows the scanner contract 0/1/2/3 (healthy / anomalies / scan failed
+/ fix incomplete) — see :mod:`repro.campaign`.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -258,6 +264,61 @@ def cmd_specs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    # Imported lazily: the campaign layer back-imports the TM/property
+    # registries above, so a module-level import would be circular.
+    from .campaign import (
+        build_report,
+        load_spec,
+        render_markdown,
+        report_exit_code,
+        run_campaign,
+    )
+    from .campaign.report import render_json
+
+    spec = load_spec(args.spec)
+    journal_path = args.journal or os.path.join(
+        os.path.dirname(os.path.abspath(args.spec)), "campaign.jsonl"
+    )
+    progress = (
+        None
+        if args.quiet
+        else (lambda line: print(line, file=sys.stderr, flush=True))
+    )
+    run = run_campaign(
+        spec, journal_path, resume=not args.no_resume, progress=progress
+    )
+    report = build_report(run)
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            fh.write(render_json(report))
+    markdown = render_markdown(report)
+    if args.report_markdown:
+        with open(args.report_markdown, "w", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+    if not args.quiet:
+        print(markdown)
+    return report_exit_code(report)
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+
+    from .campaign.doctor import render_doctor, run_doctor
+
+    cache_dir = args.dir
+    if cache_dir is None:
+        from .cache import default_cache_dir
+
+        cache_dir = default_cache_dir()
+    code, report = run_doctor(cache_dir, fix=args.fix)
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(render_doctor(report), end="")
+    return code
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     tm = _make_tm(args.tm, args.threads, args.vars, args.manager)
     programs: Dict[int, tuple] = {}
@@ -456,6 +517,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the Theorem 3 antichain equivalence",
     )
     p_specs.set_defaults(func=cmd_specs)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a fault-tolerant campaign from a JSON spec",
+    )
+    p_batch.add_argument("spec", help="path to the campaign spec (JSON)")
+    p_batch.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="journal file (default: campaign.jsonl next to the spec);"
+        " an existing journal for the same spec resumes the campaign",
+    )
+    p_batch.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="truncate any existing journal instead of resuming it",
+    )
+    p_batch.add_argument(
+        "--report-json",
+        metavar="PATH",
+        help="write the canonical JSON report here",
+    )
+    p_batch.add_argument(
+        "--report-markdown",
+        metavar="PATH",
+        help="write the markdown report here",
+    )
+    p_batch.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="suppress progress (stderr) and the stdout report",
+    )
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="scan a warm-start cache directory for damaged entries",
+    )
+    p_doctor.add_argument(
+        "dir",
+        nargs="?",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or"
+        " ~/.cache/repro)",
+    )
+    p_doctor.add_argument(
+        "--fix",
+        action="store_true",
+        help="quarantine damaged entries (<name>.bad) and remove"
+        " orphaned temporaries; without it the scan is read-only",
+    )
+    p_doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the scan report as JSON",
+    )
+    p_doctor.set_defaults(func=cmd_doctor)
 
     p_sim = sub.add_parser("simulate", help="Table 1: run a schedule")
     p_sim.add_argument("tm")

@@ -38,6 +38,8 @@ tests in ``tests/tm/test_compiled.py``).
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from array import array
 from contextlib import contextmanager
 from typing import (
@@ -66,6 +68,33 @@ from .algorithm import ABORT_EXT, Ext, Resp, TMAlgorithm, TMState, Transition
 #: Stable integer codes for :class:`Resp` in persisted node rows.
 _RESP_OF_CODE = (Resp.BOT, Resp.ABORT, Resp.DONE)
 _RESP_CODE = {resp: code for code, resp in enumerate(_RESP_OF_CODE)}
+
+
+class PoolCrashError(RuntimeError):
+    """A sharding pool died and could not be revived.
+
+    Raised by :class:`Sharder` after its one respawn-and-retry attempt
+    also fails (or when the pool is already known broken).  Callers that
+    have a serial path — :func:`repro.checking.safety.check_safety` does
+    — catch this and rerun serially; the optimization-only sharding
+    contract makes that rerun byte-identical.
+    """
+
+
+#: Engines holding parked ``reuse_pool`` pools, so an interpreter exit
+#: (or a forgotten :meth:`CompiledTM.close_pools`) still terminates the
+#: worker processes instead of leaking them.  Weak references: a parked
+#: pool must not keep its engine alive.
+_PARKED_ENGINES: "weakref.WeakSet" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+
+
+def _close_parked_pools() -> None:
+    for engine in list(_PARKED_ENGINES):
+        try:
+            engine.close_pools()
+        except Exception:
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -640,36 +669,74 @@ class CompiledTM:
             yield None
             return
         pool_key = (jobs, cache_dir)
-        pool = self._pools.get(pool_key) if reuse_pool else None
-        if pool is None:
+
+        def make_pool():
             import multiprocessing
 
-            pool = multiprocessing.get_context().Pool(
+            return multiprocessing.get_context().Pool(
                 jobs, initializer=_worker_init, initargs=(*seed, cache_dir)
             )
+
+        pool = self._pools.get(pool_key) if reuse_pool else None
+        if pool is None:
+            pool = make_pool()
             if reuse_pool:
-                self._pools[pool_key] = pool
+                self._park_pool(pool_key, pool)
+        sharder = Sharder(
+            self,
+            pool,
+            jobs,
+            chunk_size=chunk_size,
+            make_pool=make_pool,
+            pool_key=pool_key if reuse_pool else None,
+        )
         try:
-            yield Sharder(self, pool, jobs, chunk_size=chunk_size)
+            yield sharder
         except BaseException:
             if reuse_pool:
                 # Never leave a possibly-broken pool parked: the next
                 # reuse would inherit dead workers instead of spawning.
                 self._pools.pop(pool_key, None)
-                pool.terminate()
-                pool.join()
+            # The sharder may have respawned since entry; shut down
+            # whatever pool it currently holds (idempotent).
+            sharder.shutdown()
             raise
         finally:
             if not reuse_pool:
-                pool.terminate()
-                pool.join()
+                sharder.shutdown()
+
+    def _park_pool(self, pool_key, pool) -> None:
+        """Park ``pool`` for reuse and arm the atexit sweeper so parked
+        workers never outlive the interpreter."""
+        global _ATEXIT_REGISTERED
+        self._pools[pool_key] = pool
+        _PARKED_ENGINES.add(self)
+        if not _ATEXIT_REGISTERED:
+            _ATEXIT_REGISTERED = True
+            atexit.register(_close_parked_pools)
 
     def close_pools(self) -> None:
         """Tear down any pools parked by ``sharded(reuse_pool=True)``."""
         for pool in self._pools.values():
-            pool.terminate()
-            pool.join()
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
         self._pools.clear()
+
+    def __enter__(self) -> "CompiledTM":
+        """Scope parked pools to a ``with`` block::
+
+            with compile_tm(tm) as engine:
+                ...  # checks with reuse_pool=True park pools here
+            # workers terminated+joined on exit
+        """
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close_pools()
+        return False
 
     # ------------------------------------------------------------------
     # Checker-facing views
@@ -1361,10 +1428,22 @@ class Sharder:
         jobs: int,
         *,
         chunk_size: Optional[int] = None,
+        make_pool: Optional[Callable[[], object]] = None,
+        pool_key: Optional[tuple] = None,
     ) -> None:
         self.engine = engine
         self.pool = pool
         self.jobs = jobs
+        #: Respawn recipe for transient pool deaths; ``None`` disables
+        #: the retry (tests construct bare Sharders).
+        self.make_pool = make_pool
+        #: The engine parking slot when this pool is reused, so a
+        #: respawned pool replaces the dead parked one.
+        self.pool_key = pool_key
+        #: Set once the pool died and the respawn retry failed too;
+        #: every later dispatch raises :class:`PoolCrashError` upfront.
+        self.broken = False
+        self._closed = False
         #: Fixed per-task batch size for the row prefetcher; ``None``
         #: (or any value below 1, clamped here so a bad CLI flag cannot
         #: starve the pool) splits each level into one even chunk per
@@ -1384,6 +1463,73 @@ class Sharder:
         spec oracle the workers rebuild."""
         return PairSharder(self, prop)
 
+    def shutdown(self) -> None:
+        """Terminate+join the current pool (idempotent, exception-safe).
+
+        Called by ``sharded()`` on scope exit and by the supervision
+        paths below; safe to call on an already-dead pool.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.pool.terminate()
+            self.pool.join()
+        except Exception:
+            pass
+
+    def _pool_map(self, func, tasks):
+        """``pool.map`` under supervision.
+
+        Worker tasks are stateless (each rebuilds its engine from the
+        spawn seed; per-worker memo tables are a cache), so a failed
+        level can be retried wholesale: on the first raising dispatch —
+        a crashed/OOM-killed worker surfacing as an exception, the
+        ``BrokenProcessPool`` shape — the pool is torn down, respawned
+        once, and the level re-dispatched.  A second failure marks the
+        sharder broken and raises :class:`PoolCrashError` for the
+        caller's serial fallback.  ``KeyboardInterrupt`` never retries:
+        workers are terminated+joined (no zombies) and the interrupt
+        re-raised.
+        """
+        if self.broken:
+            raise PoolCrashError("sharding pool is broken")
+        try:
+            return self.pool.map(func, tasks)
+        except KeyboardInterrupt:
+            if self.pool_key is not None:
+                self.engine._pools.pop(self.pool_key, None)
+            self.shutdown()
+            raise
+        except Exception as first:
+            self.shutdown()
+            if self.pool_key is not None:
+                self.engine._pools.pop(self.pool_key, None)
+            if self.make_pool is None:
+                self.broken = True
+                raise PoolCrashError(
+                    f"sharding pool failed: {first!r}"
+                ) from first
+            try:
+                self.pool = self.make_pool()
+                self._closed = False
+                if self.pool_key is not None:
+                    self.engine._park_pool(self.pool_key, self.pool)
+                return self.pool.map(func, tasks)
+            except KeyboardInterrupt:
+                if self.pool_key is not None:
+                    self.engine._pools.pop(self.pool_key, None)
+                self.shutdown()
+                raise
+            except Exception as again:
+                if self.pool_key is not None:
+                    self.engine._pools.pop(self.pool_key, None)
+                self.shutdown()
+                self.broken = True
+                raise PoolCrashError(
+                    f"sharding pool failed twice: {again!r}"
+                ) from again
+
     def _prefetch(self, mode: str, nodes: List[int], memo: Dict) -> None:
         engine = self.engine
         uniq = dict.fromkeys(nodes)
@@ -1397,7 +1543,9 @@ class Sharder:
         )
         if not todo:
             return
-        if hot:
+        if hot or self.broken:
+            # ``broken``: the pool died; prefetching is optimization-
+            # only, so degrade silently to on-demand serial rows.
             self.skipped_prefetches += 1
             return
         stable = [engine.stable_of_node(n) for n in todo]
@@ -1407,7 +1555,11 @@ class Sharder:
             for i in range(0, len(stable), chunk)
         ]
         rows: Dict[int, tuple] = {}
-        for part in self.pool.map(_worker_expand, tasks):
+        try:
+            parts = self._pool_map(_worker_expand, tasks)
+        except PoolCrashError:
+            return  # rows stay cold; the serial path computes them
+        for part in parts:
             for sn, row in part:
                 rows[sn] = row
         store = engine.store_stable_row
@@ -1441,8 +1593,8 @@ class PairSharder:
     """
 
     def __init__(self, sharder: Sharder, prop) -> None:
+        self.sharder = sharder
         self.engine = sharder.engine
-        self.pool = sharder.pool
         self.jobs = sharder.jobs
         self.prop = prop
         self.span_bits = sharder.engine.node_span.bit_length() - 1
@@ -1456,8 +1608,13 @@ class PairSharder:
     def expand_pairs(
         self, shards: List[List[int]]
     ) -> List[Tuple[bool, Sequence[int]]]:
+        """One pool task per shard, under :meth:`Sharder._pool_map`
+        supervision — a dead pool here surfaces as
+        :class:`PoolCrashError` mid-BFS, which ``check_safety`` answers
+        with a byte-identical serial rerun (a failed ``map`` merges
+        nothing into the parent, so no partial state leaks)."""
         tasks = [(self.prop, self.span_bits, shard) for shard in shards]
-        return self.pool.map(_worker_expand_pairs, tasks)
+        return self.sharder._pool_map(_worker_expand_pairs, tasks)
 
 
 def compile_tm(tm: TMAlgorithm) -> CompiledTM:

@@ -1,0 +1,76 @@
+"""The ``repro doctor`` orchestration over one cache directory."""
+
+import os
+from array import array
+
+from repro.cache import DiskCacheBackend, MmapCacheBackend
+from repro.campaign.doctor import (
+    DOCTOR_ANOMALOUS,
+    DOCTOR_OK,
+    render_doctor,
+    run_doctor,
+)
+
+PAYLOAD = {"offsets": array("i", [0, 1, 2]), "num_states": 3}
+
+
+def _seed(tmp_path):
+    disk = DiskCacheBackend(str(tmp_path))
+    mmap_backend = MmapCacheBackend(str(tmp_path))
+    assert disk.save(("k", 1), PAYLOAD)
+    assert mmap_backend.save(("k", 2), PAYLOAD)
+    return disk, mmap_backend
+
+
+def test_healthy_directory_scans_clean(tmp_path):
+    _seed(tmp_path)
+    code, report = run_doctor(str(tmp_path))
+    assert code == DOCTOR_OK
+    assert report["summary"] == {"ok": 2}
+    assert {entry["backend"] for entry in report["entries"]} == {
+        "disk", "mmap"
+    }
+
+
+def test_missing_directory_is_vacuously_healthy(tmp_path):
+    code, report = run_doctor(str(tmp_path / "absent"))
+    assert code == DOCTOR_OK
+    assert not report["exists"]
+
+
+def test_anomalies_then_fix_then_clean(tmp_path):
+    disk, mmap_backend = _seed(tmp_path)
+    with open(disk.path_for(("k", 1)), "wb") as fh:
+        fh.write(b"garbage")
+    with open(mmap_backend.path_for(("k", 2)), "r+b") as fh:
+        fh.truncate(12)  # shorter than magic+length: corrupt
+    (tmp_path / ".tmp-dead.pkl").write_bytes(b"")
+
+    code, report = run_doctor(str(tmp_path))
+    assert code == DOCTOR_ANOMALOUS
+    assert report["summary"]["corrupt"] == 2
+    assert report["summary"]["orphan"] == 1
+    # read-only by default
+    assert os.path.exists(disk.path_for(("k", 1)))
+
+    code, report = run_doctor(str(tmp_path), fix=True)
+    assert code == DOCTOR_OK
+    assert {
+        entry["action"]
+        for entry in report["entries"]
+        if entry["status"] in ("corrupt", "orphan")
+    } == {"quarantined", "removed"}
+
+    code, report = run_doctor(str(tmp_path))
+    assert code == DOCTOR_OK  # quarantined files are not anomalies
+    assert report["summary"]["quarantined"] == 2
+    text = render_doctor(report)
+    assert "quarantined" in text and "summary:" in text
+
+
+def test_render_covers_empty_and_missing(tmp_path):
+    code, report = run_doctor(str(tmp_path))
+    assert code == DOCTOR_OK
+    assert "empty cache directory" in render_doctor(report)
+    _code, report = run_doctor(str(tmp_path / "absent"))
+    assert "does not exist" in render_doctor(report)

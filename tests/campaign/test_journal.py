@@ -1,0 +1,65 @@
+"""Journal atomicity and resume semantics."""
+
+import json
+
+from repro.campaign import Journal
+
+
+def test_header_then_cells_round_trip(tmp_path):
+    journal = Journal(str(tmp_path / "j.jsonl"))
+    journal.start("camp", "d" * 64)
+    journal.append_cell({"type": "cell", "id": "a", "status": "pass"})
+    journal.append_cell({"type": "cell", "id": "b", "status": "fail"})
+    header, entries = journal.load()
+    assert header["digest"] == "d" * 64 and header["name"] == "camp"
+    assert set(entries) == {"a", "b"}
+    assert entries["b"]["status"] == "fail"
+
+
+def test_start_truncates(tmp_path):
+    journal = Journal(str(tmp_path / "j.jsonl"))
+    journal.start("camp", "x")
+    journal.append_cell({"type": "cell", "id": "a", "status": "pass"})
+    journal.start("camp", "y")
+    header, entries = journal.load()
+    assert header["digest"] == "y"
+    assert entries == {}
+
+
+def test_torn_tail_is_skipped(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(str(path))
+    journal.start("camp", "x")
+    journal.append_cell({"type": "cell", "id": "a", "status": "pass"})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"type": "cell", "id": "b", "sta')  # crash mid-append
+    header, entries = journal.load()
+    assert header is not None
+    assert set(entries) == {"a"}  # the torn record is simply re-run
+
+
+def test_last_record_wins_for_duplicate_ids(tmp_path):
+    journal = Journal(str(tmp_path / "j.jsonl"))
+    journal.start("camp", "x")
+    journal.append_cell({"type": "cell", "id": "a", "status": "error"})
+    journal.append_cell({"type": "cell", "id": "a", "status": "pass"})
+    _header, entries = journal.load()
+    assert entries["a"]["status"] == "pass"
+
+
+def test_missing_file_loads_empty(tmp_path):
+    header, entries = Journal(str(tmp_path / "absent.jsonl")).load()
+    assert header is None and entries == {}
+
+
+def test_lines_are_valid_json_objects(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(str(path))
+    journal.start("camp", "x")
+    journal.append_cell(
+        {"type": "cell", "id": "a", "status": "pass", "faults": []}
+    )
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        assert isinstance(json.loads(line), dict)

@@ -1,0 +1,130 @@
+"""Campaign-level fault tolerance and journal resume.
+
+The acceptance pin: an interrupted-then-resumed campaign produces a
+byte-identical report to an uninterrupted one, and injected faults
+never abort the campaign or change verdicts on cells that complete.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpecError,
+    Journal,
+    build_report,
+    parse_spec,
+    report_exit_code,
+    run_campaign,
+)
+from repro.campaign.report import (
+    EXIT_ERRORS,
+    EXIT_OK,
+    EXIT_VIOLATIONS,
+    render_json,
+    render_markdown,
+)
+from repro.campaign.runner import CampaignRun
+
+
+def _spec():
+    return parse_spec(
+        {
+            "name": "faulty",
+            "defaults": {
+                "timeout_s": 120,
+                "retries": 1,
+                "backoff_s": 0,
+            },
+            "matrix": {
+                "tms": ["seq", "2pl"],
+                "properties": ["ss"],
+                "sizes": [[2, 1]],
+            },
+            "cells": [
+                # a worker SIGKILLed on its first attempt: retried
+                {"tm": "dstm", "property": "ss", "n": 2, "k": 1,
+                 "inject": {"sigkill_attempts": 1}},
+                # every attempt raises: recorded as error, not raised
+                {"tm": "tl2", "property": "ss", "n": 2, "k": 1,
+                 "inject": {"fail_attempts": 5}},
+            ],
+        }
+    )
+
+
+def test_faults_never_abort_and_reports_resume_byte_identically(
+    tmp_path,
+):
+    spec = _spec()
+    journal = str(tmp_path / "campaign.jsonl")
+
+    # Interrupt after two cells, then resume from the journal.
+    partial = run_campaign(spec, journal, limit=2)
+    assert not partial.complete
+    assert len(partial.entries) == 2
+    resumed = run_campaign(spec, journal)
+    assert resumed.complete
+
+    # Uninterrupted reference run on a fresh journal.
+    reference = run_campaign(spec, str(tmp_path / "fresh.jsonl"))
+    assert reference.complete
+
+    left = render_json(build_report(resumed))
+    right = render_json(build_report(reference))
+    assert left == right  # byte-identical, faults and all
+    assert render_markdown(build_report(resumed)) == render_markdown(
+        build_report(reference)
+    )
+
+    report = build_report(resumed)
+    by_id = {cell["id"]: cell for cell in report["cells"]}
+    assert by_id["seq/ss/2x1"]["status"] == "pass"
+    assert by_id["2pl/ss/2x1"]["status"] == "pass"
+    crashed = by_id["dstm/ss/2x1"]
+    assert crashed["status"] == "pass"  # verdict unharmed by the kill
+    assert crashed["faults"][0]["class"] == "crash"
+    assert by_id["tl2/ss/2x1"]["status"] == "error"
+    assert report["summary"]["error"] == 1
+    assert report_exit_code(report) == EXIT_ERRORS
+
+
+def test_resume_skips_completed_cells(tmp_path):
+    spec = _spec()
+    journal_path = str(tmp_path / "campaign.jsonl")
+    run_campaign(spec, journal_path)
+    # a second run replays everything from the journal: nothing new
+    rerun = run_campaign(spec, journal_path, limit=0)
+    assert rerun.complete  # all four replayed despite limit=0
+
+
+def test_digest_mismatch_refuses_resume(tmp_path):
+    journal_path = str(tmp_path / "campaign.jsonl")
+    Journal(journal_path).start("other", "not-this-digest")
+    with pytest.raises(CampaignSpecError, match="digest mismatch"):
+        run_campaign(_spec(), journal_path)
+    # --no-resume truncates and proceeds
+    run = run_campaign(_spec(), journal_path, resume=False, limit=0)
+    assert not run.complete and run.entries == {}
+
+
+def test_exit_codes_errors_dominate_violations():
+    spec = parse_spec(
+        {"name": "t", "cells": [{"tm": "seq", "property": "ss"}]}
+    )
+    cell_id = spec.cells[0]["id"]
+
+    def code(status):
+        entry = {"type": "cell", "id": cell_id, "status": status,
+                 "result": None, "error": None, "attempts": 1,
+                 "faults": []}
+        return report_exit_code(
+            build_report(CampaignRun(spec, {cell_id: entry}))
+        )
+
+    assert code("pass") == EXIT_OK
+    assert code("fail") == EXIT_VIOLATIONS
+    assert code("error") == EXIT_ERRORS
+    assert code("timeout") == EXIT_ERRORS
+    # a cell missing from the journal is an incomplete campaign
+    empty = build_report(CampaignRun(spec, {}))
+    assert report_exit_code(empty) == EXIT_ERRORS
+    assert empty["summary"]["missing"] == 1

@@ -1,0 +1,134 @@
+"""Supervised cell execution: isolation, faults, retries, degradation.
+
+Cells here are tiny ((2,1) instances) so each subprocess round-trip
+stays fast; the fork start method means children inherit the parent's
+already-imported modules.
+"""
+
+from repro.campaign.supervisor import run_cell
+from repro.campaign.spec import parse_spec
+from repro.checking import check_safety
+from repro.spec import SS
+from repro.tm import DSTM
+
+
+def _cell(**overrides):
+    data = {
+        "name": "t",
+        "cells": [
+            dict(
+                {"tm": "dstm", "property": "ss", "n": 2, "k": 1,
+                 "retries": 1, "backoff_s": 0, "timeout_s": 120},
+                **overrides,
+            )
+        ],
+    }
+    return parse_spec(data).cells[0]
+
+
+def test_clean_cell_matches_direct_check():
+    entry = run_cell(_cell())
+    assert entry["status"] == "pass"
+    assert entry["faults"] == []
+    assert entry["attempts"] == 1
+    ref = check_safety(DSTM(2, 1), SS)
+    assert entry["result"] == {
+        "tm_name": ref.tm_name,
+        "holds": ref.holds,
+        "counterexample": None,
+        "tm_states": ref.tm_states,
+        "spec_states": ref.spec_states,
+        "product_states": ref.product_states,
+    }
+
+
+def test_violation_reports_fail_with_counterexample():
+    entry = run_cell(
+        _cell(tm="modtl2", property="op", n=2, k=2)
+    )
+    assert entry["status"] == "fail"
+    ref = check_safety(
+        __import__("repro.tm", fromlist=["ModifiedTL2"]).ModifiedTL2(2, 2),
+        __import__("repro.spec", fromlist=["OP"]).OP,
+    )
+    from repro.core.statements import format_word
+
+    assert entry["result"]["counterexample"] == format_word(
+        ref.counterexample
+    )
+    assert entry["result"]["product_states"] == ref.product_states
+
+
+def test_sigkilled_worker_is_retried_to_the_same_result():
+    """A SIGKILLed subprocess surfaces as a crash fault; the retry
+    completes with the exact result an uninjected run produces."""
+    clean = run_cell(_cell())
+    entry = run_cell(_cell(inject={"sigkill_attempts": 1}))
+    assert entry["status"] == "pass"
+    assert entry["attempts"] == 2
+    [fault] = entry["faults"]
+    assert fault["class"] == "crash"
+    assert "-9" in fault["detail"]  # SIGKILL exit code
+    assert entry["result"] == clean["result"]
+
+
+def test_hang_hits_the_wall_clock():
+    entry = run_cell(
+        _cell(
+            timeout_s=0.5,
+            retries=0,
+            inject={"hang_attempts": 1, "hang_s": 60},
+        )
+    )
+    assert entry["status"] == "timeout"
+    assert entry["attempts"] == 1
+    [fault] = entry["faults"]
+    assert fault["class"] == "timeout"
+
+
+def test_retry_exhaustion_records_error_without_raising():
+    entry = run_cell(
+        _cell(retries=1, inject={"fail_attempts": 5})
+    )
+    assert entry["status"] == "error"
+    assert entry["attempts"] == 2
+    assert [fault["class"] for fault in entry["faults"]] == [
+        "exception",
+        "exception",
+    ]
+    assert "injected failure" in entry["error"]
+
+
+def test_degradation_ladder_serial_then_cold(tmp_path):
+    """Faults degrade jobs>1 -> serial -> cold before succeeding; the
+    degraded result is still the canonical one (sharding and warm
+    starts are optimization-only)."""
+    clean = run_cell(_cell())
+    entry = run_cell(
+        _cell(
+            jobs=2,
+            cache_dir=str(tmp_path),
+            retries=2,
+            inject={"fail_attempts": 2},
+        )
+    )
+    assert entry["status"] == "pass"
+    assert entry["attempts"] == 3
+    assert [fault["degraded"] for fault in entry["faults"]] == [
+        "serial",
+        "cold",
+    ]
+    assert entry["result"] == clean["result"]
+
+
+def test_memory_cap_reports_memory_fault():
+    entry = run_cell(
+        _cell(
+            memory_mb=512,
+            retries=0,
+            inject={"alloc_mb": 4096},
+        )
+    )
+    assert entry["status"] == "error"
+    [fault] = entry["faults"]
+    assert fault["class"] == "memory"

@@ -157,3 +157,153 @@ class TestDenseKernelAndProfileFlags:
             main(["safety", "2pl", "-k", "1", "--jobs", "2",
                   "--chunk-size", "0"])
         assert exc.value.code == 2
+
+
+class TestBatchCommand:
+    @staticmethod
+    def _write_spec(tmp_path, cells):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli",
+                    "defaults": {
+                        "timeout_s": 120, "retries": 1, "backoff_s": 0
+                    },
+                    "cells": cells,
+                }
+            )
+        )
+        return str(path)
+
+    def test_all_pass_exit_zero_and_reports(self, tmp_path, capsys):
+        spec = self._write_spec(
+            tmp_path, [{"tm": "seq", "property": "ss", "n": 2, "k": 1}]
+        )
+        report_json = tmp_path / "report.json"
+        report_md = tmp_path / "report.md"
+        code = main(
+            ["batch", spec, "--report-json", str(report_json),
+             "--report-markdown", str(report_md)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| seq/ss/2x1 | pass |" in out
+        import json
+
+        report = json.loads(report_json.read_text())
+        assert report["summary"]["pass"] == 1
+        assert "| seq/ss/2x1 | pass |" in report_md.read_text()
+        # the journal landed next to the spec
+        assert (tmp_path / "campaign.jsonl").exists()
+
+    def test_violation_exit_one(self, tmp_path, capsys):
+        spec = self._write_spec(
+            tmp_path,
+            [{"tm": "modtl2", "property": "op", "n": 2, "k": 2}],
+        )
+        assert main(["batch", spec, "--quiet"]) == 1
+        assert capsys.readouterr().out == ""  # --quiet suppresses all
+
+    def test_error_cell_exit_three_campaign_continues(
+        self, tmp_path, capsys
+    ):
+        spec = self._write_spec(
+            tmp_path,
+            [
+                {"tm": "tl2", "property": "ss", "n": 2, "k": 1,
+                 "inject": {"fail_attempts": 5}},
+                {"tm": "seq", "property": "ss", "n": 2, "k": 1},
+            ],
+        )
+        code = main(["batch", spec])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "| tl2/ss/2x1 | error |" in out
+        assert "| seq/ss/2x1 | pass |" in out  # ran despite the error
+
+    def test_interrupted_journal_resumes_byte_identical(
+        self, tmp_path, capsys
+    ):
+        from repro.campaign import load_spec, run_campaign
+
+        spec_path = self._write_spec(
+            tmp_path,
+            [
+                {"tm": "seq", "property": "ss", "n": 2, "k": 1},
+                {"tm": "2pl", "property": "ss", "n": 2, "k": 1,
+                 "inject": {"sigkill_attempts": 1}},
+            ],
+        )
+        journal = tmp_path / "campaign.jsonl"
+        # simulate an interruption after the first cell
+        run_campaign(load_spec(spec_path), str(journal), limit=1)
+        first = tmp_path / "resumed.json"
+        assert main(
+            ["batch", spec_path, "--quiet", "--report-json", str(first)]
+        ) == 0
+        second = tmp_path / "fresh.json"
+        assert main(
+            ["batch", spec_path, "--quiet", "--no-resume",
+             "--report-json", str(second)]
+        ) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_bad_spec_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text('{"name": "x", "bogus": 1}')
+        assert main(["batch", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_digest_mismatch_exit_two(self, tmp_path, capsys):
+        spec = self._write_spec(
+            tmp_path, [{"tm": "seq", "property": "ss", "n": 2, "k": 1}]
+        )
+        assert main(["batch", spec, "--quiet"]) == 0
+        other = self._write_spec(
+            tmp_path, [{"tm": "seq", "property": "op", "n": 2, "k": 1}]
+        )
+        assert main(["batch", other, "--quiet"]) == 2
+        assert "digest mismatch" in capsys.readouterr().err
+
+
+class TestDoctorCommand:
+    def test_clean_then_anomalous_then_fixed(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["safety", "seq", "-k", "1", "--cache-dir", cache_dir]
+        ) in (0, 1)
+        capsys.readouterr()
+        assert main(["doctor", cache_dir]) == 0
+        assert "ok" in capsys.readouterr().out
+
+        import os
+
+        victim = next(
+            os.path.join(cache_dir, n)
+            for n in sorted(os.listdir(cache_dir))
+            if n.endswith(".pkl")
+        )
+        with open(victim, "wb") as fh:
+            fh.write(b"garbage")
+        assert main(["doctor", cache_dir]) == 1
+        assert "corrupt" in capsys.readouterr().out
+        assert main(["doctor", cache_dir, "--fix"]) == 0
+        capsys.readouterr()
+        assert main(["doctor", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            ["doctor", str(tmp_path / "absent"), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["exists"] is False
+
+    def test_missing_dir_exit_zero(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path / "nope")]) == 0

@@ -412,3 +412,114 @@ def test_liveness_dense_adj_corrupt_payload_degrades(tmp_path):
     assert corrupted
     warm = build_liveness_graph(DSTM(2, 1), cache_dir=d)
     assert set(warm.edges) == set(cold.edges)
+
+
+# ----------------------------------------------------------------------
+# Quarantine on rejection + the doctor scan
+# ----------------------------------------------------------------------
+
+
+def _poison(backend, key, garbage=b"\x80garbage not pickle nor segment"):
+    with open(backend.path_for(key), "wb") as fh:
+        fh.write(garbage)
+
+
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+def test_rejected_load_quarantines_instead_of_churning(tmp_path, name):
+    """A corrupt payload is renamed ``<name>.bad`` on first rejection,
+    so the next warm start doesn't re-read and re-reject it."""
+    backend = make_backend(name, str(tmp_path))
+    assert backend.save(KEY, PAYLOAD)
+    path = backend.path_for(KEY)
+    _poison(backend, KEY)
+    assert backend.load(KEY) is None
+    assert not os.path.exists(path)
+    assert os.path.exists(path + ".bad")
+    # second load: plain miss, no .bad churn
+    assert backend.load(KEY) is None
+    assert backend.keys() == []
+
+
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+def test_stale_load_quarantines(tmp_path, name, monkeypatch):
+    backend = make_backend(name, str(tmp_path))
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION", ENGINE_VERSION - 1)
+    assert backend.save(KEY, PAYLOAD)
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION", ENGINE_VERSION)
+    assert backend.load(KEY) is None
+    assert os.path.exists(backend.path_for(KEY) + ".bad")
+
+
+def test_memory_backend_quarantines_in_map():
+    backend = MemoryCacheBackend()
+    assert backend.save(KEY, PAYLOAD)
+    backend._entries[KEY] = b"garbage"
+    assert backend.load(KEY) is None
+    assert KEY not in backend._entries
+    assert KEY in backend._quarantined
+    statuses = [e["status"] for e in backend.doctor()]
+    assert statuses == ["quarantined"]
+
+
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+def test_doctor_read_only_then_fix(tmp_path, name):
+    backend = make_backend(name, str(tmp_path))
+    suffix = ".pkl" if name == "disk" else ".seg"
+    assert backend.save(KEY, PAYLOAD)
+    assert backend.save(OTHER_KEY, PAYLOAD)
+    _poison(backend, OTHER_KEY)
+    orphan = tmp_path / f".tmp-dead{suffix}"
+    orphan.write_bytes(b"")
+
+    scan = backend.doctor()
+    by_status = {e["status"] for e in scan}
+    assert by_status == {"ok", "corrupt", "orphan"}
+    # read-only: nothing changed on disk
+    assert os.path.exists(backend.path_for(OTHER_KEY))
+    assert orphan.exists()
+
+    fixed = backend.doctor(fix=True)
+    actions = {e["status"]: e["action"] for e in fixed}
+    assert actions["corrupt"] == "quarantined"
+    assert actions["orphan"] == "removed"
+    assert not orphan.exists()
+    assert os.path.exists(backend.path_for(OTHER_KEY) + ".bad")
+
+    rescan = backend.doctor()
+    assert {e["status"] for e in rescan} == {"ok", "quarantined"}
+    # the healthy payload survived untouched
+    _assert_payload_round_trip(backend.load(KEY))
+
+
+def test_mmap_doctor_distinguishes_truncated(tmp_path):
+    backend = MmapCacheBackend(str(tmp_path))
+    assert backend.save(KEY, PAYLOAD)
+    path = backend.path_for(KEY)
+    size = os.stat(path).st_size
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: size - 8])  # segment data cut short
+    [entry] = backend.doctor()
+    assert entry["status"] == "truncated"
+
+
+def test_quarantine_failure_is_best_effort(tmp_path, monkeypatch):
+    backend = DiskCacheBackend(str(tmp_path))
+    assert backend.save(KEY, PAYLOAD)
+    _poison(backend, KEY)
+    monkeypatch.setattr(
+        cache_mod.os, "replace", _raise_oserror
+    )
+    assert backend.load(KEY) is None  # rejection still just returns None
+    assert os.path.exists(backend.path_for(KEY))  # rename failed, kept
+
+
+def _raise_oserror(*_args, **_kwargs):
+    raise OSError("read-only filesystem")
+
+
+def test_doctor_on_missing_dir_is_empty(tmp_path):
+    backend = DiskCacheBackend(str(tmp_path / "absent"))
+    assert backend.doctor() == []
+    assert MemoryCacheBackend().doctor() == []

@@ -283,3 +283,174 @@ def test_dense_recording_stays_serial():
     # cache-less one-shot runs (the auto-gating default).
     check_safety(tm, SS, lazy_spec=True, dense_kernel=True)
     assert csr.built and csr.complete
+
+
+# ----------------------------------------------------------------------
+# Pool supervision: crash recovery, serial fallback, interrupt hygiene
+#
+# A worker SIGKILLed mid-``map`` makes multiprocessing.Pool hang rather
+# than raise (it respawns workers but loses the task) — the in-process
+# cover for that shape is the campaign supervisor's wall clock
+# (tests/campaign/test_supervisor.py).  What *is* detectable in-process
+# is a raising dispatch (the BrokenProcessPool shape): these tests
+# fault the real worker entrypoints — fork start propagates the
+# monkeypatch into pool workers — and pin the respawn-retry, the
+# PoolCrashError escalation, and the byte-identical serial fallback.
+# ----------------------------------------------------------------------
+
+
+def _boom(*_args, **_kwargs):
+    raise RuntimeError("injected worker fault")
+
+
+def test_dead_pair_pool_falls_back_to_identical_serial(monkeypatch):
+    """Every sharded-product dispatch fails -> PoolCrashError ->
+    check_safety reruns serially; verdict and counts are byte-identical
+    to a plain serial run (on a holding and a violating cell)."""
+    from repro.tm import compiled as C
+
+    monkeypatch.setattr(C, "_worker_expand_pairs", _boom)
+    par = check_safety(DSTM(2, 1), SS, lazy_spec=True, jobs=2)
+    ser = check_safety(DSTM(2, 1), SS, lazy_spec=True)
+    assert _result_tuple(par) == _result_tuple(ser)
+
+    par = check_safety(ModifiedTL2(2, 2), OP, jobs=2)
+    ser = check_safety(ModifiedTL2(2, 2), OP)
+    assert not par.holds
+    assert _result_tuple(par) == _result_tuple(ser)
+
+
+def test_dead_prefetch_pool_degrades_silently(monkeypatch):
+    """Row prefetching is optimization-only: a dead pool during
+    row-sharded runs degrades to on-demand serial rows mid-check, with
+    identical results and no exception."""
+    from repro.tm import compiled as C
+
+    monkeypatch.setattr(C, "_worker_expand", _boom)
+    par = check_safety(
+        DSTM(2, 1), SS, lazy_spec=True, jobs=2, shard_product=False
+    )
+    ser = check_safety(DSTM(2, 1), SS, lazy_spec=True)
+    assert _result_tuple(par) == _result_tuple(ser)
+
+
+def test_pool_respawn_retries_once():
+    """A single transient dispatch failure is absorbed: the sharder
+    respawns the pool and retries the level; the check still runs
+    sharded (no PoolCrashError escapes)."""
+    from repro.tm import compiled as C
+
+    engine = compile_tm(DSTM(2, 1))
+    with engine.sharded(2) as shard:
+        assert shard is not None
+        original = shard.pool
+
+        class _DiesOnce:
+            def map(self, _func, _tasks):
+                raise RuntimeError("transient")
+
+            def terminate(self):
+                pass
+
+            def join(self):
+                pass
+
+        shard.pool = _DiesOnce()
+        shard._closed = False
+        init = engine.stable_of_node(engine.initial_node_packed())
+        parts = shard._pool_map(
+            C._worker_expand, [("safety", [init])]
+        )
+        assert parts and parts[0][0][0] == init
+        assert not shard.broken
+        original.terminate()
+        original.join()
+
+
+def test_pool_failing_twice_raises_poolcrash_and_marks_broken():
+    from repro.tm.compiled import PoolCrashError
+    from repro.tm import compiled as C
+
+    engine = compile_tm(DSTM(2, 1))
+    with engine.sharded(2) as shard:
+        assert shard is not None
+        shard.make_pool = lambda: (_ for _ in ()).throw(
+            RuntimeError("respawn failed")
+        )
+
+        class _Dead:
+            def map(self, _func, _tasks):
+                raise RuntimeError("boom")
+
+            def terminate(self):
+                pass
+
+            def join(self):
+                pass
+
+        real = shard.pool
+        shard.pool = _Dead()
+        with pytest.raises(PoolCrashError):
+            shard._pool_map(C._worker_expand, [("safety", [])])
+        assert shard.broken
+        # once broken, dispatch refuses upfront
+        with pytest.raises(PoolCrashError):
+            shard._pool_map(C._worker_expand, [("safety", [])])
+        real.terminate()
+        real.join()
+
+
+def test_keyboard_interrupt_terminates_and_unparks_pool():
+    """Ctrl-C during a sharded dispatch must terminate+join the workers
+    (no zombies) and evict any parked pool."""
+    engine = compile_tm(DSTM(2, 1))
+    with engine.sharded(2, reuse_pool=True) as shard:
+        assert shard is not None
+        assert engine._pools
+
+        class _Interrupted:
+            def map(self, _func, _tasks):
+                raise KeyboardInterrupt
+
+            def terminate(self):
+                self.terminated = True
+
+            def join(self):
+                self.joined = True
+
+        stub = _Interrupted()
+        shard.pool = stub
+        with pytest.raises(KeyboardInterrupt):
+            shard._pool_map(lambda x: x, [1])
+        assert stub.terminated and stub.joined
+        assert not engine._pools
+    assert not engine._pools
+
+
+def test_engine_context_manager_closes_parked_pools():
+    tm = DSTM(2, 2)
+    engine = compile_tm(tm)
+    with engine:
+        check_safety(
+            tm, SS, lazy_spec=True, jobs=2, reuse_pool=True,
+            dense_kernel=False,
+        )
+        assert engine._pools
+    assert not engine._pools
+
+
+def test_parked_pools_are_registered_for_atexit_cleanup():
+    from repro.tm import compiled as C
+
+    tm = DSTM(2, 2)
+    engine = compile_tm(tm)
+    with engine:
+        check_safety(
+            tm, SS, lazy_spec=True, jobs=2, reuse_pool=True,
+            dense_kernel=False,
+        )
+        assert C._ATEXIT_REGISTERED
+        assert engine in C._PARKED_ENGINES
+        # the atexit sweeper is safe to run early and repeatedly
+        C._close_parked_pools()
+        assert not engine._pools
