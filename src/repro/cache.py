@@ -24,7 +24,10 @@ Persistence is a **backend protocol** (:class:`CacheBackend`:
   of every table and deserialize nothing; numpy consumers wrap the same
   mapped buffer with ``np.frombuffer`` (still zero-copy), and the
   stdlib path indexes the memoryview casts directly, so the backend
-  itself needs no numpy.
+  itself needs no numpy;
+* :class:`TieredCacheBackend` — a resident memory tier over an optional
+  durable tier (read-through on miss, write-back on build), the shape
+  ``repro serve`` keeps hot for the life of the daemon.
 
 Payloads are keyed by an explicit tuple (algorithm or spec identity plus
 :data:`ENGINE_VERSION`) that is stored inside the file and re-checked on
@@ -60,9 +63,21 @@ import pickle
 import re
 import struct
 import tempfile
+import threading
+import weakref
 from abc import ABC, abstractmethod
 from array import array
-from typing import Callable, Dict, Hashable, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 #: Bump whenever a packed encoding or persisted row format changes —
 #: caches written by other versions are ignored, never migrated.
@@ -418,18 +433,55 @@ class DiskCacheBackend(CacheBackend):
         )
 
 
+#: Locked in-memory backends alive in this process; their locks are
+#: re-created in forked children (a worker forked while another thread
+#: holds a lock would otherwise inherit it permanently held).
+_LOCKED_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _reinit_backend_locks() -> None:  # pragma: no cover - fork plumbing
+    for backend in list(_LOCKED_BACKENDS):
+        backend._lock = threading.RLock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_backend_locks)
+
+
 class MemoryCacheBackend(CacheBackend):
-    """An in-process store for tests and ephemeral runs.
+    """An in-process store for tests, ephemeral runs and the daemon's
+    resident tier.
 
     Entries hold the *pickled* payload: loads hand back an independent
     copy (exactly what a disk round-trip would), the reported size is
     honest, and a save only swaps the entry in after the whole payload
     pickled — the atomicity contract for free.
+
+    The store is **concurrency-safe**: every dict access happens under
+    an ``RLock`` (``repro serve`` multiplexes request threads over one
+    resident backend), the lock is re-created in forked children
+    (supervised request workers fork while other threads may hold it),
+    and pickling the backend — e.g. sending it to a ``spawn`` worker —
+    drops the lock and re-creates it on the other side.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[Hashable, bytes] = {}
         self._quarantined: Dict[Hashable, bytes] = {}
+        self._lock = threading.RLock()
+        _LOCKED_BACKENDS.add(self)
+
+    def __getstate__(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "_entries": dict(self._entries),
+                "_quarantined": dict(self._quarantined),
+            }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        _LOCKED_BACKENDS.add(self)
 
     def _diagnose_blob(self, key: Hashable, blob: bytes) -> Tuple[str, Optional[object]]:
         """The pickle backends' rejection logic over an in-memory blob."""
@@ -446,69 +498,124 @@ class MemoryCacheBackend(CacheBackend):
         return "ok", payload.get("data")
 
     def load(self, key: Hashable) -> Optional[object]:
-        blob = self._entries.get(key)
-        if blob is None:
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                return None
+            status, data = self._diagnose_blob(key, blob)
+            if status == "ok":
+                return data
+            # Same churn-stopping contract as the file backends: a
+            # rejected entry moves to the quarantine map instead of
+            # being re-rejected on every load.
+            self._quarantined[key] = self._entries.pop(key)
             return None
-        status, data = self._diagnose_blob(key, blob)
-        if status == "ok":
-            return data
-        # Same churn-stopping contract as the file backends: a rejected
-        # entry moves to the quarantine map instead of being re-rejected
-        # on every load.
-        self._quarantined[key] = self._entries.pop(key)
-        return None
+
+    @staticmethod
+    def encode_blob(key: Hashable, data: object) -> bytes:
+        """The versioned pickled entry ``save`` stores for ``data``."""
+        return pickle.dumps(
+            {"version": ENGINE_VERSION, "key": key, "data": data},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
 
     def save(self, key: Hashable, data: object) -> bool:
         try:
-            blob = pickle.dumps(
-                {"version": ENGINE_VERSION, "key": key, "data": data},
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            blob = self.encode_blob(key, data)
         except Exception:
             return False
-        self._entries[key] = blob
+        with self._lock:
+            self._entries[key] = blob
         return True
+
+    def put_blob_if_changed(self, key: Hashable, blob: bytes) -> bool:
+        """Swap ``blob`` in under ``key``; ``False`` when the stored
+        entry was already byte-identical (the tiered backend's signal to
+        skip the cold-tier write)."""
+        with self._lock:
+            if self._entries.get(key) == blob:
+                return False
+            self._entries[key] = blob
+            return True
+
+    def snapshot_keys(self) -> FrozenSet[Hashable]:
+        """The current entry keys (readable or not) — the baseline for
+        :meth:`export_blobs` around one supervised request."""
+        with self._lock:
+            return frozenset(self._entries)
+
+    def export_blobs(
+        self, exclude: Iterable[Hashable] = ()
+    ) -> Dict[Hashable, bytes]:
+        """Raw stored entries for every key not in ``exclude`` — what a
+        supervised request's forked worker ships back so the parent's
+        resident tier learns the tables the child built."""
+        skip = frozenset(exclude)
+        with self._lock:
+            return {
+                key: blob
+                for key, blob in self._entries.items()
+                if key not in skip
+            }
+
+    def absorb_blobs(self, blobs: Dict[Hashable, bytes]) -> int:
+        """Install exported entries (last writer wins); the count taken."""
+        with self._lock:
+            self._entries.update(blobs)
+        return len(blobs)
+
+    def blob_stats(self) -> Dict[str, int]:
+        """``{"keys": n, "bytes": total}`` over the stored entries."""
+        with self._lock:
+            return {
+                "keys": len(self._entries),
+                "bytes": sum(len(blob) for blob in self._entries.values()),
+            }
 
     def keys(self) -> List[Hashable]:
         # Honour the "readable payloads only" contract: entries whose
         # blob no longer unpickles to the current version are invisible.
         # (Snapshot the keys: a rejecting ``load`` quarantines, which
         # mutates ``_entries`` mid-scan.)
-        return [k for k in list(self._entries) if self.load(k) is not None]
+        with self._lock:
+            snapshot = list(self._entries)
+        return [k for k in snapshot if self.load(k) is not None]
 
     def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
-        blob = self._entries.get(key)
+        with self._lock:
+            blob = self._entries.get(key)
         if blob is None:
             return None
         return {"bytes": len(blob), "path": None}
 
     def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
         out: List[Dict[str, object]] = []
-        already_quarantined = sorted(self._quarantined, key=repr)
-        for key in sorted(self._entries, key=repr):
-            blob = self._entries[key]
-            status, _data = self._diagnose_blob(key, blob)
-            action: Optional[str] = None
-            if status != "ok" and fix:
-                self._quarantined[key] = self._entries.pop(key)
-                action = "quarantined"
-            out.append(
-                {
-                    "name": repr(key),
-                    "status": status,
-                    "bytes": len(blob),
-                    "action": action,
-                }
-            )
-        for key in already_quarantined:
-            out.append(
-                {
-                    "name": repr(key),
-                    "status": "quarantined",
-                    "bytes": len(self._quarantined[key]),
-                    "action": None,
-                }
-            )
+        with self._lock:
+            already_quarantined = sorted(self._quarantined, key=repr)
+            for key in sorted(self._entries, key=repr):
+                blob = self._entries[key]
+                status, _data = self._diagnose_blob(key, blob)
+                action: Optional[str] = None
+                if status != "ok" and fix:
+                    self._quarantined[key] = self._entries.pop(key)
+                    action = "quarantined"
+                out.append(
+                    {
+                        "name": repr(key),
+                        "status": status,
+                        "bytes": len(blob),
+                        "action": action,
+                    }
+                )
+            for key in already_quarantined:
+                out.append(
+                    {
+                        "name": repr(key),
+                        "status": "quarantined",
+                        "bytes": len(self._quarantined[key]),
+                        "action": None,
+                    }
+                )
         return out
 
 
@@ -734,6 +841,92 @@ class MmapCacheBackend(CacheBackend):
         return _doctor_file_entries(
             self.cache_dir, self.SUFFIX, self._diagnose, fix
         )
+
+
+class TieredCacheBackend(CacheBackend):
+    """A resident hot tier over an optional durable cold tier.
+
+    ``repro serve`` keeps one of these for the life of the daemon: the
+    hot tier is a (concurrency-safe) :class:`MemoryCacheBackend` holding
+    every payload the daemon has seen, the cold tier is any durable
+    backend (disk pickles or mmap segments).  Semantics:
+
+    * **read-through** — ``load`` serves the hot tier when it can;
+      otherwise it consults the cold tier and, on a hit, promotes the
+      payload into the hot tier, so a crash-and-restart re-hydrates
+      warm state from disk segments instead of recomputing it;
+    * **write-back on build** — ``save`` swaps the entry into the hot
+      tier first and writes the cold tier only when the payload's bytes
+      actually changed (re-saving an unchanged warm table is free);
+    * the hot tier's export/absorb API passes through, so a supervised
+      request's forked worker can ship the tables it built back to the
+      daemon's resident tier.
+
+    Like every backend, ``load`` never raises and ``save`` swallows
+    failures; a missing/corrupt cold entry simply stays cold.
+    """
+
+    def __init__(
+        self,
+        hot: Optional[MemoryCacheBackend] = None,
+        cold: Optional[CacheBackend] = None,
+    ) -> None:
+        self.hot = hot if hot is not None else MemoryCacheBackend()
+        self.cold = cold
+
+    def load(self, key: Hashable) -> Optional[object]:
+        data = self.hot.load(key)
+        if data is not None:
+            return data
+        if self.cold is None:
+            return None
+        data = self.cold.load(key)
+        if data is not None:
+            self.hot.save(key, data)  # promote: next load is resident
+        return data
+
+    def save(self, key: Hashable, data: object) -> bool:
+        try:
+            blob = MemoryCacheBackend.encode_blob(key, data)
+        except Exception:
+            return False
+        if not self.hot.put_blob_if_changed(key, blob):
+            return True  # byte-identical payload is already resident
+        if self.cold is not None:
+            self.cold.save(key, data)
+        return True
+
+    def keys(self) -> List[Hashable]:
+        out = self.hot.keys()
+        if self.cold is not None:
+            seen = set(out)
+            out += [k for k in self.cold.keys() if k not in seen]
+        return out
+
+    def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
+        found = self.hot.stat(key)
+        if found is None and self.cold is not None:
+            found = self.cold.stat(key)
+        return found
+
+    def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
+        out = self.hot.doctor(fix)
+        if self.cold is not None:
+            out += self.cold.doctor(fix)
+        return out
+
+    # Hot-tier passthroughs for the supervised-request warm round-trip.
+
+    def snapshot_keys(self) -> FrozenSet[Hashable]:
+        return self.hot.snapshot_keys()
+
+    def export_blobs(
+        self, exclude: Iterable[Hashable] = ()
+    ) -> Dict[Hashable, bytes]:
+        return self.hot.export_blobs(exclude)
+
+    def absorb_blobs(self, blobs: Dict[Hashable, bytes]) -> int:
+        return self.hot.absorb_blobs(blobs)
 
 
 #: What every persistence entry point accepts where it used to take a

@@ -24,11 +24,12 @@ from .report import (
     render_markdown,
     report_exit_code,
 )
-from .runner import CampaignRun, run_campaign
+from .runner import CampaignInterrupted, CampaignRun, run_campaign
 from .spec import CampaignSpec, CampaignSpecError, load_spec, parse_spec
 from .supervisor import run_cell
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignRun",
     "CampaignSpec",
     "CampaignSpecError",

@@ -6,6 +6,13 @@ outcome as soon as its supervisor returns — so killing the process at
 any point loses at most the in-flight cell.  ``limit`` stops after N
 *newly executed* cells; the tests use it to simulate an interruption
 deterministically (run 2 cells, "crash", resume, and compare reports).
+
+Signal drain: when SIGTERM/SIGINT lands mid-cell (the CLI converts
+SIGTERM into :class:`CampaignInterrupted`), the in-flight cell is
+journaled with status ``interrupted`` before the exception propagates,
+so orchestrators that TERM a batch get a journal that names exactly
+where it stopped — and resume *re-runs* interrupted cells rather than
+trusting a half-finished outcome.
 """
 
 from __future__ import annotations
@@ -15,6 +22,11 @@ from typing import Callable, Dict, Optional
 from .journal import Journal
 from .spec import CampaignSpec, CampaignSpecError
 from .supervisor import run_cell
+
+
+class CampaignInterrupted(BaseException):
+    """A drain request (SIGTERM) — ``BaseException`` so no check-level
+    ``except Exception`` can swallow it on the way out."""
 
 
 class CampaignRun:
@@ -65,9 +77,13 @@ def run_campaign(
                 " start over"
             )
         # Drop journal entries for cells the spec no longer has (a
-        # digest match makes this impossible, but stay defensive).
+        # digest match makes this impossible, but stay defensive), and
+        # re-run cells a previous run only got to interrupt.
         known = {cell["id"] for cell in spec.cells}
-        entries = {k: v for k, v in entries.items() if k in known}
+        entries = {
+            k: v for k, v in entries.items()
+            if k in known and v.get("status") != "interrupted"
+        }
         if entries:
             say(f"resuming: {len(entries)} cell(s) replayed from journal")
     else:
@@ -81,7 +97,22 @@ def run_campaign(
         if limit is not None and ran >= limit:
             break
         say(f"[{len(entries) + 1}/{len(spec.cells)}] {cell_id} ...")
-        outcome = run_cell(cell)
+        try:
+            outcome = run_cell(cell)
+        except (KeyboardInterrupt, CampaignInterrupted):
+            journal.append_cell(
+                {
+                    "type": "cell",
+                    "id": cell_id,
+                    "status": "interrupted",
+                    "result": None,
+                    "error": "interrupted mid-cell",
+                    "attempts": 0,
+                    "faults": [],
+                }
+            )
+            say("    -> interrupted (journaled; resume re-runs it)")
+            raise
         entry = {"type": "cell", "id": cell_id}
         entry.update(outcome)
         journal.append_cell(entry)

@@ -62,6 +62,7 @@ POLICY_DEFAULTS: Dict[str, object] = {
     "max_states": None,
     "manager": None,
     "inject": None,
+    "profile": False,
 }
 
 #: Fault-injection knobs (testing/CI only): kill/hang/fail the worker
@@ -127,7 +128,10 @@ def _check_policy(policy: Dict[str, object], where: str) -> None:
                 and value > 0,
                 f"{where}: {key} must be a positive integer or null",
             )
-    for key in ("shard_product", "lazy_spec", "compiled", "spec_compiled"):
+    for key in (
+        "shard_product", "lazy_spec", "compiled", "spec_compiled",
+        "profile",
+    ):
         if key in policy:
             _require(
                 isinstance(policy[key], bool),
@@ -224,6 +228,22 @@ def _expand_cell(
     cell["k"] = raw.get("k", 2)
     cell["id"] = _cell_id(cell)
     return cell
+
+
+def expand_cell(
+    raw: Dict[str, object],
+    defaults: Optional[Dict[str, object]] = None,
+    where: str = "request",
+) -> Dict[str, object]:
+    """Validate one raw cell dict into a fully-defaulted cell.
+
+    The public face of :func:`_expand_cell` — the serve layer runs each
+    incoming check request through exactly this validation so a daemon
+    request and a campaign cell are the same object with the same
+    strictness (unknown keys, unknown TM/property names, bad types all
+    raise :class:`CampaignSpecError`).
+    """
+    return _expand_cell(raw, defaults or {}, where)
 
 
 class CampaignSpec:

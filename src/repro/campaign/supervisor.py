@@ -22,15 +22,24 @@ Fault injection (spec ``inject``, validated in :mod:`.spec`) exists so
 the tests and the CI smoke can exercise exactly these paths: SIGKILL
 the child, hang it, raise in it, or balloon its RSS, each on the first
 N attempts only — the retry then demonstrates recovery.
+
+``run_cell`` is also the **per-request entry point of the resident
+daemon** (:mod:`repro.serve`): the daemon passes its resident tiered
+cache backend as ``cache`` (the forked child inherits the in-memory
+tier for free) and sets ``collect_warm=True`` so the child ships every
+payload it *built* back over the result pipe — the daemon absorbs those
+blobs into its resident tier, which is how warm state accumulates in a
+process whose checks all run in throwaway children.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import signal
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Fault classes a single attempt can report.
 FAULT_TIMEOUT = "timeout"
@@ -40,6 +49,24 @@ FAULT_EXCEPTION = "exception"
 
 #: Grace period for terminate before escalating to SIGKILL.
 _TERM_GRACE_S = 5.0
+
+#: Ceiling on any single retry delay (decorrelated jitter can otherwise
+#: triple its way to minutes on high retry counts).
+BACKOFF_CAP_S = 30.0
+
+
+def _retry_delay(
+    base_s: float, prev_s: float, rng=random.uniform
+) -> float:
+    """The next retry delay: decorrelated jitter.
+
+    ``uniform(base, prev * 3)`` capped at :data:`BACKOFF_CAP_S` — the
+    expected delay still grows exponentially, but simultaneous faulted
+    cells (or daemon requests all hit by the same dying pool) spread out
+    instead of retrying in lockstep the way the old deterministic
+    ``base * 2**attempt`` schedule made them.
+    """
+    return min(BACKOFF_CAP_S, rng(base_s, max(base_s, prev_s * 3)))
 
 
 def _apply_memory_cap(memory_mb: Optional[int]) -> None:
@@ -69,10 +96,19 @@ def _apply_injections(inject: Dict[str, object], attempt: int) -> None:
         del ballast
 
 
-def _resolve_cell_cache(cell: Dict[str, object]):
+def _resolve_cell_cache(cell: Dict[str, object], cache=None):
+    """The warm cache a cell's check should use.
+
+    ``cell["cache_dir"]`` gates warmth (the degradation ladder clears it
+    for cold attempts); when a ``cache`` backend object is supplied (the
+    daemon's resident tiered store, inherited by the forked child) it
+    takes the place of whatever the cell names.
+    """
     cache_dir = cell.get("cache_dir")
     if not cache_dir:
         return None
+    if cache is not None:
+        return cache
     backend = cell.get("cache_backend") or "disk"
     if backend == "disk":
         return cache_dir
@@ -81,14 +117,28 @@ def _resolve_cell_cache(cell: Dict[str, object]):
     return make_backend(backend, cache_dir)
 
 
-def _run_check(cell: Dict[str, object]) -> Dict[str, object]:
-    """The actual check, in-process (the child body, minus plumbing)."""
+def _run_check(
+    cell: Dict[str, object], cache=None
+) -> Tuple[Dict[str, object], Dict[str, object], Optional[Dict[str, float]]]:
+    """The actual check, in-process (the child body, minus plumbing).
+
+    Returns ``(result, stats, profile)``: the canonical verdict payload
+    (identical whether the check ran here, in a campaign cell, or behind
+    the daemon), a small engine-introspection dict — ``safety_rows`` is
+    the number of TM transition rows this run actually *built* (0 means
+    the check was served entirely from warm state), ``warm_safety_rows``
+    the rows restored from the cache — and the per-phase profile split
+    when the cell asked for one (``profile: true``).
+    """
     from ..checking import check_safety
     from ..cli import PROPERTIES, _make_tm
     from ..core.statements import format_word
 
     tm = _make_tm(
         cell["tm"], cell["n"], cell["k"], cell.get("manager")
+    )
+    profile: Optional[Dict[str, float]] = (
+        {} if cell.get("profile") else None
     )
     res = check_safety(
         tm,
@@ -100,10 +150,11 @@ def _run_check(cell: Dict[str, object]) -> Dict[str, object]:
         jobs=int(cell.get("jobs") or 1),
         shard_product=bool(cell.get("shard_product", True)),
         chunk_size=cell.get("chunk_size"),
-        cache_dir=_resolve_cell_cache(cell),
+        cache_dir=_resolve_cell_cache(cell, cache),
         max_states=cell.get("max_states"),
+        profile=profile,
     )
-    return {
+    result = {
         "tm_name": res.tm_name,
         "holds": res.holds,
         "counterexample": (
@@ -116,14 +167,47 @@ def _run_check(cell: Dict[str, object]) -> Dict[str, object]:
         "product_states": res.product_states,
         "seconds": round(res.seconds, 6),
     }
+    stats: Dict[str, object] = {}
+    if cell.get("compiled", True):
+        from ..tm.compiled import compile_tm
+
+        engine_stats = compile_tm(tm).stats()
+        warm = engine_stats.get("warm_safety_rows", 0)
+        stats = {
+            "safety_rows": engine_stats["safety_rows"] - warm,
+            "warm_safety_rows": warm,
+        }
+    return result, stats, profile
 
 
-def _cell_worker(conn, cell: Dict[str, object], attempt: int) -> None:
+def _cell_worker(
+    conn,
+    cell: Dict[str, object],
+    attempt: int,
+    cache=None,
+    collect_warm: bool = False,
+) -> None:
     try:
         _apply_memory_cap(cell.get("memory_mb"))
         _apply_injections(cell.get("inject") or {}, attempt)
-        result = _run_check(cell)
-        conn.send({"ok": True, "result": result})
+        baseline = (
+            cache.snapshot_keys()
+            if collect_warm and cache is not None and cell.get("cache_dir")
+            else None
+        )
+        result, stats, profile = _run_check(cell, cache)
+        msg: Dict[str, object] = {
+            "ok": True, "result": result, "stats": stats,
+        }
+        if profile is not None:
+            msg["profile"] = {
+                key: round(value, 6) for key, value in profile.items()
+            }
+        if baseline is not None:
+            # Ship the payloads this child *built* back to the parent:
+            # its forked copy of the resident tier dies with it.
+            msg["warm"] = cache.export_blobs(exclude=baseline)
+        conn.send(msg)
     except MemoryError:
         conn.send(
             {"ok": False, "fault": FAULT_MEMORY,
@@ -149,14 +233,18 @@ def _degrade(cell: Dict[str, object]) -> Optional[str]:
 
 
 def _attempt(
-    cell: Dict[str, object], attempt: int
+    cell: Dict[str, object],
+    attempt: int,
+    cache=None,
+    collect_warm: bool = False,
 ) -> Dict[str, object]:
     """One supervised attempt: ``{"ok": ..., ...}`` like the child's
     message, plus the synthesized timeout/crash faults."""
     ctx = multiprocessing.get_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
-        target=_cell_worker, args=(child_conn, cell, attempt)
+        target=_cell_worker,
+        args=(child_conn, cell, attempt, cache, collect_warm),
     )
     proc.start()
     child_conn.close()
@@ -191,13 +279,25 @@ def _attempt(
             proc.join()
 
 
-def run_cell(cell: Dict[str, object]) -> Dict[str, object]:
+def run_cell(
+    cell: Dict[str, object],
+    *,
+    cache=None,
+    collect_warm: bool = False,
+) -> Dict[str, object]:
     """Run one cell to a journal entry (sans ``type``/``id``).
 
     Statuses: ``pass``/``fail`` from a completed check, ``timeout``
     when the final attempt hit the wall clock, ``error`` for any other
     exhausted fault.  ``faults`` records every failed attempt with the
     degradation rung the *next* attempt took.
+
+    ``cache`` substitutes a live backend object for the cell's named
+    ``cache_dir`` (the daemon's resident tiered store); with
+    ``collect_warm=True`` a successful outcome carries a ``warm`` dict
+    of the encoded payloads the child built, for the caller to absorb.
+    The ``result`` payload itself never varies with these knobs — the
+    byte-identity contract extends through the daemon.
     """
     cell = dict(cell)  # degradation mutates a private copy
     retries = int(cell.get("retries") or 0)
@@ -205,13 +305,14 @@ def run_cell(cell: Dict[str, object]) -> Dict[str, object]:
     faults: List[Dict[str, object]] = []
     attempts = 0
     last: Dict[str, object] = {}
+    delay = backoff_s
     for attempt in range(1, retries + 2):
         attempts = attempt
-        last = _attempt(cell, attempt)
+        last = _attempt(cell, attempt, cache, collect_warm)
         if last.get("ok"):
             result = dict(last["result"])
             seconds = result.pop("seconds", None)
-            return {
+            outcome = {
                 "status": "pass" if result["holds"] else "fail",
                 "result": result,
                 "error": None,
@@ -219,6 +320,13 @@ def run_cell(cell: Dict[str, object]) -> Dict[str, object]:
                 "faults": faults,
                 "seconds": seconds,
             }
+            if last.get("stats"):
+                outcome["stats"] = last["stats"]
+            if last.get("profile") is not None:
+                outcome["profile"] = last["profile"]
+            if collect_warm:
+                outcome["warm"] = last.get("warm") or {}
+            return outcome
         degraded = _degrade(cell) if attempt <= retries else None
         faults.append(
             {
@@ -229,7 +337,8 @@ def run_cell(cell: Dict[str, object]) -> Dict[str, object]:
             }
         )
         if attempt <= retries and backoff_s > 0:
-            time.sleep(backoff_s * (2 ** (attempt - 1)))
+            delay = _retry_delay(backoff_s, delay)
+            time.sleep(delay)
     status = (
         "timeout" if last.get("fault") == FAULT_TIMEOUT else "error"
     )

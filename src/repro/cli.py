@@ -11,12 +11,17 @@ Subcommands::
     python -m repro simulate 2PL --schedule 111112 \\
         --program "1:r1 w2 c" --program "2:w2 c"         # a Table 1 run
     python -m repro batch campaign.json                  # supervised sweep
+    python -m repro serve --socket /tmp/repro.sock       # resident daemon
+    python -m repro serve --socket /tmp/repro.sock \\
+        --check-request req.json                         # daemon client
     python -m repro doctor /path/to/cache [--fix]        # cache health
 
 Exit status is 0 when every requested property holds, 1 when a violation
 was found, 2 on usage errors — so the tool scripts cleanly into CI for
 anyone developing a TM with this library.  ``batch`` adds 3 for cells
-that errored or timed out (errors dominate violations), and ``doctor``
+that errored or timed out (errors dominate violations) plus 143/130
+when drained by SIGTERM/^C mid-campaign (the in-flight cell is
+journaled as interrupted and the journal resumes), and ``doctor``
 follows the scanner contract 0/1/2/3 (healthy / anomalies / scan failed
 / fix incomplete) — see :mod:`repro.campaign`.
 """
@@ -264,10 +269,19 @@ def cmd_specs(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro batch`` interrupted-drain exit codes (128 + signal number,
+#: the shell convention orchestrators already match on).
+EXIT_SIGTERM = 143
+EXIT_SIGINT = 130
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     # Imported lazily: the campaign layer back-imports the TM/property
     # registries above, so a module-level import would be circular.
+    import signal
+
     from .campaign import (
+        CampaignInterrupted,
         build_report,
         load_spec,
         render_markdown,
@@ -285,9 +299,34 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.quiet
         else (lambda line: print(line, file=sys.stderr, flush=True))
     )
-    run = run_campaign(
-        spec, journal_path, resume=not args.no_resume, progress=progress
-    )
+
+    def _on_term(signum, frame):  # orchestrator drain: TERM == ^C
+        raise CampaignInterrupted(f"signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, _on_term)
+    try:
+        run = run_campaign(
+            spec, journal_path, resume=not args.no_resume,
+            progress=progress,
+        )
+    except CampaignInterrupted:
+        # The runner already journaled the in-flight cell as
+        # interrupted; a resumed batch re-runs exactly that cell.
+        if not args.quiet:
+            print(
+                "batch: interrupted (SIGTERM); journal is resumable",
+                file=sys.stderr, flush=True,
+            )
+        return EXIT_SIGTERM
+    except KeyboardInterrupt:
+        if not args.quiet:
+            print(
+                "batch: interrupted (^C); journal is resumable",
+                file=sys.stderr, flush=True,
+            )
+        return EXIT_SIGINT
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     report = build_report(run)
     if args.report_json:
         with open(args.report_json, "w", encoding="utf-8") as fh:
@@ -299,6 +338,92 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not args.quiet:
         print(markdown)
     return report_exit_code(report)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy import for the same circularity reason as cmd_batch.
+    import json
+
+    from .serve import ServeClient, ServeClientError
+
+    client_mode = (
+        args.check_request or args.health or args.stats or args.shutdown
+    )
+    if client_mode:
+        try:
+            client = ServeClient(
+                socket_path=args.socket,
+                port=args.port,
+                host=args.host,
+                connect_timeout=args.connect_timeout,
+            )
+        except (ServeClientError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        worst = 0
+        with client:
+            try:
+                if args.health:
+                    record = client.health()
+                    print(json.dumps(record, sort_keys=True))
+                    return 0 if record.get("ok") else 3
+                if args.stats:
+                    print(json.dumps(client.stats(), sort_keys=True))
+                    return 0
+                if args.shutdown:
+                    record = client.shutdown()
+                    print(json.dumps(record, sort_keys=True))
+                    return 0 if record.get("ok") else 3
+                with open(args.check_request, "r", encoding="utf-8") as fh:
+                    data = json.load(fh)
+                requests = data if isinstance(data, list) else [data]
+                for request in requests:
+                    record = client.check(request)
+                    print(json.dumps(record, sort_keys=True))
+                    status = record.get("status")
+                    if status == "fail":
+                        worst = max(worst, 1)
+                    elif status != "pass":
+                        worst = 3
+            except ServeClientError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 3
+        return worst
+
+    from .serve import CheckServer, ResidentStore
+
+    if (args.socket is None) == (args.port is None):
+        print(
+            "error: serve needs exactly one of --socket / --port",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = args.cache_dir
+    if cache_dir == "":
+        from .cache import default_cache_dir
+
+        cache_dir = default_cache_dir()
+    defaults: Dict[str, object] = {}
+    for key, value in (
+        ("timeout_s", args.timeout_s),
+        ("retries", args.retries),
+        ("backoff_s", args.backoff_s),
+        ("memory_mb", args.memory_mb),
+        ("jobs", args.serve_jobs),
+    ):
+        if value is not None:
+            defaults[key] = value
+    server = CheckServer(
+        socket_path=args.socket,
+        port=args.port,
+        host=args.host,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        store=ResidentStore(cache_dir, args.cache_backend),
+        defaults=defaults,
+        log=(lambda _line: None) if args.quiet else None,
+    )
+    return server.serve_forever()
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:
@@ -551,6 +676,136 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress progress (stderr) and the stdout report",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run (or talk to) the resident checker daemon",
+    )
+    endpoint = p_serve.add_argument_group("endpoint")
+    endpoint.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="listen on (or connect to) an AF_UNIX socket at PATH",
+    )
+    endpoint.add_argument(
+        "--port",
+        type=int,
+        metavar="N",
+        help="listen on (or connect to) TCP port N (0 picks a free"
+        " port and logs it)",
+    )
+    endpoint.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind/connect address (default: 127.0.0.1)",
+    )
+    server_group = p_serve.add_argument_group("server mode")
+    server_group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent supervised checks (default: 1)",
+    )
+    server_group.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admitted-but-not-running requests held before answering"
+        " busy (default: 8)",
+    )
+    server_group.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="durable cold tier under the resident hot tier; a"
+        " restarted daemon re-hydrates from it (without DIR uses"
+        " $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    server_group.add_argument(
+        "--cache-backend",
+        choices=("disk", "mmap"),
+        default="disk",
+        help="cold-tier backend for --cache-dir (default: disk)",
+    )
+    server_group.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default per-attempt wall clock for requests that don't"
+        " set timeout_s (default: the campaign default, 300)",
+    )
+    server_group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default supervised retries per request (default: 2)",
+    )
+    server_group.add_argument(
+        "--backoff-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default retry backoff base (decorrelated jitter)",
+    )
+    server_group.add_argument(
+        "--memory-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="default per-request RSS cap",
+    )
+    server_group.add_argument(
+        "--jobs",
+        dest="serve_jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default sharding for requests that don't set jobs",
+    )
+    server_group.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="suppress the daemon's stderr log lines",
+    )
+    client_group = p_serve.add_argument_group("client mode")
+    client_group.add_argument(
+        "--check-request",
+        metavar="FILE",
+        help="send the JSON check request (object or array of objects)"
+        " in FILE to a running daemon and print each response line;"
+        " exits 0 all-pass / 1 any-fail / 3 any error, timeout or busy",
+    )
+    client_group.add_argument(
+        "--health",
+        action="store_true",
+        help="print the daemon's health record and exit",
+    )
+    client_group.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the daemon's stats record and exit",
+    )
+    client_group.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the daemon to drain and exit 0",
+    )
+    client_group.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="client mode: retry the initial connect for up to S"
+        " seconds (rides out the daemon's startup)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_doctor = sub.add_parser(
         "doctor",

@@ -1,0 +1,28 @@
+"""Checker-as-a-service: the resident ``repro serve`` daemon.
+
+The one-shot CLI pays engine construction on every invocation; a
+campaign amortizes it across cells but still dies with its process.
+This package is the third shape: a long-lived daemon that keeps
+compiled-engine tables and dense CSR payloads resident in a tiered
+cache (:mod:`.store`), accepts newline-delimited JSON check requests
+over a local socket (:mod:`.protocol`), and runs every check through
+the campaign supervisor's fault envelope (:mod:`.server`) — so a hung,
+SIGKILLed, or OOM'd check fails only its own request, and verdicts
+stay byte-identical to the one-shot CLI and the campaign journal.
+
+:mod:`.client` is the matching line-protocol client (also behind
+``repro serve --check-request``).
+"""
+
+from .client import ServeClient, ServeClientError
+from .protocol import ProtocolError
+from .server import CheckServer
+from .store import ResidentStore
+
+__all__ = [
+    "CheckServer",
+    "ProtocolError",
+    "ResidentStore",
+    "ServeClient",
+    "ServeClientError",
+]

@@ -1,0 +1,115 @@
+"""A small line-protocol client for ``repro serve``.
+
+Strictly sequential request/response (send one line, read one line):
+the daemon answers ``health``/``stats`` inline and ``check`` from a
+worker thread, but on a single connection a well-behaved client that
+waits for each response observes them in order.  For concurrency,
+open one :class:`ServeClient` per in-flight request — connections are
+cheap and the daemon threads per connection.
+
+``connect_timeout`` retries the initial connect in a short loop, so a
+client started in the same breath as the daemon (the CI smoke does
+exactly this) rides out the startup race instead of failing on
+ECONNREFUSED / a not-yet-bound socket path.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, Optional
+
+from . import protocol
+
+
+class ServeClientError(RuntimeError):
+    """The daemon could not be reached or closed the connection."""
+
+
+class ServeClient:
+    """One connection to a running ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        port: Optional[int] = None,
+        host: str = "127.0.0.1",
+        timeout: Optional[float] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError(
+                "exactly one of socket_path / port is required"
+            )
+        self.address = socket_path or f"{host}:{port}"
+        deadline = time.monotonic() + connect_timeout
+        last: Optional[Exception] = None
+        while True:
+            try:
+                if socket_path is not None:
+                    sock = socket.socket(
+                        socket.AF_UNIX, socket.SOCK_STREAM
+                    )
+                    sock.connect(socket_path)
+                else:
+                    sock = socket.create_connection(
+                        (host, int(port)), timeout=connect_timeout
+                    )
+                break
+            except OSError as exc:
+                last = exc
+                if time.monotonic() >= deadline:
+                    raise ServeClientError(
+                        f"cannot reach daemon at {self.address}: {last}"
+                    )
+                time.sleep(0.05)
+        sock.settimeout(timeout)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+
+    def request(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Send one request record, return its response record."""
+        try:
+            self._sock.sendall(protocol.encode(record))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServeClientError(
+                f"daemon at {self.address} dropped the connection:"
+                f" {exc}"
+            )
+        if not line:
+            raise ServeClientError(
+                f"daemon at {self.address} closed the connection"
+            )
+        import json
+
+        return json.loads(line.decode("utf-8"))
+
+    def check(self, request: Dict[str, object]) -> Dict[str, object]:
+        record = dict(request)
+        record.setdefault("op", "check")
+        return self.request(record)
+
+    def health(self) -> Dict[str, object]:
+        return self.request({"op": "health"})
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

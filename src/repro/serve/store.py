@@ -1,0 +1,66 @@
+"""The daemon's resident warm state: a tiered cache with a lifecycle.
+
+One :class:`ResidentStore` lives for the life of a ``repro serve``
+process.  Its hot tier is the concurrency-safe
+:class:`repro.cache.MemoryCacheBackend` (compiled-engine tables, dense
+CSR payloads); the optional cold tier is any durable backend (disk
+pickles or mmap segments) named by ``--cache-dir``/``--cache-backend``.
+
+The read-through/write-back semantics live in
+:class:`repro.cache.TieredCacheBackend`; what this module adds is the
+daemon's use of it:
+
+* each supervised check runs in a **forked child** that inherits the
+  hot tier copy-on-write — resident payloads are warm in the child for
+  free, but anything the child *builds* dies with it, so the child
+  exports its new blobs over the result pipe and the daemon calls
+  :meth:`ResidentStore.absorb` to install them;
+* a ``kill -9``'d daemon loses only the hot tier: restarting against
+  the same ``--cache-dir`` re-hydrates on first touch through the cold
+  tier (and the unchanged-bytes check in the tiered ``save`` keeps the
+  re-promoted payloads from being rewritten).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..cache import MemoryCacheBackend, TieredCacheBackend, make_backend
+
+#: What a warm request's ``cell["cache_dir"]`` is set to: a marker the
+#: degradation ladder can clear (warm -> cold) like any directory name,
+#: while :func:`repro.campaign.supervisor._resolve_cell_cache`
+#: substitutes the live backend object for it.
+RESIDENT_MARKER = "<resident>"
+
+
+class ResidentStore:
+    """The daemon's tiered cache plus its introspection face."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        cache_backend: str = "disk",
+    ) -> None:
+        self.cache_dir = cache_dir or None
+        self.backend_name = cache_backend if self.cache_dir else None
+        cold = (
+            make_backend(cache_backend, self.cache_dir)
+            if self.cache_dir
+            else None
+        )
+        self.backend = TieredCacheBackend(
+            hot=MemoryCacheBackend(), cold=cold
+        )
+
+    def absorb(self, blobs: Dict[Hashable, bytes]) -> int:
+        """Install a finished child's exported payloads; count taken."""
+        if not blobs:
+            return 0
+        return self.backend.absorb_blobs(blobs)
+
+    def stats(self) -> Dict[str, object]:
+        """The ``cache`` section of the daemon's ``stats`` record."""
+        out: Dict[str, object] = dict(self.backend.hot.blob_stats())
+        out["cold"] = self.backend_name
+        return out

@@ -252,6 +252,11 @@ class CompiledTM:
         self._safety_rows_ids: Dict[int, tuple] = {}
         self._live_labels: Dict[Tuple[int, Ext, Resp], object] = {}
         self._dirty = False
+        # Safety rows restored by the last successful load_warm: the
+        # delta against len(_safety_rows_ids) is the number of rows this
+        # process actually *built* — the serve layer's resident-tier
+        # hit signal (0 on a fully warm request).
+        self._warm_safety_rows = 0
 
         # The dense layer: per-(side, property) product CSR tables
         # (:class:`repro.automata.kernel.DenseCSR`), the liveness node
@@ -979,6 +984,7 @@ class CompiledTM:
             "cmd_rows": len(self._cmd_rows),
             "node_rows": len(self._node_rows),
             "safety_rows": len(self._safety_rows_ids),
+            "warm_safety_rows": self._warm_safety_rows,
         }
 
     # ------------------------------------------------------------------
@@ -1104,6 +1110,7 @@ class CompiledTM:
         self._safety_rows_ids = dict(safety_rows)
         self._node_rows = decoded_rows
         self._dirty = False
+        self._warm_safety_rows = len(safety_rows)
         return True
 
     def save_warm(self, cache_dir: str) -> bool:

@@ -5,6 +5,8 @@ stays fast; the fork start method means children inherit the parent's
 already-imported modules.
 """
 
+import pytest
+
 from repro.campaign.supervisor import run_cell
 from repro.campaign.spec import parse_spec
 from repro.checking import check_safety
@@ -132,3 +134,54 @@ def test_memory_cap_reports_memory_fault():
     assert entry["status"] == "error"
     [fault] = entry["faults"]
     assert fault["class"] == "memory"
+
+
+def test_retry_delay_decorrelated_jitter():
+    from repro.campaign.supervisor import BACKOFF_CAP_S, _retry_delay
+
+    calls = []
+
+    def rng(low, high):
+        calls.append((low, high))
+        return high  # worst case: always the top of the window
+
+    # the window's top triples from the previous delay, never below base
+    delay = _retry_delay(0.1, 0.1, rng)
+    assert calls[-1] == (0.1, pytest.approx(0.3))
+    delay = _retry_delay(0.1, delay, rng)
+    assert calls[-1] == (0.1, pytest.approx(0.9))
+    # and the cap bounds any single delay
+    assert _retry_delay(0.1, 1e9, rng) == BACKOFF_CAP_S
+    # a shrunken prev never drops the window below base
+    assert _retry_delay(0.5, 0.0, rng) == pytest.approx(0.5)
+
+
+def test_run_cell_reports_engine_stats():
+    entry = run_cell(_cell())
+    assert entry["stats"]["safety_rows"] > 0
+    assert entry["stats"]["warm_safety_rows"] == 0
+
+
+def test_run_cell_collects_warm_blobs_for_resident_store():
+    from repro.cache import TieredCacheBackend
+
+    store = TieredCacheBackend()
+    cell = _cell(cache_dir="<resident>", cache_backend="memory")
+    first = run_cell(cell, cache=store, collect_warm=True)
+    assert first["status"] == "pass"
+    assert first["warm"]  # the forked child shipped its tables back
+    store.absorb_blobs(first["warm"])
+
+    second = run_cell(cell, cache=store, collect_warm=True)
+    assert second["result"] == first["result"]
+    assert second["stats"]["safety_rows"] == 0  # resident tier hit
+    assert second["stats"]["warm_safety_rows"] > 0
+    assert second["warm"] == {}  # nothing new was built
+
+
+def test_run_cell_profile_policy_key():
+    entry = run_cell(_cell(profile=True))
+    assert entry["status"] == "pass"
+    assert isinstance(entry["profile"], dict) and entry["profile"]
+    # a non-profiled cell carries no profile key at all
+    assert "profile" not in run_cell(_cell())

@@ -523,3 +523,138 @@ def test_doctor_on_missing_dir_is_empty(tmp_path):
     backend = DiskCacheBackend(str(tmp_path / "absent"))
     assert backend.doctor() == []
     assert MemoryCacheBackend().doctor() == []
+
+
+# ----------------------------------------------------------------------
+# TieredCacheBackend (the daemon's resident store) + concurrency safety
+# ----------------------------------------------------------------------
+
+
+class _CountingBackend(CacheBackend):
+    """A cold-tier spy: counts loads and saves."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.loads = 0
+        self.saves = 0
+
+    def load(self, key):
+        self.loads += 1
+        return self.inner.load(key)
+
+    def save(self, key, data):
+        self.saves += 1
+        return self.inner.save(key, data)
+
+    def keys(self):
+        return self.inner.keys()
+
+    def stat(self, key):
+        return self.inner.stat(key)
+
+
+def test_tiered_read_through_promotes(tmp_path):
+    from repro.cache import TieredCacheBackend
+
+    cold = _CountingBackend(DiskCacheBackend(str(tmp_path)))
+    assert cold.inner.save(KEY, PAYLOAD)
+    tiered = TieredCacheBackend(cold=cold)
+    _assert_payload_round_trip(tiered.load(KEY))
+    assert cold.loads == 1
+    # second load is served hot: the cold tier is not consulted again
+    _assert_payload_round_trip(tiered.load(KEY))
+    assert cold.loads == 1
+    assert tiered.load(OTHER_KEY) is None  # miss in both tiers
+
+
+def test_tiered_write_back_skips_unchanged(tmp_path):
+    from repro.cache import TieredCacheBackend
+
+    cold = _CountingBackend(DiskCacheBackend(str(tmp_path)))
+    tiered = TieredCacheBackend(cold=cold)
+    assert tiered.save(KEY, PAYLOAD)
+    assert cold.saves == 1
+    # identical payload: resident already byte-identical, no cold write
+    assert tiered.save(KEY, PAYLOAD)
+    assert cold.saves == 1
+    changed = dict(PAYLOAD, num_states=4)
+    assert tiered.save(KEY, changed)
+    assert cold.saves == 2
+    assert tiered.load(KEY)["num_states"] == 4
+
+
+def test_tiered_without_cold_tier_is_memory(tmp_path):
+    from repro.cache import TieredCacheBackend
+
+    tiered = TieredCacheBackend()
+    assert tiered.load(KEY) is None
+    assert tiered.save(KEY, PAYLOAD)
+    _assert_payload_round_trip(tiered.load(KEY))
+    assert tiered.keys() == [KEY]
+
+
+def test_tiered_keys_union_and_stat_fallback(tmp_path):
+    from repro.cache import TieredCacheBackend
+
+    cold = DiskCacheBackend(str(tmp_path))
+    assert cold.save(OTHER_KEY, PAYLOAD)
+    tiered = TieredCacheBackend(cold=cold)
+    assert tiered.save(KEY, PAYLOAD)
+    assert set(map(repr, tiered.keys())) == {repr(KEY), repr(OTHER_KEY)}
+    assert tiered.stat(OTHER_KEY)["path"] is not None  # cold fallback
+    assert tiered.stat(KEY)["path"] is None  # hot hit
+
+
+def test_export_absorb_round_trip_between_stores():
+    from repro.cache import TieredCacheBackend
+
+    source = TieredCacheBackend()
+    baseline = source.snapshot_keys()
+    assert source.save(KEY, PAYLOAD)
+    assert source.save(OTHER_KEY, PAYLOAD)
+    blobs = source.export_blobs(exclude=baseline)
+    assert set(blobs) == {KEY, OTHER_KEY}
+    target = TieredCacheBackend()
+    assert target.absorb_blobs(blobs) == 2
+    _assert_payload_round_trip(target.load(KEY))
+    # excluded keys are not re-exported
+    assert source.export_blobs(exclude=source.snapshot_keys()) == {}
+
+
+def test_memory_backend_concurrent_hammer():
+    import threading
+
+    backend = MemoryCacheBackend()
+    errors = []
+
+    def worker(seed):
+        try:
+            for i in range(200):
+                key = ("k", (seed + i) % 7)
+                backend.save(key, {"v": array("i", [seed, i])})
+                loaded = backend.load(key)
+                assert loaded is None or is_int_vector(loaded["v"])
+                backend.keys()
+                backend.blob_stats()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert backend.blob_stats()["keys"] <= 7
+
+
+def test_memory_backend_pickles_with_entries():
+    backend = MemoryCacheBackend()
+    assert backend.save(KEY, PAYLOAD)
+    clone = pickle.loads(pickle.dumps(backend))
+    _assert_payload_round_trip(clone.load(KEY))
+    # the clone has a working, independent lock
+    assert clone.save(OTHER_KEY, PAYLOAD)
+    assert backend.load(OTHER_KEY) is None
