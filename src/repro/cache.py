@@ -284,7 +284,27 @@ class CacheBackend(ABC):
     * ``keys`` lists the keys of every currently readable payload;
     * ``stat`` reports the stored size in bytes (and the file path
       where one exists), or ``None`` when the key is absent.
+
+    Because ``load``/``save`` swallow failures by contract, every
+    swallowed failure is **tallied**: backends call :meth:`_note_error`
+    where they would otherwise stay silent, and :meth:`error_counts`
+    (surfaced through ``stat()``, the daemon's ``stats`` endpoint and
+    ``repro doctor``) reports the per-kind counts — ``corrupt`` /
+    ``stale`` / ``mismatch`` / ``truncated`` rejected loads,
+    ``save_failed`` writes, ``unreadable`` key scans.  A warm path that
+    quietly degrades to cold no longer vanishes without trace.
     """
+
+    def _note_error(self, kind: str) -> None:
+        # Lazy init via the instance dict: subclasses don't call
+        # super().__init__, and unpickled instances (the memory
+        # backend's spawn-transfer path) arrive without the attribute.
+        counts = self.__dict__.setdefault("_error_counts", {})
+        counts[kind] = counts.get(kind, 0) + 1
+
+    def error_counts(self) -> Dict[str, int]:
+        """Per-kind tally of the failures this instance swallowed."""
+        return dict(self.__dict__.get("_error_counts", {}))
 
     @abstractmethod
     def load(self, key: Hashable) -> Optional[object]:
@@ -347,6 +367,10 @@ class DiskCacheBackend(CacheBackend):
         except FileNotFoundError:
             return "missing", None
         except Exception:
+            # Deliberately broad: unpickling untrusted bytes can raise
+            # nearly anything (UnpicklingError, EOFError, ImportError,
+            # AttributeError, ...) and they all mean the same thing
+            # here — the entry is not servable.
             return "corrupt", None
         if not isinstance(payload, dict):
             return "corrupt", None
@@ -362,13 +386,14 @@ class DiskCacheBackend(CacheBackend):
 
     def load(self, key: Hashable) -> Optional[object]:
         path = self.path_for(key)
-        try:
-            status, data = self._diagnose(path, expected_key=key)
-        except Exception:
-            status, data = "corrupt", None
+        # No blanket catch here: _diagnose already converts everything a
+        # hostile file can throw into a status, so an exception escaping
+        # it is a programming error that must surface, not a cache miss.
+        status, data = self._diagnose(path, expected_key=key)
         if status == "ok":
             return data
         if status != "missing":
+            self._note_error(status)
             # Quarantine instead of re-reading and re-rejecting the same
             # corrupt/stale payload on every warm start (best-effort;
             # ``repro doctor`` lists the ``.bad`` file this leaves).
@@ -392,6 +417,10 @@ class DiskCacheBackend(CacheBackend):
             os.replace(tmp_path, path)
             return True
         except Exception:
+            # Broad by contract (save swallows failures), but pickling
+            # an arbitrary payload can raise nearly anything, so there
+            # is no narrower set to name.  Tallied, not silent:
+            self._note_error("save_failed")
             if tmp_path is not None:
                 try:
                     os.unlink(tmp_path)
@@ -417,15 +446,20 @@ class DiskCacheBackend(CacheBackend):
                 ):
                     out.append(payload.get("key"))
             except Exception:
+                # Unpickling again: any exception means "not readable".
+                self._note_error("unreadable")
                 continue
         return out
 
     def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
         path = self.path_for(key)
         try:
-            return {"bytes": os.stat(path).st_size, "path": path}
+            size = os.stat(path).st_size
         except OSError:
             return None
+        return {
+            "bytes": size, "path": path, "errors": self.error_counts(),
+        }
 
     def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
         return _doctor_file_entries(
@@ -488,6 +522,9 @@ class MemoryCacheBackend(CacheBackend):
         try:
             payload = pickle.loads(blob)
         except Exception:
+            # Broad for the same reason as the disk backend: absorbed
+            # blobs are untrusted bytes and unpickling them can raise
+            # nearly anything.
             return "corrupt", None
         if not isinstance(payload, dict):
             return "corrupt", None
@@ -505,6 +542,7 @@ class MemoryCacheBackend(CacheBackend):
             status, data = self._diagnose_blob(key, blob)
             if status == "ok":
                 return data
+            self._note_error(status)
             # Same churn-stopping contract as the file backends: a
             # rejected entry moves to the quarantine map instead of
             # being re-rejected on every load.
@@ -523,6 +561,9 @@ class MemoryCacheBackend(CacheBackend):
         try:
             blob = self.encode_blob(key, data)
         except Exception:
+            # Broad by contract; pickling arbitrary payloads has no
+            # narrower exception set.  Tallied, not silent:
+            self._note_error("save_failed")
             return False
         with self._lock:
             self._entries[key] = blob
@@ -586,7 +627,10 @@ class MemoryCacheBackend(CacheBackend):
             blob = self._entries.get(key)
         if blob is None:
             return None
-        return {"bytes": len(blob), "path": None}
+        return {
+            "bytes": len(blob), "path": None,
+            "errors": self.error_counts(),
+        }
 
     def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
         out: List[Dict[str, object]] = []
@@ -708,6 +752,10 @@ class MmapCacheBackend(CacheBackend):
             os.replace(tmp_path, path)
             return True
         except Exception:
+            # Broad by contract (save swallows failures): pickling the
+            # header and serializing arbitrary segment values have no
+            # narrower exception set.  Tallied, not silent:
+            self._note_error("save_failed")
             if tmp_path is not None:
                 try:
                     os.unlink(tmp_path)
@@ -734,6 +782,9 @@ class MmapCacheBackend(CacheBackend):
             header["_data_base"] = self._align(16 + hlen)
             return "ok", header
         except Exception:
+            # Broad on purpose: the header is untrusted pickled bytes
+            # plus untrusted struct fields — anything it throws means
+            # "not a servable segment file".
             return "corrupt", None
 
     def _read_header(self, mm) -> Optional[dict]:
@@ -756,8 +807,12 @@ class MmapCacheBackend(CacheBackend):
                 mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
         except FileNotFoundError:
             return "missing", None
-        except Exception:
-            return "corrupt", None  # includes empty files (mmap refuses)
+        except (OSError, ValueError):
+            # The two shapes open/mmap actually produce: I/O and
+            # permission errors are OSError, mmap refuses empty files
+            # with ValueError.  Anything else would be a bug worth
+            # seeing, not a "corrupt" verdict.
+            return "corrupt", None
         try:
             status, header = self._parse_header(mm)
             if status != "ok":
@@ -790,17 +845,20 @@ class MmapCacheBackend(CacheBackend):
                 out[name] = view[start : start + nbytes].cast(tc)
             return "ok", out
         except Exception:
+            # Broad on purpose: the segment table is untrusted header
+            # data (malformed tuples, non-int offsets, cast failures
+            # all land here) and every shape means "corrupt".
             return "corrupt", None
 
     def load(self, key: Hashable) -> Optional[object]:
         path = self.path_for(key)
-        try:
-            status, data = self._diagnose(path, expected_key=key)
-        except Exception:
-            status, data = "corrupt", None
+        # As in the disk backend: _diagnose already owns the rejection
+        # logic, so no blanket catch hiding programming errors here.
+        status, data = self._diagnose(path, expected_key=key)
         if status == "ok":
             return data
         if status != "missing":
+            self._note_error(status)
             # Stop the silent churn: a payload this load rejected would
             # be re-read and re-rejected by every future warm start.
             quarantine_path(path)
@@ -826,16 +884,21 @@ class MmapCacheBackend(CacheBackend):
                     and header.get("version") == ENGINE_VERSION
                 ):
                     out.append(header.get("key"))
-            except Exception:
+            except (OSError, ValueError):
+                # open/mmap failures only — _read_header never raises.
+                self._note_error("unreadable")
                 continue
         return out
 
     def stat(self, key: Hashable) -> Optional[Dict[str, object]]:
         path = self.path_for(key)
         try:
-            return {"bytes": os.stat(path).st_size, "path": path}
+            size = os.stat(path).st_size
         except OSError:
             return None
+        return {
+            "bytes": size, "path": path, "errors": self.error_counts(),
+        }
 
     def doctor(self, fix: bool = False) -> List[Dict[str, object]]:
         return _doctor_file_entries(
@@ -889,12 +952,28 @@ class TieredCacheBackend(CacheBackend):
         try:
             blob = MemoryCacheBackend.encode_blob(key, data)
         except Exception:
+            # Broad by contract; no narrower set for pickling arbitrary
+            # payloads.  Tallied, not silent:
+            self._note_error("save_failed")
             return False
         if not self.hot.put_blob_if_changed(key, blob):
             return True  # byte-identical payload is already resident
         if self.cold is not None:
             self.cold.save(key, data)
         return True
+
+    def error_counts(self) -> Dict[str, int]:
+        # Merge the tiers' tallies (the cold tier may be any object
+        # honouring the load/save contract — tests wrap backends in
+        # counting shims that don't subclass CacheBackend, so guard).
+        out = dict(super().error_counts())
+        for tier in (self.hot, self.cold):
+            counts = getattr(tier, "error_counts", None)
+            if counts is None:
+                continue
+            for kind, count in counts().items():
+                out[kind] = out.get(kind, 0) + count
+        return out
 
     def keys(self) -> List[Hashable]:
         out = self.hot.keys()
@@ -907,6 +986,8 @@ class TieredCacheBackend(CacheBackend):
         found = self.hot.stat(key)
         if found is None and self.cold is not None:
             found = self.cold.stat(key)
+        if found is not None:
+            found["errors"] = self.error_counts()
         return found
 
     def doctor(self, fix: bool = False) -> List[Dict[str, object]]:

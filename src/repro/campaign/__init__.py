@@ -14,6 +14,19 @@ read-only cache-health scanner behind ``repro doctor``.
 """
 
 from .doctor import run_doctor
+from .hunt import (
+    HuntSpec,
+    default_hunt_spec,
+    load_hunt_spec,
+    parse_hunt_spec,
+    run_hunt,
+)
+from .hunt_report import (
+    build_hunt_report,
+    hunt_exit_code,
+    render_hunt_json,
+    render_hunt_markdown,
+)
 from .journal import Journal
 from .report import (
     EXIT_ERRORS,
@@ -37,9 +50,18 @@ __all__ = [
     "EXIT_OK",
     "EXIT_USAGE",
     "EXIT_VIOLATIONS",
+    "HuntSpec",
     "Journal",
+    "build_hunt_report",
     "build_report",
+    "default_hunt_spec",
+    "hunt_exit_code",
+    "load_hunt_spec",
     "load_spec",
+    "parse_hunt_spec",
+    "render_hunt_json",
+    "render_hunt_markdown",
+    "run_hunt",
     "parse_spec",
     "render_markdown",
     "report_exit_code",

@@ -60,14 +60,24 @@ def run_doctor(
             "summary": {},
             "error": "directory is not readable",
         }
+    errors: Dict[str, Dict[str, int]] = {}
     for backend_name, backend in (
         ("disk", DiskCacheBackend(cache_dir)),
         ("mmap", MmapCacheBackend(cache_dir)),
     ):
-        for record in backend.doctor(fix=fix):
-            record = dict(record)
+        records = [dict(record) for record in backend.doctor(fix=fix)]
+        for record in records:
             record["backend"] = backend_name
             entries.append(record)
+        # The per-backend error surface: whatever this scan rejected,
+        # merged with any failures the backend instance itself swallowed
+        # (zero for these fresh scanners, live for a resident store).
+        counts = dict(backend.error_counts())
+        for record in records:
+            status = record["status"]
+            if status in DOCTOR_ANOMALIES:
+                counts[status] = counts.get(status, 0) + 1
+        errors[backend_name] = counts
     summary: Dict[str, int] = {}
     for record in entries:
         status = record["status"]
@@ -77,6 +87,7 @@ def run_doctor(
         "exists": True,
         "entries": entries,
         "summary": summary,
+        "errors": errors,
     }
     anomalies = [
         record for record in entries
@@ -122,4 +133,13 @@ def render_doctor(report: Dict[str, object]) -> str:
             for status, count in sorted(summary.items())
         )
         lines.append(f"  summary: {counts}")
+    for backend_name, counts in sorted(
+        (report.get("errors") or {}).items()
+    ):
+        if counts:
+            rendered = ", ".join(
+                f"{count} {kind}"
+                for kind, count in sorted(counts.items())
+            )
+            lines.append(f"  errors[{backend_name}]: {rendered}")
     return "\n".join(lines) + "\n"

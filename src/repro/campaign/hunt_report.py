@@ -1,0 +1,231 @@
+"""Hunt verdicts: did the checker kill what it should — and only that?
+
+The campaign layer reports per-cell pass/fail; a hunt inverts and
+aggregates that per TM against the mutant's ``expect_bug`` ground
+truth:
+
+``caught``
+    a seeded-bug mutant some cell killed (counterexample found) — the
+    report carries the **minimal** counterexample word across all
+    killing cells;
+``escaped``
+    a seeded-bug mutant every completed cell passed — a checker miss,
+    the hard failure the farm exists to detect;
+``false-kill``
+    a correct variant some cell killed — equally hard: the checker
+    (or the mutant's ground-truth label) is wrong;
+``correct``
+    a correct variant no cell killed — the true negative passing;
+``incomplete``
+    any of the TM's cells missing/errored/timed out — no verdict can
+    be trusted, triage the journal.
+
+Exit-code contract (``repro hunt``)::
+
+    0  nothing to catch and nothing miscaught (controls-only hunt)
+    1  every seeded bug caught, no false kills — the *success* code
+       for a real hunt (bugs were found, as they should be)
+    2  usage error (bad spec, bad flags)
+    3  >= 1 escaped / false-kill / incomplete — the farm failed
+
+Like the campaign report, the document is a pure function of the spec
+and the journal entries (no wall-clock anywhere), so an interrupted and
+resumed hunt renders byte-identically — pinned by the CI smoke job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .report import EXIT_ERRORS, EXIT_OK, EXIT_VIOLATIONS, render_json
+from .runner import CampaignRun
+
+__all__ = [
+    "build_hunt_report",
+    "hunt_exit_code",
+    "render_hunt_json",
+    "render_hunt_markdown",
+]
+
+#: Verdict sort rank: hard failures first, then unfinished work, then
+#: kills (ranked among themselves by counterexample length), then the
+#: quiet true negatives.
+_VERDICT_RANK = {
+    "escaped": 0,
+    "false-kill": 1,
+    "incomplete": 2,
+    "caught": 3,
+    "correct": 4,
+}
+
+
+def _word_length(word: Optional[str]) -> int:
+    """Statement count of a formatted counterexample word."""
+    if not word:
+        return 0
+    return len(word.split(", "))
+
+
+def build_hunt_report(spec, run: CampaignRun) -> Dict[str, object]:
+    """The canonical hunt document: per-TM verdicts, ranked.
+
+    ``spec`` is a :class:`~repro.campaign.hunt.HuntSpec`; ``run`` the
+    campaign run over ``spec.campaign``.
+    """
+    by_tm: Dict[str, List[Dict[str, object]]] = {
+        tm: [] for tm in spec.tms
+    }
+    for cell in spec.campaign.cells:
+        entry = run.entries.get(cell["id"])
+        by_tm[cell["tm"]].append(
+            {
+                "id": cell["id"],
+                "status": (
+                    "missing" if entry is None else entry["status"]
+                ),
+                "entry": entry,
+            }
+        )
+
+    mutants: List[Dict[str, object]] = []
+    summary = {
+        "caught": 0, "escaped": 0, "false-kill": 0, "correct": 0,
+        "incomplete": 0,
+    }
+    for tm in spec.tms:
+        expect_bug = spec.expectations[tm]
+        cells = by_tm[tm]
+        statuses: Dict[str, int] = {}
+        killed_by: List[str] = []
+        errors: List[Dict[str, object]] = []
+        best_word: Optional[str] = None
+        best_cell: Optional[str] = None
+        for record in cells:
+            status = record["status"]
+            statuses[status] = statuses.get(status, 0) + 1
+            entry = record["entry"]
+            if status == "fail":
+                killed_by.append(record["id"])
+                word = (entry.get("result") or {}).get("counterexample")
+                if word and (
+                    best_word is None
+                    or _word_length(word) < _word_length(best_word)
+                ):
+                    best_word, best_cell = word, record["id"]
+            elif status in ("error", "timeout", "missing"):
+                errors.append(
+                    {
+                        "id": record["id"],
+                        "status": status,
+                        "error": (
+                            entry.get("error") if entry else None
+                        ),
+                    }
+                )
+        complete = not errors
+        if not complete:
+            verdict = "incomplete"
+        elif killed_by:
+            verdict = "caught" if expect_bug else "false-kill"
+        else:
+            verdict = "escaped" if expect_bug else "correct"
+        summary[verdict] += 1
+        mutants.append(
+            {
+                "tm": tm,
+                "expect_bug": expect_bug,
+                "verdict": verdict,
+                "cells": statuses,
+                "killed_by": killed_by,
+                "counterexample": best_word,
+                "counterexample_len": _word_length(best_word),
+                "counterexample_cell": best_cell,
+                "errors": errors,
+            }
+        )
+
+    mutants.sort(
+        key=lambda m: (
+            _VERDICT_RANK[m["verdict"]],
+            m["counterexample_len"] or 10 ** 9,
+            m["tm"],
+        )
+    )
+    return {
+        "hunt": spec.name,
+        "digest": spec.digest,
+        "mutants": mutants,
+        "summary": summary,
+    }
+
+
+def hunt_exit_code(report: Dict[str, object]) -> int:
+    summary = report["summary"]
+    if (
+        summary["escaped"] or summary["false-kill"]
+        or summary["incomplete"]
+    ):
+        return EXIT_ERRORS
+    if summary["caught"]:
+        return EXIT_VIOLATIONS
+    return EXIT_OK
+
+
+def render_hunt_json(report: Dict[str, object]) -> str:
+    return render_json(report)
+
+
+def render_hunt_markdown(report: Dict[str, object]) -> str:
+    """The ranked human-facing table (deterministic, like the JSON)."""
+    lines = [
+        f"# hunt `{report['hunt']}`",
+        "",
+        "| rank | mutant | expected | verdict | kills |"
+        " minimal counterexample |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for rank, mutant in enumerate(report["mutants"], start=1):
+        expected = "bug" if mutant["expect_bug"] else "correct"
+        word = mutant["counterexample"]
+        cx = (
+            f"`{word}` ({mutant['counterexample_len']} stmts)"
+            if word
+            else "-"
+        )
+        marker = {
+            "escaped": "**ESCAPED**",
+            "false-kill": "**FALSE KILL**",
+            "incomplete": "**INCOMPLETE**",
+        }.get(mutant["verdict"], mutant["verdict"])
+        lines.append(
+            "| {} | `{}` | {} | {} | {} | {} |".format(
+                rank, mutant["tm"], expected, marker,
+                len(mutant["killed_by"]), cx,
+            )
+        )
+    summary = report["summary"]
+    lines += [
+        "",
+        "**summary**: {caught} caught, {escaped} escaped,"
+        " {fk} false-kill, {correct} correct,"
+        " {incomplete} incomplete".format(
+            caught=summary["caught"], escaped=summary["escaped"],
+            fk=summary["false-kill"], correct=summary["correct"],
+            incomplete=summary["incomplete"],
+        ),
+        "",
+    ]
+    for mutant in report["mutants"]:
+        if mutant["verdict"] in ("escaped", "false-kill", "incomplete"):
+            lines.append(
+                "- triage `{}`: {} (cells: {})".format(
+                    mutant["tm"], mutant["verdict"],
+                    ", ".join(
+                        f"{k}={v}"
+                        for k, v in sorted(mutant["cells"].items())
+                    ),
+                )
+            )
+    if lines[-1] != "":
+        lines.append("")
+    return "\n".join(lines)

@@ -63,6 +63,7 @@ POLICY_DEFAULTS: Dict[str, object] = {
     "manager": None,
     "inject": None,
     "profile": False,
+    "retry_seed": None,
 }
 
 #: Fault-injection knobs (testing/CI only): kill/hang/fail the worker
@@ -86,6 +87,17 @@ def _known_names():
 def _require(cond: bool, message: str) -> None:
     if not cond:
         raise CampaignSpecError(message)
+
+
+def _is_mutant_name(name: object) -> bool:
+    # Mutant ids (tl2/drop-rvalidate[@seedN]) are first-class TM names
+    # everywhere a cell is validated — including daemon check requests,
+    # which makes hunts runnable against ``repro serve`` for free.
+    if not isinstance(name, str) or "/" not in name:
+        return False
+    from ..tm.mutate import is_mutant_id
+
+    return is_mutant_id(name)
 
 
 def _check_policy(policy: Dict[str, object], where: str) -> None:
@@ -128,6 +140,13 @@ def _check_policy(policy: Dict[str, object], where: str) -> None:
                 and value > 0,
                 f"{where}: {key} must be a positive integer or null",
             )
+    if "retry_seed" in policy and policy["retry_seed"] is not None:
+        value = policy["retry_seed"]
+        _require(
+            isinstance(value, int) and not isinstance(value, bool)
+            and value >= 0,
+            f"{where}: retry_seed must be a non-negative integer or null",
+        )
     for key in (
         "shard_product", "lazy_spec", "compiled", "spec_compiled",
         "profile",
@@ -198,8 +217,9 @@ def _expand_cell(
     _require("tm" in raw, f"{where}: missing 'tm'")
     _require("property" in raw, f"{where}: missing 'property'")
     _require(
-        raw["tm"] in tms,
-        f"{where}: unknown TM {raw['tm']!r} (choose from {sorted(tms)})",
+        raw["tm"] in tms or _is_mutant_name(raw["tm"]),
+        f"{where}: unknown TM {raw['tm']!r}"
+        f" (choose from {sorted(tms)} or a mutant id)",
     )
     _require(
         raw["property"] in props,

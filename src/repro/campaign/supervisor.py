@@ -77,8 +77,13 @@ def _apply_memory_cap(memory_mb: Optional[int]) -> None:
 
         limit = int(memory_mb) * 1024 * 1024
         resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
-    except Exception:
-        pass  # platform without rlimits: the timeout still bounds us
+    except (ImportError, ValueError, OSError):
+        # Platform without rlimits (or a cap below the current usage):
+        # the wall-clock timeout still bounds the attempt.  Anything
+        # else — say a TypeError from a mangled policy value — is a
+        # programming error and must surface as an ``exception`` fault,
+        # not vanish here.
+        pass
 
 
 def _apply_injections(inject: Dict[str, object], attempt: int) -> None:
@@ -214,8 +219,23 @@ def _cell_worker(
              "detail": "memory cap exceeded"}
         )
     except BaseException as exc:  # report, don't die silently
+        # Full repr + raise site: a TypeError from a bad mutant must be
+        # triageable from the journal alone, not conflated with checker
+        # faults ("worker died" / "memory cap exceeded").
+        detail = repr(exc)
+        tb = getattr(exc, "__traceback__", None)
+        if tb is not None:
+            import traceback
+
+            frames = traceback.extract_tb(tb)
+            if frames:
+                last_frame = frames[-1]
+                detail += (
+                    f" @ {os.path.basename(last_frame.filename)}"
+                    f":{last_frame.lineno}"
+                )
         conn.send(
-            {"ok": False, "fault": FAULT_EXCEPTION, "detail": repr(exc)}
+            {"ok": False, "fault": FAULT_EXCEPTION, "detail": detail}
         )
     finally:
         conn.close()
@@ -302,6 +322,15 @@ def run_cell(
     cell = dict(cell)  # degradation mutates a private copy
     retries = int(cell.get("retries") or 0)
     backoff_s = float(cell.get("backoff_s") or 0.0)
+    retry_seed = cell.get("retry_seed")
+    # A seeded cell draws its decorrelated jitter from a private PRNG,
+    # making the whole retry schedule — and hence hunt wall-clock
+    # behaviour under fault injection — reproducible end-to-end.
+    rng = (
+        random.Random(retry_seed).uniform
+        if retry_seed is not None
+        else random.uniform
+    )
     faults: List[Dict[str, object]] = []
     attempts = 0
     last: Dict[str, object] = {}
@@ -337,7 +366,7 @@ def run_cell(
             }
         )
         if attempt <= retries and backoff_s > 0:
-            delay = _retry_delay(backoff_s, delay)
+            delay = _retry_delay(backoff_s, delay, rng)
             time.sleep(delay)
     status = (
         "timeout" if last.get("fault") == FAULT_TIMEOUT else "error"

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro simulate 2PL --schedule 111112 \\
         --program "1:r1 w2 c" --program "2:w2 c"         # a Table 1 run
     python -m repro batch campaign.json                  # supervised sweep
+    python -m repro hunt                                 # mutant bug-hunt farm
+    python -m repro hunt --list                          # the mutant roster
     python -m repro serve --socket /tmp/repro.sock       # resident daemon
     python -m repro serve --socket /tmp/repro.sock \\
         --check-request req.json                         # daemon client
@@ -21,7 +23,10 @@ was found, 2 on usage errors — so the tool scripts cleanly into CI for
 anyone developing a TM with this library.  ``batch`` adds 3 for cells
 that errored or timed out (errors dominate violations) plus 143/130
 when drained by SIGTERM/^C mid-campaign (the in-flight cell is
-journaled as interrupted and the journal resumes), and ``doctor``
+journaled as interrupted and the journal resumes); ``hunt`` inverts the
+contract per mutant — 1 means every seeded bug was caught (success), 3
+means a mutant escaped, a correct variant was falsely killed, or cells
+are incomplete (see :mod:`repro.campaign.hunt_report`); and ``doctor``
 follows the scanner contract 0/1/2/3 (healthy / anomalies / scan failed
 / fix incomplete) — see :mod:`repro.campaign`.
 """
@@ -50,6 +55,8 @@ from .tm import (
     BoundedKarmaManager,
     ManagedTM,
     ModifiedTL2,
+    NOrecTM,
+    OptimisticTM,
     PermissiveManager,
     PoliteManager,
     SequentialTM,
@@ -65,6 +72,8 @@ TM_FACTORIES = {
     "dstm": DSTM,
     "tl2": TL2,
     "modtl2": ModifiedTL2,
+    "opt": OptimisticTM,
+    "norec": NOrecTM,
 }
 
 MANAGERS = {
@@ -103,12 +112,22 @@ def _resolve_cache_dir(args: argparse.Namespace):
 def _make_tm(
     name: str, n: int, k: int, manager: Optional[str]
 ) -> TMAlgorithm:
-    try:
-        tm = TM_FACTORIES[name.lower()](n, k)
-    except KeyError:
-        raise SystemExit(
-            f"unknown TM {name!r}; choose from {sorted(TM_FACTORIES)} or 'all'"
-        )
+    if "/" in name:  # mutant ids: tl2/drop-rvalidate[@seedN]
+        from .tm.mutate import make_mutant
+
+        try:
+            tm = make_mutant(name, n, k)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    else:
+        try:
+            tm = TM_FACTORIES[name.lower()](n, k)
+        except KeyError:
+            raise SystemExit(
+                f"unknown TM {name!r}; choose from"
+                f" {sorted(TM_FACTORIES)}, 'all', or a mutant id"
+                " (see 'repro hunt --list')"
+            )
     if manager is not None:
         try:
             cm_cls = MANAGERS[manager.lower()]
@@ -338,6 +357,86 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not args.quiet:
         print(markdown)
     return report_exit_code(report)
+
+
+def cmd_hunt(args: argparse.Namespace) -> int:
+    # Lazy import for the same circularity reason as cmd_batch.
+    import signal
+
+    from .campaign import (
+        CampaignInterrupted,
+        build_hunt_report,
+        default_hunt_spec,
+        hunt_exit_code,
+        load_hunt_spec,
+        render_hunt_json,
+        render_hunt_markdown,
+        run_hunt,
+    )
+
+    if args.list:
+        from .tm.mutate import OPERATORS, default_mutants
+
+        roster = default_mutants()
+        width = max(len(mid) for mid in roster)
+        for mid in roster:
+            cls = OPERATORS[mid.partition("@")[0]]
+            expected = "bug    " if cls.expect_bug else "correct"
+            print(f"{mid:{width}s}  {expected}  {cls.summary}")
+        return 0
+
+    spec = (
+        load_hunt_spec(args.spec) if args.spec else default_hunt_spec()
+    )
+    journal_path = args.journal or (
+        os.path.join(
+            os.path.dirname(os.path.abspath(args.spec)), "hunt.jsonl"
+        )
+        if args.spec
+        else "hunt.jsonl"
+    )
+    progress = (
+        None
+        if args.quiet
+        else (lambda line: print(line, file=sys.stderr, flush=True))
+    )
+
+    def _on_term(signum, frame):  # orchestrator drain: TERM == ^C
+        raise CampaignInterrupted(f"signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, _on_term)
+    try:
+        run = run_hunt(
+            spec, journal_path, resume=not args.no_resume,
+            progress=progress,
+        )
+    except CampaignInterrupted:
+        if not args.quiet:
+            print(
+                "hunt: interrupted (SIGTERM); journal is resumable",
+                file=sys.stderr, flush=True,
+            )
+        return EXIT_SIGTERM
+    except KeyboardInterrupt:
+        if not args.quiet:
+            print(
+                "hunt: interrupted (^C); journal is resumable",
+                file=sys.stderr, flush=True,
+            )
+        return EXIT_SIGINT
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    report = build_hunt_report(spec, run)
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            fh.write(render_hunt_json(report))
+    markdown = render_hunt_markdown(report)
+    if args.report_markdown:
+        with open(args.report_markdown, "w", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+    if not args.quiet:
+        print(markdown)
+    return hunt_exit_code(report)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -676,6 +775,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress progress (stderr) and the stdout report",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_hunt = sub.add_parser(
+        "hunt",
+        help="sweep seeded-bug TM mutants through the campaign layer",
+    )
+    p_hunt.add_argument(
+        "spec",
+        nargs="?",
+        help="path to a hunt spec (JSON); omitted = the shipped"
+        " default mutant roster at (2,2) against ss and op",
+    )
+    p_hunt.add_argument(
+        "--list",
+        action="store_true",
+        help="print the default mutant roster (id, expected verdict,"
+        " summary) and exit",
+    )
+    p_hunt.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="journal file (default: hunt.jsonl next to the spec, or"
+        " ./hunt.jsonl for the default hunt); an existing journal for"
+        " the same hunt resumes it",
+    )
+    p_hunt.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="truncate any existing journal instead of resuming it",
+    )
+    p_hunt.add_argument(
+        "--report-json",
+        metavar="PATH",
+        help="write the canonical JSON hunt report here",
+    )
+    p_hunt.add_argument(
+        "--report-markdown",
+        metavar="PATH",
+        help="write the markdown hunt report here",
+    )
+    p_hunt.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="suppress progress (stderr) and the stdout report",
+    )
+    p_hunt.set_defaults(func=cmd_hunt)
 
     p_serve = sub.add_parser(
         "serve",

@@ -63,4 +63,8 @@ class ResidentStore:
         """The ``cache`` section of the daemon's ``stats`` record."""
         out: Dict[str, object] = dict(self.backend.hot.blob_stats())
         out["cold"] = self.backend_name
+        # The tiered store's swallowed-failure tally (hot + cold):
+        # corrupt/stale rejections and failed saves that would
+        # otherwise degrade the daemon to cold silently.
+        out["errors"] = self.backend.error_counts()
         return out

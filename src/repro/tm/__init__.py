@@ -24,6 +24,17 @@ from .two_phase_locking import TwoPhaseLockingTM
 from .dstm import DSTM
 from .tl2 import TL2, ModifiedTL2
 from .optimistic import OptimisticTM
+from .norec import NOrecTM
+from .mutate import (
+    OPERATORS,
+    MutantTM,
+    default_mutants,
+    format_mutant_id,
+    is_mutant_id,
+    make_mutant,
+    mutant_expectation,
+    parse_mutant_id,
+)
 from .runs import (
     Run,
     RunStep,
@@ -70,6 +81,15 @@ __all__ = [
     "TL2",
     "ModifiedTL2",
     "OptimisticTM",
+    "NOrecTM",
+    "OPERATORS",
+    "MutantTM",
+    "default_mutants",
+    "format_mutant_id",
+    "is_mutant_id",
+    "make_mutant",
+    "mutant_expectation",
+    "parse_mutant_id",
     "Run",
     "RunStep",
     "ScheduleError",

@@ -93,7 +93,10 @@ def _close_parked_pools() -> None:
     for engine in list(_PARKED_ENGINES):
         try:
             engine.close_pools()
-        except Exception:
+        except (OSError, ValueError):
+            # terminate/join on a pool whose workers already died raise
+            # OSError; multiprocessing reports an already-closed pool
+            # as ValueError.  Anything else is a real bug.
             pass
 
 
@@ -726,7 +729,9 @@ class CompiledTM:
             try:
                 pool.terminate()
                 pool.join()
-            except Exception:
+            except (OSError, ValueError):
+                # Dead workers (OSError) or an already-closed pool
+                # (ValueError) — both fine during teardown.
                 pass
         self._pools.clear()
 
@@ -1102,6 +1107,10 @@ class CompiledTM:
                     out.append((ti, ci, exts[eid], _RESP_OF_CODE[rc], succ))
                 decoded_rows[node] = tuple(out)
         except Exception:
+            # Deliberately broad: the payload is untrusted cache bytes —
+            # a malformed structure can raise anything mid-decode, and
+            # the one correct response is always "reject wholesale and
+            # recompile cold".
             return False
         self._views = views
         self._view_bits = list(view_bits)
@@ -1239,6 +1248,9 @@ class CompiledTM:
                 return False
             nodes = [self.node_of_stable(s) for s in stable_nodes]
         except Exception:
+            # Deliberately broad, same as the safety-row warm load: an
+            # untrusted CSR payload can fail anywhere, and rejecting it
+            # wholesale (rebuild cold) is always the right move.
             return False
         self._dense_adj = DenseAdjacency(
             nodes=nodes,
@@ -1395,7 +1407,12 @@ def _spawn_seed(tm: TMAlgorithm) -> Optional[Tuple[type, tuple]]:
     cls = type(tm)
     try:
         clone = cls(tm.n, tm.k)
-    except Exception:
+    except (TypeError, ValueError, AttributeError):
+        # The shapes a constructor probe legitimately fails with: a
+        # signature that needs more than (n, k) — directly (TypeError)
+        # or by duck-typing its arguments the way ManagedTM does
+        # (AttributeError) — or a validating __init__ rejecting the
+        # values (ValueError).  Anything else is a TM bug; surface it.
         return None
     ignore = {"_commands_cache", "_compiled_engine"}
     mine = {a: v for a, v in tm.__dict__.items() if a not in ignore}
@@ -1482,7 +1499,9 @@ class Sharder:
         try:
             self.pool.terminate()
             self.pool.join()
-        except Exception:
+        except (OSError, ValueError):
+            # Dead workers (OSError) or an already-closed pool
+            # (ValueError) — both fine during teardown.
             pass
 
     def _pool_map(self, func, tasks):

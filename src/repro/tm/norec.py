@@ -1,0 +1,60 @@
+"""NOrec-style value validation, expressed in the paper's rule framework.
+
+NOrec (Dalessandro, Spear & Scott, PPoPP 2010) serializes commits on a
+single global sequence lock and re-validates the read set *by value*
+whenever the lock moves.  In the paper's abstract model values are not
+observable, but the safety-relevant consequence of value validation is:
+a transaction may commit **iff no committed write has landed on a
+variable it read** — its buffered writes never need re-validation,
+because the single commit lock orders write-backs totally and a write
+that nobody read cannot invalidate anybody.
+
+That is exactly :class:`repro.tm.optimistic.OptimisticTM` with the
+write-set conjunct dropped from the commit check:
+
+* reads abort when the variable was modified since the transaction
+  began (the value re-validation; ``ms`` plays the role of "the global
+  clock moved and the value changed");
+* commit checks ``rs ∩ ms = ∅`` only — buffered writes commit over
+  concurrent committed writes, the last writer winning, which value
+  validation permits and opacity allows;
+* φ is constantly false: the global lock is not a per-variable lock,
+  so there is no ownership for a contention manager to arbitrate.
+
+The checker certifies this TM safe (strictly serializable *and*
+opaque) at every size the test matrix sweeps — the farm's true
+negative: a mutant-shaped change (dropping a validation conjunct) that
+is **not** a bug.  Dropping the read-set conjunct instead is the
+``norec``-adjacent seeded bug ``opt/read-ignores-ms`` — see
+:mod:`repro.tm.mutate`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.statements import Command, Kind
+from .algorithm import Ext, Resp, TMState
+from .optimistic import EMPTY, RESET, OptimisticTM
+
+
+class NOrecTM(OptimisticTM):
+    """Value-validation TM: optimistic reads, commit re-checks reads only."""
+
+    name = "norec"
+
+    def progress(
+        self, state: TMState, cmd: Command, thread: int
+    ) -> List[Tuple[Ext, Resp, TMState]]:
+        if cmd.kind is not Kind.COMMIT:
+            return super().progress(state, cmd, thread)
+        views = state
+        rs, ws, ms = views[thread - 1]
+        if rs & ms:
+            return []  # a committed write landed on our read set
+        new = list(views)
+        new[thread - 1] = RESET
+        for u, (rs_u, ws_u, ms_u) in enumerate(views, start=1):
+            if u != thread and (rs_u | ws_u):
+                new[u - 1] = (rs_u, ws_u, ms_u | ws)
+        return [(Ext.of_command(cmd), Resp.DONE, tuple(new))]

@@ -68,6 +68,17 @@ def test_anomalies_then_fix_then_clean(tmp_path):
     assert "quarantined" in text and "summary:" in text
 
 
+def test_scan_anomalies_surface_in_the_errors_section(tmp_path):
+    disk, _mmap_backend = _seed(tmp_path)
+    with open(disk.path_for(("k", 1)), "wb") as fh:
+        fh.write(b"garbage")
+    _code, report = run_doctor(str(tmp_path))
+    assert report["errors"]["disk"]["corrupt"] == 1
+    assert "errors[disk]: 1 corrupt" in render_doctor(report)
+    # the mmap side saw no anomalies: no errors line for it
+    assert "errors[mmap]" not in render_doctor(report)
+
+
 def test_render_covers_empty_and_missing(tmp_path):
     code, report = run_doctor(str(tmp_path))
     assert code == DOCTOR_OK

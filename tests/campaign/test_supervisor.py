@@ -179,6 +179,53 @@ def test_run_cell_collects_warm_blobs_for_resident_store():
     assert second["warm"] == {}  # nothing new was built
 
 
+def test_exception_detail_names_the_raise_site():
+    """The fault detail carries ``file:line`` of the raising frame — an
+    errored cell in a journal is triageable without re-running it."""
+    entry = run_cell(_cell(retries=0, inject={"fail_attempts": 1}))
+    assert entry["status"] == "error"
+    assert "injected failure" in entry["error"]
+    assert " @ supervisor.py:" in entry["error"]
+
+
+def test_retry_seed_validated_at_the_spec_layer():
+    from repro.campaign.spec import CampaignSpecError
+
+    for good in (0, 7, None):
+        assert _cell(retry_seed=good)["retry_seed"] == good
+    for bad in (-1, 1.5, "x", True):
+        with pytest.raises(CampaignSpecError, match="retry_seed"):
+            _cell(retry_seed=bad)
+
+
+def test_seeded_retry_schedule_is_deterministic():
+    """``retry_seed`` routes the decorrelated jitter through a private
+    PRNG: same seed, same delays; no seed falls back to the module
+    RNG (and a seeded faulty cell still converges to the clean result)."""
+    import random
+
+    from repro.campaign.supervisor import _retry_delay
+
+    def schedule(seed):
+        rng = random.Random(seed).uniform
+        delays, prev = [], 0.2
+        for _ in range(4):
+            prev = _retry_delay(0.2, prev, rng)
+            delays.append(prev)
+        return delays
+
+    assert schedule(3) == schedule(3)
+    assert schedule(3) != schedule(4)
+
+    clean = run_cell(_cell())
+    entry = run_cell(
+        _cell(retry_seed=3, retries=1, inject={"fail_attempts": 1})
+    )
+    assert entry["status"] == "pass"
+    assert entry["attempts"] == 2
+    assert entry["result"] == clean["result"]
+
+
 def test_run_cell_profile_policy_key():
     entry = run_cell(_cell(profile=True))
     assert entry["status"] == "pass"

@@ -25,11 +25,20 @@ from repro.spec.compiled import (
     clear_spec_dfa_cache,
     clear_spec_oracle_cache,
 )
-from repro.tm import DSTM, ModifiedTL2, TwoPhaseLockingTM
+from repro.tm import (
+    DSTM,
+    BoundedKarmaManager,
+    ManagedTM,
+    ModifiedTL2,
+    TwoPhaseLockingTM,
+    make_mutant,
+)
 
 #: Algorithm × property cells that fit tier-1 time.  ModifiedTL2 (2, 2)
-#: is the violating instance: its counterexample must survive every
-#: engine combination bit for bit.
+#: and the seeded mutant are the violating instances: their
+#: counterexamples must survive every engine combination bit for bit.
+#: The managed cell exercises the stateful-manager product (which the
+#: compiled engine degrades to serial on — still byte-identical).
 CELLS = [
     pytest.param(lambda: TwoPhaseLockingTM(2, 1), SS, id="2pl21-ss"),
     pytest.param(lambda: TwoPhaseLockingTM(2, 1), OP, id="2pl21-op"),
@@ -37,6 +46,16 @@ CELLS = [
     pytest.param(lambda: DSTM(2, 2), OP, id="dstm22-op"),
     pytest.param(lambda: ModifiedTL2(2, 2), SS, id="modtl2-22-ss"),
     pytest.param(lambda: ModifiedTL2(2, 2), OP, id="modtl2-22-op"),
+    pytest.param(
+        lambda: ManagedTM(DSTM(2, 1), BoundedKarmaManager(2)),
+        SS,
+        id="dstm21-karma-ss",
+    ),
+    pytest.param(
+        lambda: make_mutant("tl2/drop-chklock", 2, 2),
+        SS,
+        id="tl2-drop-chklock-22-ss",
+    ),
 ]
 
 

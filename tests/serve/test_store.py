@@ -1,0 +1,34 @@
+"""The daemon's resident store: stats face and failure tallies."""
+
+from array import array
+
+from repro.serve.store import RESIDENT_MARKER, ResidentStore
+
+PAYLOAD = {"offsets": array("i", [0, 1, 2]), "num_states": 3}
+
+
+def test_stats_carry_the_error_tally(tmp_path):
+    store = ResidentStore(cache_dir=str(tmp_path), cache_backend="disk")
+    assert store.stats()["errors"] == {}
+    assert store.backend.save(("k", 1), PAYLOAD)
+    # poison the hot tier in place: the next load rejects and tallies
+    store.backend.hot._entries[("k", 1)] = b"garbage"
+    assert store.backend.load(("k", 1)) is not None  # cold tier saves it
+    stats = store.stats()
+    assert stats["errors"]["corrupt"] == 1
+    assert stats["cold"] == "disk"
+
+
+def test_absorb_counts_taken_blobs():
+    store = ResidentStore()
+    assert store.absorb({}) == 0
+    source = ResidentStore()
+    assert source.backend.save(("k", 2), PAYLOAD)
+    blobs = source.backend.export_blobs()
+    assert store.absorb(blobs) == 1
+    assert store.stats()["cold"] is None
+
+
+def test_resident_marker_is_stable():
+    # the supervisor's degradation ladder string-matches this
+    assert RESIDENT_MARKER == "<resident>"

@@ -658,3 +658,118 @@ def test_memory_backend_pickles_with_entries():
     # the clone has a working, independent lock
     assert clone.save(OTHER_KEY, PAYLOAD)
     assert backend.load(OTHER_KEY) is None
+
+
+# ----------------------------------------------------------------------
+# Swallowed-failure tallies (error_counts / stat()["errors"])
+# ----------------------------------------------------------------------
+
+
+def test_fresh_backend_has_no_errors(backend):
+    assert backend.error_counts() == {}
+    assert backend.save(KEY, PAYLOAD)
+    assert backend.stat(KEY)["errors"] == {}
+
+
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+def test_rejected_load_is_tallied(tmp_path, name):
+    """Rejections keep returning ``None`` — but no longer silently:
+    the backend remembers what it threw away, keyed by status."""
+    backend = make_backend(name, str(tmp_path))
+    assert backend.save(KEY, PAYLOAD)
+    _poison(backend, KEY)
+    assert backend.load(KEY) is None
+    assert backend.error_counts() == {"corrupt": 1}
+    # the quarantined file is a plain miss afterwards: count stays 1
+    assert backend.load(KEY) is None
+    assert backend.error_counts() == {"corrupt": 1}
+
+
+def test_stale_rejection_is_tallied(tmp_path, monkeypatch):
+    backend = DiskCacheBackend(str(tmp_path))
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION", ENGINE_VERSION - 1)
+    assert backend.save(KEY, PAYLOAD)
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION", ENGINE_VERSION)
+    assert backend.load(KEY) is None
+    assert backend.error_counts() == {"stale": 1}
+
+
+def test_memory_backend_tallies_corrupt_blobs():
+    backend = MemoryCacheBackend()
+    assert backend.save(KEY, PAYLOAD)
+    backend._entries[KEY] = b"garbage"
+    assert backend.load(KEY) is None
+    assert backend.error_counts() == {"corrupt": 1}
+    assert backend.blob_stats()  # tallying never breaks the stats face
+
+
+def test_failed_save_is_tallied(tmp_path, monkeypatch):
+    backend = DiskCacheBackend(str(tmp_path))
+    monkeypatch.setattr(cache_mod.os, "replace", _raise_oserror)
+    assert backend.save(KEY, PAYLOAD) is False
+    assert backend.error_counts() == {"save_failed": 1}
+
+
+def test_doctor_scan_does_not_tally(tmp_path):
+    """``doctor`` is a diagnosis, not a consumption: scanning anomalies
+    must leave the live counters untouched (the doctor report merges
+    scan counts itself)."""
+    backend = DiskCacheBackend(str(tmp_path))
+    assert backend.save(KEY, PAYLOAD)
+    _poison(backend, KEY)
+    assert backend.doctor()
+    assert backend.error_counts() == {}
+
+
+def test_tiered_error_counts_merge_tiers(tmp_path):
+    from repro.cache import TieredCacheBackend
+
+    cold = DiskCacheBackend(str(tmp_path))
+    assert cold.save(KEY, PAYLOAD)
+    _poison(cold, KEY)
+    tiered = TieredCacheBackend(cold=cold)
+    assert tiered.load(KEY) is None  # hot miss, cold rejection
+    tiered.hot._entries[OTHER_KEY] = b"garbage"
+    assert tiered.load(OTHER_KEY) is None
+    counts = tiered.error_counts()
+    assert counts["corrupt"] == 2  # one per tier, merged
+    assert tiered.save(KEY, PAYLOAD)
+    assert tiered.stat(KEY)["errors"] == tiered.error_counts()
+
+
+def test_tiered_tolerates_counterless_cold_tier(tmp_path):
+    """A duck-typed cold tier without ``error_counts`` (the counting
+    wrapper above, user-supplied backends) must not break the merge."""
+    from repro.cache import TieredCacheBackend
+
+    cold = _CountingBackend(DiskCacheBackend(str(tmp_path)))
+    tiered = TieredCacheBackend(cold=cold)
+    assert tiered.save(KEY, PAYLOAD)
+    assert tiered.error_counts() == {}
+
+
+def test_unpickled_memory_backend_can_tally():
+    """Unpickled instances arrive without ``__init__`` having run on
+    the tally attribute — the lazy storage must cope."""
+    backend = MemoryCacheBackend()
+    assert backend.save(KEY, PAYLOAD)
+    clone = pickle.loads(pickle.dumps(backend))
+    clone._entries[KEY] = b"garbage"
+    assert clone.load(KEY) is None
+    assert clone.error_counts() == {"corrupt": 1}
+
+
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+def test_unreadable_entry_in_keys_scan_is_tallied(tmp_path, name):
+    backend = make_backend(name, str(tmp_path))
+    assert backend.save(KEY, PAYLOAD)
+    # a file the scan cannot even read under the backend's own suffix:
+    # skipped, but counted (garbage pickle bytes for disk; an empty
+    # file for mmap, which refuses to map it — a bad-magic mmap file
+    # is merely *rejected* by the header parse, not unreadable)
+    if name == "disk":
+        (tmp_path / "junk.pkl").write_bytes(b"\x00garbage")
+    else:
+        (tmp_path / "junk.seg").write_bytes(b"")
+    assert backend.keys() == [KEY]
+    assert backend.error_counts() == {"unreadable": 1}

@@ -135,3 +135,68 @@ class TestManagedTM:
         mq = managed.initial_state()
         cmd = Command(Kind.WRITE, 1)
         assert managed.conflict(mq, cmd, 1) == base.conflict(q, cmd, 1)
+
+
+class TestManagedKarma:
+    """The stateful Karma manager composed with a TM: priorities evolve
+    through the product and gate self-aborts exactly at φ-points."""
+
+    def _state_after(self, tm, steps):
+        q = tm.initial_state()
+        for cmd, thread, ext_name in steps:
+            (q,) = [
+                tr.state
+                for tr in tm.transitions(q, cmd, thread)
+                if tr.ext.name == ext_name
+            ]
+        return q
+
+    def test_priorities_accumulate_through_the_product(self):
+        tm = ManagedTM(DSTM(2, 2), BoundedKarmaManager(2, bound=3))
+        q = self._state_after(
+            tm,
+            [
+                (Command(Kind.WRITE, 1), 1, "own"),
+                (Command(Kind.WRITE, 1), 1, "write"),
+            ],
+        )
+        _tm_state, cm_state = q
+        assert cm_state == (2, 0)
+
+    def test_karma_vetoes_self_abort_at_conflict(self):
+        tm = ManagedTM(DSTM(2, 2), BoundedKarmaManager(2, bound=3))
+        # t1 owns+writes v1 (priority 2 vs 0); t2 writing v1 is a
+        # φ-point where low-priority t2 retains its abort resolution...
+        q = self._state_after(
+            tm,
+            [
+                (Command(Kind.WRITE, 1), 1, "own"),
+                (Command(Kind.WRITE, 1), 1, "write"),
+            ],
+        )
+        trans_t2 = tm.transitions(q, Command(Kind.WRITE, 1), 2)
+        assert any(tr.ext.is_abort for tr in trans_t2)
+        # ... while t1, strictly higher priority, may not self-abort at
+        # its own φ-point (writing v2 after t2 took ownership of it).
+        (q2,) = [
+            tr.state
+            for tr in tm.transitions(q, Command(Kind.WRITE, 2), 2)
+            if tr.ext.name == "own"
+        ]
+        assert tm.conflict(q2, Command(Kind.WRITE, 2), 1)
+        trans_t1 = tm.transitions(q2, Command(Kind.WRITE, 2), 1)
+        assert trans_t1  # the conflict is resolvable...
+        assert not any(tr.ext.is_abort for tr in trans_t1)  # ...not by
+        # the prioritized thread aborting itself
+
+    def test_abort_resets_priority(self):
+        cm = BoundedKarmaManager(2, bound=3)
+        (after,) = cm.step((1, 2), Ext("abort"), 1)
+        assert after == (0, 2)
+
+    def test_karma_managed_language_within_base(self):
+        base = DSTM(2, 1)
+        managed = ManagedTM(DSTM(2, 1), BoundedKarmaManager(2))
+        base_nfa = build_safety_nfa(base)
+        for w in enumerate_tm_language(managed, 4):
+            assert base_nfa.accepts(w)

@@ -1,0 +1,188 @@
+"""Tests for the seeded-mutant generator (`repro.tm.mutate`).
+
+The verdict table below is the module's ground truth: every default
+mutant's ``expect_bug`` flag is *verified* here at (2, 2) against the
+real safety checker, counterexamples certified.  If an operator's
+behaviour drifts (a "bug" mutant becomes safe, or a true negative
+starts violating), these tests — not the hunt report — fail first.
+"""
+
+import pytest
+
+from repro.checking import check_safety
+from repro.core.properties import is_opaque, is_strictly_serializable
+from repro.spec import OP, SS
+from repro.tm import (
+    OPERATORS,
+    default_mutants,
+    format_mutant_id,
+    is_mutant_id,
+    language_contains,
+    make_mutant,
+    mutant_expectation,
+    parse_mutant_id,
+)
+
+#: Every default mutant that must violate strict serializability at
+#: (2, 2) — the farm's seeded bugs (minus the one OP-only operator).
+SS_BUGS = [
+    "tl2/split-validation",
+    "tl2/drop-rvalidate",
+    "tl2/drop-chklock",
+    "tl2/skip-version-bump",
+    "tl2/skip-version-bump@seed1",
+    "2pl/no-rlock",
+    "2pl/early-release",
+    "2pl/wlock-ignores-readers",
+    "dstm/skip-invalidate",
+    "dstm/invalid-can-commit",
+    "opt/split-commit",
+]
+
+#: Deliberate true negatives: mutant-shaped changes that are *not*
+#: bugs.  Both properties must hold, or the farm starts reporting
+#: false kills.
+CORRECT = [
+    "tl2/shuffle-lock-order",
+    "tl2/shuffle-lock-order@seed1",
+    "dstm/drop-validate",
+    "dstm/own-no-steal",
+    "opt/drop-ws-validation",
+]
+
+
+class TestIdentity:
+    def test_format_default_seed_has_no_suffix(self):
+        assert format_mutant_id("tl2/drop-rvalidate") == "tl2/drop-rvalidate"
+        assert (
+            format_mutant_id("tl2/drop-rvalidate", 3)
+            == "tl2/drop-rvalidate@seed3"
+        )
+
+    @pytest.mark.parametrize("mid", default_mutants())
+    def test_default_roster_round_trips(self, mid):
+        operator, seed = parse_mutant_id(mid)
+        assert format_mutant_id(operator, seed) == mid
+        assert is_mutant_id(mid)
+
+    def test_parse_rejects_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown mutant operator"):
+            parse_mutant_id("tl2/no-such-op")
+        assert not is_mutant_id("tl2/no-such-op")
+
+    def test_parse_rejects_bad_seed_suffix(self):
+        for bad in (
+            "tl2/drop-rvalidate@3",
+            "tl2/drop-rvalidate@seed",
+            "tl2/drop-rvalidate@seedx",
+        ):
+            with pytest.raises(ValueError, match="bad mutant seed suffix"):
+                parse_mutant_id(bad)
+
+    def test_plain_tm_names_are_not_mutant_ids(self):
+        assert not is_mutant_id("tl2")
+        assert not is_mutant_id("modtl2")
+
+    def test_mutant_name_is_its_id(self):
+        tm = make_mutant("tl2/skip-version-bump@seed1", 2, 2)
+        assert tm.name == "tl2/skip-version-bump@seed1"
+        assert tm.seed == 1
+
+    def test_expectation_matches_registry(self):
+        assert mutant_expectation("tl2/split-validation") is True
+        assert mutant_expectation("tl2/shuffle-lock-order@seed7") is False
+
+
+class TestRegistry:
+    def test_operator_keys_match_class_attributes(self):
+        for key, cls in OPERATORS.items():
+            assert cls.operator == key
+            assert isinstance(cls.expect_bug, bool)
+            assert cls.summary
+
+    def test_default_roster_covers_every_operator(self):
+        roster = default_mutants()
+        assert len(roster) == len(set(roster))
+        assert {parse_mutant_id(mid)[0] for mid in roster} == set(OPERATORS)
+
+    def test_default_roster_rediscovers_the_paper_bug(self):
+        assert "tl2/split-validation" in default_mutants()
+
+    def test_verdict_table_covers_the_default_roster(self):
+        assert set(default_mutants()) == (
+            set(SS_BUGS) | set(CORRECT) | {"opt/read-ignores-ms"}
+        )
+
+
+class TestSeededParameters:
+    def test_skip_version_bump_draws_distinct_variables(self):
+        by_seed = {
+            seed: make_mutant(
+                format_mutant_id("tl2/skip-version-bump", seed), 2, 2
+            )._skip_var
+            for seed in range(4)
+        }
+        assert set(by_seed.values()) == {1, 2}
+        # stable per seed: reconstructing draws the same parameter
+        again = make_mutant("tl2/skip-version-bump@seed1", 2, 2)
+        assert again._skip_var == by_seed[1]
+
+    def test_shuffle_lock_order_draws_distinct_permutations(self):
+        ranks = {
+            tuple(
+                sorted(
+                    make_mutant(
+                        format_mutant_id("tl2/shuffle-lock-order", seed), 2, 3
+                    )._lock_rank.items()
+                )
+            )
+            for seed in range(6)
+        }
+        assert len(ranks) > 1
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize("mid", SS_BUGS)
+    def test_seeded_bugs_violate_ss(self, mid, det_spec_ss_22):
+        assert mutant_expectation(mid)
+        tm = make_mutant(mid, 2, 2)
+        res = check_safety(tm, SS, spec=det_spec_ss_22)
+        assert not res.holds, mid
+        assert res.counterexample is not None
+        assert not is_strictly_serializable(res.counterexample)
+        assert language_contains(tm, res.counterexample)
+
+    @pytest.mark.parametrize("mid", CORRECT)
+    def test_true_negatives_hold_both_properties(
+        self, mid, det_spec_ss_22, det_spec_op_22
+    ):
+        assert not mutant_expectation(mid)
+        assert check_safety(
+            make_mutant(mid, 2, 2), SS, spec=det_spec_ss_22
+        ).holds, mid
+        assert check_safety(
+            make_mutant(mid, 2, 2), OP, spec=det_spec_op_22
+        ).holds, mid
+
+    def test_read_ignores_ms_is_the_op_only_bug(
+        self, det_spec_ss_22, det_spec_op_22
+    ):
+        """The property-sensitive operator: strictly serializable at
+        (2, 2) yet not opaque — the reason hunts sweep {SS, OP}."""
+        tm = make_mutant("opt/read-ignores-ms", 2, 2)
+        assert check_safety(tm, SS, spec=det_spec_ss_22).holds
+        res = check_safety(tm, OP, spec=det_spec_op_22)
+        assert not res.holds
+        assert not is_opaque(res.counterexample)
+        assert language_contains(tm, res.counterexample)
+
+    def test_compiled_engine_agrees_on_a_seeded_replicate(self):
+        """Non-zero seeds fail the spawn-seed reconstruction probe and
+        must still check identically through the compiled path."""
+        mid = "tl2/skip-version-bump@seed1"
+        fast = check_safety(make_mutant(mid, 2, 2), SS, compiled=True)
+        slow = check_safety(make_mutant(mid, 2, 2), SS, compiled=False)
+        assert (fast.holds, fast.counterexample) == (
+            slow.holds,
+            slow.counterexample,
+        )

@@ -1,0 +1,70 @@
+"""Tests for the NOrec-style value-validation TM (`repro.tm.norec`).
+
+NOrec is the farm's flagship true negative: dropping the write-set
+conjunct from the optimistic commit check *looks* like a seeded bug but
+is exactly NOrec's value validation, and the checker must certify it
+safe — both here and as the ``opt/drop-ws-validation`` mutant.
+"""
+
+from repro.checking import check_safety
+from repro.core.statements import Command, Kind, parse_word
+from repro.spec import OP, SS
+from repro.tm import NOrecTM, language_contains
+
+
+def fresh():
+    return NOrecTM(2, 2)
+
+
+class TestMechanics:
+    def test_commit_over_concurrent_write_allowed(self):
+        """The NOrec relaxation itself: ws ∩ ms ≠ ∅ does not doom a
+        commit — buffered writes land last-writer-wins."""
+        tm = fresh()
+        views = (
+            (frozenset(), frozenset([1]), frozenset([1])),
+            (frozenset(), frozenset(), frozenset()),
+        )
+        steps = tm.progress(views, Command(Kind.COMMIT, None), 1)
+        assert len(steps) == 1
+
+    def test_commit_still_revalidates_reads(self):
+        tm = fresh()
+        views = (
+            (frozenset([1]), frozenset(), frozenset([1])),
+            (frozenset(), frozenset(), frozenset()),
+        )
+        assert tm.progress(views, Command(Kind.COMMIT, None), 1) == []
+
+    def test_commit_publishes_to_active_threads(self):
+        tm = fresh()
+        q = tm.initial_state()
+        (_, _, q), = tm.progress(q, Command(Kind.READ, 2), 2)
+        (_, _, q), = tm.progress(q, Command(Kind.WRITE, 1), 1)
+        (_, _, q), = tm.progress(q, Command(Kind.COMMIT, None), 1)
+        assert 1 in q[1][2]  # t2's ms saw the committed write
+
+    def test_write_write_race_commits_both(self):
+        w = parse_word("(w,1)1 (w,1)2 c2 c1")
+        assert language_contains(fresh(), w)
+
+    def test_read_of_committed_write_still_aborts(self):
+        w = parse_word("(r,1)1 (w,1)2 c2 c1")
+        assert not language_contains(fresh(), w)
+
+
+class TestSafety:
+    def test_strictly_serializable_22(self, det_spec_ss_22):
+        res = check_safety(fresh(), SS, spec=det_spec_ss_22)
+        assert res.holds, res.counterexample
+
+    def test_opaque_22(self, det_spec_op_22):
+        res = check_safety(fresh(), OP, spec=det_spec_op_22)
+        assert res.holds, res.counterexample
+
+    def test_compiled_and_naive_agree(self):
+        fast = check_safety(fresh(), SS, compiled=True)
+        slow = check_safety(fresh(), SS, compiled=False)
+        assert fast.holds and slow.holds
+        assert fast.tm_states == slow.tm_states
+        assert fast.product_states == slow.product_states
