@@ -67,6 +67,8 @@ import threading
 import weakref
 from abc import ABC, abstractmethod
 from array import array
+
+from repro.faultplane import fault_check
 from typing import (
     Callable,
     Dict,
@@ -291,8 +293,10 @@ class CacheBackend(ABC):
     (surfaced through ``stat()``, the daemon's ``stats`` endpoint and
     ``repro doctor``) reports the per-kind counts — ``corrupt`` /
     ``stale`` / ``mismatch`` / ``truncated`` rejected loads,
-    ``save_failed`` writes, ``unreadable`` key scans.  A warm path that
-    quietly degrades to cold no longer vanishes without trace.
+    ``save_failed`` writes, ``unreadable`` key scans, and ``io_error``
+    reads failed by the chaos plane (:mod:`repro.faultplane`).  A warm
+    path that quietly degrades to cold no longer vanishes without
+    trace.
     """
 
     def _note_error(self, kind: str) -> None:
@@ -386,6 +390,15 @@ class DiskCacheBackend(CacheBackend):
 
     def load(self, key: Hashable) -> Optional[object]:
         path = self.path_for(key)
+        fault = fault_check("cache.load", repr(key))
+        if fault is not None:
+            fault.stall()
+            if fault.fault == "eio":
+                # An injected read failure: the warm start degrades to
+                # cold, tallied — but the on-disk entry is healthy, so
+                # it must NOT be quarantined.
+                self._note_error("io_error")
+                return None
         # No blanket catch here: _diagnose already converts everything a
         # hostile file can throw into a status, so an exception escaping
         # it is a programming error that must surface, not a cache miss.
@@ -404,16 +417,25 @@ class DiskCacheBackend(CacheBackend):
         path = self.path_for(key)
         tmp_path = None
         try:
+            fault = fault_check("cache.save", repr(key))
+            if fault is not None:
+                fault.stall()
+                fault.raise_io(path)  # eio/enospc → tallied save_failed
+            blob = pickle.dumps(
+                {"version": ENGINE_VERSION, "key": key, "data": data},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            if fault is not None:
+                # torn_write: the torn prefix still lands atomically —
+                # the next load rejects it as corrupt and quarantines,
+                # which is exactly the recovery path under test.
+                blob = fault.torn(blob)
             os.makedirs(self.cache_dir, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=self.cache_dir, prefix=".tmp-", suffix=".pkl"
             )
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(
-                    {"version": ENGINE_VERSION, "key": key, "data": data},
-                    fh,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
+                fh.write(blob)
             os.replace(tmp_path, path)
             return True
         except Exception:
@@ -732,23 +754,37 @@ class MmapCacheBackend(CacheBackend):
         path = self.path_for(key)
         tmp_path = None
         try:
+            fault = fault_check("cache.save", repr(key))
+            if fault is not None:
+                fault.stall()
+                fault.raise_io(path)  # eio/enospc → tallied save_failed
             hdr = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+            pos = 16 + len(hdr)
+            base = self._align(pos)
+            parts = [
+                SEGMENT_MAGIC,
+                struct.pack("<Q", len(hdr)),
+                hdr,
+                b"\0" * (base - pos),
+            ]
+            cursor = 0
+            for (_name, _tc, off, nbytes), raw in zip(segments, blobs):
+                parts.append(b"\0" * (off - cursor))
+                parts.append(raw)
+                cursor = off + nbytes
             os.makedirs(self.cache_dir, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=self.cache_dir, prefix=".tmp-", suffix=self.SUFFIX
             )
             with os.fdopen(fd, "wb") as fh:
-                fh.write(SEGMENT_MAGIC)
-                fh.write(struct.pack("<Q", len(hdr)))
-                fh.write(hdr)
-                pos = 16 + len(hdr)
-                base = self._align(pos)
-                fh.write(b"\0" * (base - pos))
-                cursor = 0
-                for (_name, _tc, off, nbytes), raw in zip(segments, blobs):
-                    fh.write(b"\0" * (off - cursor))
-                    fh.write(raw)
-                    cursor = off + nbytes
+                if fault is not None and fault.fault == "torn_write":
+                    # The torn prefix still lands atomically; the next
+                    # load rejects it (corrupt/truncated), quarantines,
+                    # and rebuilds — the recovery path under test.
+                    fh.write(fault.torn(b"".join(parts)))
+                else:
+                    for part in parts:
+                        fh.write(part)
             os.replace(tmp_path, path)
             return True
         except Exception:
@@ -852,6 +888,14 @@ class MmapCacheBackend(CacheBackend):
 
     def load(self, key: Hashable) -> Optional[object]:
         path = self.path_for(key)
+        fault = fault_check("cache.load", repr(key))
+        if fault is not None:
+            fault.stall()
+            if fault.fault == "eio":
+                # Injected read failure: degrade to cold, tallied; the
+                # on-disk entry is healthy, so no quarantine.
+                self._note_error("io_error")
+                return None
         # As in the disk backend: _diagnose already owns the rejection
         # logic, so no blanket catch hiding programming errors here.
         status, data = self._diagnose(path, expected_key=key)

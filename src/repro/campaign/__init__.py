@@ -13,7 +13,19 @@ not the campaign was interrupted.  :mod:`.doctor` is the companion
 read-only cache-health scanner behind ``repro doctor``.
 """
 
-from .doctor import run_doctor
+from .chaos import (
+    CHAOS_HARNESS,
+    CHAOS_OK,
+    CHAOS_USAGE,
+    CHAOS_VIOLATIONS,
+    build_trials,
+    chaos_exit_code,
+    default_schedule,
+    render_chaos,
+    run_chaos,
+    run_chaos_cli,
+)
+from .doctor import DEFAULT_MAX_QUARANTINE, run_doctor
 from .hunt import (
     HuntSpec,
     default_hunt_spec,
@@ -27,7 +39,7 @@ from .hunt_report import (
     render_hunt_json,
     render_hunt_markdown,
 )
-from .journal import Journal
+from .journal import Journal, JournalError
 from .report import (
     EXIT_ERRORS,
     EXIT_OK,
@@ -42,16 +54,28 @@ from .spec import CampaignSpec, CampaignSpecError, load_spec, parse_spec
 from .supervisor import run_cell
 
 __all__ = [
+    "CHAOS_HARNESS",
+    "CHAOS_OK",
+    "CHAOS_USAGE",
+    "CHAOS_VIOLATIONS",
     "CampaignInterrupted",
     "CampaignRun",
     "CampaignSpec",
     "CampaignSpecError",
+    "DEFAULT_MAX_QUARANTINE",
     "EXIT_ERRORS",
     "EXIT_OK",
     "EXIT_USAGE",
     "EXIT_VIOLATIONS",
     "HuntSpec",
     "Journal",
+    "JournalError",
+    "build_trials",
+    "chaos_exit_code",
+    "default_schedule",
+    "render_chaos",
+    "run_chaos",
+    "run_chaos_cli",
     "build_hunt_report",
     "build_report",
     "default_hunt_spec",

@@ -33,15 +33,24 @@ DOCTOR_ANOMALOUS = 1
 DOCTOR_SCAN_FAILED = 2
 DOCTOR_FIX_INCOMPLETE = 3
 
+#: Quarantined ``.bad`` files retained after a ``--fix`` rotation.  A
+#: chaos-heavy cache directory quarantines on every injected torn
+#: write; without a cap the corpses accumulate without bound.
+DEFAULT_MAX_QUARANTINE = 16
+
 
 def run_doctor(
-    cache_dir: str, fix: bool = False
+    cache_dir: str, fix: bool = False,
+    max_quarantine: int = DEFAULT_MAX_QUARANTINE,
 ) -> Tuple[int, Dict[str, object]]:
     """Scan ``cache_dir``; ``(exit_code, report)``.
 
     The report lists one record per file — ``{"name", "status",
-    "bytes", "action"}`` with ``backend`` added — and a summary of
-    counts by status.
+    "bytes", "action"}`` with ``backend`` added — a summary of counts
+    by status, and a ``quarantine`` section (count + accumulated bytes
+    of ``.bad`` files).  With ``fix``, quarantines beyond
+    ``max_quarantine`` are rotated out oldest-first (action
+    ``"rotated"``).
     """
     entries: List[Dict[str, object]] = []
     if not os.path.isdir(cache_dir):
@@ -78,6 +87,38 @@ def run_doctor(
             if status in DOCTOR_ANOMALIES:
                 counts[status] = counts.get(status, 0) + 1
         errors[backend_name] = counts
+    quarantined = [
+        record for record in entries
+        if record["status"] == "quarantined"
+    ]
+    quarantine: Dict[str, object] = {
+        "count": len(quarantined),
+        "bytes": sum(record.get("bytes") or 0 for record in quarantined),
+        "cap": max_quarantine,
+        "rotated": [],
+    }
+    rotation_failed = False
+    if fix and len(quarantined) > max_quarantine:
+        def _mtime(record: Dict[str, object]) -> float:
+            try:
+                path = os.path.join(cache_dir, str(record["name"]))
+                return os.stat(path).st_mtime
+            except OSError:
+                return 0.0
+
+        # Oldest first, name as the deterministic tiebreak.
+        doomed = sorted(
+            quarantined, key=lambda r: (_mtime(r), r["name"])
+        )[: len(quarantined) - max_quarantine]
+        for record in doomed:
+            path = os.path.join(cache_dir, str(record["name"]))
+            try:
+                os.unlink(path)
+                record["action"] = "rotated"
+                quarantine["rotated"].append(record["name"])
+            except OSError:
+                record["action"] = "failed"
+                rotation_failed = True
     summary: Dict[str, int] = {}
     for record in entries:
         status = record["status"]
@@ -88,19 +129,24 @@ def run_doctor(
         "entries": entries,
         "summary": summary,
         "errors": errors,
+        "quarantine": quarantine,
     }
     anomalies = [
         record for record in entries
         if record["status"] in DOCTOR_ANOMALIES
     ]
     if not anomalies:
+        if fix and rotation_failed:
+            return DOCTOR_FIX_INCOMPLETE, report
         return DOCTOR_OK, report
     if not fix:
         return DOCTOR_ANOMALOUS, report
     unfixed = [
         record for record in anomalies if record.get("action") == "failed"
     ]
-    return (DOCTOR_FIX_INCOMPLETE if unfixed else DOCTOR_OK), report
+    if unfixed or rotation_failed:
+        return DOCTOR_FIX_INCOMPLETE, report
+    return DOCTOR_OK, report
 
 
 def render_doctor(report: Dict[str, object]) -> str:
@@ -133,6 +179,15 @@ def render_doctor(report: Dict[str, object]) -> str:
             for status, count in sorted(summary.items())
         )
         lines.append(f"  summary: {counts}")
+    quarantine = report.get("quarantine")
+    if quarantine and quarantine.get("count"):
+        line = "  quarantine: {count} file(s), {bytes}B (cap {cap})".format(
+            **{key: quarantine[key] for key in ("count", "bytes", "cap")}
+        )
+        rotated = quarantine.get("rotated") or ()
+        if rotated:
+            line += f", rotated {len(rotated)}"
+        lines.append(line)
     for backend_name, counts in sorted(
         (report.get("errors") or {}).items()
     ):

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.faultplane import injected_counts
+
 from .report import EXIT_ERRORS, EXIT_OK, EXIT_VIOLATIONS, render_json
 from .runner import CampaignRun
 
@@ -151,12 +153,18 @@ def build_hunt_report(spec, run: CampaignRun) -> Dict[str, object]:
             m["tm"],
         )
     )
-    return {
+    report: Dict[str, object] = {
         "hunt": spec.name,
         "digest": spec.digest,
         "mutants": mutants,
         "summary": summary,
     }
+    # Same chaos-plane observability hook as the batch report: the
+    # key only appears when a fault schedule actually fired here.
+    injected = injected_counts()
+    if injected:
+        report["faultplane"] = injected
+    return report
 
 
 def hunt_exit_code(report: Dict[str, object]) -> int:

@@ -16,6 +16,27 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from repro.faultplane import fault_check
+
+
+class JournalError(RuntimeError):
+    """An append hit an I/O failure (ENOSPC, EIO, …).
+
+    The campaign cannot safely continue without its outcome log, but it
+    can fail *diagnosably*: the CLI turns this into exit 3 with a
+    one-line message carrying the journal path and errno instead of an
+    unhandled traceback.  Everything already journaled stays resumable.
+    """
+
+    def __init__(self, path: str, exc: OSError) -> None:
+        name = getattr(exc, "strerror", None) or str(exc)
+        code = exc.errno if exc.errno is not None else "?"
+        super().__init__(
+            f"journal append failed: {path} [errno {code}: {name}]"
+        )
+        self.path = path
+        self.errno = exc.errno
+
 
 class Journal:
     """One campaign's JSONL journal at ``path``."""
@@ -29,12 +50,36 @@ class Journal:
 
     def _append_line(self, obj: Dict[str, object]) -> None:
         line = json.dumps(obj, sort_keys=True) + "\n"
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
+        payload = line.encode("utf-8")
+        key = str(obj.get("id", obj.get("type", "")))
+        fault = fault_check("journal.append", key)
+        if fault is not None:
+            fault.stall()
+            if fault.fault == "torn_write":
+                # A crash mid-append: some prefix of the record makes
+                # it to disk, then the process dies from the journal's
+                # point of view.  Persist the torn prefix so load()'s
+                # skip-unparseable recovery is what gets exercised.
+                payload = fault.torn(payload)
         try:
-            os.write(fd, line.encode("utf-8"))
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        except OSError as exc:
+            raise JournalError(self.path, exc) from exc
+        try:
+            if fault is not None:
+                fault.raise_io(self.path)
+            os.write(fd, payload)
+            fsync_fault = fault_check("journal.fsync", key)
+            if fsync_fault is not None:
+                fsync_fault.stall()
+                fsync_fault.raise_io(self.path)
+                if fsync_fault.fault == "drop_fsync":
+                    return  # fsync silently skipped: data may be lost
             os.fsync(fd)
+        except OSError as exc:
+            raise JournalError(self.path, exc) from exc
         finally:
             os.close(fd)
 

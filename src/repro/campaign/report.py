@@ -20,6 +20,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
+from repro.faultplane import injected_counts
+
 from .runner import CampaignRun
 
 EXIT_OK = 0
@@ -46,6 +48,7 @@ def build_report(run: CampaignRun) -> Dict[str, object]:
                 "id": cell["id"],
                 "status": status,
                 "attempts": entry.get("attempts"),
+                "backoff_cap_s": cell.get("backoff_cap_s"),
                 "faults": [
                     {
                         "attempt": fault.get("attempt"),
@@ -59,12 +62,21 @@ def build_report(run: CampaignRun) -> Dict[str, object]:
                 "error": entry.get("error"),
             }
         )
-    return {
+    report: Dict[str, object] = {
         "campaign": run.spec.name,
         "digest": run.spec.digest,
         "cells": cells,
         "summary": summary,
     }
+    # Chaos-plane observability: when a fault schedule is active in
+    # this process, its fired-injection tally (the journal plane fires
+    # here; cache faults fire in the forked children and surface via
+    # error_counts()/doctor instead) joins the report.  Absent without
+    # a schedule, so fault-free reports keep their exact bytes.
+    injected = injected_counts()
+    if injected:
+        report["faultplane"] = injected
+    return report
 
 
 def report_exit_code(report: Dict[str, object]) -> int:

@@ -49,6 +49,7 @@ POLICY_DEFAULTS: Dict[str, object] = {
     "timeout_s": 300.0,
     "retries": 2,
     "backoff_s": 0.1,
+    "backoff_cap_s": 30.0,
     "memory_mb": None,
     "jobs": 1,
     "shard_product": True,
@@ -131,6 +132,13 @@ def _check_policy(policy: Dict[str, object], where: str) -> None:
             isinstance(value, (int, float)) and not isinstance(value, bool)
             and value >= 0,
             f"{where}: backoff_s must be a non-negative number",
+        )
+    if "backoff_cap_s" in policy:
+        value = policy["backoff_cap_s"]
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            and value > 0,
+            f"{where}: backoff_cap_s must be a positive number",
         )
     for key in ("memory_mb", "max_states", "chunk_size"):
         if key in policy and policy[key] is not None:

@@ -50,23 +50,26 @@ FAULT_EXCEPTION = "exception"
 #: Grace period for terminate before escalating to SIGKILL.
 _TERM_GRACE_S = 5.0
 
-#: Ceiling on any single retry delay (decorrelated jitter can otherwise
-#: triple its way to minutes on high retry counts).
+#: Default ceiling on any single retry delay (decorrelated jitter can
+#: otherwise triple its way to minutes on high retry counts).  Cells
+#: override it with the validated ``backoff_cap_s`` policy key.
 BACKOFF_CAP_S = 30.0
 
 
 def _retry_delay(
-    base_s: float, prev_s: float, rng=random.uniform
+    base_s: float, prev_s: float, rng=random.uniform,
+    cap_s: float = BACKOFF_CAP_S,
 ) -> float:
     """The next retry delay: decorrelated jitter.
 
-    ``uniform(base, prev * 3)`` capped at :data:`BACKOFF_CAP_S` — the
+    ``uniform(base, prev * 3)`` capped at ``cap_s`` (the cell's
+    ``backoff_cap_s`` policy, default :data:`BACKOFF_CAP_S`) — the
     expected delay still grows exponentially, but simultaneous faulted
     cells (or daemon requests all hit by the same dying pool) spread out
     instead of retrying in lockstep the way the old deterministic
     ``base * 2**attempt`` schedule made them.
     """
-    return min(BACKOFF_CAP_S, rng(base_s, max(base_s, prev_s * 3)))
+    return min(cap_s, rng(base_s, max(base_s, prev_s * 3)))
 
 
 def _apply_memory_cap(memory_mb: Optional[int]) -> None:
@@ -322,6 +325,7 @@ def run_cell(
     cell = dict(cell)  # degradation mutates a private copy
     retries = int(cell.get("retries") or 0)
     backoff_s = float(cell.get("backoff_s") or 0.0)
+    backoff_cap_s = float(cell.get("backoff_cap_s") or BACKOFF_CAP_S)
     retry_seed = cell.get("retry_seed")
     # A seeded cell draws its decorrelated jitter from a private PRNG,
     # making the whole retry schedule — and hence hunt wall-clock
@@ -366,7 +370,9 @@ def run_cell(
             }
         )
         if attempt <= retries and backoff_s > 0:
-            delay = _retry_delay(backoff_s, delay, rng)
+            delay = _retry_delay(
+                backoff_s, delay, rng, cap_s=backoff_cap_s
+            )
             time.sleep(delay)
     status = (
         "timeout" if last.get("fault") == FAULT_TIMEOUT else "error"

@@ -17,6 +17,7 @@ Subcommands::
     python -m repro serve --socket /tmp/repro.sock \\
         --check-request req.json                         # daemon client
     python -m repro doctor /path/to/cache [--fix]        # cache health
+    python -m repro chaos --seed-range 0:8               # fault-schedule sweep
 
 Exit status is 0 when every requested property holds, 1 when a violation
 was found, 2 on usage errors — so the tool scripts cleanly into CI for
@@ -26,9 +27,12 @@ when drained by SIGTERM/^C mid-campaign (the in-flight cell is
 journaled as interrupted and the journal resumes); ``hunt`` inverts the
 contract per mutant — 1 means every seeded bug was caught (success), 3
 means a mutant escaped, a correct variant was falsely killed, or cells
-are incomplete (see :mod:`repro.campaign.hunt_report`); and ``doctor``
+are incomplete (see :mod:`repro.campaign.hunt_report`); ``doctor``
 follows the scanner contract 0/1/2/3 (healthy / anomalies / scan failed
-/ fix incomplete) — see :mod:`repro.campaign`.
+/ fix incomplete); and ``chaos`` exits 0 when every trial upholds the
+recovery invariants, 1 on any invariant violation, 2 on a bad schedule
+or flags, 3 when the harness or a fault-free baseline itself failed —
+see :mod:`repro.campaign`.
 """
 
 from __future__ import annotations
@@ -307,7 +311,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         report_exit_code,
         run_campaign,
     )
-    from .campaign.report import render_json
+    from .campaign.journal import JournalError
+    from .campaign.report import EXIT_ERRORS, render_json
 
     spec = load_spec(args.spec)
     journal_path = args.journal or os.path.join(
@@ -344,6 +349,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 file=sys.stderr, flush=True,
             )
         return EXIT_SIGINT
+    except JournalError as exc:
+        # The outcome log is gone (ENOSPC/EIO): no traceback, one
+        # diagnosable line; everything already journaled stays
+        # resumable once the disk recovers.
+        print(f"batch: {exc}", file=sys.stderr, flush=True)
+        return EXIT_ERRORS
     finally:
         signal.signal(signal.SIGTERM, previous)
     report = build_report(run)
@@ -373,6 +384,8 @@ def cmd_hunt(args: argparse.Namespace) -> int:
         render_hunt_markdown,
         run_hunt,
     )
+    from .campaign.journal import JournalError
+    from .campaign.report import EXIT_ERRORS
 
     if args.list:
         from .tm.mutate import OPERATORS, default_mutants
@@ -424,6 +437,9 @@ def cmd_hunt(args: argparse.Namespace) -> int:
                 file=sys.stderr, flush=True,
             )
         return EXIT_SIGINT
+    except JournalError as exc:
+        print(f"hunt: {exc}", file=sys.stderr, flush=True)
+        return EXIT_ERRORS
     finally:
         signal.signal(signal.SIGTERM, previous)
     report = build_hunt_report(spec, run)
@@ -528,19 +544,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_doctor(args: argparse.Namespace) -> int:
     import json
 
-    from .campaign.doctor import render_doctor, run_doctor
+    from .campaign.doctor import (
+        DEFAULT_MAX_QUARANTINE,
+        render_doctor,
+        run_doctor,
+    )
 
     cache_dir = args.dir
     if cache_dir is None:
         from .cache import default_cache_dir
 
         cache_dir = default_cache_dir()
-    code, report = run_doctor(cache_dir, fix=args.fix)
+    max_quarantine = (
+        args.max_quarantine
+        if args.max_quarantine is not None
+        else DEFAULT_MAX_QUARANTINE
+    )
+    if max_quarantine < 0:
+        print("error: --max-quarantine must be >= 0", file=sys.stderr)
+        return 2
+    code, report = run_doctor(
+        cache_dir, fix=args.fix, max_quarantine=max_quarantine
+    )
     if args.json:
         print(json.dumps(report, sort_keys=True, indent=2))
     else:
         print(render_doctor(report), end="")
     return code
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    # Lazy import for the same circularity reason as cmd_batch.
+    from .campaign.chaos import run_chaos_cli
+
+    return run_chaos_cli(args)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -974,7 +1011,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the scan report as JSON",
     )
+    p_doctor.add_argument(
+        "--max-quarantine",
+        type=int,
+        default=None,
+        help="quarantined .bad files to retain under --fix (oldest"
+        " rotated out beyond this; default 16)",
+    )
     p_doctor.set_defaults(func=cmd_doctor)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault schedules through batch/serve/hunt"
+        " and check recovery invariants",
+    )
+    p_chaos.add_argument(
+        "--seed-range",
+        default="0:4",
+        help="half-open seed range START:STOP for the schedule family"
+        " (default 0:4)",
+    )
+    p_chaos.add_argument(
+        "--plane",
+        action="append",
+        choices=["storage", "journal", "wire"],
+        help="restrict to one or more fault planes (repeatable;"
+        " default: all)",
+    )
+    p_chaos.add_argument(
+        "--schedule",
+        default=None,
+        help="replay one JSON fault-schedule file instead of the"
+        " generated family",
+    )
+    p_chaos.add_argument(
+        "--scenario",
+        action="append",
+        choices=["batch", "serve", "hunt"],
+        help="restrict to one or more scenarios (repeatable;"
+        " default: whatever the plane supports)",
+    )
+    p_chaos.add_argument(
+        "--deadline-s",
+        type=float,
+        default=120.0,
+        help="per-trial wall-clock deadline (default 120)",
+    )
+    p_chaos.add_argument(
+        "--report-json",
+        help="write the chaos report to this path as JSON",
+    )
+    p_chaos.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for trial scratch state (default: a"
+        " temporary directory, removed afterwards)",
+    )
+    p_chaos.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-trial progress lines",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_sim = sub.add_parser("simulate", help="Table 1: run a schedule")
     p_sim.add_argument("tm")

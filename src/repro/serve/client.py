@@ -15,9 +15,12 @@ ECONNREFUSED / a not-yet-bound socket path.
 
 from __future__ import annotations
 
+import json
 import socket
 import time
 from typing import Dict, Optional
+
+from repro.faultplane import fault_check
 
 from . import protocol
 
@@ -70,9 +73,42 @@ class ServeClient:
     # ------------------------------------------------------------------
 
     def request(self, record: Dict[str, object]) -> Dict[str, object]:
-        """Send one request record, return its response record."""
+        """Send one request record, return its response record.
+
+        Every failure shape — connection drop, injected wire fault,
+        a torn or unparseable response line — surfaces as a clean
+        :class:`ServeClientError`, never a hang or a stray
+        ``JSONDecodeError``.
+        """
+        op = str(record.get("op", "check"))
+        fault = fault_check("serve.send", f"client:{op}")
+        if fault is not None:
+            fault.stall()
+            if fault.fault in ("eio", "reset"):
+                self.close()
+                raise ServeClientError(
+                    f"injected {fault.fault} sending to daemon at"
+                    f" {self.address}"
+                )
         try:
-            self._sock.sendall(protocol.encode(record))
+            payload = protocol.encode(record)
+            if fault is not None and fault.fault == "partial_send":
+                # A torn request line, then our half of the stream
+                # closes: the daemon sees the prefix at EOF, rejects
+                # it, and its error response still reaches us.
+                self._sock.sendall(fault.torn(payload))
+                self._sock.shutdown(socket.SHUT_WR)
+            else:
+                self._sock.sendall(payload)
+            recv_fault = fault_check("serve.recv", f"client:{op}")
+            if recv_fault is not None:
+                recv_fault.stall()
+                if recv_fault.fault in ("eio", "reset"):
+                    self.close()
+                    raise ServeClientError(
+                        f"injected {recv_fault.fault} receiving from"
+                        f" daemon at {self.address}"
+                    )
             line = self._reader.readline()
         except OSError as exc:
             raise ServeClientError(
@@ -83,9 +119,24 @@ class ServeClient:
             raise ServeClientError(
                 f"daemon at {self.address} closed the connection"
             )
-        import json
-
-        return json.loads(line.decode("utf-8"))
+        if not line.endswith(b"\n"):
+            # EOF mid-line: the daemon died (or tore the send) part
+            # way through this response.
+            raise ServeClientError(
+                f"daemon at {self.address} sent a truncated response"
+            )
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except ValueError as exc:
+            raise ServeClientError(
+                f"daemon at {self.address} sent an unparseable"
+                f" response: {exc}"
+            )
+        if not isinstance(response, dict):
+            raise ServeClientError(
+                f"daemon at {self.address} sent a non-object response"
+            )
+        return response
 
     def check(self, request: Dict[str, object]) -> Dict[str, object]:
         record = dict(request)

@@ -38,10 +38,13 @@ import os
 import queue
 import signal
 import socket
+import struct
 import sys
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faultplane import fault_check
 
 from ..campaign.supervisor import (
     FAULT_CRASH,
@@ -107,6 +110,9 @@ class CheckServer:
         self._faults: Dict[str, int] = {
             name: 0 for name in _FAULT_CLASSES
         }
+        # Chaos-plane wire injections ({"serve.send:reset": n, ...});
+        # surfaced in stats so no injected wire fault is silent.
+        self._wire_faults: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -220,13 +226,63 @@ class CheckServer:
     # Connections
     # ------------------------------------------------------------------
 
+    def _note_wire_fault(self, fault) -> None:
+        with self._lock:
+            label = f"{fault.site}:{fault.fault}"
+            self._wire_faults[label] = (
+                self._wire_faults.get(label, 0) + 1
+            )
+
     def _send(self, conn, wlock, record: Dict[str, object]) -> None:
         payload = protocol.encode(record)
+        fault = fault_check("serve.send", f"server:{record.get('op')}")
+        if fault is not None:
+            self._note_wire_fault(fault)
+            fault.stall()
         try:
             with wlock:
+                if fault is not None and fault.fault == "partial_send":
+                    # A torn NDJSON line followed by EOF: the client
+                    # must reject it cleanly, never hang on it.
+                    conn.sendall(fault.torn(payload))
+                    self._drop(conn)
+                    return
+                if fault is not None and fault.fault == "reset":
+                    # SO_LINGER(on, 0) makes a TCP drop an RST, not a
+                    # FIN; on AF_UNIX the shutdown below is the drop.
+                    try:
+                        conn.setsockopt(
+                            socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0),
+                        )
+                    except OSError:
+                        pass
+                    self._drop(conn)
+                    return
+                if fault is not None and fault.fault == "eio":
+                    self._drop(conn)  # the response is simply lost
+                    return
                 conn.sendall(payload)
         except OSError:
             pass  # client went away; its request already ran
+
+    @staticmethod
+    def _drop(conn) -> None:
+        """Tear the connection down *now*.
+
+        ``conn.close()`` alone is deferred while the connection's
+        reader thread still holds its ``makefile`` handle (socket
+        ``_io_refs``), so a blocked client would never see the drop;
+        ``shutdown`` acts on the kernel fd immediately.
+        """
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
 
     def _serve_connection(self, conn: socket.socket) -> None:
         wlock = threading.Lock()
@@ -266,11 +322,16 @@ class CheckServer:
             except OSError:
                 pass
 
-    @staticmethod
-    def _lines(reader):
+    def _lines(self, reader):
         """Request lines until EOF — a client resetting its connection
         mid-read (ECONNRESET) is an EOF, not a thread obituary."""
         while True:
+            fault = fault_check("serve.recv", "server:recv")
+            if fault is not None:
+                self._note_wire_fault(fault)
+                fault.stall()
+                if fault.fault in ("reset", "eio"):
+                    return  # injected connection loss: EOF semantics
             try:
                 line = reader.readline()
             except OSError:
@@ -386,6 +447,7 @@ class CheckServer:
         with self._lock:
             requests = dict(self._requests)
             faults = dict(self._faults)
+            wire_faults = dict(self._wire_faults)
             inflight = self._inflight
         return {
             "op": "stats",
@@ -398,5 +460,6 @@ class CheckServer:
             "queue_depth": self.queue_depth,
             "requests": requests,
             "faults": faults,
+            "wire_faults": wire_faults,
             "cache": self.store.stats(),
         }

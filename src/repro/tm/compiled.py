@@ -63,6 +63,7 @@ from ..cache import (
     save_payload,
 )
 from ..core.statements import Command, Kind, Statement
+from ..faultplane import fault_check as _pool_fault_check
 from .algorithm import ABORT_EXT, Ext, Resp, TMAlgorithm, TMState, Transition
 
 #: Stable integer codes for :class:`Resp` in persisted node rows.
@@ -1520,7 +1521,13 @@ class Sharder:
         """
         if self.broken:
             raise PoolCrashError("sharding pool is broken")
+        fault = _pool_fault_check(
+            "pool.dispatch", getattr(func, "__name__", "map")
+        )
         try:
+            if fault is not None:
+                fault.stall()
+                fault.raise_io()  # eio → the crashed-dispatch path
             return self.pool.map(func, tasks)
         except KeyboardInterrupt:
             if self.pool_key is not None:
@@ -1541,6 +1548,12 @@ class Sharder:
                 self._closed = False
                 if self.pool_key is not None:
                     self.engine._park_pool(self.pool_key, self.pool)
+                retry_fault = _pool_fault_check(
+                    "pool.dispatch", getattr(func, "__name__", "map")
+                )
+                if retry_fault is not None:
+                    retry_fault.stall()
+                    retry_fault.raise_io()  # → PoolCrashError → serial
                 return self.pool.map(func, tasks)
             except KeyboardInterrupt:
                 if self.pool_key is not None:

@@ -85,3 +85,58 @@ def test_render_covers_empty_and_missing(tmp_path):
     assert "empty cache directory" in render_doctor(report)
     _code, report = run_doctor(str(tmp_path / "absent"))
     assert "does not exist" in render_doctor(report)
+
+
+def _quarantine_corpses(tmp_path, count):
+    """Seed ``count`` already-quarantined .bad files, oldest first."""
+    names = []
+    for index in range(count):
+        name = f"corpse-{index:02d}.pkl.bad"
+        path = tmp_path / name
+        path.write_bytes(b"x" * (index + 1))
+        stamp = 1_000_000 + index
+        os.utime(path, (stamp, stamp))
+        names.append(name)
+    return names
+
+
+def test_quarantine_section_reports_count_and_bytes(tmp_path):
+    _seed(tmp_path)
+    _quarantine_corpses(tmp_path, 3)
+    code, report = run_doctor(str(tmp_path))
+    assert code == DOCTOR_OK  # corpses are not anomalies
+    assert report["quarantine"]["count"] == 3
+    assert report["quarantine"]["bytes"] == 1 + 2 + 3
+    assert "quarantine: 3 file(s), 6B" in render_doctor(report)
+
+
+def test_read_only_scan_never_rotates(tmp_path):
+    names = _quarantine_corpses(tmp_path, 5)
+    code, report = run_doctor(str(tmp_path), max_quarantine=2)
+    assert code == DOCTOR_OK
+    assert report["quarantine"]["rotated"] == []
+    assert all((tmp_path / name).exists() for name in names)
+
+
+def test_fix_rotates_oldest_first_down_to_the_cap(tmp_path):
+    names = _quarantine_corpses(tmp_path, 5)
+    code, report = run_doctor(
+        str(tmp_path), fix=True, max_quarantine=2
+    )
+    assert code == DOCTOR_OK
+    assert report["quarantine"]["rotated"] == names[:3]
+    assert not any((tmp_path / name).exists() for name in names[:3])
+    assert all((tmp_path / name).exists() for name in names[3:])
+    assert "rotated 3" in render_doctor(report)
+    # a rescan is now inside the cap
+    _code, report = run_doctor(str(tmp_path), max_quarantine=2)
+    assert report["quarantine"]["count"] == 2
+
+
+def test_fix_under_the_cap_rotates_nothing(tmp_path):
+    names = _quarantine_corpses(tmp_path, 2)
+    _code, report = run_doctor(
+        str(tmp_path), fix=True, max_quarantine=16
+    )
+    assert report["quarantine"]["rotated"] == []
+    assert all((tmp_path / name).exists() for name in names)

@@ -63,3 +63,75 @@ def test_lines_are_valid_json_objects(tmp_path):
     assert len(lines) == 2
     for line in lines:
         assert isinstance(json.loads(line), dict)
+
+
+def test_injected_enospc_is_a_diagnosable_journal_error(tmp_path):
+    from repro.campaign.journal import JournalError
+    from repro.faultplane import installed
+
+    path = tmp_path / "j.jsonl"
+    journal = Journal(str(path))
+    journal.start("camp", "x")
+    journal.append_cell({"type": "cell", "id": "a", "status": "pass"})
+    schedule = {
+        "name": "nospace", "seed": 0,
+        "rules": [{"site": "journal.append", "fault": "enospc"}],
+    }
+    with installed(schedule):
+        import pytest
+
+        with pytest.raises(JournalError) as exc:
+            journal.append_cell(
+                {"type": "cell", "id": "b", "status": "pass"}
+            )
+    # one-line diagnosis: the path and the errno are both in the text
+    import errno
+
+    assert str(path) in str(exc.value)
+    assert exc.value.errno == errno.ENOSPC
+    assert "errno" in str(exc.value)
+    # everything already journaled stays loadable
+    _header, entries = journal.load()
+    assert set(entries) == {"a"}
+
+
+def test_injected_torn_append_recovers_on_load(tmp_path):
+    from repro.faultplane import installed
+
+    path = tmp_path / "j.jsonl"
+    journal = Journal(str(path))
+    journal.start("camp", "x")
+    schedule = {
+        "name": "torn", "seed": 0,
+        "rules": [{"site": "journal.append", "fault": "torn_write",
+                   "match": "b", "keep_bytes": 9}],
+    }
+    with installed(schedule):
+        journal.append_cell(
+            {"type": "cell", "id": "a", "status": "pass"}
+        )
+        journal.append_cell(
+            {"type": "cell", "id": "b", "status": "pass"}
+        )  # torn: only a 9-byte prefix lands
+    header, entries = journal.load()
+    assert header is not None
+    assert set(entries) == {"a"}  # the torn record is simply re-run
+
+
+def test_injected_drop_fsync_keeps_the_write(tmp_path):
+    from repro.faultplane import installed
+
+    path = tmp_path / "j.jsonl"
+    journal = Journal(str(path))
+    journal.start("camp", "x")
+    schedule = {
+        "name": "nofsync", "seed": 0,
+        "rules": [{"site": "journal.fsync", "fault": "drop_fsync"}],
+    }
+    with installed(schedule):
+        journal.append_cell(
+            {"type": "cell", "id": "a", "status": "pass"}
+        )
+    # the write itself landed; only durability was (silently) skipped
+    _header, entries = journal.load()
+    assert set(entries) == {"a"}

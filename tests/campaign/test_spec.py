@@ -174,3 +174,16 @@ def test_load_spec_round_trip(tmp_path):
     path.write_text(json.dumps(_minimal()))
     spec = load_spec(str(path))
     assert spec.cells[0]["id"] == "seq/ss/2x1"
+
+
+def test_backoff_cap_defaults_and_overrides():
+    spec = parse_spec(_minimal())
+    assert spec.cells[0]["backoff_cap_s"] == 30.0
+    spec = parse_spec(_minimal(defaults={"backoff_cap_s": 5}))
+    assert spec.cells[0]["backoff_cap_s"] == 5
+
+
+@pytest.mark.parametrize("bad", [0, -3, "fast", True])
+def test_backoff_cap_must_be_a_positive_number(bad):
+    with pytest.raises(CampaignSpecError, match="backoff_cap_s"):
+        parse_spec(_minimal(defaults={"backoff_cap_s": bad}))

@@ -232,3 +232,35 @@ def test_run_cell_profile_policy_key():
     assert isinstance(entry["profile"], dict) and entry["profile"]
     # a non-profiled cell carries no profile key at all
     assert "profile" not in run_cell(_cell())
+
+
+def test_retry_delay_honors_a_cell_level_cap():
+    from repro.campaign.supervisor import BACKOFF_CAP_S, _retry_delay
+
+    def rng(_low, high):
+        return high
+
+    # a cell's backoff_cap_s threads through as cap_s and binds first
+    assert _retry_delay(0.1, 1e9, rng, cap_s=5.0) == 5.0
+    assert _retry_delay(0.1, 1e9, rng, cap_s=90.0) == 90.0
+    # the default cap is the historical 30s ceiling
+    assert _retry_delay(0.1, 1e9, rng) == BACKOFF_CAP_S
+
+
+def test_backoff_cap_surfaces_in_the_report(tmp_path):
+    from repro.campaign import parse_spec, run_campaign
+    from repro.campaign.report import build_report
+
+    spec = parse_spec(
+        {
+            "name": "cap",
+            "defaults": {"timeout_s": 120, "retries": 1,
+                         "backoff_s": 0, "backoff_cap_s": 7.5},
+            "cells": [
+                {"tm": "seq", "property": "ss", "n": 2, "k": 1}
+            ],
+        }
+    )
+    run = run_campaign(spec, str(tmp_path / "j.jsonl"))
+    report = build_report(run)
+    assert report["cells"][0]["backoff_cap_s"] == 7.5

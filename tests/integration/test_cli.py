@@ -307,3 +307,63 @@ class TestDoctorCommand:
 
     def test_missing_dir_exit_zero(self, tmp_path, capsys):
         assert main(["doctor", str(tmp_path / "nope")]) == 0
+
+
+class TestJournalFaultExit:
+    def test_journal_enospc_is_exit_three_with_diagnosis(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.faultplane import installed
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "cli",
+                    "defaults": {"timeout_s": 120, "retries": 1,
+                                 "backoff_s": 0},
+                    "cells": [{"tm": "seq", "property": "ss",
+                               "n": 2, "k": 1}],
+                }
+            )
+        )
+        schedule = {
+            "name": "nospace", "seed": 0,
+            "rules": [{"site": "journal.append", "fault": "enospc"}],
+        }
+        with installed(schedule):
+            code = main(["batch", str(spec), "--quiet"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "journal append failed" in err
+        assert "errno 28" in err  # ENOSPC, named in the one-liner
+        assert "campaign.jsonl" in err  # and the journal path
+
+
+class TestDoctorQuarantineCap:
+    def test_max_quarantine_flag_threads_through(
+        self, tmp_path, capsys
+    ):
+        import json
+        import os
+
+        for index in range(4):
+            path = tmp_path / f"c{index}.pkl.bad"
+            path.write_bytes(b"x")
+            os.utime(path, (1_000_000 + index,) * 2)
+        assert main(
+            ["doctor", str(tmp_path), "--fix",
+             "--max-quarantine", "1", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["quarantine"]["rotated"] == [
+            "c0.pkl.bad", "c1.pkl.bad", "c2.pkl.bad"
+        ]
+
+    def test_negative_cap_is_a_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["doctor", str(tmp_path), "--max-quarantine", "-1"]
+        ) == 2
+        assert "max-quarantine" in capsys.readouterr().err

@@ -1,0 +1,264 @@
+"""``ServeClient`` under wire faults: retries, torn lines, dead peers.
+
+Half raw-socket puppetry (a fake daemon scripted byte-by-byte), half
+the real in-process daemon with an installed fault schedule — every
+failure shape must surface as a clean :class:`ServeClientError`, never
+a hang or a stray ``JSONDecodeError``.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.faultplane import installed, reset
+from repro.serve import CheckServer, ServeClient, ServeClientError
+from repro.serve.protocol import encode
+
+DEFAULTS = {"timeout_s": 60, "retries": 1, "backoff_s": 0}
+
+
+class _Daemon:
+    """An in-process daemon (same shape as tests/serve/test_server)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("defaults", DEFAULTS)
+        kwargs.setdefault("log", lambda _line: None)
+        self.server = CheckServer(**kwargs)
+        self.server.bind()
+        self.thread = threading.Thread(
+            target=lambda: self.server.serve_forever(
+                install_signals=False
+            ),
+            daemon=True,
+        )
+        self.thread.start()
+
+    def client(self, **kwargs):
+        return ServeClient(port=self.server.port, **kwargs)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        if self.thread.is_alive():
+            self.server.initiate_drain()
+            self.thread.join(timeout=60)
+            assert not self.thread.is_alive(), "daemon failed to drain"
+
+
+@pytest.fixture(autouse=True)
+def _pristine_plane():
+    reset()
+    yield
+    reset()
+
+
+class _Puppet:
+    """A one-connection fake daemon with a scripted response."""
+
+    def __init__(self, sock_path, script, bind_delay=0.0):
+        self.sock_path = str(sock_path)
+        self.script = script
+        self.bind_delay = bind_delay
+        self.request_line = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        if self.bind_delay:
+            time.sleep(self.bind_delay)
+        srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        srv.bind(self.sock_path)
+        srv.listen(1)
+        conn, _addr = srv.accept()
+        try:
+            self.request_line = conn.makefile("rb").readline()
+            self.script(conn)
+        finally:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+            srv.close()
+
+    def join(self):
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive()
+
+
+def test_connect_retry_rides_out_a_late_bind(tmp_path):
+    # The daemon binds its socket a beat after the client starts: the
+    # connect loop must absorb the refused/missing-socket window.
+    sock = tmp_path / "late.sock"
+    puppet = _Puppet(
+        sock,
+        lambda conn: conn.sendall(
+            encode({"op": "health", "ok": True})
+        ),
+        bind_delay=0.3,
+    )
+    with ServeClient(
+        socket_path=str(sock), timeout=10.0, connect_timeout=10.0
+    ) as client:
+        assert client.health()["ok"] is True
+    puppet.join()
+
+
+def test_connect_gives_up_cleanly_when_nothing_listens(tmp_path):
+    with pytest.raises(ServeClientError, match="cannot reach daemon"):
+        ServeClient(
+            socket_path=str(tmp_path / "absent.sock"),
+            connect_timeout=0.3,
+        )
+
+
+def test_partial_line_recv_is_reassembled(tmp_path):
+    # The response dribbles in one byte at a time: readline must
+    # reassemble the full NDJSON line, not surface a fragment.
+    payload = encode({"op": "health", "ok": True, "pad": "x" * 64})
+
+    def dribble(conn):
+        for index in range(len(payload)):
+            conn.sendall(payload[index:index + 1])
+            if index % 16 == 0:
+                time.sleep(0.01)
+
+    sock = tmp_path / "dribble.sock"
+    puppet = _Puppet(sock, dribble)
+    with ServeClient(
+        socket_path=str(sock), timeout=10.0, connect_timeout=10.0
+    ) as client:
+        response = client.health()
+    assert response["ok"] is True and response["pad"] == "x" * 64
+    puppet.join()
+
+
+def test_mid_response_death_is_a_clean_error(tmp_path):
+    # The daemon dies halfway through a response line: the client
+    # reports a truncated response, it does not hang or mis-parse.
+    payload = encode({"op": "health", "ok": True})
+
+    def die_midline(conn):
+        conn.sendall(payload[: len(payload) // 2])
+
+    sock = tmp_path / "dead.sock"
+    puppet = _Puppet(sock, die_midline)
+    with ServeClient(
+        socket_path=str(sock), timeout=10.0, connect_timeout=10.0
+    ) as client:
+        with pytest.raises(
+            ServeClientError, match="truncated response"
+        ):
+            client.health()
+    puppet.join()
+
+
+def test_death_before_response_is_a_clean_error(tmp_path):
+    sock = tmp_path / "eof.sock"
+    puppet = _Puppet(sock, lambda conn: None)
+    with ServeClient(
+        socket_path=str(sock), timeout=10.0, connect_timeout=10.0
+    ) as client:
+        with pytest.raises(
+            ServeClientError, match="closed the connection"
+        ):
+            client.health()
+    puppet.join()
+
+
+def test_garbage_response_is_a_clean_error(tmp_path):
+    sock = tmp_path / "garbage.sock"
+    puppet = _Puppet(
+        sock, lambda conn: conn.sendall(b"not json at all\n")
+    )
+    with ServeClient(
+        socket_path=str(sock), timeout=10.0, connect_timeout=10.0
+    ) as client:
+        with pytest.raises(
+            ServeClientError, match="unparseable response"
+        ):
+            client.health()
+    puppet.join()
+
+
+# ----------------------------------------------------------------------
+# Injected wire faults against the real daemon
+# ----------------------------------------------------------------------
+
+
+def _request():
+    return {
+        "op": "check", "id": "r1", "tm": "dstm", "property": "ss",
+        "n": 2, "k": 1,
+    }
+
+
+def test_server_reset_then_reconnect_recovers():
+    schedule = {
+        "name": "wire-reset", "seed": 0,
+        "rules": [{"site": "serve.send", "match": "server:check",
+                   "nth": 1, "fault": "reset"}],
+    }
+    with installed(schedule), _Daemon() as daemon:
+        with pytest.raises(ServeClientError):
+            with daemon.client(timeout=30.0) as client:
+                client.request(_request())
+        # The schedule's window is spent: a fresh connection gets the
+        # verdict the first request already computed.
+        with daemon.client(timeout=60.0) as client:
+            response = client.request(_request())
+        assert response["status"] == "pass"
+        stats = daemon.server.stats_record()
+        assert stats["wire_faults"] == {"serve.send:reset": 1}
+
+
+def test_server_partial_send_surfaces_and_recovers():
+    schedule = {
+        "name": "wire-torn", "seed": 3,
+        "rules": [{"site": "serve.send", "match": "server:check",
+                   "nth": 1, "fault": "partial_send"}],
+    }
+    with installed(schedule), _Daemon() as daemon:
+        with pytest.raises(ServeClientError):
+            with daemon.client(timeout=30.0) as client:
+                client.request(_request())
+        with daemon.client(timeout=60.0) as client:
+            response = client.request(_request())
+        assert response["status"] == "pass"
+        assert daemon.server.stats_record()["wire_faults"] == {
+            "serve.send:partial_send": 1
+        }
+
+
+def test_client_send_faults_raise_cleanly():
+    schedule = {
+        "name": "client-reset", "seed": 0,
+        "rules": [{"site": "serve.send", "match": "client:*",
+                   "nth": 1, "fault": "reset"}],
+    }
+    with installed(schedule), _Daemon() as daemon:
+        with pytest.raises(ServeClientError, match="injected reset"):
+            with daemon.client(timeout=30.0) as client:
+                client.request(_request())
+        with daemon.client(timeout=60.0) as client:
+            assert client.request(_request())["status"] == "pass"
+        # Client-side faults never touch the daemon's wire counters.
+        assert daemon.server.stats_record()["wire_faults"] == {}
+
+
+def test_recv_stall_only_delays():
+    schedule = {
+        "name": "wire-stall", "seed": 0,
+        "rules": [{"site": "serve.recv", "match": "server:*",
+                   "nth": 1, "fault": "stall_ms", "stall_ms": 50}],
+    }
+    with installed(schedule), _Daemon() as daemon:
+        with daemon.client(timeout=60.0) as client:
+            assert client.request(_request())["status"] == "pass"
+        assert daemon.server.stats_record()["wire_faults"] == {
+            "serve.recv:stall_ms": 1
+        }

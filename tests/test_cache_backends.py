@@ -773,3 +773,81 @@ def test_unreadable_entry_in_keys_scan_is_tallied(tmp_path, name):
         (tmp_path / "junk.seg").write_bytes(b"")
     assert backend.keys() == [KEY]
     assert backend.error_counts() == {"unreadable": 1}
+
+
+# ----------------------------------------------------------------------
+# Injected storage faults (the chaos plane's cache sites)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def _pristine_fault_plane():
+    from repro import faultplane
+
+    faultplane.reset()
+    yield
+    faultplane.reset()
+
+
+@pytest.mark.usefixtures("_pristine_fault_plane")
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+@pytest.mark.parametrize("kind", ["eio", "enospc"])
+def test_injected_save_fault_is_swallowed_and_tallied(
+    tmp_path, name, kind
+):
+    from repro.faultplane import installed
+
+    backend = make_backend(name, str(tmp_path))
+    schedule = {
+        "name": "save-io", "seed": 0,
+        "rules": [{"site": "cache.save", "fault": kind}],
+    }
+    with installed(schedule):
+        assert backend.save(KEY, PAYLOAD) is False  # never raises
+    assert backend.error_counts() == {"save_failed": 1}
+    assert backend.load(KEY) is None  # nothing landed
+    assert backend.save(KEY, PAYLOAD)  # window spent: next save works
+
+
+@pytest.mark.usefixtures("_pristine_fault_plane")
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+def test_injected_load_eio_is_a_tallied_miss(tmp_path, name):
+    from repro.faultplane import installed
+
+    backend = make_backend(name, str(tmp_path))
+    assert backend.save(KEY, PAYLOAD)
+    schedule = {
+        "name": "load-io", "seed": 0,
+        "rules": [{"site": "cache.load", "fault": "eio"}],
+    }
+    with installed(schedule):
+        assert backend.load(KEY) is None
+    assert backend.error_counts() == {"io_error": 1}
+    # the file itself is healthy: no quarantine, next load round-trips
+    loaded = backend.load(KEY)
+    assert loaded is not None
+    assert loaded["num_states"] == PAYLOAD["num_states"]
+
+
+@pytest.mark.usefixtures("_pristine_fault_plane")
+@pytest.mark.parametrize("name", ["disk", "mmap"])
+def test_injected_torn_save_quarantines_on_next_load(tmp_path, name):
+    from repro.faultplane import installed
+
+    backend = make_backend(name, str(tmp_path))
+    schedule = {
+        "name": "torn-save", "seed": 7,
+        "rules": [{"site": "cache.save", "fault": "torn_write"}],
+    }
+    with installed(schedule):
+        backend.save(KEY, PAYLOAD)  # a truncated file lands
+    assert backend.load(KEY) is None  # rejected, never raises
+    counts = backend.error_counts()
+    assert counts and all(
+        status in ("corrupt", "truncated") for status in counts
+    )
+    # the torn corpse was quarantined: .bad exists, next load is a miss
+    bad = [n for n in os.listdir(tmp_path) if n.endswith(".bad")]
+    assert len(bad) == 1
+    assert backend.load(KEY) is None
+    assert backend.error_counts() == counts  # no double-tally
